@@ -1,0 +1,187 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: match
+// finder strategy, entropy-stage components, dictionary size, and FSE table
+// size. Each reports ratio (or size) as a custom metric so the trade-off
+// curve is visible straight from `go test -bench Ablation`.
+package datacomp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/dict"
+	"github.com/datacomp/datacomp/internal/fse"
+	"github.com/datacomp/datacomp/internal/lz"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+// BenchmarkAblationStrategy sweeps the match-finder strategies at equal
+// depth, isolating the parsing algorithm's contribution to the
+// speed/ratio trade-off (the paper's §II-B spectrum).
+func BenchmarkAblationStrategy(b *testing.B) {
+	src := corpus.SourceCode(1, 1<<19)
+	for _, s := range []lz.Strategy{lz.Fast, lz.Greedy, lz.Lazy, lz.Lazy2, lz.Optimal} {
+		b.Run(s.String(), func(b *testing.B) {
+			m, err := lz.NewMatcher(lz.Params{
+				WindowLog: 18, HashLog: 16, ChainLog: 16,
+				Depth: 32, MinMatch: 4, SkipStep: 1, Strategy: s,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var seqs []lz.Sequence
+			for i := 0; i < b.N; i++ {
+				seqs = m.Parse(seqs[:0], src, 0)
+			}
+			// Parse cost proxy: literal bytes plus per-sequence overhead.
+			cost := 0
+			for _, q := range seqs {
+				cost += int(q.LitLen) + 3
+			}
+			b.ReportMetric(float64(len(src))/float64(cost), "ratio-proxy")
+		})
+	}
+}
+
+// BenchmarkAblationDictSize sweeps trained-dictionary sizes on small cache
+// items: the paper's Managed Compression design point.
+func BenchmarkAblationDictSize(b *testing.B) {
+	typ := corpus.DefaultItemTypes()[0]
+	training := corpus.CacheItems(1, typ, 2000)
+	items := corpus.CacheItems(2, typ, 200)
+	var raw int64
+	for _, it := range items {
+		raw += int64(len(it))
+	}
+	for _, size := range []int{512, 2048, 8192, 32768, 131072} {
+		b.Run(fmt.Sprintf("dict%d", size), func(b *testing.B) {
+			d, err := dict.Train(training, dict.DefaultParams(size))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := codec.NewEngine("zstd", codec.Options{Level: 3, Dict: d})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(raw)
+			var out []byte
+			var comp int64
+			for i := 0; i < b.N; i++ {
+				comp = 0
+				for _, it := range items {
+					out, err = eng.Compress(out[:0], it)
+					if err != nil {
+						b.Fatal(err)
+					}
+					comp += int64(len(out))
+				}
+			}
+			b.ReportMetric(float64(raw)/float64(comp), "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationFSETableLog sweeps the FSE table size: larger tables
+// cost header bytes and cache footprint, smaller tables cost precision.
+func BenchmarkAblationFSETableLog(b *testing.B) {
+	// Sequence-code-like skewed symbols.
+	data := make([]byte, 1<<16)
+	g := corpus.NewTextGen(3, 40, 1.3)
+	text := g.Generate(len(data))
+	for i := range data {
+		data[i] = text[i] & 0x1f
+	}
+	for _, log := range []uint{5, 7, 9, 11, 12} {
+		b.Run(fmt.Sprintf("log%d", log), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var out []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				out, err = fse.Compress(nil, data, log)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(data))/float64(len(out)), "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationWindowLog isolates the match window's effect on the
+// zstd-style codec at a fixed level (the CompSim design axis).
+func BenchmarkAblationWindowLog(b *testing.B) {
+	src := corpus.SSTSample(1, 1<<20)
+	for _, w := range []uint{10, 13, 16, 19} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			enc, err := zstd.NewEncoder(zstd.Options{Level: 1, WindowLog: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				out, err = enc.Compress(out[:0], src)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(src))/float64(len(out)), "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationMinMatch sweeps the minimum match length: shorter
+// minimums find more matches but emit more sequences.
+func BenchmarkAblationMinMatch(b *testing.B) {
+	src := corpus.Records(2, 1<<19)
+	for _, mm := range []int{3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("mm%d", mm), func(b *testing.B) {
+			m, err := lz.NewMatcher(lz.Params{
+				WindowLog: 18, HashLog: 16, ChainLog: 16,
+				Depth: 16, MinMatch: mm, SkipStep: 1, Strategy: lz.Lazy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var seqs []lz.Sequence
+			for i := 0; i < b.N; i++ {
+				seqs = m.Parse(seqs[:0], src, 0)
+			}
+			cost := 0
+			for _, q := range seqs {
+				cost += int(q.LitLen) + 3
+			}
+			b.ReportMetric(float64(len(src))/float64(cost), "ratio-proxy")
+		})
+	}
+}
+
+// BenchmarkAblationChainDepth sweeps search depth at fixed strategy: the
+// knob behind most of the level ladder.
+func BenchmarkAblationChainDepth(b *testing.B) {
+	src := corpus.NewTextGen(5, 20000, 1.15).Generate(1 << 19)
+	for _, depth := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			m, err := lz.NewMatcher(lz.Params{
+				WindowLog: 18, HashLog: 16, ChainLog: 17,
+				Depth: depth, MinMatch: 3, SkipStep: 1, Strategy: lz.Lazy2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var seqs []lz.Sequence
+			for i := 0; i < b.N; i++ {
+				seqs = m.Parse(seqs[:0], src, 0)
+			}
+			cost := 0
+			for _, q := range seqs {
+				cost += int(q.LitLen) + 3
+			}
+			b.ReportMetric(float64(len(src))/float64(cost), "ratio-proxy")
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command compbench reproduces Figure 1 of the paper: compression ratio
+// and compression/decompression speed for Zstd, Zlib and LZ4 across
+// compression levels 1-9, on a Silesia-style mixed corpus.
+//
+// Usage:
+//
+//	compbench [-size N] [-seed N] [-levels 1,3,5,9] [-algos zstd,zlib,lz4] [-files dickens,xml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func main() {
+	size := flag.Int("size", 1<<20, "bytes per corpus member")
+	seed := flag.Int64("seed", 20230423, "corpus generation seed")
+	levelsFlag := flag.String("levels", "1,2,3,4,5,6,7,8,9", "comma-separated levels")
+	algosFlag := flag.String("algos", "zstd,zlib,lz4", "comma-separated codecs")
+	filesFlag := flag.String("files", "", "comma-separated corpus members (default all)")
+	repeats := flag.Int("repeats", 1, "measurement repeats")
+	flag.Parse()
+
+	levels, err := parseInts(*levelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	algos := splitList(*algosFlag)
+	files := corpus.Silesia(*seed, *size)
+	if *filesFlag != "" {
+		want := map[string]bool{}
+		for _, f := range splitList(*filesFlag) {
+			want[f] = true
+		}
+		kept := files[:0]
+		for _, f := range files {
+			if want[f.Name] {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no corpus members selected"))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "file\tkind\tcodec\tlevel\tratio\tcomp MB/s\tdecomp MB/s")
+	for _, f := range files {
+		for _, algo := range algos {
+			c, ok := codec.Lookup(algo)
+			if !ok {
+				fatal(fmt.Errorf("unknown codec %q", algo))
+			}
+			min, max, _ := c.Levels()
+			for _, level := range levels {
+				if level < min || level > max {
+					continue
+				}
+				eng, err := c.New(codec.Options{Level: level})
+				if err != nil {
+					fatal(err)
+				}
+				m, err := codec.Measure(eng, [][]byte{f.Data}, 0, *repeats)
+				if err != nil {
+					fatal(fmt.Errorf("%s %s L%d: %w", f.Name, algo, level, err))
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.2f\t%.1f\t%.1f\n",
+					f.Name, f.Kind, algo, level, m.Ratio(), m.CompressMBps(), m.DecompressMBps())
+			}
+		}
+	}
+	w.Flush()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q", part)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compbench:", err)
+	os.Exit(1)
+}

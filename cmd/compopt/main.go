@@ -1,0 +1,275 @@
+// Command compopt runs CompOpt's sensitivity studies from Section V of the
+// paper:
+//
+//	-study 1  ADS1: minimize compute+network cost under a minimum
+//	          compression-speed SLO (Fig 15a; paper: Zstd level 4 wins,
+//	          73% below the worst configuration, LZ4-HC level 10).
+//	-study 2  KVSTORE1: minimize compute+storage cost across block sizes
+//	          4-64 KiB under a per-block decompression latency SLO
+//	          (Fig 15b; paper: Zstd-1/64KiB unconstrained, Zstd-1/16KiB
+//	          constrained).
+//	-study 3  CompSim: cost versus accelerator match-window size at γ=10
+//	          with EIA compute pricing (Fig 16; paper: plateau near 2^21 B
+//	          for ADS1 and 2^16 B for KVSTORE1).
+//
+// SLO thresholds default to values scaled for this repository's pure-Go
+// codecs (≈5x slower than the C libraries the paper measured); override
+// them with -min-comp-mbps and -max-block-ms to explore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/accel"
+	"github.com/datacomp/datacomp/internal/core"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func main() {
+	study := flag.Int("study", 0, "study to run (1-3 from the paper, 4 = offload extension; 0 = all)")
+	seed := flag.Int64("seed", 423, "sample generation seed")
+	minCompMBps := flag.Float64("min-comp-mbps", 40, "study 1: minimum compression speed (paper: 200 MB/s on C codecs)")
+	maxBlockMs := flag.Float64("max-block-ms", 0.12, "study 2: per-block decompression SLO in ms (paper: 0.08 ms on C codecs)")
+	gamma := flag.Float64("gamma", 10, "study 3: accelerator speed factor γ")
+	computeScale := flag.Float64("compute-scale", 1, "study 2: multiplier on the compute price (model a fleet where CPU carries opportunity cost)")
+	repeats := flag.Int("repeats", 2, "measurement repeats")
+	flag.Parse()
+
+	if *study == 0 || *study == 1 {
+		study1(*seed, *minCompMBps, *repeats)
+	}
+	if *study == 0 || *study == 2 {
+		study2(*seed, *maxBlockMs, *computeScale, *repeats)
+	}
+	if *study == 0 || *study == 3 {
+		study3(*seed, *gamma, *repeats)
+	}
+	if *study == 0 || *study == 4 {
+		study4(*seed, *repeats)
+	}
+}
+
+// study4 is an extension beyond the paper's figures: it makes §VI-B's
+// offload guidance quantitative with the internal/accel device models,
+// reporting the block-size break-even for PCIe vs on-chip engines against
+// the measured software baseline.
+func study4(seed int64, repeats int) {
+	fmt.Println("=== Extension (paper §VI-B): offload break-even, PCIe vs on-chip ===")
+	sample := corpus.SSTSample(seed, 2<<20)
+	params := core.DefaultCostParams()
+	params.AlphaNetwork = 0
+	e := &core.CompEngine{Samples: [][]byte{sample}, Params: params, Repeats: repeats}
+	base, err := e.Evaluate(core.Config{Algorithm: "zstd", Level: 1, BlockSize: 64 << 10})
+	if err != nil {
+		fatal(err)
+	}
+	cpuMBps := base.Metrics.CompressMBps()
+	ratio := base.Metrics.Ratio()
+	devices := []accel.Device{accel.QATLike(), accel.OnChipLike()}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "block\tcpu (%.0f MB/s)\t", cpuMBps)
+	for _, d := range devices {
+		fmt.Fprintf(w, "%s speedup\t", d.Name)
+	}
+	fmt.Fprintln(w)
+	for _, bs := range []int{512, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		fmt.Fprintf(w, "%d\t1.00x\t", bs)
+		for _, d := range devices {
+			fmt.Fprintf(w, "%.2fx\t", d.Speedup(bs, cpuMBps, ratio))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	for _, d := range devices {
+		be := d.BreakEvenBlockSize(cpuMBps, ratio)
+		fmt.Printf("%s (%s): break-even block size %d B\n", d.Name, d.Placement, be)
+	}
+	fmt.Println("(paper §VI-B: offload overhead is significant for small blocks/data unless the accelerator is on-chip)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compopt:", err)
+	os.Exit(1)
+}
+
+// adsSamples batches ads requests the way the serving tier ships them.
+func adsSamples(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = corpus.ModelA.Request(rng)
+	}
+	return out
+}
+
+func printResults(all []core.Result, normalize bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\tratio\tcomp MB/s\tdecomp/block\tcompute$\tstorage$\tnetwork$\ttotal\tfeasible")
+	worst := 0.0
+	for _, r := range all {
+		if r.TotalCost() > worst {
+			worst = r.TotalCost()
+		}
+	}
+	for _, r := range all {
+		total := r.TotalCost()
+		totalStr := fmt.Sprintf("%.3g", total)
+		if normalize && worst > 0 {
+			totalStr = fmt.Sprintf("%.3f", total/worst)
+		}
+		feas := "yes"
+		if !r.Feasible {
+			feas = "no: " + r.Violation
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%v\t%.3g\t%.3g\t%.3g\t%s\t%s\n",
+			r.Config, r.Metrics.Ratio(), r.Metrics.CompressMBps(),
+			r.Metrics.DecompressPerBlock().Round(time.Microsecond),
+			r.ComputeCost, r.StorageCost, r.NetworkCost, totalStr, feas)
+	}
+	w.Flush()
+}
+
+func study1(seed int64, minMBps float64, repeats int) {
+	fmt.Println("=== Sensitivity study 1 (Fig 15a): ADS1, compute+network, min compression speed ===")
+	params := core.DefaultCostParams()
+	params.AlphaStorage = 0 // intermediate data is not stored
+	e := &core.CompEngine{
+		Samples:     adsSamples(seed, 4),
+		Params:      params,
+		Constraints: core.Constraints{MinCompressMBps: minMBps},
+		Repeats:     repeats,
+	}
+	candidates := core.Grid(map[string][]int{
+		"zstd": {-5, -1, 1, 2, 3, 4, 5, 6, 9},
+		"lz4":  {-10, -5, -1, 1, 3, 6, 9, 10, 12},
+		"zlib": {1, 6, 9},
+	}, nil)
+	best, all, err := e.Search(candidates)
+	if err != nil {
+		fmt.Printf("no feasible configuration under %.0f MB/s; showing all candidates\n", minMBps)
+		printResults(all, true)
+		return
+	}
+	printResults(all, true)
+	worst := all[len(all)-1]
+	fmt.Printf("\nbest feasible: %s  (total cost %.3g, %.0f%% below worst %s)\n",
+		best.Config, best.TotalCost(),
+		(1-best.TotalCost()/worst.TotalCost())*100, worst.Config)
+	fmt.Printf("(paper: Zstd level 4 optimal, 73%% below worst = LZ4 level 10)\n\n")
+}
+
+func study2(seed int64, maxBlockMs, computeScale float64, repeats int) {
+	fmt.Println("=== Sensitivity study 2 (Fig 15b): KVSTORE1, compute+storage, block sizes, decompression SLO ===")
+	params := core.DefaultCostParams()
+	params.AlphaNetwork = 0     // storage-bound service
+	params.RetentionDays = 90   // long-lived SSTs
+	params.DecompressWeight = 3 // every block is read back several times
+	params.AlphaCompute *= computeScale
+	samples := [][]byte{corpus.SSTSample(seed, 4<<20)}
+	blockSizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	// The paper's Fig 15b sweeps Zstd/Zlib levels but only plain LZ4
+	// (level 1) — HC variants are not in its candidate set.
+	candidates := core.Grid(map[string][]int{
+		"zstd": {1, 3, 6},
+		"lz4":  {1},
+		"zlib": {1, 6},
+	}, blockSizes)
+
+	// Unconstrained pass.
+	free := &core.CompEngine{Samples: samples, Params: params, Repeats: repeats}
+	bestFree, allFree, err := free.Search(candidates)
+	if err != nil {
+		fatal(err)
+	}
+	printResults(allFree, true)
+	worst := allFree[len(allFree)-1]
+	fmt.Printf("\nunconstrained best: %s (%.0f%% below worst %s)\n",
+		bestFree.Config, (1-bestFree.TotalCost()/worst.TotalCost())*100, worst.Config)
+
+	// Constrained pass.
+	slo := &core.CompEngine{
+		Samples:     samples,
+		Params:      params,
+		Constraints: core.Constraints{MaxDecompressPerBlock: time.Duration(maxBlockMs * float64(time.Millisecond))},
+		Repeats:     repeats,
+	}
+	bestSLO, _, err := slo.Search(candidates)
+	if err != nil {
+		fmt.Printf("no configuration meets the %.2f ms SLO\n\n", maxBlockMs)
+		return
+	}
+	fmt.Printf("with ≤%.2f ms per-block decompression: best %s (%.0f%% below worst)\n",
+		maxBlockMs, bestSLO.Config, (1-bestSLO.TotalCost()/worst.TotalCost())*100)
+	fmt.Printf("(paper: Zstd-1/64KiB unconstrained; Zstd-1/16KiB under the 0.08 ms SLO)\n\n")
+}
+
+func study3(seed int64, gamma float64, repeats int) {
+	fmt.Println("=== Sensitivity study 3 (Fig 16): CompSim accelerator match-window sweep (γ=10, EIA pricing) ===")
+	type target struct {
+		name      string
+		samples   [][]byte
+		blockSize int
+		maxLog    uint
+		netAlpha  bool
+	}
+	// ADS1 compresses whole batched requests; KVSTORE1 compresses 64 KiB
+	// SST blocks, so its useful window saturates earlier.
+	targets := []target{
+		{"ADS1", [][]byte{concat(adsSamples(seed, 16))}, 0, 24, true},
+		{"KVSTORE1", [][]byte{corpus.SSTSample(seed, 4<<20)}, 64 << 10, 24, false},
+	}
+	for _, tg := range targets {
+		params := core.DefaultCostParams()
+		if tg.netAlpha {
+			params.AlphaStorage = 0
+		} else {
+			params.AlphaNetwork = 0
+			params.RetentionDays = 90
+		}
+		e := &core.CompEngine{Samples: tg.samples, Params: params, Repeats: repeats}
+		sweep := core.WindowSweep("zstd", 1, tg.blockSize, 10, tg.maxLog, gamma, core.EIAComputeAlpha)
+		fmt.Printf("\n-- %s --\n", tg.name)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "window\tratio\tnormalized cost")
+		var results []core.Result
+		worst := 0.0
+		for _, cfg := range sweep {
+			r, err := e.Evaluate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, r)
+			if r.TotalCost() > worst {
+				worst = r.TotalCost()
+			}
+		}
+		plateau := uint(0)
+		var prev float64
+		for i, r := range results {
+			norm := r.TotalCost() / worst
+			fmt.Fprintf(w, "2^%d\t%.3f\t%.3f\n", r.Config.WindowLog, r.Metrics.Ratio(), norm)
+			if i > 0 && plateau == 0 && prev-norm < 0.005 {
+				plateau = r.Config.WindowLog
+			}
+			prev = norm
+		}
+		w.Flush()
+		if plateau > 0 {
+			fmt.Printf("cost reaches its plateau around 2^%d B\n", plateau)
+		}
+	}
+	fmt.Printf("(paper: plateaus near 2^21 B for ADS1 and 2^16 B for KVSTORE1)\n")
+}
+
+func concat(bufs [][]byte) []byte {
+	var out []byte
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Command datagen emits the repository's synthetic datasets to stdout (or
+// a file), so external tools — including the real zstd/lz4/zlib binaries —
+// can be benchmarked against the same corpora this reproduction uses.
+//
+// Usage:
+//
+//	datagen -kind sst -size 4194304 -seed 7 > sample.bin
+//	datagen -kind silesia -out dir/        # writes the 12-member corpus
+//	datagen -list
+//
+// Kinds: web, feed, ads, cacheitem, orc, sst (the fleet data kinds),
+// text, source, xml, records, binary, logs, plus "silesia" for the whole
+// Figure-1 proxy corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/fleet"
+)
+
+var plainKinds = map[string]func(int64, int) []byte{
+	"text":    func(seed int64, n int) []byte { return corpus.NewTextGen(seed, 30000, 1.15).Generate(n) },
+	"source":  corpus.SourceCode,
+	"xml":     corpus.XML,
+	"records": corpus.Records,
+	"binary":  corpus.Binary,
+	"logs":    corpus.LogLines,
+}
+
+func main() {
+	kind := flag.String("kind", "sst", "data kind (see -list)")
+	size := flag.Int("size", 1<<20, "bytes to generate")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output file (default stdout); for -kind silesia, an output directory")
+	list := flag.Bool("list", false, "list available kinds")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("fleet kinds: web feed ads cacheitem orc sst")
+		fmt.Println("plain kinds: text source xml records binary logs")
+		fmt.Println("corpora:     silesia (12 files, use -out DIR)")
+		return
+	}
+
+	if *kind == "silesia" {
+		dir := *out
+		if dir == "" {
+			fatal(fmt.Errorf("-kind silesia needs -out DIR"))
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, f := range corpus.Silesia(*seed, *size) {
+			path := filepath.Join(dir, f.Name)
+			if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, %s)\n", path, len(f.Data), f.Kind)
+		}
+		return
+	}
+
+	var data []byte
+	if gen, ok := plainKinds[*kind]; ok {
+		data = gen(*seed, *size)
+	} else {
+		var err error
+		data, err = fleet.GenerateKind(fleet.DataKind(*kind), *seed, *size)
+		if err != nil {
+			fatal(fmt.Errorf("unknown kind %q (try -list)", *kind))
+		}
+	}
+
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

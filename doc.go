@@ -1,0 +1,13 @@
+// Package datacomp is a from-scratch Go reproduction of "Characterization
+// of Data Compression in Datacenters" (ISPASS 2023): three LZ-family codecs
+// (LZ4 block format, a Zstandard-style two-stage compressor, a
+// DEFLATE-style codec), dictionary training, synthetic datacenter service
+// substrates (object cache, LSM key-value store, ORC-style warehouse, ads
+// inference pipeline), a fleet-profiling emulation, and CompOpt — the
+// paper's analytical compression-cost optimizer.
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the system inventory and substitutions, and EXPERIMENTS.md
+// for paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package datacomp

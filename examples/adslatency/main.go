@@ -1,0 +1,65 @@
+// Adslatency: explore the ads-serving trade-off between network savings and
+// the compute latency compression adds on the request path, across models
+// and network speeds — the paper's ADS1 story (§IV-D, Fig 12).
+//
+//	go run ./examples/adslatency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacomp/datacomp/internal/ads"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func main() {
+	const requests = 8
+
+	fmt.Println("== transport latency per request: compressed vs raw ==")
+	for _, netMBps := range []float64{25, 100, 400} {
+		fmt.Printf("\n-- network %.0f MB/s --\n", netMBps)
+		for _, m := range corpus.AdsModels() {
+			raw, err := ads.New(ads.Config{Model: m, Compress: false, NetworkMBps: netMBps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := raw.Run(1, requests); err != nil {
+				log.Fatal(err)
+			}
+			comp, err := ads.New(ads.Config{Model: m, Compress: true, Level: 1, NetworkMBps: netMBps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := comp.Run(1, requests); err != nil {
+				log.Fatal(err)
+			}
+			rs, cs := raw.Stats(), comp.Stats()
+			verdict := "compression wins"
+			if cs.MeanLatency() >= rs.MeanLatency() {
+				verdict = "raw wins (codec on the critical path)"
+			}
+			fmt.Printf("model %s (%5.1f KiB, ratio %.2f): raw %8v  compressed %8v  → %s\n",
+				m.Name, float64(rs.RawBytes)/float64(rs.Requests)/1024,
+				cs.CompressionRatio(),
+				rs.MeanLatency().Round(1000), cs.MeanLatency().Round(1000), verdict)
+		}
+	}
+
+	fmt.Println("\n== level sweep for model A on a 400 MB/s wire ==")
+	for _, level := range []int{-5, -1, 1, 3, 5, 9} {
+		p, err := ads.New(ads.Config{Model: corpus.ModelA, Compress: true, Level: level, NetworkMBps: 400})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Run(2, requests); err != nil {
+			log.Fatal(err)
+		}
+		st := p.Stats()
+		fmt.Printf("level %3d: ratio %5.2f  mean %8v  p99 %8v  (compress %v + wire %v + decompress %v)\n",
+			level, st.CompressionRatio(),
+			st.MeanLatency().Round(1000), st.LatencyP(99).Round(1000),
+			(st.CompressTime / 8).Round(1000), (st.WireTime / 8).Round(1000),
+			(st.DecompressTime / 8).Round(1000))
+	}
+}

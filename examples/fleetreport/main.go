@@ -1,0 +1,58 @@
+// Fleetreport: profile a custom mini-fleet with the sampling profiler and
+// print where its compression cycles go — the Section III methodology
+// applied to a fleet you define yourself.
+//
+//	go run ./examples/fleetreport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacomp/datacomp/internal/fleet"
+)
+
+func main() {
+	// A small bespoke fleet: one chatty web tier, one cold-storage tier.
+	myFleet := []fleet.Service{
+		{
+			Name: "edge-api", Category: fleet.Web, CycleWeight: 0.7, CompFrac: 0.03,
+			Uses: []fleet.Use{
+				{Algorithm: "zstd", Level: 1, BlockSize: 8 << 10, Kind: fleet.KindWeb,
+					CycleShare: 0.7, CompressShare: 0.4},
+				{Algorithm: "lz4", Level: 1, BlockSize: 8 << 10, Kind: fleet.KindWeb,
+					CycleShare: 0.3, CompressShare: 0.4},
+			},
+		},
+		{
+			Name: "cold-store", Category: fleet.DataWarehouse, CycleWeight: 0.3, CompFrac: 0.25,
+			Uses: []fleet.Use{
+				{Algorithm: "zstd", Level: 12, BlockSize: 256 << 10, Kind: fleet.KindORC,
+					CycleShare: 1.0, CompressShare: 0.9},
+			},
+		},
+	}
+
+	p := &fleet.Profiler{Samples: 500_000, Seed: 42, MeasureBytes: 512 << 10}
+	r, err := p.Profile(myFleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compression consumes %.2f%% of fleet cycles\n", r.TotalCompressionPct)
+	for algo, pct := range r.AlgorithmPct {
+		fmt.Printf("  %-5s %.2f%%\n", algo, pct)
+	}
+	fmt.Printf("\nfleet split: %.1f%% compress / %.1f%% decompress\n",
+		r.FleetSplit.CompressPct, r.FleetSplit.DecompressPct)
+	fmt.Println("\nzstd level usage:")
+	for lvl, pct := range r.LevelCyclesPct {
+		fmt.Printf("  level %2d: %.1f%%\n", lvl, pct)
+	}
+	fmt.Println("\nmeasured configurations:")
+	for _, m := range r.Measured {
+		fmt.Printf("  %-5s L%-3d %-9s ratio %5.2f  comp %7.1f MB/s  decomp %7.1f MB/s (%.1f cycles/B)\n",
+			m.Algorithm, m.Level, m.Kind, m.Ratio, m.CompressMBps, m.DecompressMBps,
+			fleet.CyclesPerByte(m.CompressMBps))
+	}
+}

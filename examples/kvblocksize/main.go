@@ -1,0 +1,89 @@
+// Kvblocksize: tune the LSM store's compression block size with CompOpt
+// under a read-latency SLO, then verify the pick against the real store —
+// the paper's KVSTORE1 workflow (§IV-E + sensitivity study 2).
+//
+//	go run ./examples/kvblocksize
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/core"
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/kvstore"
+)
+
+func main() {
+	// 1. Sample SST-like data from the service.
+	sample := corpus.SSTSample(7, 2<<20)
+
+	// 2. Ask CompOpt for the cheapest (codec, level, block) meeting a
+	//    0.2 ms per-block decompression SLO.
+	params := core.DefaultCostParams()
+	params.AlphaNetwork = 0
+	params.RetentionDays = 90
+	params.DecompressWeight = 3
+	engine := &core.CompEngine{
+		Samples:     [][]byte{sample},
+		Params:      params,
+		Constraints: core.Constraints{MaxDecompressPerBlock: 200 * time.Microsecond},
+		Repeats:     2,
+	}
+	candidates := core.Grid(map[string][]int{
+		"zstd": {1, 3},
+		"lz4":  {1},
+	}, []int{4 << 10, 16 << 10, 64 << 10})
+	best, all, err := engine.Search(candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== CompOpt candidates (cheapest first) ==")
+	for _, r := range all {
+		status := "ok"
+		if !r.Feasible {
+			status = r.Violation
+		}
+		fmt.Printf("%-18s ratio %5.2f  decomp/block %8v  cost %.3g  [%s]\n",
+			r.Config, r.Metrics.Ratio(),
+			r.Metrics.DecompressPerBlock().Round(time.Microsecond), r.TotalCost(), status)
+	}
+	fmt.Printf("\nCompOpt picks %s\n\n", best.Config)
+
+	// 3. Run the actual store with the chosen configuration.
+	db, err := kvstore.Open(kvstore.Options{
+		Codec:     best.Config.Algorithm,
+		Level:     best.Config.Level,
+		BlockSize: best.Config.BlockSize,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := corpus.KVPairs(7, 50000)
+	for _, kv := range pairs {
+		if err := db.Put(kv.Key, kv.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		kv := pairs[rng.Intn(len(pairs))]
+		v, ok, err := db.Get(kv.Key)
+		if err != nil || !ok {
+			log.Fatalf("read %q: ok=%v err=%v", kv.Key, ok, err)
+		}
+		_ = v
+	}
+	st := db.Stats()
+	fmt.Println("== live store with that configuration ==")
+	fmt.Printf("%s\n", db)
+	fmt.Printf("stored %.2f MiB (ratio %.2f), compactions %d, mean block decompression %v (SLO 200µs)\n",
+		float64(db.DiskBytes())/(1<<20), st.CompressionRatio(), st.Compactions,
+		st.DecompressPerBlock().Round(time.Microsecond))
+}

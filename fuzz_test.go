@@ -1,0 +1,134 @@
+// Native fuzz targets for every decoder surface. Under plain `go test`
+// these run their seed corpus (valid frames plus mutations); under
+// `go test -fuzz=FuzzX .` they explore further. The invariant everywhere:
+// arbitrary input may produce an error, never a panic.
+package datacomp_test
+
+import (
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/fse"
+	"github.com/datacomp/datacomp/internal/huffman"
+	"github.com/datacomp/datacomp/internal/lz4"
+	"github.com/datacomp/datacomp/internal/orc"
+	"github.com/datacomp/datacomp/internal/zlibx"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+func seedFrames(f *testing.F, compress func([]byte) ([]byte, error)) {
+	f.Helper()
+	for _, src := range [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello hello hello hello hello"),
+		corpus.LogLines(1, 4096),
+		corpus.SSTSample(2, 8192),
+	} {
+		frame, err := compress(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		if len(frame) > 4 {
+			mut := append([]byte{}, frame...)
+			mut[len(mut)/2] ^= 0x55
+			f.Add(mut)
+			f.Add(frame[:len(frame)/2])
+		}
+	}
+}
+
+func FuzzZstdDecompress(f *testing.F) {
+	enc, err := zstd.NewEncoder(zstd.Options{Level: 3, Checksum: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrames(f, func(src []byte) ([]byte, error) { return enc.Compress(nil, src) })
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound the work per input: a crafted header may legally promise
+		// gigabytes of RLE expansion.
+		if n, err := zstd.DecompressedSize(data); err == nil && n > 1<<22 {
+			return
+		}
+		_, _ = zstd.Decompress(nil, data, nil)
+		_, _, _ = zstd.FrameDictID(data)
+	})
+}
+
+func FuzzLZ4Decompress(f *testing.F) {
+	enc, err := lz4.NewEncoder(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrames(f, func(src []byte) ([]byte, error) { return enc.Compress(nil, src) })
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = lz4.Decompress(nil, data)
+		_, _ = lz4.DecompressBlock(nil, data, 1024)
+	})
+}
+
+func FuzzZlibDecompress(f *testing.F) {
+	enc, err := zlibx.NewEncoder(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrames(f, func(src []byte) ([]byte, error) { return enc.Compress(nil, src) })
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = zlibx.Decompress(nil, data)
+	})
+}
+
+func FuzzFSEDecompress(f *testing.F) {
+	syms := make([]byte, 2048)
+	for i := range syms {
+		syms[i] = byte(i % 7)
+	}
+	payload, err := fse.Compress(nil, syms, 9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload, 2048)
+	f.Add(payload[:len(payload)/2], 100)
+	f.Add([]byte{9, 1, 2, 3}, 10)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			n = 16
+		}
+		_, _ = fse.Decompress(nil, data, n)
+	})
+}
+
+func FuzzHuffmanDecompress(f *testing.F) {
+	src := corpus.LogLines(1, 4096)
+	payload, err := huffman.Compress(nil, src)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload, len(src))
+	f.Add(payload[:len(payload)/3], 100)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			n = 16
+		}
+		_, _ = huffman.Decompress(nil, data, n)
+	})
+}
+
+func FuzzORCDecodeStripe(f *testing.F) {
+	stripe, err := orc.EncodeStripe([]orc.Column{
+		{Name: "ts", Kind: orc.Int64, Ints: corpus.TimestampColumn(1, 100)},
+		{Name: "ev", Kind: orc.String, Strings: corpus.CategoryColumn(2, 100)},
+		{Name: "ok", Kind: orc.Bool, Bools: corpus.FlagColumn(3, 100, 0.5)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stripe)
+	mut := append([]byte{}, stripe...)
+	mut[len(mut)/4] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = orc.DecodeStripe(data)
+	})
+}

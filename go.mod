@@ -1,0 +1,3 @@
+module github.com/datacomp/datacomp
+
+go 1.22

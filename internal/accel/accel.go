@@ -1,0 +1,204 @@
+// Package accel models compression-offload hardware — QAT-style PCIe
+// devices and IBM POWER/z15-style on-chip engines — with an analytical
+// latency/throughput model, making the paper's §VI-B guidance computable:
+// per-operation offload overhead and data movement can nullify acceleration
+// for small blocks "unless the accelerator is located very closely (such as
+// on-chip)", while large-block services gain an order of magnitude.
+//
+// The model deliberately stays first-order, matching CompOpt's philosophy:
+// a request pays a fixed offload cost (driver, descriptor, doorbell,
+// interrupt), moves its input and output across the device interconnect,
+// and occupies one of the device's engines for size/engine-throughput. The
+// package converts a device description plus a measured software baseline
+// into CompOpt accelerator candidates, so offload decisions fall out of the
+// same cost search as everything else.
+package accel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/core"
+)
+
+// Placement locates the engine relative to the CPU.
+type Placement int
+
+const (
+	// OnChip engines (IBM POWER9/z15 NXU) pay negligible transfer cost and
+	// a tiny invocation overhead.
+	OnChip Placement = iota
+	// PCIe devices (Intel QAT cards, Microsoft Corsica) pay DMA transfers
+	// and a driver/descriptor round trip per request.
+	PCIe
+)
+
+func (p Placement) String() string {
+	if p == OnChip {
+		return "on-chip"
+	}
+	return "pcie"
+}
+
+// Device describes one accelerator.
+type Device struct {
+	Name      string
+	Placement Placement
+	// CompressMBps and DecompressMBps are per-engine sustained throughputs.
+	CompressMBps   float64
+	DecompressMBps float64
+	// OffloadLatency is the fixed per-request software+hardware overhead.
+	OffloadLatency time.Duration
+	// DMAMBps is the interconnect bandwidth for input+output movement
+	// (ignored for OnChip).
+	DMAMBps float64
+	// Engines is the number of parallel engines on the device.
+	Engines int
+}
+
+// Validate checks the device description.
+func (d Device) Validate() error {
+	if d.CompressMBps <= 0 || d.DecompressMBps <= 0 {
+		return errors.New("accel: engine throughput must be positive")
+	}
+	if d.Placement == PCIe && d.DMAMBps <= 0 {
+		return errors.New("accel: PCIe device needs DMA bandwidth")
+	}
+	if d.Engines <= 0 {
+		return errors.New("accel: need at least one engine")
+	}
+	if d.OffloadLatency < 0 {
+		return errors.New("accel: negative offload latency")
+	}
+	return nil
+}
+
+// QATLike returns a PCIe offload card in the class the paper cites
+// (Intel QuickAssist): fast engines behind a per-request driver round trip
+// and DMA transfers.
+func QATLike() Device {
+	return Device{
+		Name:           "qat-like",
+		Placement:      PCIe,
+		CompressMBps:   2500,
+		DecompressMBps: 5000,
+		OffloadLatency: 25 * time.Microsecond,
+		DMAMBps:        12000,
+		Engines:        8,
+	}
+}
+
+// OnChipLike returns an on-chip engine in the class of IBM's POWER9/z15
+// accelerators: similar engine speed, near-zero invocation cost.
+func OnChipLike() Device {
+	return Device{
+		Name:           "onchip-like",
+		Placement:      OnChip,
+		CompressMBps:   2000,
+		DecompressMBps: 4000,
+		OffloadLatency: 1 * time.Microsecond,
+		Engines:        2,
+	}
+}
+
+// transferTime is the input+output movement cost for one request.
+func (d Device) transferTime(inBytes, outBytes int) time.Duration {
+	if d.Placement == OnChip {
+		return 0
+	}
+	return time.Duration(float64(inBytes+outBytes) / (d.DMAMBps * 1e6) * float64(time.Second))
+}
+
+// CompressLatency is the end-to-end latency of compressing one block of
+// size bytes that shrinks by ratio.
+func (d Device) CompressLatency(size int, ratio float64) time.Duration {
+	if ratio < 1 {
+		ratio = 1
+	}
+	engine := time.Duration(float64(size) / (d.CompressMBps * 1e6) * float64(time.Second))
+	return d.OffloadLatency + d.transferTime(size, int(float64(size)/ratio)) + engine
+}
+
+// DecompressLatency is the end-to-end latency of decompressing one block
+// that expands to size bytes.
+func (d Device) DecompressLatency(size int, ratio float64) time.Duration {
+	if ratio < 1 {
+		ratio = 1
+	}
+	engine := time.Duration(float64(size) / (d.DecompressMBps * 1e6) * float64(time.Second))
+	return d.OffloadLatency + d.transferTime(int(float64(size)/ratio), size) + engine
+}
+
+// EffectiveCompressMBps is the device's closed-loop compression throughput
+// for a stream of blocks of the given size with `inflight` outstanding
+// requests: issue-limited at low concurrency, engine-limited at high.
+func (d Device) EffectiveCompressMBps(blockSize int, ratio float64, inflight int) float64 {
+	if inflight < 1 {
+		inflight = 1
+	}
+	lat := d.CompressLatency(blockSize, ratio).Seconds()
+	if lat <= 0 {
+		return 0
+	}
+	engine := float64(blockSize) / (d.CompressMBps * 1e6)
+	issueLimited := float64(inflight) * float64(blockSize) / lat
+	engineLimited := float64(d.Engines) * float64(blockSize) / engine
+	mbps := issueLimited
+	if engineLimited < mbps {
+		mbps = engineLimited
+	}
+	return mbps / 1e6
+}
+
+// BreakEvenBlockSize returns the smallest power-of-two block size (within
+// [64 B, 4 MiB]) at which offloading a single request beats a CPU running
+// at cpuMBps, or 0 when the device never wins in that range. This is the
+// §VI-B decision boundary: below it, "it would be better to run
+// compression on CPU".
+func (d Device) BreakEvenBlockSize(cpuMBps, ratio float64) int {
+	if cpuMBps <= 0 {
+		return 64
+	}
+	for size := 64; size <= 4<<20; size <<= 1 {
+		cpu := time.Duration(float64(size) / (cpuMBps * 1e6) * float64(time.Second))
+		if d.CompressLatency(size, ratio) < cpu {
+			return size
+		}
+	}
+	return 0
+}
+
+// Speedup is the single-request latency ratio CPU/device for a block size
+// (values < 1 mean offloading loses).
+func (d Device) Speedup(blockSize int, cpuMBps, ratio float64) float64 {
+	dev := d.CompressLatency(blockSize, ratio)
+	if dev <= 0 {
+		return 0
+	}
+	cpu := time.Duration(float64(blockSize) / (cpuMBps * 1e6) * float64(time.Second))
+	return float64(cpu) / float64(dev)
+}
+
+// CompSim converts the device into a CompOpt accelerator candidate for a
+// given block size: the measured software engine's speed is scaled by the
+// modeled single-request speedup, and compute is priced at alphaCompute.
+// This is the CompSim integration the paper describes — the device becomes
+// "another compressor" in the search.
+func (d Device) CompSim(blockSize int, swCompressMBps, ratio, alphaCompute float64) (*core.Accelerator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if swCompressMBps <= 0 {
+		return nil, errors.New("accel: software baseline must be positive")
+	}
+	gamma := d.Speedup(blockSize, swCompressMBps, ratio)
+	if gamma <= 0 {
+		return nil, fmt.Errorf("accel: device %s yields no speedup model", d.Name)
+	}
+	return &core.Accelerator{
+		Name:         fmt.Sprintf("%s@%dB", d.Name, blockSize),
+		SpeedFactor:  gamma,
+		AlphaCompute: alphaCompute,
+	}, nil
+}

@@ -1,0 +1,175 @@
+package accel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/core"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func TestValidate(t *testing.T) {
+	if err := QATLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OnChipLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Device{
+		{Placement: PCIe, CompressMBps: 0, DecompressMBps: 1, DMAMBps: 1, Engines: 1},
+		{Placement: PCIe, CompressMBps: 1, DecompressMBps: 1, DMAMBps: 0, Engines: 1},
+		{Placement: OnChip, CompressMBps: 1, DecompressMBps: 1, Engines: 0},
+		{Placement: OnChip, CompressMBps: 1, DecompressMBps: 1, Engines: 1, OffloadLatency: -1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLatencyComponents(t *testing.T) {
+	d := QATLike()
+	small := d.CompressLatency(512, 3)
+	large := d.CompressLatency(1<<20, 3)
+	if small >= large {
+		t.Fatal("latency must grow with size")
+	}
+	// Small blocks are dominated by the fixed offload cost.
+	if small < d.OffloadLatency {
+		t.Fatal("latency below the floor")
+	}
+	if float64(small) > 1.5*float64(d.OffloadLatency) {
+		t.Fatalf("512B request should be overhead-dominated: %v vs overhead %v", small, d.OffloadLatency)
+	}
+	// On-chip pays no transfer.
+	oc := OnChipLike()
+	if oc.transferTime(1<<20, 1<<19) != 0 {
+		t.Fatal("on-chip transfer should be free")
+	}
+	if d.transferTime(1<<20, 1<<19) <= 0 {
+		t.Fatal("pcie transfer should cost")
+	}
+	if d.DecompressLatency(1<<20, 3) <= 0 {
+		t.Fatal("decompress latency missing")
+	}
+}
+
+// TestSmallBlockOffloadLoses is the paper's §VI-B claim made executable:
+// with a CPU at 500 MB/s, a PCIe card loses on 4 KiB blocks but wins on
+// 256 KiB, while an on-chip engine wins much earlier.
+func TestSmallBlockOffloadLoses(t *testing.T) {
+	const cpuMBps = 500
+	qat := QATLike()
+	onchip := OnChipLike()
+	if s := qat.Speedup(4<<10, cpuMBps, 3); s >= 1 {
+		t.Fatalf("PCIe offload of 4KiB should lose, speedup %.2f", s)
+	}
+	if s := qat.Speedup(256<<10, cpuMBps, 3); s <= 2 {
+		t.Fatalf("PCIe offload of 256KiB should win big, speedup %.2f", s)
+	}
+	if s := onchip.Speedup(4<<10, cpuMBps, 3); s <= 1 {
+		t.Fatalf("on-chip offload of 4KiB should win, speedup %.2f", s)
+	}
+	beQat := qat.BreakEvenBlockSize(cpuMBps, 3)
+	beChip := onchip.BreakEvenBlockSize(cpuMBps, 3)
+	if beQat == 0 || beChip == 0 {
+		t.Fatal("both devices should eventually win")
+	}
+	if beChip >= beQat {
+		t.Fatalf("on-chip break-even (%d) should be below PCIe (%d)", beChip, beQat)
+	}
+}
+
+func TestBreakEvenMonotonicInOverhead(t *testing.T) {
+	base := QATLike()
+	slow := base
+	slow.OffloadLatency = 10 * base.OffloadLatency
+	be1 := base.BreakEvenBlockSize(500, 3)
+	be2 := slow.BreakEvenBlockSize(500, 3)
+	if be2 < be1 {
+		t.Fatalf("higher overhead should not lower break-even: %d vs %d", be1, be2)
+	}
+	// A hopeless device (CPU faster than engines + overhead forever).
+	hopeless := Device{Placement: PCIe, CompressMBps: 1, DecompressMBps: 1,
+		DMAMBps: 1, Engines: 1, OffloadLatency: time.Second}
+	if be := hopeless.BreakEvenBlockSize(500, 3); be != 0 {
+		t.Fatalf("hopeless device reported break-even %d", be)
+	}
+}
+
+func TestEffectiveThroughputSaturates(t *testing.T) {
+	d := QATLike()
+	low := d.EffectiveCompressMBps(64<<10, 3, 1)
+	high := d.EffectiveCompressMBps(64<<10, 3, 64)
+	if high <= low {
+		t.Fatal("concurrency should raise throughput")
+	}
+	// At high concurrency the engines are the cap.
+	cap := float64(d.Engines) * d.CompressMBps
+	if high > cap*1.01 {
+		t.Fatalf("throughput %v exceeds engine cap %v", high, cap)
+	}
+	more := d.EffectiveCompressMBps(64<<10, 3, 1024)
+	if more > cap*1.01 {
+		t.Fatal("cap not enforced at extreme concurrency")
+	}
+}
+
+// TestCompSimIntegration runs a CompOpt search where the same zstd-1
+// configuration is offered as CPU, PCIe-offloaded, and on-chip-offloaded,
+// over small and large blocks: the search should keep small blocks on CPU
+// (or on-chip) and move large blocks to the accelerator.
+func TestCompSimIntegration(t *testing.T) {
+	sample := corpus.SSTSample(1, 1<<20)
+	params := core.DefaultCostParams()
+	params.AlphaNetwork = 0
+	e := &core.CompEngine{Samples: [][]byte{sample}, Params: params, Repeats: 2}
+
+	// Software baseline at 64 KiB blocks.
+	cpuRes, err := e.Evaluate(core.Config{Algorithm: "zstd", Level: 1, BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swMBps := cpuRes.Metrics.CompressMBps()
+	ratio := cpuRes.Metrics.Ratio()
+
+	for _, blockSize := range []int{1 << 10, 64 << 10} {
+		qatAcc, err := QATLike().CompSim(blockSize, swMBps, ratio, core.EIAComputeAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Evaluate(core.Config{Algorithm: "zstd", Level: 1, BlockSize: blockSize, Accel: qatAcc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, err := e.Evaluate(core.Config{Algorithm: "zstd", Level: 1, BlockSize: blockSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blockSize == 64<<10 && res.Metrics.CompressMBps() <= cpu.Metrics.CompressMBps() {
+			t.Errorf("offloading 64KiB blocks should be faster: %v vs %v",
+				res.Metrics.CompressMBps(), cpu.Metrics.CompressMBps())
+		}
+		if blockSize == 1<<10 && res.Metrics.CompressMBps() >= cpu.Metrics.CompressMBps() {
+			t.Errorf("offloading 1KiB blocks should be slower (overhead): %v vs %v",
+				res.Metrics.CompressMBps(), cpu.Metrics.CompressMBps())
+		}
+	}
+}
+
+func TestCompSimErrors(t *testing.T) {
+	if _, err := QATLike().CompSim(4096, 0, 3, 1); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	bad := Device{}
+	if _, err := bad.CompSim(4096, 100, 3, 1); err == nil {
+		t.Error("invalid device accepted")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if OnChip.String() != "on-chip" || PCIe.String() != "pcie" {
+		t.Fatal("placement strings")
+	}
+}

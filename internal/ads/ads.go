@@ -1,0 +1,191 @@
+// Package ads models ADS1, the paper's latency-sensitive ML inference
+// service (§IV-D): clients ship large feature payloads (dense float plus
+// sparse integer embeddings) over the network, and compressing the request
+// trades compute time — on the critical path of a strict latency SLO — for
+// network bytes. The pipeline accounts each leg (client compress, wire,
+// server decompress) so the compute/network/latency trade-off of Fig 12 and
+// sensitivity study 1 is measurable.
+package ads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/stats"
+)
+
+// Config configures a request pipeline.
+type Config struct {
+	// Model selects the request shape (corpus.ModelA/B/C).
+	Model corpus.AdsModel
+	// Compress enables request compression with Codec/Level.
+	Compress bool
+	Codec    string
+	Level    int
+	// NetworkMBps is the simulated client→server bandwidth used to convert
+	// wire bytes into wire time (default 1250 MB/s ≈ 10 Gb/s).
+	NetworkMBps float64
+}
+
+func (c *Config) fill() {
+	if c.Codec == "" {
+		c.Codec = "zstd"
+	}
+	if c.Level == 0 {
+		c.Level = 1
+	}
+	if c.NetworkMBps == 0 {
+		c.NetworkMBps = 1250
+	}
+	if c.Model.Name == "" {
+		c.Model = corpus.ModelA
+	}
+}
+
+// Result is the accounting for one request.
+type Result struct {
+	RawBytes  int
+	WireBytes int
+
+	CompressTime   time.Duration
+	WireTime       time.Duration
+	DecompressTime time.Duration
+}
+
+// Latency is the end-to-end request latency contribution of transport:
+// compress + wire + decompress.
+func (r Result) Latency() time.Duration {
+	return r.CompressTime + r.WireTime + r.DecompressTime
+}
+
+// Stats aggregates pipeline activity.
+type Stats struct {
+	Requests  int64
+	RawBytes  int64
+	WireBytes int64
+
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+	WireTime       time.Duration
+
+	latencies []float64 // seconds
+}
+
+// CompressionRatio is raw/wire bytes.
+func (s Stats) CompressionRatio() float64 {
+	if s.WireBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// LatencyP returns the p-th percentile transport latency.
+func (s Stats) LatencyP(p float64) time.Duration {
+	return time.Duration(stats.Percentile(s.latencies, p) * float64(time.Second))
+}
+
+// MeanLatency returns the mean transport latency.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return time.Duration((s.CompressTime + s.DecompressTime + s.WireTime).Nanoseconds() / s.Requests)
+}
+
+// Pipeline is a client→server request path. Not safe for concurrent use.
+type Pipeline struct {
+	cfg    Config
+	client codec.Engine // client-side compressor
+	server codec.Engine // server-side decompressor
+	stats  Stats
+	buf    []byte
+}
+
+// New builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	cfg.fill()
+	p := &Pipeline{cfg: cfg}
+	if cfg.Compress {
+		var err error
+		p.client, err = codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		if err != nil {
+			return nil, err
+		}
+		p.server, err = codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// ErrEmptyRequest is returned for zero-length requests.
+var ErrEmptyRequest = errors.New("ads: empty request")
+
+// Send pushes one serialized request through the pipeline and returns its
+// accounting.
+func (p *Pipeline) Send(req []byte) (Result, error) {
+	if len(req) == 0 {
+		return Result{}, ErrEmptyRequest
+	}
+	var r Result
+	r.RawBytes = len(req)
+	wire := req
+	if p.cfg.Compress {
+		t0 := time.Now()
+		out, err := p.client.Compress(p.buf[:0], req)
+		r.CompressTime = time.Since(t0)
+		if err != nil {
+			return Result{}, err
+		}
+		p.buf = out
+		wire = out
+	}
+	r.WireBytes = len(wire)
+	r.WireTime = time.Duration(float64(len(wire)) / (p.cfg.NetworkMBps * 1e6) * float64(time.Second))
+	if p.cfg.Compress {
+		t0 := time.Now()
+		back, err := p.server.Decompress(nil, wire)
+		r.DecompressTime = time.Since(t0)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(back) != len(req) {
+			return Result{}, fmt.Errorf("ads: decompressed %d bytes, want %d", len(back), len(req))
+		}
+	}
+
+	p.stats.Requests++
+	p.stats.RawBytes += int64(r.RawBytes)
+	p.stats.WireBytes += int64(r.WireBytes)
+	p.stats.CompressTime += r.CompressTime
+	p.stats.DecompressTime += r.DecompressTime
+	p.stats.WireTime += r.WireTime
+	p.stats.latencies = append(p.stats.latencies, r.Latency().Seconds())
+	return r, nil
+}
+
+// Run generates n model requests and pushes them through the pipeline.
+func (p *Pipeline) Run(seed int64, n int) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if _, err := p.Send(p.cfg.Model.Request(rng)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (p *Pipeline) Stats() Stats {
+	out := p.stats
+	out.latencies = append([]float64(nil), p.stats.latencies...)
+	return out
+}

@@ -1,0 +1,271 @@
+// Package bits provides the low-level bit-oriented I/O used by the entropy
+// coders in this repository.
+//
+// All streams are little-endian and LSB-first: the first bit written is the
+// least-significant bit of the first byte. Two readers are provided:
+//
+//   - Reader consumes bits in the order they were written (used by the
+//     DEFLATE-style codec, which reverses each Huffman code at write time).
+//   - ReverseReader consumes bits in the opposite order of writing (used by
+//     the FSE and Huffman stages of the Zstd-style codec, which encode
+//     symbols back-to-front the way tANS requires).
+//
+// A stream destined for a ReverseReader must be terminated with
+// Writer.FlushMarker, which appends a single 1-bit so the reader can locate
+// the exact end of the payload inside the final byte.
+package bits
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// ErrOverrun is returned when a read requires more bits than the stream holds.
+var ErrOverrun = errors.New("bits: read past end of stream")
+
+// Writer accumulates bits LSB-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // number of valid bits in acc, always < 8 after flushAcc
+}
+
+// NewWriter returns a Writer whose output buffer has the given capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Reset discards all buffered output and state.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// WriteBits appends the n low bits of v to the stream. n must be ≤ 56;
+// larger writes must be split by the caller. Bits above n in v are ignored.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	v &= (1 << n) - 1
+	w.acc |= v << w.nacc
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// WriteBool writes a single bit.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// BitsWritten reports the total number of bits written so far.
+func (w *Writer) BitsWritten() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Flush pads the stream with zero bits to a byte boundary and returns the
+// buffer. The Writer remains usable; further writes start a new byte.
+func (w *Writer) Flush() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// FlushMarker writes the terminating 1-bit required by ReverseReader, pads
+// to a byte boundary and returns the buffer.
+func (w *Writer) FlushMarker() []byte {
+	w.WriteBits(1, 1)
+	return w.Flush()
+}
+
+// Bytes returns the complete bytes written so far, excluding any partial byte.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes an LSB-first bit stream in forward (write) order.
+type Reader struct {
+	data []byte
+	pos  int    // next byte to load
+	acc  uint64 // bits pending, LSB = next bit
+	nacc uint
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Reset re-points the reader at data and clears all state.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.acc = 0
+	r.nacc = 0
+}
+
+func (r *Reader) fill() {
+	for r.nacc <= 32 && r.pos+4 <= len(r.data) {
+		r.acc |= uint64(binary.LittleEndian.Uint32(r.data[r.pos:])) << r.nacc
+		r.pos += 4
+		r.nacc += 32
+	}
+	for r.nacc <= 56 && r.pos < len(r.data) {
+		r.acc |= uint64(r.data[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+}
+
+// ReadBits reads the next n bits (n ≤ 56). It returns ErrOverrun when the
+// stream holds fewer than n bits.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if r.nacc < n {
+		r.fill()
+		if r.nacc < n {
+			return 0, ErrOverrun
+		}
+	}
+	v := r.acc & ((1 << n) - 1)
+	r.acc >>= n
+	r.nacc -= n
+	return v, nil
+}
+
+// Peek returns the next n bits without consuming them. If fewer than n bits
+// remain, the missing high bits are zero; no error is reported so that
+// table-based Huffman decoders can peek past the end and rely on code-length
+// bookkeeping to detect corruption.
+func (r *Reader) Peek(n uint) uint64 {
+	if r.nacc < n {
+		r.fill()
+	}
+	return r.acc & ((1 << n) - 1)
+}
+
+// Skip consumes n bits previously observed via Peek.
+func (r *Reader) Skip(n uint) error {
+	if r.nacc < n {
+		r.fill()
+		if r.nacc < n {
+			return ErrOverrun
+		}
+	}
+	r.acc >>= n
+	r.nacc -= n
+	return nil
+}
+
+// BitsRemaining reports the number of unread bits.
+func (r *Reader) BitsRemaining() int {
+	return int(r.nacc) + (len(r.data)-r.pos)*8
+}
+
+// AlignToByte discards bits up to the next byte boundary of the original
+// stream.
+func (r *Reader) AlignToByte() {
+	drop := r.nacc % 8
+	r.acc >>= drop
+	r.nacc -= drop
+}
+
+// ReverseReader consumes a bit stream in the reverse order of writing. The
+// stream must have been terminated with Writer.FlushMarker.
+type ReverseReader struct {
+	data    []byte
+	pos     int    // index of the next byte to load (moving toward 0)
+	acc     uint64 // pending bits; the MSB side holds the next bits to read
+	nacc    uint   // number of valid low bits in acc
+	overrun bool
+}
+
+// NewReverseReader initializes a reader over data, locating the marker bit in
+// the final byte. It returns an error when the stream is empty or the final
+// byte is zero (no marker).
+func NewReverseReader(data []byte) (*ReverseReader, error) {
+	r := &ReverseReader{}
+	if err := r.Reset(data); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reset re-points the reader at data. See NewReverseReader.
+func (r *ReverseReader) Reset(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("bits: empty reverse stream")
+	}
+	last := data[len(data)-1]
+	if last == 0 {
+		return errors.New("bits: reverse stream missing end marker")
+	}
+	r.data = data
+	r.pos = len(data) - 1
+	r.overrun = false
+	// Load the final byte, dropping the marker bit and the zero padding
+	// above it.
+	r.acc = uint64(last)
+	r.nacc = uint(bits.Len8(last)) - 1 // marker itself is discarded
+	r.fill()
+	return nil
+}
+
+func (r *ReverseReader) fill() {
+	for r.nacc <= 32 && r.pos >= 4 {
+		// Appending the 4 bytes below pos to the low side equals one
+		// little-endian 32-bit load of data[pos-4:].
+		r.acc = r.acc<<32 | uint64(binary.LittleEndian.Uint32(r.data[r.pos-4:]))
+		r.pos -= 4
+		r.nacc += 32
+	}
+	for r.nacc <= 56 && r.pos > 0 {
+		r.pos--
+		r.acc = r.acc<<8 | uint64(r.data[r.pos])
+		r.nacc += 8
+	}
+}
+
+// ReadBits reads the next n bits (n ≤ 56) in reverse write order. Reading
+// past the start of the stream returns zero bits and marks the reader
+// overrun; decoders check Overrun once at the end rather than on every read,
+// mirroring how FSE decoding naturally validates its final state.
+func (r *ReverseReader) ReadBits(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if r.nacc < n {
+		r.fill()
+		if r.nacc < n {
+			// Zero-extend: pretend the missing low bits are zero.
+			short := n - r.nacc
+			v := (r.acc << short) & ((1 << n) - 1)
+			r.acc = 0
+			r.nacc = 0
+			r.overrun = true
+			return v
+		}
+	}
+	r.nacc -= n
+	v := (r.acc >> r.nacc) & ((1 << n) - 1)
+	return v
+}
+
+// Overrun reports whether any read went past the start of the stream.
+func (r *ReverseReader) Overrun() bool { return r.overrun }
+
+// Finished reports whether all payload bits have been consumed exactly.
+func (r *ReverseReader) Finished() bool {
+	return !r.overrun && r.nacc == 0 && r.pos == 0
+}
+
+// BitsRemaining reports the number of unread payload bits.
+func (r *ReverseReader) BitsRemaining() int {
+	return int(r.nacc) + r.pos*8
+}

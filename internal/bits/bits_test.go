@@ -1,0 +1,306 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []struct {
+		v uint64
+		n uint
+	}{
+		{0x1, 1}, {0x0, 1}, {0x5, 3}, {0xff, 8}, {0x1234, 16},
+		{0xdeadbeef, 32}, {0x3ffffffffffff, 50}, {0, 0}, {0x7, 3},
+	}
+	for _, x := range vals {
+		w.WriteBits(x.v, x.n)
+	}
+	r := NewReader(w.Flush())
+	for i, x := range vals {
+		got, err := r.ReadBits(x.n)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := x.v & ((1 << x.n) - 1)
+		if got != want {
+			t.Fatalf("read %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestReaderOverrun(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0x3, 2)
+	r := NewReader(w.Flush())
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("first byte should be readable (padded): %v", err)
+	}
+	if _, err := r.ReadBits(1); err != ErrOverrun {
+		t.Fatalf("want ErrOverrun, got %v", err)
+	}
+}
+
+func TestPeekSkip(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b0110, 4)
+	r := NewReader(w.Flush())
+	if got := r.Peek(4); got != 0b1011 {
+		t.Fatalf("peek: got %#b", got)
+	}
+	if got := r.Peek(8); got != 0b01101011 {
+		t.Fatalf("peek 8: got %#b", got)
+	}
+	if err := r.Skip(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peek(4); got != 0b0110 {
+		t.Fatalf("peek after skip: got %#b", got)
+	}
+	// Peek past the end zero-fills without error.
+	if got := r.Peek(20); got != 0b0110 {
+		t.Fatalf("peek past end: got %#b", got)
+	}
+}
+
+func TestAlignToByte(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0, 5)
+	w.WriteBits(0xab, 8)
+	r := NewReader(w.Flush())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignToByte()
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xab {
+		t.Fatalf("got %#x want 0xab", got)
+	}
+}
+
+func TestReverseReaderRoundtrip(t *testing.T) {
+	w := NewWriter(64)
+	type wv struct {
+		v uint64
+		n uint
+	}
+	vals := []wv{{0x1, 2}, {0x15, 5}, {0xabc, 12}, {0x0, 7}, {0x1ffff, 17}, {1, 1}}
+	for _, x := range vals {
+		w.WriteBits(x.v, x.n)
+	}
+	r, err := NewReverseReader(w.FlushMarker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse order of writes.
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := r.ReadBits(vals[i].n)
+		want := vals[i].v & ((1 << vals[i].n) - 1)
+		if got != want {
+			t.Fatalf("reverse read %d: got %#x want %#x", i, got, want)
+		}
+	}
+	if !r.Finished() {
+		t.Fatalf("stream not fully consumed: %d bits left, overrun=%v", r.BitsRemaining(), r.Overrun())
+	}
+}
+
+func TestReverseReaderEmptyAndNoMarker(t *testing.T) {
+	if _, err := NewReverseReader(nil); err == nil {
+		t.Fatal("want error for empty stream")
+	}
+	if _, err := NewReverseReader([]byte{0x12, 0x00}); err == nil {
+		t.Fatal("want error for missing marker")
+	}
+}
+
+func TestReverseReaderOverrun(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b101, 3)
+	r, err := NewReverseReader(w.FlushMarker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.ReadBits(3)
+	if r.Overrun() {
+		t.Fatal("unexpected overrun")
+	}
+	_ = r.ReadBits(5)
+	if !r.Overrun() {
+		t.Fatal("expected overrun after reading past start")
+	}
+}
+
+func TestQuickForwardRoundtrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		type wv struct {
+			v uint64
+			n uint
+		}
+		vals := make([]wv, n)
+		w := NewWriter(n * 8)
+		for i := range vals {
+			width := uint(rng.Intn(56) + 1)
+			vals[i] = wv{rng.Uint64() & ((1 << width) - 1), width}
+			w.WriteBits(vals[i].v, vals[i].n)
+		}
+		r := NewReader(w.Flush())
+		for _, x := range vals {
+			got, err := r.ReadBits(x.n)
+			if err != nil || got != x.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReverseRoundtrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		type wv struct {
+			v uint64
+			n uint
+		}
+		vals := make([]wv, n)
+		w := NewWriter(n * 8)
+		for i := range vals {
+			width := uint(rng.Intn(56) + 1)
+			vals[i] = wv{rng.Uint64() & ((1 << width) - 1), width}
+			w.WriteBits(vals[i].v, vals[i].n)
+		}
+		r, err := NewReverseReader(w.FlushMarker())
+		if err != nil {
+			return false
+		}
+		for i := n - 1; i >= 0; i-- {
+			if got := r.ReadBits(vals[i].n); got != vals[i].v {
+				return false
+			}
+		}
+		return r.Finished()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	w.WriteBits(0x1, 1)
+	out := w.Flush()
+	if len(out) != 1 || out[0] != 0x1 {
+		t.Fatalf("after reset got %v", out)
+	}
+}
+
+func TestBitsWritten(t *testing.T) {
+	w := NewWriter(8)
+	if w.BitsWritten() != 0 {
+		t.Fatal("fresh writer should report 0 bits")
+	}
+	w.WriteBits(0, 13)
+	if got := w.BitsWritten(); got != 13 {
+		t.Fatalf("got %d want 13", got)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 4096; j++ {
+			w.WriteBits(uint64(j), 11)
+		}
+		w.Flush()
+	}
+}
+
+func BenchmarkReverseRead(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for j := 0; j < 4096; j++ {
+		w.WriteBits(uint64(j), 11)
+	}
+	data := w.FlushMarker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReverseReader(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 4096; j++ {
+			r.ReadBits(11)
+		}
+	}
+}
+
+func TestWriteBoolAndBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBool(true)
+	w.WriteBool(false)
+	w.WriteBool(true)
+	w.WriteBits(0, 5)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0b101 {
+		t.Fatalf("bytes = %v", got)
+	}
+	r := NewReader(w.Flush())
+	if got := r.BitsRemaining(); got != 8 {
+		t.Fatalf("remaining = %d", got)
+	}
+	v, err := r.ReadBits(3)
+	if err != nil || v != 0b101 {
+		t.Fatalf("v=%b err=%v", v, err)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset([]byte{0x0f, 0xf0})
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0xf00f {
+		t.Fatalf("after reset v=%x err=%v", v, err)
+	}
+}
+
+func TestReverseReaderBitsRemaining(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0x3ff, 10)
+	r, err := NewReverseReader(w.FlushMarker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BitsRemaining(); got != 10 {
+		t.Fatalf("remaining = %d", got)
+	}
+	r.ReadBits(10)
+	if got := r.BitsRemaining(); got != 0 {
+		t.Fatalf("remaining after read = %d", got)
+	}
+}
+
+func TestSkipOverrun(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	if err := r.Skip(16); err != ErrOverrun {
+		t.Fatalf("got %v", err)
+	}
+}

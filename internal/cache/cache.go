@@ -1,0 +1,312 @@
+// Package cache implements a memcached-style in-memory object cache with
+// per-item compression, reproducing the CACHE1/CACHE2 services of the
+// paper's §IV-C: items must stay individually decompressible for random
+// access, items are typed, and one trained dictionary per type recovers the
+// ratio lost to small item sizes. Items are stored (and would be shipped to
+// clients) compressed; decompression cost is attributed to the client side,
+// which is the paper's "saves both cache CPU and network" argument.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/dict"
+)
+
+// Config configures a Cache.
+type Config struct {
+	// Shards is the number of independent shards (concurrency domains).
+	Shards int
+	// CapacityBytes bounds resident compressed bytes per cache; LRU
+	// eviction enforces it. 0 means unbounded.
+	CapacityBytes int64
+	// Codec and Level select the compressor (default zstd level 3 — caches
+	// favour cheap levels, per the paper's level-usage findings).
+	Codec string
+	Level int
+	// MinCompressSize skips compression for tiny items where headers
+	// dominate.
+	MinCompressSize int
+	// Dicts maps item type to a trained dictionary. Types without an entry
+	// are compressed without a dictionary.
+	Dicts map[string][]byte
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Codec == "" {
+		c.Codec = "zstd"
+	}
+	if c.Level == 0 {
+		c.Level = 3
+	}
+	if c.MinCompressSize == 0 {
+		c.MinCompressSize = 64
+	}
+}
+
+// Stats aggregates cache activity. Byte counters describe resident data;
+// time counters separate server-side (compress on set) from client-side
+// (decompress on get) work.
+type Stats struct {
+	Hits   int64
+	Misses int64
+	Sets   int64
+	Evicts int64
+
+	ResidentRawBytes        int64
+	ResidentCompressedBytes int64
+
+	ServerCompressTime   time.Duration
+	ClientDecompressTime time.Duration
+
+	// NetworkBytesCompressed counts bytes that crossed the wire compressed
+	// on Get; NetworkBytesRaw is what they would have been uncompressed.
+	NetworkBytesCompressed int64
+	NetworkBytesRaw        int64
+}
+
+// CompressionRatio is the resident raw/compressed ratio.
+func (s Stats) CompressionRatio() float64 {
+	if s.ResidentCompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.ResidentRawBytes) / float64(s.ResidentCompressedBytes)
+}
+
+type entry struct {
+	key      string
+	typ      string
+	payload  []byte // compressed (or raw when below MinCompressSize)
+	rawSize  int
+	stored   bool // true when payload is raw
+	lruEntry *list.Element
+}
+
+type shard struct {
+	mu      sync.Mutex
+	items   map[string]*entry
+	lru     *list.List // front = most recent
+	bytes   int64
+	engines map[string]codec.Engine // per item type
+	raw     codec.Engine            // engine for untyped/no-dict items
+	cfg     *Config
+
+	stats Stats
+}
+
+// Cache is a sharded compressed object cache. Safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	cfg.fill()
+	if _, ok := codec.Lookup(cfg.Codec); !ok {
+		return nil, fmt.Errorf("cache: unknown codec %q", cfg.Codec)
+	}
+	c := &Cache{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		raw, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			items:   make(map[string]*entry),
+			lru:     list.New(),
+			engines: make(map[string]codec.Engine),
+			raw:     raw,
+			cfg:     &c.cfg,
+		}
+		for typ, d := range cfg.Dicts {
+			eng, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level, Dict: d})
+			if err != nil {
+				return nil, fmt.Errorf("cache: dictionary for type %q: %w", typ, err)
+			}
+			sh.engines[typ] = eng
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+func (c *Cache) shard(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+func (s *shard) engine(typ string) codec.Engine {
+	if e, ok := s.engines[typ]; ok {
+		return e
+	}
+	return s.raw
+}
+
+// ErrEmptyKey is returned for operations with an empty key.
+var ErrEmptyKey = errors.New("cache: empty key")
+
+// Set stores value under key, compressing it with the type's engine.
+func (c *Cache) Set(key, typ string, value []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var payload []byte
+	stored := false
+	if len(value) < s.cfg.MinCompressSize {
+		payload = append([]byte{}, value...)
+		stored = true
+	} else {
+		t0 := time.Now()
+		out, err := s.engine(typ).Compress(nil, value)
+		s.stats.ServerCompressTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if len(out) >= len(value) {
+			payload = append([]byte{}, value...)
+			stored = true
+		} else {
+			payload = out
+		}
+	}
+
+	if old, ok := s.items[key]; ok {
+		s.bytes -= int64(len(old.payload))
+		s.stats.ResidentRawBytes -= int64(old.rawSize)
+		s.stats.ResidentCompressedBytes -= int64(len(old.payload))
+		s.lru.Remove(old.lruEntry)
+		delete(s.items, key)
+	}
+	e := &entry{key: key, typ: typ, payload: payload, rawSize: len(value), stored: stored}
+	e.lruEntry = s.lru.PushFront(e)
+	s.items[key] = e
+	s.bytes += int64(len(payload))
+	s.stats.Sets++
+	s.stats.ResidentRawBytes += int64(len(value))
+	s.stats.ResidentCompressedBytes += int64(len(payload))
+
+	if s.cfg.CapacityBytes > 0 {
+		for s.bytes > s.cfg.CapacityBytes && s.lru.Len() > 1 {
+			victim := s.lru.Back().Value.(*entry)
+			s.lru.Remove(victim.lruEntry)
+			delete(s.items, victim.key)
+			s.bytes -= int64(len(victim.payload))
+			s.stats.ResidentRawBytes -= int64(victim.rawSize)
+			s.stats.ResidentCompressedBytes -= int64(len(victim.payload))
+			s.stats.Evicts++
+		}
+	}
+	return nil
+}
+
+// Get fetches and decodes the value for key. The payload travels compressed
+// (counted as network bytes); decompression time is attributed to the
+// client.
+func (c *Cache) Get(key string) ([]byte, bool, error) {
+	if key == "" {
+		return nil, false, ErrEmptyKey
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	s.lru.MoveToFront(e.lruEntry)
+	s.stats.Hits++
+	s.stats.NetworkBytesCompressed += int64(len(e.payload))
+	s.stats.NetworkBytesRaw += int64(e.rawSize)
+	if e.stored {
+		return append([]byte{}, e.payload...), true, nil
+	}
+	t0 := time.Now()
+	out, err := s.engine(e.typ).Decompress(nil, e.payload)
+	s.stats.ClientDecompressTime += time.Since(t0)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache) Delete(key string) bool {
+	if key == "" {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(e.lruEntry)
+	delete(s.items, key)
+	s.bytes -= int64(len(e.payload))
+	s.stats.ResidentRawBytes -= int64(e.rawSize)
+	s.stats.ResidentCompressedBytes -= int64(len(e.payload))
+	return true
+}
+
+// Len returns the number of resident items.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats merges all shard statistics.
+func (c *Cache) Stats() Stats {
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Sets += st.Sets
+		total.Evicts += st.Evicts
+		total.ResidentRawBytes += st.ResidentRawBytes
+		total.ResidentCompressedBytes += st.ResidentCompressedBytes
+		total.ServerCompressTime += st.ServerCompressTime
+		total.ClientDecompressTime += st.ClientDecompressTime
+		total.NetworkBytesCompressed += st.NetworkBytesCompressed
+		total.NetworkBytesRaw += st.NetworkBytesRaw
+	}
+	return total
+}
+
+// TrainDictionaries builds one dictionary per item type from sample values,
+// ready for Config.Dicts. maxSize bounds each dictionary.
+func TrainDictionaries(samplesByType map[string][][]byte, maxSize int) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(samplesByType))
+	for typ, samples := range samplesByType {
+		d, err := dict.Train(samples, dict.DefaultParams(maxSize))
+		if err != nil {
+			return nil, fmt.Errorf("cache: training type %q: %w", typ, err)
+		}
+		out[typ] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+// Package codec unifies the repository's compressors behind one interface
+// and provides the measurement harness that turns (algorithm, level, block
+// size) configurations into the paper's three compression metrics:
+// compression ratio, compression speed, and decompression speed.
+//
+// The three registered codecs — "lz4", "zstd", "zlib" — are the algorithms
+// the paper reports as covering >99% of compression cycles in the fleet.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/lz4"
+	"github.com/datacomp/datacomp/internal/zlibx"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+// Options configure an Engine instance.
+type Options struct {
+	// Level is the codec-specific compression level.
+	Level int
+	// WindowLog overrides the match window (zstd only; 0 = level default).
+	WindowLog uint
+	// Dict is a shared content-prefix dictionary (zstd only).
+	Dict []byte
+}
+
+// Engine is a configured compressor/decompressor pair. Engines are not safe
+// for concurrent use; create one per goroutine.
+type Engine interface {
+	// Compress appends a self-describing compressed payload to dst.
+	Compress(dst, src []byte) ([]byte, error)
+	// Decompress appends the decoded content to dst.
+	Decompress(dst, src []byte) ([]byte, error)
+}
+
+// Codec is a compression algorithm family selectable by name and level.
+type Codec interface {
+	// Name is the registry key ("zstd", "lz4", "zlib").
+	Name() string
+	// Levels returns the valid level range and the conventional default.
+	Levels() (min, max, def int)
+	// SupportsDict reports whether Options.Dict is honoured.
+	SupportsDict() bool
+	// SupportsWindow reports whether Options.WindowLog is honoured.
+	SupportsWindow() bool
+	// New builds an engine for the given options.
+	New(opts Options) (Engine, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Codec{}
+)
+
+// Register adds a codec to the global registry, replacing any codec with
+// the same name.
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[c.Name()] = c
+}
+
+// Lookup finds a registered codec by name.
+func Lookup(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// Names lists registered codecs in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// zstdCodec adapts internal/zstd.
+type zstdCodec struct{}
+
+func (zstdCodec) Name() string                { return "zstd" }
+func (zstdCodec) Levels() (min, max, def int) { return zstd.MinLevel, zstd.MaxLevel, zstd.DefaultLevel }
+func (zstdCodec) SupportsDict() bool          { return true }
+func (zstdCodec) SupportsWindow() bool        { return true }
+
+type zstdEngine struct {
+	enc  *zstd.Encoder
+	dict []byte
+}
+
+func (zstdCodec) New(opts Options) (Engine, error) {
+	enc, err := zstd.NewEncoder(zstd.Options{Level: opts.Level, WindowLog: opts.WindowLog, Dict: opts.Dict})
+	if err != nil {
+		return nil, err
+	}
+	return &zstdEngine{enc: enc, dict: opts.Dict}, nil
+}
+
+func (e *zstdEngine) Compress(dst, src []byte) ([]byte, error) { return e.enc.Compress(dst, src) }
+func (e *zstdEngine) Decompress(dst, src []byte) ([]byte, error) {
+	return zstd.Decompress(dst, src, e.dict)
+}
+
+// Stages exposes the zstd engine's two-stage timing for the warehouse
+// characterization (Fig 7).
+func (e *zstdEngine) Stages() zstd.StageStats { return e.enc.Stages() }
+
+// StagedEngine is implemented by engines that account time per compressor
+// stage (match finding vs entropy coding).
+type StagedEngine interface {
+	Engine
+	Stages() zstd.StageStats
+}
+
+// lz4Codec adapts internal/lz4.
+type lz4Codec struct{}
+
+func (lz4Codec) Name() string                { return "lz4" }
+func (lz4Codec) Levels() (min, max, def int) { return lz4.MinLevel, lz4.MaxLevel, 1 }
+func (lz4Codec) SupportsDict() bool          { return false }
+func (lz4Codec) SupportsWindow() bool        { return false }
+
+type lz4Engine struct{ enc *lz4.Encoder }
+
+func (lz4Codec) New(opts Options) (Engine, error) {
+	if len(opts.Dict) > 0 {
+		return nil, errors.New("codec: lz4 does not support dictionaries")
+	}
+	if opts.WindowLog != 0 {
+		return nil, errors.New("codec: lz4 does not support window override")
+	}
+	enc, err := lz4.NewEncoder(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	return &lz4Engine{enc: enc}, nil
+}
+
+func (e *lz4Engine) Compress(dst, src []byte) ([]byte, error)   { return e.enc.Compress(dst, src) }
+func (e *lz4Engine) Decompress(dst, src []byte) ([]byte, error) { return lz4.Decompress(dst, src) }
+
+// zlibCodec adapts internal/zlibx.
+type zlibCodec struct{}
+
+func (zlibCodec) Name() string                { return "zlib" }
+func (zlibCodec) Levels() (min, max, def int) { return zlibx.MinLevel, zlibx.MaxLevel, 6 }
+func (zlibCodec) SupportsDict() bool          { return false }
+func (zlibCodec) SupportsWindow() bool        { return false }
+
+type zlibEngine struct{ enc *zlibx.Encoder }
+
+func (zlibCodec) New(opts Options) (Engine, error) {
+	if len(opts.Dict) > 0 {
+		return nil, errors.New("codec: zlib does not support dictionaries")
+	}
+	if opts.WindowLog != 0 {
+		return nil, errors.New("codec: zlib does not support window override")
+	}
+	enc, err := zlibx.NewEncoder(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	return &zlibEngine{enc: enc}, nil
+}
+
+func (e *zlibEngine) Compress(dst, src []byte) ([]byte, error)   { return e.enc.Compress(dst, src) }
+func (e *zlibEngine) Decompress(dst, src []byte) ([]byte, error) { return zlibx.Decompress(dst, src) }
+
+func init() {
+	Register(zstdCodec{})
+	Register(lz4Codec{})
+	Register(zlibCodec{})
+}
+
+// NewEngine is a convenience wrapper: look up a codec and build an engine.
+func NewEngine(name string, opts Options) (Engine, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown codec %q", name)
+	}
+	return c.New(opts)
+}
+
+// SplitBlocks cuts data into independently compressible blocks of at most
+// blockSize bytes (the paper's §III-F: random access requires block-granular
+// compression). blockSize ≤ 0 yields a single block.
+func SplitBlocks(data []byte, blockSize int) [][]byte {
+	if blockSize <= 0 || blockSize >= len(data) {
+		if len(data) == 0 {
+			return nil
+		}
+		return [][]byte{data}
+	}
+	blocks := make([][]byte, 0, (len(data)+blockSize-1)/blockSize)
+	for start := 0; start < len(data); start += blockSize {
+		end := start + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blocks = append(blocks, data[start:end])
+	}
+	return blocks
+}
+
+// CompressBlocks compresses data block-by-block into one framed buffer:
+// a uvarint block count, then per block a uvarint length + payload.
+func CompressBlocks(eng Engine, data []byte, blockSize int) ([]byte, error) {
+	blocks := SplitBlocks(data, blockSize)
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(blocks)))]...)
+	var scratch []byte
+	for _, b := range blocks {
+		var err error
+		scratch, err = eng.Compress(scratch[:0], b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(scratch)))]...)
+		out = append(out, scratch...)
+	}
+	return out, nil
+}
+
+// DecompressBlocks reverses CompressBlocks.
+func DecompressBlocks(eng Engine, framed []byte) ([]byte, error) {
+	count, n := binary.Uvarint(framed)
+	if n <= 0 || count > 1<<28 {
+		return nil, errors.New("codec: corrupt block frame")
+	}
+	pos := n
+	var out []byte
+	for i := uint64(0); i < count; i++ {
+		sz, k := binary.Uvarint(framed[pos:])
+		if k <= 0 || pos+k+int(sz) > len(framed) {
+			return nil, errors.New("codec: corrupt block frame")
+		}
+		pos += k
+		var err error
+		out, err = eng.Decompress(out, framed[pos:pos+int(sz)])
+		if err != nil {
+			return nil, err
+		}
+		pos += int(sz)
+	}
+	if pos != len(framed) {
+		return nil, errors.New("codec: corrupt block frame")
+	}
+	return out, nil
+}
+
+// Metrics aggregates a measurement run into the paper's three compression
+// metrics plus block accounting for per-block decompression latency.
+type Metrics struct {
+	InputBytes      int64
+	CompressedBytes int64
+	Blocks          int64
+	CompressTime    time.Duration
+	DecompressTime  time.Duration
+}
+
+// Ratio is original size / compressed size (higher is better).
+func (m Metrics) Ratio() float64 {
+	if m.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(m.InputBytes) / float64(m.CompressedBytes)
+}
+
+// CompressMBps is compression throughput over the original bytes.
+func (m Metrics) CompressMBps() float64 {
+	if m.CompressTime <= 0 {
+		return 0
+	}
+	return float64(m.InputBytes) / m.CompressTime.Seconds() / 1e6
+}
+
+// DecompressMBps is decompression throughput over the original bytes.
+func (m Metrics) DecompressMBps() float64 {
+	if m.DecompressTime <= 0 {
+		return 0
+	}
+	return float64(m.InputBytes) / m.DecompressTime.Seconds() / 1e6
+}
+
+// DecompressPerBlock is the mean wall time to decompress one block, the
+// quantity KVSTORE1's read-latency SLO constrains (Fig 13).
+func (m Metrics) DecompressPerBlock() time.Duration {
+	if m.Blocks == 0 {
+		return 0
+	}
+	return m.DecompressTime / time.Duration(m.Blocks)
+}
+
+// Add merges another measurement into m.
+func (m *Metrics) Add(o Metrics) {
+	m.InputBytes += o.InputBytes
+	m.CompressedBytes += o.CompressedBytes
+	m.Blocks += o.Blocks
+	m.CompressTime += o.CompressTime
+	m.DecompressTime += o.DecompressTime
+}
+
+// Measure compresses and decompresses every sample (split into blockSize
+// blocks; ≤0 means whole-sample), verifying roundtrips and accumulating
+// metrics. repeats > 1 re-runs the work to stabilize timings; sizes are
+// counted once.
+func Measure(eng Engine, samples [][]byte, blockSize, repeats int) (Metrics, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var m Metrics
+	var comp, decomp []byte
+	for _, sample := range samples {
+		blocks := SplitBlocks(sample, blockSize)
+		for _, b := range blocks {
+			var err error
+			t0 := time.Now()
+			comp, err = eng.Compress(comp[:0], b)
+			tc := time.Since(t0)
+			if err != nil {
+				return Metrics{}, err
+			}
+			t1 := time.Now()
+			decomp, err = eng.Decompress(decomp[:0], comp)
+			td := time.Since(t1)
+			if err != nil {
+				return Metrics{}, err
+			}
+			if !bytes.Equal(decomp, b) {
+				return Metrics{}, errors.New("codec: roundtrip verification failed")
+			}
+			for r := 1; r < repeats; r++ {
+				t0 = time.Now()
+				comp, err = eng.Compress(comp[:0], b)
+				tc += time.Since(t0)
+				if err != nil {
+					return Metrics{}, err
+				}
+				t1 = time.Now()
+				decomp, err = eng.Decompress(decomp[:0], comp)
+				td += time.Since(t1)
+				if err != nil {
+					return Metrics{}, err
+				}
+			}
+			m.InputBytes += int64(len(b))
+			m.CompressedBytes += int64(len(comp))
+			m.Blocks++
+			m.CompressTime += tc / time.Duration(repeats)
+			m.DecompressTime += td / time.Duration(repeats)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel compresses large buffers with a pool of engines, one chunk per
+// worker, mirroring multithreaded datacenter compressors (zstd -T, QAT
+// batch submission). Chunks are compressed independently — the same
+// block-granularity trade the paper's §III-F describes: a small ratio loss
+// (no cross-chunk matches) buys parallel speedup and random access.
+//
+// The frame layout reuses the CompressBlocks container, so payloads are
+// interchangeable with DecompressBlocks.
+type Parallel struct {
+	engines []Engine
+	chunk   int
+}
+
+// NewParallel builds a parallel compressor with `workers` engines of the
+// named codec (workers ≤ 0 means GOMAXPROCS) splitting inputs into
+// chunkSize pieces (≤ 0 means 256 KiB).
+func NewParallel(name string, opts Options, workers, chunkSize int) (*Parallel, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunkSize <= 0 {
+		chunkSize = 256 << 10
+	}
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown codec %q", name)
+	}
+	p := &Parallel{chunk: chunkSize}
+	for i := 0; i < workers; i++ {
+		eng, err := c.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		p.engines = append(p.engines, eng)
+	}
+	return p, nil
+}
+
+// Workers reports the engine-pool size.
+func (p *Parallel) Workers() int { return len(p.engines) }
+
+// Compress compresses src into the block-frame format, fanning chunks out
+// across the engine pool.
+func (p *Parallel) Compress(src []byte) ([]byte, error) {
+	blocks := SplitBlocks(src, p.chunk)
+	outs := make([][]byte, len(blocks))
+	errs := make([]error, len(p.engines))
+
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < len(p.engines); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := p.engines[w]
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(blocks) {
+					return
+				}
+				out, err := eng.Compress(nil, blocks[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outs[i] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble the standard block frame.
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(blocks)))
+	for _, out := range outs {
+		frame = binary.AppendUvarint(frame, uint64(len(out)))
+		frame = append(frame, out...)
+	}
+	return frame, nil
+}
+
+// Decompress reverses Compress, decoding chunks in parallel.
+func (p *Parallel) Decompress(frame []byte) ([]byte, error) {
+	// Parse the block offsets first.
+	count, n := binary.Uvarint(frame)
+	if n <= 0 || count > 1<<28 {
+		return nil, errors.New("codec: corrupt block frame")
+	}
+	pos := n
+	type span struct{ start, end int }
+	spans := make([]span, 0, count)
+	for i := uint64(0); i < count; i++ {
+		sz, k := binary.Uvarint(frame[pos:])
+		if k <= 0 || pos+k+int(sz) > len(frame) {
+			return nil, errors.New("codec: corrupt block frame")
+		}
+		pos += k
+		spans = append(spans, span{pos, pos + int(sz)})
+		pos += int(sz)
+	}
+	if pos != len(frame) {
+		return nil, errors.New("codec: corrupt block frame")
+	}
+
+	outs := make([][]byte, len(spans))
+	errs := make([]error, len(p.engines))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < len(p.engines); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := p.engines[w]
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(spans) {
+					return
+				}
+				out, err := eng.Decompress(nil, frame[spans[i].start:spans[i].end])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outs[i] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var result []byte
+	for _, out := range outs {
+		result = append(result, out...)
+	}
+	return result, nil
+}

@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParallelRoundtrip(t *testing.T) {
+	data := compressible(1, 3<<20)
+	for _, workers := range []int{1, 2, 8} {
+		p, err := NewParallel("zstd", Options{Level: 1}, workers, 256<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Workers() != workers {
+			t.Fatalf("workers = %d", p.Workers())
+		}
+		frame, err := p.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.Decompress(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("workers=%d: roundtrip mismatch", workers)
+		}
+	}
+}
+
+func TestParallelInteropWithSerialBlocks(t *testing.T) {
+	// The parallel frame is the CompressBlocks container: a serial engine
+	// must decode it and vice versa.
+	data := compressible(2, 1<<20)
+	p, err := NewParallel("lz4", Options{Level: 1}, 4, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := p.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewEngine("lz4", Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressBlocks(serial, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("serial decode of parallel frame failed")
+	}
+	serialFrame, err := CompressBlocks(serial, data, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := p.Decompress(serialFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back2, data) {
+		t.Fatal("parallel decode of serial frame failed")
+	}
+}
+
+func TestParallelEmptyAndSmall(t *testing.T) {
+	p, err := NewParallel("zstd", Options{Level: 1}, 4, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{nil, []byte("x"), compressible(3, 1000)} {
+		frame, err := p.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.Decompress(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("size %d mismatch", len(data))
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	if _, err := NewParallel("bogus", Options{Level: 1}, 2, 0); err == nil {
+		t.Fatal("bogus codec accepted")
+	}
+	p, err := NewParallel("zstd", Options{Level: 1}, 2, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Decompress(nil); err == nil {
+		t.Fatal("empty frame decoded")
+	}
+	frame, err := p.Compress(compressible(4, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Decompress(frame[:len(frame)/2]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestParallelDefaults(t *testing.T) {
+	p, err := NewParallel("zstd", Options{Level: 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() < 1 {
+		t.Fatal("no workers")
+	}
+	if p.chunk != 256<<10 {
+		t.Fatalf("chunk = %d", p.chunk)
+	}
+}
+
+func BenchmarkParallelCompress(b *testing.B) {
+	data := compressible(1, 8<<20)
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "x4"}[workers], func(b *testing.B) {
+			p, err := NewParallel("zstd", Options{Level: 3}, workers, 256<<10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Compress(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming adapters: Writer compresses an io stream into a sequence of
+// independently decodable block frames; Reader reverses it. This is the
+// container services use for pipeline data (shuffle files, log shipping):
+// bounded memory, no random access, any registered codec underneath.
+//
+// Stream layout: magic "DCS1", then per block a uvarint payload length and
+// the engine's self-describing payload, terminated by a zero length.
+
+var streamMagic = [4]byte{'D', 'C', 'S', '1'}
+
+// DefaultStreamBlock is the Writer's default block size.
+const DefaultStreamBlock = 256 << 10
+
+// maxStreamBlock bounds payload allocation on the read side.
+const maxStreamBlock = 64 << 20
+
+// Writer compresses data written to it into an underlying io.Writer.
+// Close flushes the final block and the terminator; it does not close the
+// underlying writer.
+type Writer struct {
+	w         *bufio.Writer
+	eng       Engine
+	buf       []byte
+	comp      []byte
+	blockSize int
+	wroteHdr  bool
+	closed    bool
+}
+
+// NewStreamWriter wraps w with a compressing writer using the engine.
+// blockSize ≤ 0 selects DefaultStreamBlock.
+func NewStreamWriter(w io.Writer, eng Engine, blockSize int) *Writer {
+	if blockSize <= 0 {
+		blockSize = DefaultStreamBlock
+	}
+	return &Writer{
+		w:         bufio.NewWriter(w),
+		eng:       eng,
+		buf:       make([]byte, 0, blockSize),
+		blockSize: blockSize,
+	}
+}
+
+// Write buffers p, emitting compressed blocks as the buffer fills.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("codec: write on closed stream")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.blockSize - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		if len(w.buf) == w.blockSize {
+			if err := w.flushBlock(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) writeHeader() error {
+	if w.wroteHdr {
+		return nil
+	}
+	w.wroteHdr = true
+	_, err := w.w.Write(streamMagic[:])
+	return err
+}
+
+func (w *Writer) flushBlock() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	var err error
+	w.comp, err = w.eng.Compress(w.comp[:0], w.buf)
+	if err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	if _, err := w.w.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(w.comp)))]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.comp); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes pending data and writes the stream terminator.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(0); err != nil { // zero-length terminator
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r       *bufio.Reader
+	eng     Engine
+	block   []byte
+	pos     int
+	readHdr bool
+	done    bool
+}
+
+// NewStreamReader wraps r with a decompressing reader. The engine must
+// match the writer's codec configuration.
+func NewStreamReader(r io.Reader, eng Engine) *Reader {
+	return &Reader{r: bufio.NewReader(r), eng: eng}
+}
+
+func (r *Reader) fillBlock() error {
+	if !r.readHdr {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			return fmt.Errorf("codec: stream header: %w", err)
+		}
+		if magic != streamMagic {
+			return errors.New("codec: bad stream magic")
+		}
+		r.readHdr = true
+	}
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("codec: stream block header: %w", err)
+	}
+	if n == 0 {
+		r.done = true
+		return io.EOF
+	}
+	if n > maxStreamBlock {
+		return errors.New("codec: stream block too large")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return fmt.Errorf("codec: stream block body: %w", err)
+	}
+	r.block, err = r.eng.Decompress(r.block[:0], payload)
+	if err != nil {
+		return err
+	}
+	r.pos = 0
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, io.EOF
+	}
+	for r.pos >= len(r.block) {
+		if err := r.fillBlock(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.block[r.pos:])
+	r.pos += n
+	return n, nil
+}

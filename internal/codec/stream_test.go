@@ -1,0 +1,105 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func streamRoundtrip(t *testing.T, name string, data []byte, blockSize int) {
+	t.Helper()
+	wEng, err := NewEngine(name, Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	w := NewStreamWriter(&sink, wEng, blockSize)
+	// Write in awkward pieces to exercise buffering.
+	for pos := 0; pos < len(data); {
+		n := 1 + (pos*7)%4096
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		wrote, err := w.Write(data[pos : pos+n])
+		if err != nil || wrote != n {
+			t.Fatalf("write: n=%d err=%v", wrote, err)
+		}
+		pos += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	rEng, err := NewEngine(name, Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(NewStreamReader(bytes.NewReader(sink.Bytes()), rEng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("%s: stream roundtrip mismatch (%d vs %d bytes)", name, len(back), len(data))
+	}
+}
+
+func TestStreamRoundtripAllCodecs(t *testing.T) {
+	data := compressible(1, 1<<20)
+	for _, name := range Names() {
+		streamRoundtrip(t, name, data, 64<<10)
+	}
+}
+
+func TestStreamEdgeSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 100, DefaultStreamBlock - 1, DefaultStreamBlock, DefaultStreamBlock + 1} {
+		streamRoundtrip(t, "zstd", compressible(int64(n), n), 0)
+	}
+}
+
+func TestStreamWriterAfterClose(t *testing.T) {
+	eng, _ := NewEngine("lz4", Options{Level: 1})
+	var sink bytes.Buffer
+	w := NewStreamWriter(&sink, eng, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestStreamReaderErrors(t *testing.T) {
+	eng, _ := NewEngine("zstd", Options{Level: 1})
+	// Bad magic.
+	r := NewStreamReader(bytes.NewReader([]byte("NOPE....")), eng)
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated: a valid stream cut mid-block.
+	var sink bytes.Buffer
+	w := NewStreamWriter(&sink, eng, 1<<10)
+	if _, err := w.Write(compressible(9, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := sink.Bytes()[:sink.Len()/2]
+	r2 := NewStreamReader(bytes.NewReader(cut), eng)
+	if _, err := io.ReadAll(r2); err == nil {
+		t.Fatal("truncated stream read fully")
+	}
+	// Missing terminator: reader hits EOF instead of a clean end.
+	noTerm := sink.Bytes()[:sink.Len()-1]
+	r3 := NewStreamReader(bytes.NewReader(noTerm), eng)
+	if _, err := io.ReadAll(r3); err == nil {
+		t.Fatal("unterminated stream read fully")
+	}
+}
+
+func TestStreamInterfaceCompliance(t *testing.T) {
+	var _ io.WriteCloser = (*Writer)(nil)
+	var _ io.Reader = (*Reader)(nil)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AutoTuner implements the paper's §VI-C proposal: a cost/SLO-aware tuner
+// that re-optimizes a service's compression configuration as its data
+// characteristics drift, instead of a one-off manual experiment. It keeps a
+// sliding window of recent payload samples; Retune runs the CompOpt search
+// over the window and switches configurations only when the incumbent is
+// either infeasible on current data or beaten by more than the hysteresis
+// threshold (configuration flaps are themselves an operational cost).
+type AutoTuner struct {
+	// Engine prices and constrains candidates (its Samples field is
+	// managed by the tuner).
+	Engine *CompEngine
+	// Candidates is the search space.
+	Candidates []Config
+	// WindowSize bounds retained samples (default 32).
+	WindowSize int
+	// SwitchThreshold is the fractional cost improvement a challenger
+	// needs to displace the incumbent (default 0.05).
+	SwitchThreshold float64
+
+	window  [][]byte
+	current Result
+	haveCur bool
+	// Switches counts configuration changes over the tuner's lifetime.
+	Switches int
+	// Retunes counts optimization runs.
+	Retunes int
+}
+
+// NewAutoTuner wires a tuner around a configured CompEngine.
+func NewAutoTuner(engine *CompEngine, candidates []Config) (*AutoTuner, error) {
+	if engine == nil {
+		return nil, errors.New("core: nil engine")
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("core: no candidates")
+	}
+	return &AutoTuner{
+		Engine:          engine,
+		Candidates:      candidates,
+		WindowSize:      32,
+		SwitchThreshold: 0.05,
+	}, nil
+}
+
+// Observe adds a recent payload sample to the sliding window.
+func (t *AutoTuner) Observe(sample []byte) {
+	if len(sample) == 0 {
+		return
+	}
+	t.window = append(t.window, append([]byte{}, sample...))
+	if t.WindowSize > 0 && len(t.window) > t.WindowSize {
+		t.window = t.window[len(t.window)-t.WindowSize:]
+	}
+}
+
+// WindowLen reports the number of retained samples.
+func (t *AutoTuner) WindowLen() int { return len(t.window) }
+
+// Current returns the incumbent configuration, if any.
+func (t *AutoTuner) Current() (Result, bool) { return t.current, t.haveCur }
+
+// ErrNoSamples is returned when Retune runs before any Observe.
+var ErrNoSamples = errors.New("core: no observed samples")
+
+// Retune re-runs the search over the current window. It returns the active
+// configuration after the run and whether it changed.
+func (t *AutoTuner) Retune() (Result, bool, error) {
+	if len(t.window) == 0 {
+		return Result{}, false, ErrNoSamples
+	}
+	t.Engine.Samples = t.window
+	t.Retunes++
+	best, _, err := t.Engine.Search(t.Candidates)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("core: retune: %w", err)
+	}
+	if !t.haveCur {
+		t.current = best
+		t.haveCur = true
+		t.Switches++
+		return best, true, nil
+	}
+	// Re-price the incumbent on current data; switch when it went
+	// infeasible or the challenger clears the hysteresis bar.
+	incumbent, err := t.Engine.Evaluate(t.current.Config)
+	if err != nil {
+		return Result{}, false, err
+	}
+	mustSwitch := !incumbent.Feasible
+	better := best.TotalCost() < incumbent.TotalCost()*(1-t.SwitchThreshold)
+	if (mustSwitch || better) && best.Config.String() != t.current.Config.String() {
+		t.current = best
+		t.Switches++
+		return best, true, nil
+	}
+	t.current = incumbent // refresh the incumbent's metrics
+	return incumbent, false, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func tunerEngine() *CompEngine {
+	p := DefaultCostParams()
+	// Balance the terms so that on compressible data the ratio advantage
+	// (storage over a long retention) picks zstd by a wide margin, while on
+	// incompressible data ratios tie and (read-weighted) compute picks lz4.
+	p.AlphaCompute *= 10
+	p.RetentionDays = 90
+	p.DecompressWeight = 10
+	p.AlphaNetwork = 0
+	return &CompEngine{Params: p, Repeats: 2}
+}
+
+func tunerCandidates() []Config {
+	return []Config{
+		{Algorithm: "zstd", Level: 6},
+		{Algorithm: "lz4", Level: 1},
+	}
+}
+
+func TestAutoTunerFirstRetune(t *testing.T) {
+	tuner, err := NewAutoTuner(tunerEngine(), tunerCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tuner.Retune(); err != ErrNoSamples {
+		t.Fatalf("want ErrNoSamples, got %v", err)
+	}
+	tuner.Observe(corpus.XML(1, 64<<10))
+	res, changed, err := tuner.Retune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("first retune must set a configuration")
+	}
+	cur, ok := tuner.Current()
+	if !ok || cur.Config.String() != res.Config.String() {
+		t.Fatal("current not tracked")
+	}
+	if res.Config.Algorithm != "zstd" {
+		t.Fatalf("compressible markup should pick zstd, got %s", res.Config)
+	}
+}
+
+func TestAutoTunerSwitchesOnDrift(t *testing.T) {
+	tuner, err := NewAutoTuner(tunerEngine(), tunerCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.WindowSize = 4
+	tuner.SwitchThreshold = 0.02
+
+	// Phase 1: highly compressible markup → zstd wins on storage cost.
+	for i := 0; i < 4; i++ {
+		tuner.Observe(corpus.XML(int64(i), 64<<10))
+	}
+	res, _, err := tuner.Retune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Algorithm != "zstd" {
+		t.Fatalf("phase 1 should pick zstd, got %s", res.Config)
+	}
+
+	// Phase 2: already-compressed (incompressible) payloads flood the
+	// window → ratio ties, compute decides, lz4-1 wins.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		blob := make([]byte, 64<<10)
+		rng.Read(blob)
+		tuner.Observe(blob)
+	}
+	res, changed, err := tuner.Retune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("drift should trigger a switch")
+	}
+	if res.Config.Algorithm != "lz4" {
+		t.Fatalf("phase 2 should pick lz4, got %s", res.Config)
+	}
+	if tuner.Switches < 2 || tuner.Retunes != 2 {
+		t.Fatalf("switches=%d retunes=%d", tuner.Switches, tuner.Retunes)
+	}
+}
+
+func TestAutoTunerHysteresis(t *testing.T) {
+	tuner, err := NewAutoTuner(tunerEngine(), tunerCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.SwitchThreshold = 0.95 // nearly impossible to displace
+	tuner.Observe(corpus.XML(1, 64<<10))
+	if _, _, err := tuner.Retune(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := tuner.Current()
+	// Same-ish data again: no switch expected under extreme hysteresis.
+	tuner.Observe(corpus.XML(2, 64<<10))
+	_, changed, err := tuner.Retune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("hysteresis should prevent flapping")
+	}
+	after, _ := tuner.Current()
+	if before.Config.String() != after.Config.String() {
+		t.Fatal("incumbent changed without a switch")
+	}
+}
+
+func TestAutoTunerSwitchesWhenIncumbentInfeasible(t *testing.T) {
+	e := tunerEngine()
+	e.Constraints.MinCompressMBps = 30
+	tuner, err := NewAutoTuner(e, tunerCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.SwitchThreshold = 0.99 // only infeasibility can force a switch
+	// Tiny, highly compressible samples keep zstd-9 fast enough at first.
+	tuner.Observe(corpus.XML(1, 128<<10))
+	if _, _, err := tuner.Retune(); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := tuner.Current()
+	if cur.Config.Algorithm != "zstd" {
+		t.Skipf("zstd-9 not picked initially (%s); environment too slow", cur.Config)
+	}
+	// Hard data makes zstd-9 crawl below the SLO; the tuner must move.
+	tuner.window = nil
+	rng := rand.New(rand.NewSource(3))
+	blob := make([]byte, 256<<10)
+	rng.Read(blob)
+	tuner.Observe(blob)
+	res, changed, err := tuner.Retune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || res.Config.Algorithm != "lz4" {
+		t.Fatalf("infeasible incumbent should force a switch, got %s (changed=%v)", res.Config, changed)
+	}
+}
+
+func TestAutoTunerWindowBounds(t *testing.T) {
+	tuner, err := NewAutoTuner(tunerEngine(), tunerCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.WindowSize = 3
+	for i := 0; i < 10; i++ {
+		tuner.Observe([]byte("sample data sample data"))
+	}
+	if tuner.WindowLen() != 3 {
+		t.Fatalf("window = %d", tuner.WindowLen())
+	}
+	tuner.Observe(nil) // ignored
+	if tuner.WindowLen() != 3 {
+		t.Fatal("empty sample should be ignored")
+	}
+}
+
+func TestNewAutoTunerValidation(t *testing.T) {
+	if _, err := NewAutoTuner(nil, tunerCandidates()); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewAutoTuner(tunerEngine(), nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package corpus generates the synthetic datasets that stand in for the
+// proprietary production data of the reproduced paper (repro band 2/5: the
+// measurement data is Meta-internal). Every generator is deterministic in
+// its seed and is tuned to exhibit the redundancy structure the paper
+// describes for its service class:
+//
+//   - Text/markup/source/database proxies for the Silesia-style benchmark
+//     corpus (Fig 1).
+//   - Typed small cache items with heavy inter-item structure but little
+//     intra-item redundancy (Figs 8-11).
+//   - Ads inference requests mixing dense float embeddings (hard to
+//     compress) with sparse integer embeddings (mostly zeros; easy), in
+//     three wire formats (Fig 12).
+//   - Sorted key-value entries for SST blocks (Fig 13) and typed columns
+//     for the ORC-style warehouse format (Fig 7).
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/datacomp/datacomp/internal/stats"
+)
+
+// TextGen produces word-soup text with Zipf-distributed vocabulary
+// popularity, the workhorse behind every "natural text"-like proxy.
+type TextGen struct {
+	words [][]byte
+	zipf  *stats.Zipf
+	rng   *rand.Rand
+}
+
+// NewTextGen builds a generator with the given vocabulary size and Zipf
+// exponent (s > 1; lower s = richer, less compressible text).
+func NewTextGen(seed int64, vocab int, zipfS float64) *TextGen {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([][]byte, vocab)
+	for i := range words {
+		n := 2 + rng.Intn(9)
+		w := make([]byte, n)
+		for j := range w {
+			w[j] = byte('a' + rng.Intn(26))
+		}
+		words[i] = w
+	}
+	return &TextGen{
+		words: words,
+		zipf:  stats.NewZipf(rng, zipfS, uint64(vocab)),
+		rng:   rng,
+	}
+}
+
+// Generate appends n bytes of text to a fresh buffer.
+func (g *TextGen) Generate(n int) []byte {
+	var buf bytes.Buffer
+	buf.Grow(n + 16)
+	col := 0
+	for buf.Len() < n {
+		w := g.words[g.zipf.Sample()-1]
+		buf.Write(w)
+		col += len(w) + 1
+		if col > 70 {
+			buf.WriteByte('\n')
+			col = 0
+		} else {
+			buf.WriteByte(' ')
+		}
+	}
+	return buf.Bytes()[:n]
+}
+
+// SourceCode produces program-like text: indented lines, repeated
+// identifiers, punctuation structure.
+func SourceCode(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	idents := make([]string, 120)
+	for i := range idents {
+		l := 3 + rng.Intn(12)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		idents[i] = string(b)
+	}
+	keywords := []string{"if", "for", "return", "func", "var", "int", "err", "nil", "range", "struct"}
+	var buf bytes.Buffer
+	buf.Grow(n + 64)
+	depth := 0
+	for buf.Len() < n {
+		for i := 0; i < depth; i++ {
+			buf.WriteByte('\t')
+		}
+		switch rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(&buf, "%s %s := %s(%s)\n", keywords[rng.Intn(len(keywords))],
+				idents[rng.Intn(len(idents))], idents[rng.Intn(len(idents))], idents[rng.Intn(len(idents))])
+		case 1:
+			fmt.Fprintf(&buf, "if %s != nil {\n", idents[rng.Intn(20)])
+			depth++
+		case 2:
+			if depth > 0 {
+				buf.WriteString("}\n")
+				depth--
+			} else {
+				fmt.Fprintf(&buf, "// %s handles %s\n", idents[rng.Intn(len(idents))], idents[rng.Intn(len(idents))])
+			}
+		case 3:
+			fmt.Fprintf(&buf, "return %s.%s(%d)\n", idents[rng.Intn(20)], idents[rng.Intn(len(idents))], rng.Intn(100))
+		case 4:
+			fmt.Fprintf(&buf, "%s.%s = append(%s.%s, %s)\n", idents[0], idents[rng.Intn(len(idents))],
+				idents[0], idents[rng.Intn(len(idents))], idents[rng.Intn(len(idents))])
+		default:
+			fmt.Fprintf(&buf, "%s(%s, %s)\n", idents[rng.Intn(len(idents))],
+				idents[rng.Intn(len(idents))], idents[rng.Intn(len(idents))])
+		}
+	}
+	return buf.Bytes()[:n]
+}
+
+// XML produces nested markup with a small tag vocabulary: the most
+// compressible proxy, mirroring the xml member of Silesia.
+func XML(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"record", "entity", "property", "value", "reference", "item", "meta"}
+	attrs := []string{"id", "type", "class", "version", "lang"}
+	var buf bytes.Buffer
+	buf.Grow(n + 128)
+	buf.WriteString("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<dataset>\n")
+	var stack []string
+	for buf.Len() < n {
+		if len(stack) > 0 && rng.Intn(3) == 0 {
+			tag := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fmt.Fprintf(&buf, "</%s>\n", tag)
+			continue
+		}
+		tag := tags[rng.Intn(len(tags))]
+		fmt.Fprintf(&buf, "<%s %s=\"%d\" %s=\"n%d\">", tag,
+			attrs[rng.Intn(len(attrs))], rng.Intn(300),
+			attrs[rng.Intn(len(attrs))], rng.Intn(20))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&buf, "value-%d", rng.Intn(50))
+			fmt.Fprintf(&buf, "</%s>\n", tag)
+		} else {
+			buf.WriteByte('\n')
+			stack = append(stack, tag)
+		}
+	}
+	return buf.Bytes()[:n]
+}
+
+// Records produces line-oriented database-like rows with fixed field
+// structure (the osdb/nci proxy).
+func Records(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	status := []string{"ACTIVE", "PENDING", "DELETED", "ARCHIVED"}
+	var buf bytes.Buffer
+	buf.Grow(n + 128)
+	ts := int64(1600000000)
+	for buf.Len() < n {
+		ts += int64(rng.Intn(100))
+		fmt.Fprintf(&buf, "%010d|%s|region-%02d|%s|%08.2f|%d\n",
+			rng.Intn(1<<30), status[rng.Intn(len(status))], rng.Intn(16),
+			fmt.Sprintf("item-%05d", rng.Intn(2000)), rng.Float64()*1e4, ts)
+	}
+	return buf.Bytes()[:n]
+}
+
+// Binary produces executable-like binary data: opcode-ish byte patterns
+// with repeated runs and embedded strings (the mozilla/ooffice proxy).
+func Binary(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n+64)
+	patterns := make([][]byte, 32)
+	for i := range patterns {
+		p := make([]byte, 4+rng.Intn(12))
+		rng.Read(p)
+		patterns[i] = p
+	}
+	for len(out) < n {
+		switch rng.Intn(5) {
+		case 0: // repeated instruction-like pattern
+			p := patterns[rng.Intn(len(patterns))]
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				out = append(out, p...)
+			}
+		case 1: // zero padding
+			for k := 0; k < 4+rng.Intn(60); k++ {
+				out = append(out, 0)
+			}
+		case 2: // embedded string
+			out = append(out, []byte(fmt.Sprintf("symbol_%d@section.%d", rng.Intn(500), rng.Intn(8)))...)
+		default: // raw code bytes
+			chunk := make([]byte, 8+rng.Intn(56))
+			rng.Read(chunk)
+			out = append(out, chunk...)
+		}
+	}
+	return out[:n]
+}
+
+// Smooth16 produces slowly varying little-endian 16-bit samples: the
+// medical-image proxy (mr/x-ray), where delta structure exists but byte
+// entropy is high.
+func Smooth16(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n+2)
+	v := 2048
+	for len(out) < n {
+		v += rng.Intn(33) - 16
+		if v < 0 {
+			v = 0
+		}
+		if v > 4095 {
+			v = 4095
+		}
+		out = append(out, byte(v), byte(v>>8))
+	}
+	return out[:n]
+}
+
+// StarCatalog produces fixed-size binary records with mostly random fields
+// (the sao proxy: barely compressible).
+func StarCatalog(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n+32)
+	for len(out) < n {
+		var rec [28]byte
+		rng.Read(rec[:24])
+		// A few shared catalog flag bytes give the compressor something.
+		rec[24], rec[25], rec[26], rec[27] = 0x53, 0x41, 0x4f, byte(rng.Intn(4))
+		out = append(out, rec[:]...)
+	}
+	return out[:n]
+}
+
+// LogLines produces web-server-style access logs.
+func LogLines(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	paths := []string{"/feed", "/profile", "/api/v2/items", "/static/app.js", "/ads/click", "/health"}
+	agents := []string{"Mozilla/5.0 (X11; Linux x86_64)", "okhttp/4.9.1", "curl/7.81.0"}
+	codes := []int{200, 200, 200, 200, 304, 404, 500}
+	var buf bytes.Buffer
+	buf.Grow(n + 256)
+	ts := int64(1680000000)
+	for buf.Len() < n {
+		ts += int64(rng.Intn(3))
+		fmt.Fprintf(&buf, "10.%d.%d.%d - - [%d] \"GET %s HTTP/1.1\" %d %d \"%s\"\n",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256), ts,
+			paths[rng.Intn(len(paths))], codes[rng.Intn(len(codes))],
+			rng.Intn(65536), agents[rng.Intn(len(agents))])
+	}
+	return buf.Bytes()[:n]
+}

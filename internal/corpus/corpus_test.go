@@ -1,0 +1,213 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/stats"
+)
+
+// ratio compresses data with zstd level 3 and returns the ratio.
+func ratio(t *testing.T, data []byte) float64 {
+	t.Helper()
+	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := codec.Measure(eng, [][]byte{data}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Ratio()
+}
+
+func TestSilesiaMembersAndDeterminism(t *testing.T) {
+	files := Silesia(1, 1<<16)
+	if len(files) != 12 {
+		t.Fatalf("got %d files", len(files))
+	}
+	again := Silesia(1, 1<<16)
+	for i, f := range files {
+		if len(f.Data) != 1<<16 {
+			t.Fatalf("%s: size %d", f.Name, len(f.Data))
+		}
+		if !bytes.Equal(f.Data, again[i].Data) {
+			t.Fatalf("%s: not deterministic", f.Name)
+		}
+	}
+	different := Silesia(2, 1<<16)
+	same := 0
+	for i := range files {
+		if bytes.Equal(files[i].Data, different[i].Data) {
+			same++
+		}
+	}
+	if same == len(files) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestSilesiaCompressibilitySpread(t *testing.T) {
+	files := Silesia(3, 1<<17)
+	ratios := map[string]float64{}
+	for _, f := range files {
+		ratios[f.Name] = ratio(t, f.Data)
+	}
+	// The paper's Fig 1 point: order-of-magnitude spread across data types.
+	if ratios["xml"] < 4 {
+		t.Errorf("xml should be highly compressible, ratio %.2f", ratios["xml"])
+	}
+	if ratios["sao"] > 2.0 {
+		t.Errorf("sao should compress poorly, ratio %.2f", ratios["sao"])
+	}
+	if ratios["xml"] < 2.5*ratios["sao"] {
+		t.Errorf("expected wide spread: xml %.2f vs sao %.2f", ratios["xml"], ratios["sao"])
+	}
+	if ratios["dickens"] < 1.5 {
+		t.Errorf("text should compress, ratio %.2f", ratios["dickens"])
+	}
+}
+
+func TestCacheItemSizesSkewSmall(t *testing.T) {
+	for _, typ := range DefaultItemTypes() {
+		items := CacheItems(7, typ, 3000)
+		h := stats.NewSizeHistogram()
+		for _, it := range items {
+			h.Observe(len(it))
+		}
+		below1k := h.FractionBelow(1024)
+		if typ.Name != "media_manifest" && below1k < 0.5 {
+			t.Errorf("%s: only %.0f%% below 1KiB, want skew toward small", typ.Name, below1k*100)
+		}
+		if h.FractionBelow(1<<20) < 1.0 && typ.Size.Max <= 1<<20 {
+			t.Errorf("%s: items above configured max", typ.Name)
+		}
+	}
+}
+
+func TestCacheItemsShareStructure(t *testing.T) {
+	typ := DefaultItemTypes()[0]
+	items := CacheItems(9, typ, 50)
+	// Every item repeats the type skeleton.
+	for _, it := range items {
+		if !bytes.Contains(it, []byte(`"__type":"user_profile"`)) {
+			t.Fatal("missing type tag")
+		}
+		if !bytes.Contains(it, []byte(`"user_id"`)) {
+			t.Fatal("missing field skeleton")
+		}
+	}
+}
+
+func TestAdsModelShapes(t *testing.T) {
+	models := AdsModels()
+	if len(models) != 3 {
+		t.Fatalf("got %d models", len(models))
+	}
+	reqA := ModelA.Requests(1, 2)
+	reqB := ModelB.Requests(1, 2)
+	if len(reqA[0]) <= len(reqB[0]) {
+		t.Errorf("model A requests (%d) should exceed model B (%d)", len(reqA[0]), len(reqB[0]))
+	}
+	// C serializes the same shape differently: different bytes, different size.
+	reqC := ModelC.Requests(1, 1)
+	if bytes.Equal(reqB[0][:64], reqC[0][:64]) {
+		t.Error("models B and C should serialize differently")
+	}
+}
+
+func TestAdsSparseCompressesBetterThanDense(t *testing.T) {
+	sparse := AdsModel{Name: "S", DenseFloats: 1024, SparseInts: 30000, SparseDensity: 0.03, Serialization: "raw"}
+	dense := AdsModel{Name: "D", DenseFloats: 30000, SparseInts: 1024, SparseDensity: 0.5, Serialization: "raw"}
+	rs := ratio(t, sparse.Requests(5, 1)[0])
+	rd := ratio(t, dense.Requests(5, 1)[0])
+	if rs <= rd {
+		t.Errorf("sparse-heavy request should compress better: sparse %.2f dense %.2f", rs, rd)
+	}
+}
+
+func TestKVPairsSorted(t *testing.T) {
+	pairs := KVPairs(11, 5000)
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Compare(pairs[i-1].Key, pairs[i].Key) > 0 {
+			t.Fatalf("keys out of order at %d: %q > %q", i, pairs[i-1].Key, pairs[i].Key)
+		}
+	}
+}
+
+func TestSSTSampleSizeAndCompressibility(t *testing.T) {
+	data := SSTSample(13, 1<<18)
+	if len(data) != 1<<18 {
+		t.Fatalf("size %d", len(data))
+	}
+	if r := ratio(t, data); r < 1.5 {
+		t.Errorf("SST data should compress moderately, ratio %.2f", r)
+	}
+}
+
+func TestWarehouseColumns(t *testing.T) {
+	ts := TimestampColumn(1, 1000)
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatal("timestamps must be non-decreasing")
+		}
+	}
+	ids := IDColumn(2, 1000)
+	seen := map[int64]int{}
+	for _, id := range ids {
+		seen[id]++
+	}
+	if len(seen) == len(ids) {
+		t.Error("IDs should repeat (zipf hot entities)")
+	}
+	cats := CategoryColumn(3, 1000)
+	uniq := map[string]bool{}
+	for _, c := range cats {
+		uniq[c] = true
+	}
+	if len(uniq) > 6 {
+		t.Errorf("categories should be low-cardinality, got %d", len(uniq))
+	}
+	flags := FlagColumn(4, 10000, 0.9)
+	trues := 0
+	for _, f := range flags {
+		if f {
+			trues++
+		}
+	}
+	if trues < 8500 || trues > 9500 {
+		t.Errorf("flag probability off: %d/10000", trues)
+	}
+	metrics := MetricColumn(5, 100)
+	if len(metrics) != 100 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestTextGenDeterministic(t *testing.T) {
+	a := NewTextGen(42, 1000, 1.2).Generate(10000)
+	b := NewTextGen(42, 1000, 1.2).Generate(10000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("text generation not deterministic")
+	}
+}
+
+func TestGeneratorsProduceRequestedSize(t *testing.T) {
+	gens := map[string]func(int64, int) []byte{
+		"source":  SourceCode,
+		"xml":     XML,
+		"records": Records,
+		"binary":  Binary,
+		"smooth":  Smooth16,
+		"stars":   StarCatalog,
+		"logs":    LogLines,
+	}
+	for name, g := range gens {
+		for _, n := range []int{100, 4096, 65536} {
+			if got := g(1, n); len(got) != n {
+				t.Errorf("%s(%d): got %d bytes", name, n, len(got))
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/datacomp/datacomp/internal/stats"
+)
+
+// ItemType describes one typed cache object class. CACHE1/CACHE2 group
+// items by type and train one dictionary per type (§IV-C).
+type ItemType struct {
+	// Name identifies the type ("user_profile", ...).
+	Name string
+	// Fields is the shared key skeleton all items of the type repeat.
+	Fields []string
+	// Size is the item size distribution: skewed small, long tail.
+	Size stats.Lognormal
+}
+
+// DefaultItemTypes returns the typed-object mix used by the cache
+// characterization. Size parameters put most items under 1 KiB with a long
+// tail, matching Figs 8 and 9.
+func DefaultItemTypes() []ItemType {
+	return []ItemType{
+		{
+			Name:   "user_profile",
+			Fields: []string{"user_id", "display_name", "region", "locale", "created_at", "follower_count", "privacy_flags"},
+			Size:   stats.Lognormal{Mu: 5.2, Sigma: 0.9, Min: 64, Max: 1 << 16},
+		},
+		{
+			Name:   "post_meta",
+			Fields: []string{"post_id", "author_id", "created_at", "like_count", "share_count", "visibility", "media_refs"},
+			Size:   stats.Lognormal{Mu: 5.8, Sigma: 1.1, Min: 96, Max: 1 << 18},
+		},
+		{
+			Name:   "edge_assoc",
+			Fields: []string{"src_id", "dst_id", "assoc_type", "time", "data_version"},
+			Size:   stats.Lognormal{Mu: 4.6, Sigma: 0.7, Min: 48, Max: 1 << 14},
+		},
+		{
+			Name:   "media_manifest",
+			Fields: []string{"media_id", "mime", "width", "height", "cdn_urls", "transcode_profiles", "checksums"},
+			Size:   stats.Lognormal{Mu: 6.8, Sigma: 1.3, Min: 256, Max: 1 << 20},
+		},
+	}
+}
+
+// Item generates one serialized item of the type: a repeated field skeleton
+// with per-item values, padded with semi-structured payload up to the
+// sampled size.
+func (t ItemType) Item(rng *rand.Rand) []byte {
+	target := t.Size.Sample(rng)
+	var buf bytes.Buffer
+	buf.Grow(target + 64)
+	fmt.Fprintf(&buf, `{"__type":"%s","__v":3`, t.Name)
+	for _, f := range t.Fields {
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&buf, `,"%s":%d`, f, rng.Int63n(1<<40))
+		case 1:
+			fmt.Fprintf(&buf, `,"%s":"%s-%d"`, f, f, rng.Intn(1<<20))
+		default:
+			fmt.Fprintf(&buf, `,"%s":%v`, f, rng.Intn(2) == 0)
+		}
+	}
+	// Fill to the target size with a tag list: structured, some repetition
+	// across items but high per-item entropy in the values.
+	if buf.Len() < target {
+		buf.WriteString(`,"payload":[`)
+		first := true
+		for buf.Len() < target-16 {
+			if !first {
+				buf.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&buf, `{"k":"attr_%02d","v":%d}`, rng.Intn(40), rng.Int63n(1<<32))
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteByte('}')
+	return buf.Bytes()
+}
+
+// CacheItems generates n items of the given type.
+func CacheItems(seed int64, t ItemType, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = t.Item(rng)
+	}
+	return out
+}
+
+// AdsModel describes one ranking model's request shape (Fig 12): requests
+// are dense float embeddings plus sparse integer embeddings, and the
+// dense/sparse mix plus the wire format drive compressibility.
+type AdsModel struct {
+	// Name identifies the model ("A", "B", "C").
+	Name string
+	// DenseFloats is the number of float32 features per request.
+	DenseFloats int
+	// SparseInts is the number of int32 slots in the sparse embeddings.
+	SparseInts int
+	// SparseDensity is the fraction of sparse slots that are nonzero.
+	SparseDensity float64
+	// Serialization selects the wire format: "raw" (little-endian
+	// fixed-width, models A and B) or "varint" (model C's alternate
+	// serialization of the same content shape).
+	Serialization string
+}
+
+// Paper-motivated model shapes: A causes the most traffic with the largest
+// requests; B is high-traffic with smaller requests; C is B re-serialized.
+var (
+	ModelA = AdsModel{Name: "A", DenseFloats: 24576, SparseInts: 40960, SparseDensity: 0.05, Serialization: "raw"}
+	ModelB = AdsModel{Name: "B", DenseFloats: 8192, SparseInts: 8192, SparseDensity: 0.10, Serialization: "raw"}
+	ModelC = AdsModel{Name: "C", DenseFloats: 8192, SparseInts: 8192, SparseDensity: 0.10, Serialization: "varint"}
+)
+
+// AdsModels lists the three models of Fig 12.
+func AdsModels() []AdsModel { return []AdsModel{ModelA, ModelB, ModelC} }
+
+// Request generates one inference request for the model.
+func (m AdsModel) Request(rng *rand.Rand) []byte {
+	out := make([]byte, 0, m.DenseFloats*4+m.SparseInts*4+64)
+	out = append(out, []byte(fmt.Sprintf("ads-req model=%s v=2\n", m.Name))...)
+	// Dense embeddings: quantized activations — some repeated exact values
+	// (zeros from ReLU), otherwise high-entropy mantissas.
+	for i := 0; i < m.DenseFloats; i++ {
+		var f float32
+		if rng.Float64() > 0.3 { // 30% exact zeros (post-ReLU sparsity)
+			f = float32(math.Floor(rng.NormFloat64()*1000) / 1000)
+		}
+		if m.Serialization == "varint" {
+			out = binary.AppendUvarint(out, uint64(math.Float32bits(f)))
+		} else {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(f))
+		}
+	}
+	// Sparse embeddings: mostly zero slots with occasional small IDs.
+	for i := 0; i < m.SparseInts; i++ {
+		var v uint32
+		if rng.Float64() < m.SparseDensity {
+			v = uint32(rng.Intn(1 << 20))
+		}
+		if m.Serialization == "varint" {
+			out = binary.AppendUvarint(out, uint64(v))
+		} else {
+			out = binary.LittleEndian.AppendUint32(out, v)
+		}
+	}
+	return out
+}
+
+// Requests generates n requests for the model.
+func (m AdsModel) Requests(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = m.Request(rng)
+	}
+	return out
+}
+
+// KV is one key-value pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// KVPairs generates n sorted key-value pairs with realistic structure:
+// keys share column-family-style prefixes (so neighbouring keys share long
+// prefixes, as in an SST), values are semi-structured.
+func KVPairs(seed int64, n int) []KV {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]KV, n)
+	id := uint64(rng.Intn(1 << 20))
+	families := []string{"usr", "obj", "idx", "cnt"}
+	fam := families[rng.Intn(len(families))]
+	// Serialized objects share structure: values are drawn from a pool of
+	// templates with per-row field mutations, so identical byte runs recur
+	// at distances of tens of kilobytes — the redundancy a larger match
+	// window (and larger compression blocks) can exploit, as in Fig 13.
+	templates := make([][]byte, 160)
+	for i := range templates {
+		t := make([]byte, 48+rng.Intn(208))
+		for j := range t {
+			t[j] = byte(rng.Intn(64))
+		}
+		templates[i] = t
+	}
+	ztempl := stats.NewZipf(rng, 1.3, uint64(len(templates)))
+	for i := range out {
+		// Mostly sequential IDs with occasional family switches keep the
+		// key stream sorted while varying prefixes.
+		id += uint64(1 + rng.Intn(16))
+		if rng.Intn(512) == 0 {
+			next := families[rng.Intn(len(families))]
+			if next > fam {
+				fam = next
+				id = uint64(rng.Intn(1 << 16))
+			}
+		}
+		out[i].Key = []byte(fmt.Sprintf("%s:%016x", fam, id))
+		switch rng.Intn(4) {
+		case 0:
+			out[i].Value = []byte(fmt.Sprintf(`{"state":%d,"updated":%d,"owner":"svc-%02d"}`,
+				rng.Intn(8), 1600000000+rng.Intn(1<<24), rng.Intn(32)))
+		case 1, 2:
+			t := templates[ztempl.Sample()-1]
+			v := append([]byte{}, t...)
+			// Mutate a few fields so rows are distinct but share long runs.
+			for m := 0; m < 3+rng.Intn(4); m++ {
+				v[rng.Intn(len(v))] = byte(rng.Intn(256))
+			}
+			out[i].Value = v
+		default:
+			out[i].Value = binary.LittleEndian.AppendUint64(nil, uint64(rng.Int63()))
+		}
+	}
+	return out
+}
+
+// SSTSample flattens generated key-value pairs into a contiguous byte
+// stream, the representation KVSTORE1's block-size sweep compresses
+// (Fig 13).
+func SSTSample(seed int64, size int) []byte {
+	var out []byte
+	pairs := KVPairs(seed, size/64+16)
+	for _, kv := range pairs {
+		out = append(out, kv.Key...)
+		out = append(out, 0)
+		out = append(out, kv.Value...)
+		out = append(out, 0)
+		if len(out) >= size {
+			break
+		}
+	}
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// Columns for the ORC-style warehouse format.
+
+// TimestampColumn generates mostly increasing int64 timestamps (delta
+// encoding friendly).
+func TimestampColumn(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	t := int64(1680000000000)
+	for i := range out {
+		t += int64(rng.Intn(2000))
+		out[i] = t
+	}
+	return out
+}
+
+// IDColumn generates entity IDs with Zipf-repeated hot entities
+// (dictionary encoding friendly).
+func IDColumn(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := stats.NewZipf(rng, 1.3, 1<<16)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Sample()) * 7919
+	}
+	return out
+}
+
+// MetricColumn generates float64 measurements.
+func MetricColumn(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 100.0
+	for i := range out {
+		v += rng.NormFloat64()
+		out[i] = math.Floor(v*100) / 100
+	}
+	return out
+}
+
+// CategoryColumn generates low-cardinality strings (RLE/dictionary
+// friendly).
+func CategoryColumn(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	cats := []string{"impression", "click", "conversion", "view", "hide", "report"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = cats[rng.Intn(len(cats))]
+	}
+	return out
+}
+
+// FlagColumn generates booleans with the given true-probability.
+func FlagColumn(seed int64, n int, pTrue float64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < pTrue
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package corpus
+
+// File is one member of a generated benchmark corpus.
+type File struct {
+	// Name mirrors the Silesia member the generator stands in for.
+	Name string
+	// Kind describes the data class (text, binary, markup, ...).
+	Kind string
+	// Data is the generated content.
+	Data []byte
+}
+
+// Silesia generates a 12-member proxy of the Silesia corpus, the dataset
+// Figure 1 of the paper sweeps. Each member has the broad compressibility
+// character of its namesake (from very compressible XML to nearly
+// incompressible binary catalogs); absolute ratios differ from the real
+// files but the cross-file spread — the paper's point that compression
+// metrics vary by an order of magnitude with data type — is preserved.
+func Silesia(seed int64, size int) []File {
+	return []File{
+		{"dickens", "english text", NewTextGen(seed+1, 30000, 1.15).Generate(size)},
+		{"mozilla", "executable binary", Binary(seed+2, size)},
+		{"mr", "medical image", Smooth16(seed+3, size)},
+		{"nci", "chemical database", Records(seed+4, size)},
+		{"ooffice", "application binary", Binary(seed+5, size)},
+		{"osdb", "database", Records(seed+6, size)},
+		{"reymont", "polish text", NewTextGen(seed+7, 45000, 1.25).Generate(size)},
+		{"samba", "source code", SourceCode(seed+8, size)},
+		{"sao", "star catalog", StarCatalog(seed+9, size)},
+		{"webster", "dictionary text", NewTextGen(seed+10, 60000, 1.10).Generate(size)},
+		{"x-ray", "medical image", Smooth16(seed+11, size)},
+		{"xml", "markup", XML(seed+12, size)},
+	}
+}

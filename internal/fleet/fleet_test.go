@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultReport(t *testing.T) *Report {
+	t.Helper()
+	p := &Profiler{Samples: 500_000, Seed: 1, MeasureBytes: 256 << 10}
+	r, err := p.Profile(DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDefaultFleetValid(t *testing.T) {
+	for _, s := range DefaultFleet() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestFleetHeadlineAggregates(t *testing.T) {
+	r := defaultReport(t)
+	// Paper: 4.6% of fleet cycles in compression.
+	if r.TotalCompressionPct < 3.5 || r.TotalCompressionPct > 6.0 {
+		t.Errorf("total compression %% = %.2f, want ≈4.6", r.TotalCompressionPct)
+	}
+	// Paper: zstd 3.9%, lz4 0.4%, zlib 0.3%: zstd dominant.
+	if r.AlgorithmPct["zstd"] < 2*(r.AlgorithmPct["lz4"]+r.AlgorithmPct["zlib"]) {
+		t.Errorf("zstd should dominate: %v", r.AlgorithmPct)
+	}
+	if r.AlgorithmPct["lz4"] <= 0 || r.AlgorithmPct["zlib"] <= 0 {
+		t.Errorf("lz4/zlib should be present: %v", r.AlgorithmPct)
+	}
+}
+
+func TestCategoryZstdSpreadFig2(t *testing.T) {
+	r := defaultReport(t)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, cat := range Categories() {
+		v := r.CategoryZstdPct[cat]
+		if v <= 0 {
+			t.Errorf("category %s has no zstd cycles", cat)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Paper: considerable variance, 1.8% to 21.2%.
+	if lo > 3.0 {
+		t.Errorf("min category share %.2f, want ≈1.8", lo)
+	}
+	if hi < 15.0 || hi > 28.0 {
+		t.Errorf("max category share %.2f, want ≈21.2", hi)
+	}
+	if r.CategoryZstdPct[DataWarehouse] < r.CategoryZstdPct[Web] {
+		t.Error("data warehouse should out-consume web (paper: data-heavy categories highest)")
+	}
+}
+
+func TestSplitFig3(t *testing.T) {
+	r := defaultReport(t)
+	for _, cat := range Categories() {
+		s := r.CategorySplit[cat]
+		if math.Abs(s.CompressPct+s.DecompressPct-100) > 0.1 {
+			t.Errorf("%s split does not sum to 100: %+v", cat, s)
+		}
+	}
+	// Cache/Feed/Web are read-heavy (decompression-dominated); DW
+	// ingestion-heavy services skew toward compression.
+	if r.CategorySplit[Cache].DecompressPct < 55 {
+		t.Errorf("cache should be decompression-heavy: %+v", r.CategorySplit[Cache])
+	}
+	if r.CategorySplit[DataWarehouse].CompressPct < 55 {
+		t.Errorf("warehouse should be compression-heavy: %+v", r.CategorySplit[DataWarehouse])
+	}
+	if math.Abs(r.FleetSplit.CompressPct+r.FleetSplit.DecompressPct-100) > 0.1 {
+		t.Errorf("fleet split: %+v", r.FleetSplit)
+	}
+}
+
+func TestLevelUsageFig4(t *testing.T) {
+	r := defaultReport(t)
+	if low := r.LowLevelCyclesPct(); low < 50 {
+		t.Errorf("levels 1-4 hold %.1f%% of zstd cycles, paper says >50%%", low)
+	}
+	total := 0.0
+	for _, pct := range r.LevelCyclesPct {
+		total += pct
+	}
+	if math.Abs(total-100) > 0.1 {
+		t.Errorf("level shares sum to %.2f", total)
+	}
+	if r.LevelCyclesPct[7] <= 0 {
+		t.Error("level 7 (ingestion) should appear")
+	}
+}
+
+func TestBlockSizesFig5(t *testing.T) {
+	r := defaultReport(t)
+	if r.BlockSizes.Total() != int64(len(DefaultFleet())) {
+		t.Fatalf("block size observations = %d", r.BlockSizes.Total())
+	}
+	// The paper's Fig 5 spans bytes to hundreds of KiB.
+	if r.BlockSizes.FractionBelow(1<<10) <= 0 {
+		t.Error("expected sub-KiB block sizes (cache items)")
+	}
+	if r.BlockSizes.FractionBelow(128<<10) >= 1 {
+		t.Error("expected ≥128KiB block sizes (warehouse)")
+	}
+}
+
+func TestMeasurementsPresent(t *testing.T) {
+	r := defaultReport(t)
+	if len(r.Measured) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range r.Measured {
+		if m.Ratio <= 1.0 {
+			t.Errorf("%s L%d on %s: ratio %.2f", m.Algorithm, m.Level, m.Kind, m.Ratio)
+		}
+		if m.CompressMBps <= 0 || m.DecompressMBps <= 0 {
+			t.Errorf("%s L%d: speeds %v/%v", m.Algorithm, m.Level, m.CompressMBps, m.DecompressMBps)
+		}
+	}
+}
+
+func TestServiceZstdPct(t *testing.T) {
+	r := defaultReport(t)
+	if r.ServiceZstdPct["dw-shuffle"] < 20 {
+		t.Errorf("dw-shuffle zstd%% = %.1f, want ≈30", r.ServiceZstdPct["dw-shuffle"])
+	}
+	if r.ServiceZstdPct["web-frontend"] > 5 {
+		t.Errorf("web-frontend zstd%% = %.1f, want small", r.ServiceZstdPct["web-frontend"])
+	}
+}
+
+func TestSamplingNoiseShrinksWithSamples(t *testing.T) {
+	exactish := &Profiler{Samples: 4_000_000, Seed: 7, MeasureBytes: 64 << 10}
+	noisy := &Profiler{Samples: 10_000, Seed: 7, MeasureBytes: 64 << 10}
+	re, err := exactish.Profile(DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := noisy.Profile(DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both should land near the calibration target but the small-sample
+	// run may wobble more.
+	if math.Abs(re.TotalCompressionPct-4.6) > 1.0 {
+		t.Errorf("high-sample estimate %.2f too far from 4.6", re.TotalCompressionPct)
+	}
+	if rn.TotalCompressionPct <= 0 {
+		t.Error("low-sample estimate vanished")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := Service{Name: "x", Category: Web, CycleWeight: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	bad2 := Service{Name: "y", Category: Web, CycleWeight: 0.1, CompFrac: 0.5,
+		Uses: []Use{{Algorithm: "nope", CycleShare: 1.0}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	bad3 := Service{Name: "z", Category: Web, CycleWeight: 0.1, CompFrac: 0.5,
+		Uses: []Use{{Algorithm: "zstd", CycleShare: 0.3}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("non-normalized use shares accepted")
+	}
+}
+
+func TestGenerateKindAllKinds(t *testing.T) {
+	for _, k := range []DataKind{KindWeb, KindFeed, KindAds, KindCacheItem, KindORC, KindSST} {
+		data, err := GenerateKind(k, 1, 32<<10)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(data) != 32<<10 {
+			t.Fatalf("%s: %d bytes", k, len(data))
+		}
+	}
+	if _, err := GenerateKind("bogus", 1, 100); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestCyclesPerByte(t *testing.T) {
+	if CyclesPerByte(0) != 0 {
+		t.Error("zero speed should give zero")
+	}
+	// 2500 MB/s at 2.5GHz = 1 cycle/byte.
+	if got := CyclesPerByte(2500); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("got %v", got)
+	}
+}

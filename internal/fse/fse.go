@@ -1,0 +1,337 @@
+// Package fse implements Finite State Entropy coding (tANS), the entropy
+// stage that distinguishes the Zstd-style codec from LZ4 in this repository.
+//
+// The construction follows the published Zstandard/FSE design: normalized
+// symbol counts (power-of-two total) are spread over the state table with the
+// prime-step walk, encoding runs back-to-front emitting variable bit counts
+// per symbol, and decoding walks forward from a flushed final state read via
+// a reverse bit stream. Payloads are self-describing: a one-byte table log
+// followed by the bit-packed normalized counts, then the tANS bit stream.
+package fse
+
+import (
+	"errors"
+	"fmt"
+	mathbits "math/bits"
+
+	"github.com/datacomp/datacomp/internal/bits"
+	"github.com/datacomp/datacomp/internal/hist"
+)
+
+// ErrIncompressible is returned by Compress when FSE coding does not shrink
+// the input.
+var ErrIncompressible = errors.New("fse: input not compressible")
+
+// ErrCorrupt is returned when a payload cannot be decoded.
+var ErrCorrupt = errors.New("fse: corrupt payload")
+
+// spread distributes symbols over the state table using the FSE step walk.
+func spread(norm []uint16, tableLog uint) []byte {
+	tableSize := 1 << tableLog
+	table := make([]byte, tableSize)
+	step := (tableSize >> 1) + (tableSize >> 3) + 3
+	mask := tableSize - 1
+	pos := 0
+	for s, n := range norm {
+		for i := 0; i < int(n); i++ {
+			table[pos] = byte(s)
+			pos = (pos + step) & mask
+		}
+	}
+	return table
+}
+
+type symbolTransform struct {
+	deltaNbBits    uint32
+	deltaFindState int32
+}
+
+// EncTable is a prepared tANS encoding table.
+type EncTable struct {
+	tableLog   uint
+	stateTable []uint16 // next-state values, indexed by cumulative slot
+	symbolTT   []symbolTransform
+	norm       []uint16
+}
+
+// BuildEncTable constructs an encoding table from normalized counts summing
+// to 1<<tableLog. A distribution giving the whole table to one symbol is
+// rejected: callers should use RLE for single-symbol data.
+func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
+	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
+		return nil, fmt.Errorf("fse: table log %d out of range", tableLog)
+	}
+	tableSize := uint32(1) << tableLog
+	distinct := 0
+	for _, n := range norm {
+		if n > 0 {
+			distinct++
+		}
+		if uint32(n) == tableSize {
+			return nil, errors.New("fse: single-symbol distribution (use RLE)")
+		}
+	}
+	if distinct == 0 {
+		return nil, errors.New("fse: empty distribution")
+	}
+	sp := spread(norm, tableLog)
+
+	t := &EncTable{
+		tableLog:   tableLog,
+		stateTable: make([]uint16, tableSize),
+		symbolTT:   make([]symbolTransform, len(norm)),
+		norm:       norm,
+	}
+	// Cumulative slot index per symbol.
+	cumul := make([]uint32, len(norm)+1)
+	for s, n := range norm {
+		cumul[s+1] = cumul[s] + uint32(n)
+	}
+	next := make([]uint32, len(norm))
+	copy(next, cumul[:len(norm)])
+	for u := uint32(0); u < tableSize; u++ {
+		s := sp[u]
+		t.stateTable[next[s]] = uint16(tableSize + u)
+		next[s]++
+	}
+	total := int32(0)
+	for s, n := range norm {
+		switch n {
+		case 0:
+		case 1:
+			t.symbolTT[s] = symbolTransform{
+				deltaNbBits:    uint32(tableLog)<<16 - tableSize,
+				deltaFindState: total - 1,
+			}
+			total++
+		default:
+			maxBitsOut := uint32(tableLog) - uint32(mathbits.Len16(n-1)-1)
+			minStatePlus := uint32(n) << maxBitsOut
+			t.symbolTT[s] = symbolTransform{
+				deltaNbBits:    maxBitsOut<<16 - minStatePlus,
+				deltaFindState: total - int32(n),
+			}
+			total += int32(n)
+		}
+	}
+	return t, nil
+}
+
+// encState carries the rolling tANS encoder state.
+type encState struct {
+	value uint32 // in [tableSize, 2*tableSize)
+	t     *EncTable
+}
+
+// init positions the state to encode sym without emitting bits.
+func (c *encState) init(t *EncTable, sym byte) {
+	c.t = t
+	tt := t.symbolTT[sym]
+	nbBitsOut := (tt.deltaNbBits + (1 << 15)) >> 16
+	value := (nbBitsOut << 16) - tt.deltaNbBits
+	c.value = uint32(t.stateTable[int32(value>>nbBitsOut)+tt.deltaFindState])
+}
+
+func (c *encState) encode(w *bits.Writer, sym byte) {
+	tt := c.t.symbolTT[sym]
+	nbBitsOut := (c.value + tt.deltaNbBits) >> 16
+	w.WriteBits(uint64(c.value), uint(nbBitsOut))
+	c.value = uint32(c.t.stateTable[int32(c.value>>nbBitsOut)+tt.deltaFindState])
+}
+
+func (c *encState) flush(w *bits.Writer) {
+	w.WriteBits(uint64(c.value), c.t.tableLog)
+}
+
+type decEntry struct {
+	newStateBase uint16
+	symbol       byte
+	nbBits       uint8
+}
+
+// DecTable is a prepared tANS decoding table.
+type DecTable struct {
+	tableLog uint
+	table    []decEntry
+}
+
+// BuildDecTable constructs a decoding table from normalized counts.
+func BuildDecTable(norm []uint16, tableLog uint) (*DecTable, error) {
+	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
+		return nil, fmt.Errorf("fse: table log %d out of range", tableLog)
+	}
+	tableSize := uint32(1) << tableLog
+	sum := uint32(0)
+	for _, n := range norm {
+		sum += uint32(n)
+	}
+	if sum != tableSize {
+		return nil, ErrCorrupt
+	}
+	sp := spread(norm, tableLog)
+	d := &DecTable{tableLog: tableLog, table: make([]decEntry, tableSize)}
+	next := make([]uint32, len(norm))
+	for s, n := range norm {
+		next[s] = uint32(n)
+	}
+	for u := uint32(0); u < tableSize; u++ {
+		s := sp[u]
+		x := next[s]
+		next[s]++
+		nbBits := uint8(tableLog) - uint8(mathbits.Len32(x)-1)
+		d.table[u] = decEntry{
+			newStateBase: uint16((x << nbBits) - tableSize),
+			symbol:       s,
+			nbBits:       nbBits,
+		}
+	}
+	return d, nil
+}
+
+// EncodeWith encodes syms with a prepared table, appending the raw tANS bit
+// stream (no table header) to the writer. Symbols are processed
+// back-to-front per tANS; the decoder recovers them in forward order.
+func EncodeWith(w *bits.Writer, t *EncTable, syms []byte) error {
+	if len(syms) == 0 {
+		return errors.New("fse: empty input")
+	}
+	for _, s := range syms {
+		if int(s) >= len(t.symbolTT) || t.norm[s] == 0 {
+			return fmt.Errorf("fse: symbol %d not in table", s)
+		}
+	}
+	var c encState
+	c.init(t, syms[len(syms)-1])
+	for i := len(syms) - 2; i >= 0; i-- {
+		c.encode(w, syms[i])
+	}
+	c.flush(w)
+	return nil
+}
+
+// DecodeWith decodes n symbols from the reverse reader using a prepared
+// table, appending to dst.
+func DecodeWith(dst []byte, d *DecTable, r *bits.ReverseReader, n int) ([]byte, error) {
+	if n == 0 {
+		return dst, nil
+	}
+	// Hot loop: operate on locals rather than decState fields.
+	table := d.table
+	state := uint32(r.ReadBits(d.tableLog))
+	if int(state) >= len(table) {
+		return nil, ErrCorrupt
+	}
+	// The final symbol is carried entirely by the flushed state: no
+	// transition bits follow it, so it is read without a state update.
+	for i := 0; i < n-1; i++ {
+		e := table[state]
+		state = uint32(e.newStateBase) + uint32(r.ReadBits(uint(e.nbBits)))
+		dst = append(dst, e.symbol)
+	}
+	dst = append(dst, table[state].symbol)
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// writeNormHeader serializes tableLog and the normalized counts. The counts
+// are bit-packed with a shrinking width: each count is written in
+// Len(remaining) bits where remaining is the number of unassigned slots, and
+// the stream ends when remaining hits zero.
+func writeNormHeader(dst []byte, norm []uint16, tableLog uint) []byte {
+	dst = append(dst, byte(tableLog))
+	w := bits.NewWriter(len(norm))
+	remaining := 1 << tableLog
+	for _, n := range norm {
+		width := uint(mathbits.Len32(uint32(remaining)))
+		w.WriteBits(uint64(n), width)
+		remaining -= int(n)
+		if remaining == 0 {
+			break
+		}
+	}
+	return append(dst, w.Flush()...)
+}
+
+// readNormHeader parses a header, returning the counts, table log and the
+// number of bytes consumed.
+func readNormHeader(src []byte) (norm []uint16, tableLog uint, consumed int, err error) {
+	if len(src) < 2 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	tableLog = uint(src[0])
+	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
+		return nil, 0, 0, ErrCorrupt
+	}
+	r := bits.NewReader(src[1:])
+	remaining := 1 << tableLog
+	for remaining > 0 {
+		width := uint(mathbits.Len32(uint32(remaining)))
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return nil, 0, 0, ErrCorrupt
+		}
+		if int(v) > remaining {
+			return nil, 0, 0, ErrCorrupt
+		}
+		norm = append(norm, uint16(v))
+		remaining -= int(v)
+		if len(norm) > 256 {
+			return nil, 0, 0, ErrCorrupt
+		}
+	}
+	bitsUsed := (len(src[1:])*8 - r.BitsRemaining())
+	return norm, tableLog, 1 + (bitsUsed+7)/8, nil
+}
+
+// Compress entropy-codes syms into a self-describing payload appended to
+// dst. It returns ErrIncompressible when coding would not shrink the input
+// and an error for empty or single-symbol input (handle those as raw/RLE).
+func Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
+	if len(syms) < 2 {
+		return nil, ErrIncompressible
+	}
+	h := hist.Count(syms)
+	if h.IsSingleSymbol() {
+		return nil, ErrIncompressible
+	}
+	tableLog := hist.OptimalTableLog(&h, maxTableLog)
+	norm, err := h.Normalize(tableLog)
+	if err != nil {
+		return nil, err
+	}
+	t, err := BuildEncTable(norm, tableLog)
+	if err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	dst = writeNormHeader(dst, norm, tableLog)
+	w := bits.NewWriter(len(syms) / 2)
+	if err := EncodeWith(w, t, syms); err != nil {
+		return nil, err
+	}
+	dst = append(dst, w.FlushMarker()...)
+	if len(dst)-start >= len(syms) {
+		return nil, ErrIncompressible
+	}
+	return dst, nil
+}
+
+// Decompress decodes a payload produced by Compress into exactly n symbols
+// appended to dst.
+func Decompress(dst, src []byte, n int) ([]byte, error) {
+	norm, tableLog, consumed, err := readNormHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := BuildDecTable(norm, tableLog)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bits.NewReverseReader(src[consumed:])
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return DecodeWith(dst, d, r, n)
+}

@@ -1,0 +1,346 @@
+// Package huffman implements canonical, length-limited Huffman coding.
+//
+// Two layers are exposed:
+//
+//   - Primitives (BuildLengths, CanonicalCodes) that compute optimal
+//     length-limited code lengths via the package-merge algorithm and assign
+//     canonical codes. The DEFLATE-style codec builds its lit/len and
+//     distance tables from these.
+//   - A byte-stream coder (Compress/Decompress) with a compact 4-bit weight
+//     table header, used by the Zstd-style codec to compress block literals.
+//     Codes are limited to MaxCodeLen bits and decoded with a single
+//     table lookup.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/datacomp/datacomp/internal/bits"
+)
+
+// MaxCodeLen is the code-length limit for the byte-stream coder.
+const MaxCodeLen = 11
+
+// ErrIncompressible is returned by Compress when Huffman coding does not
+// shrink the input; callers should store the data raw.
+var ErrIncompressible = errors.New("huffman: input not compressible")
+
+// ErrCorrupt is returned when a compressed payload cannot be decoded.
+var ErrCorrupt = errors.New("huffman: corrupt payload")
+
+// BuildLengths returns optimal length-limited Huffman code lengths for the
+// given symbol frequencies, using the package-merge algorithm. Symbols with
+// zero frequency receive length 0. maxBits must satisfy
+// 2^maxBits ≥ number of used symbols. A single used symbol gets length 1.
+func BuildLengths(freqs []uint32, maxBits uint8) ([]uint8, error) {
+	type item struct {
+		weight uint64
+		syms   []int // original symbols contributing to this package
+	}
+	var used []int
+	for s, f := range freqs {
+		if f > 0 {
+			used = append(used, s)
+		}
+	}
+	lengths := make([]uint8, len(freqs))
+	switch len(used) {
+	case 0:
+		return nil, errors.New("huffman: no symbols")
+	case 1:
+		lengths[used[0]] = 1
+		return lengths, nil
+	}
+	if len(used) > 1<<maxBits {
+		return nil, fmt.Errorf("huffman: %d symbols exceed %d-bit limit", len(used), maxBits)
+	}
+
+	base := make([]item, len(used))
+	for i, s := range used {
+		base[i] = item{weight: uint64(freqs[s]), syms: []int{s}}
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i].weight < base[j].weight })
+
+	// Package-merge: iterate maxBits levels; at each level pair up the
+	// previous level's packages and merge with the base items.
+	prev := append([]item(nil), base...)
+	for level := 1; level < int(maxBits); level++ {
+		var packaged []item
+		for i := 0; i+1 < len(prev); i += 2 {
+			syms := make([]int, 0, len(prev[i].syms)+len(prev[i+1].syms))
+			syms = append(syms, prev[i].syms...)
+			syms = append(syms, prev[i+1].syms...)
+			packaged = append(packaged, item{weight: prev[i].weight + prev[i+1].weight, syms: syms})
+		}
+		merged := make([]item, 0, len(packaged)+len(base))
+		bi, pi := 0, 0
+		for bi < len(base) || pi < len(packaged) {
+			if pi >= len(packaged) || (bi < len(base) && base[bi].weight <= packaged[pi].weight) {
+				merged = append(merged, base[bi])
+				bi++
+			} else {
+				merged = append(merged, packaged[pi])
+				pi++
+			}
+		}
+		prev = merged
+	}
+
+	// The first 2n-2 entries of the final list determine code lengths: each
+	// appearance of a symbol adds one bit to its length.
+	take := 2*len(used) - 2
+	for i := 0; i < take && i < len(prev); i++ {
+		for _, s := range prev[i].syms {
+			lengths[s]++
+		}
+	}
+	return lengths, nil
+}
+
+// CanonicalCodes assigns canonical (MSB-first) codes to the given lengths.
+// The returned slice parallels lengths; entries with length 0 are 0.
+func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return nil, errors.New("huffman: all lengths zero")
+	}
+	blCount := make([]uint32, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	nextCode := make([]uint32, maxLen+2)
+	code := uint32(0)
+	for b := uint8(1); b <= maxLen; b++ {
+		code = (code + blCount[b-1]) << 1
+		nextCode[b] = code
+	}
+	// Kraft check: the final code for the longest length must not overflow.
+	if code+blCount[maxLen] > 1<<maxLen {
+		return nil, errors.New("huffman: oversubscribed code lengths")
+	}
+	codes := make([]uint32, len(lengths))
+	for s, l := range lengths {
+		if l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes, nil
+}
+
+// ReverseBits reverses the low n bits of v (used to store MSB-first canonical
+// codes in an LSB-first bit stream).
+func ReverseBits(v uint32, n uint8) uint32 {
+	r := uint32(0)
+	for i := uint8(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// decEntry packs a decoded symbol and its code length.
+type decEntry struct {
+	sym byte
+	len uint8
+}
+
+// Table is a prepared coder for the byte alphabet: canonical codes limited to
+// MaxCodeLen bits plus a 2^MaxCodeLen lookup table for decoding.
+type Table struct {
+	lengths [256]uint8
+	codes   [256]uint32 // bit-reversed, ready for LSB-first emission
+	dec     []decEntry  // 1<<MaxCodeLen entries
+	maxSym  int
+}
+
+// BuildTable constructs a Table from symbol frequencies (length ≤ 256).
+func BuildTable(freqs []uint32) (*Table, error) {
+	lengths, err := BuildLengths(freqs, MaxCodeLen)
+	if err != nil {
+		return nil, err
+	}
+	return tableFromLengths(lengths)
+}
+
+func tableFromLengths(lengths []uint8) (*Table, error) {
+	codes, err := CanonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{maxSym: -1}
+	t.dec = make([]decEntry, 1<<MaxCodeLen)
+	// Mark unused entries with len=0 so corrupt streams are detected.
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if l > MaxCodeLen {
+			return nil, fmt.Errorf("huffman: length %d exceeds limit", l)
+		}
+		t.maxSym = s
+		rev := ReverseBits(codes[s], l)
+		t.lengths[s] = l
+		t.codes[s] = rev
+		step := uint32(1) << l
+		for idx := rev; idx < 1<<MaxCodeLen; idx += step {
+			t.dec[idx] = decEntry{sym: byte(s), len: l}
+		}
+	}
+	return t, nil
+}
+
+// Lengths returns the code length for each symbol (0 = unused).
+func (t *Table) Lengths() []uint8 { return t.lengths[:] }
+
+// EstimateSize returns the exact payload size in bits of encoding data whose
+// histogram is freqs with this table (excluding the table header).
+func (t *Table) EstimateSize(freqs []uint32) int {
+	total := 0
+	for s, f := range freqs {
+		total += int(f) * int(t.lengths[s])
+	}
+	return total
+}
+
+// headerSize returns the serialized weight-table size in bytes for an
+// alphabet reaching maxSym.
+func headerSize(maxSym int) int { return 1 + (maxSym+2)/2 }
+
+// writeHeader serializes code lengths as 4-bit weights:
+// weight = MaxCodeLen+1-length for used symbols, 0 for unused.
+func (t *Table) writeHeader(dst []byte) []byte {
+	n := t.maxSym + 1
+	dst = append(dst, byte(n-1))
+	for i := 0; i < n; i += 2 {
+		var b byte
+		if l := t.lengths[i]; l > 0 {
+			b = byte(MaxCodeLen + 1 - l)
+		}
+		if i+1 < n {
+			if l := t.lengths[i+1]; l > 0 {
+				b |= byte(MaxCodeLen+1-l) << 4
+			}
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// readHeader parses a weight table, returning the table and bytes consumed.
+func readHeader(src []byte) (*Table, int, error) {
+	if len(src) < 1 {
+		return nil, 0, ErrCorrupt
+	}
+	n := int(src[0]) + 1
+	need := 1 + (n+1)/2
+	if len(src) < need {
+		return nil, 0, ErrCorrupt
+	}
+	lengths := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		b := src[1+i/2]
+		var w byte
+		if i%2 == 0 {
+			w = b & 0xf
+		} else {
+			w = b >> 4
+		}
+		if w > MaxCodeLen+1 {
+			return nil, 0, ErrCorrupt
+		}
+		if w > 0 {
+			lengths[i] = MaxCodeLen + 1 - w
+		}
+	}
+	t, err := tableFromLengths(lengths)
+	if err != nil {
+		return nil, 0, ErrCorrupt
+	}
+	return t, need, nil
+}
+
+// Compress Huffman-codes src, appending the table header and payload to dst.
+// It returns ErrIncompressible when the encoded form (header included) would
+// not be smaller than src, and an error when src is empty or single-symbol
+// (callers handle those with raw/RLE block modes).
+func Compress(dst, src []byte) ([]byte, error) {
+	if len(src) < 2 {
+		return nil, ErrIncompressible
+	}
+	var freqs [256]uint32
+	for _, b := range src {
+		freqs[b]++
+	}
+	distinct := 0
+	for _, f := range freqs {
+		if f > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		return nil, ErrIncompressible // RLE territory
+	}
+	t, err := BuildTable(freqs[:])
+	if err != nil {
+		return nil, err
+	}
+	payloadBits := t.EstimateSize(freqs[:])
+	estimate := headerSize(t.maxSym) + (payloadBits+7)/8
+	if estimate >= len(src) {
+		return nil, ErrIncompressible
+	}
+	dst = t.writeHeader(dst)
+	w := bits.NewWriter((payloadBits + 7) / 8)
+	for _, b := range src {
+		w.WriteBits(uint64(t.codes[b]), uint(t.lengths[b]))
+	}
+	return append(dst, w.Flush()...), nil
+}
+
+// CompressWithTable encodes src with a pre-built table (for dictionary reuse),
+// still emitting the header so payloads stay self-describing. Symbols missing
+// from the table cause an error.
+func CompressWithTable(dst, src []byte, t *Table) ([]byte, error) {
+	for _, b := range src {
+		if t.lengths[b] == 0 {
+			return nil, fmt.Errorf("huffman: symbol %d not in table", b)
+		}
+	}
+	dst = t.writeHeader(dst)
+	w := bits.NewWriter(len(src))
+	for _, b := range src {
+		w.WriteBits(uint64(t.codes[b]), uint(t.lengths[b]))
+	}
+	return append(dst, w.Flush()...), nil
+}
+
+// Decompress decodes a payload produced by Compress into exactly n bytes,
+// appended to dst.
+func Decompress(dst, src []byte, n int) ([]byte, error) {
+	t, used, err := readHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	r := bits.NewReader(src[used:])
+	for i := 0; i < n; i++ {
+		e := t.dec[r.Peek(MaxCodeLen)]
+		if e.len == 0 {
+			return nil, ErrCorrupt
+		}
+		if err := r.Skip(uint(e.len)); err != nil {
+			return nil, ErrCorrupt
+		}
+		dst = append(dst, e.sym)
+	}
+	return dst, nil
+}

@@ -1,0 +1,639 @@
+package kvstore
+
+import (
+	"bytes"
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// Options configure a DB. The compression triple (Codec, Level, BlockSize)
+// is the configuration surface the paper's KVSTORE1 study optimizes.
+type Options struct {
+	// Codec and Level select the block compressor (default zstd level 1,
+	// the common choice the paper reports for compaction-heavy stores).
+	Codec string
+	Level int
+	// BlockSize is the uncompressed data-block granularity (default 16 KiB;
+	// RocksDB commonly uses 16-64 KiB per the paper).
+	BlockSize int
+	// MemtableBytes triggers a flush when the memtable reaches this size.
+	MemtableBytes int
+	// MaxTableBytes bounds the raw bytes per output table during flush and
+	// compaction.
+	MaxTableBytes int
+	// L0CompactionTrigger compacts L0 when it accumulates this many tables.
+	L0CompactionTrigger int
+	// BaseLevelBytes is the stored-size budget of L1; each deeper level
+	// gets 10x more.
+	BaseLevelBytes int64
+	// BlockCacheEntries bounds the decoded-block cache (0 disables).
+	BlockCacheEntries int
+	// Seed makes skiplist heights deterministic.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Codec == "" {
+		o.Codec = "zstd"
+	}
+	if o.Level == 0 {
+		o.Level = 1
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 16 << 10
+	}
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.MaxTableBytes == 0 {
+		o.MaxTableBytes = 2 << 20
+	}
+	if o.L0CompactionTrigger == 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 8 << 20
+	}
+	if o.BlockCacheEntries == 0 {
+		o.BlockCacheEntries = 256
+	}
+}
+
+const numLevels = 7
+
+// Stats aggregates DB activity, separating the compression work the paper
+// attributes to compaction from read-side decompression.
+type Stats struct {
+	Puts, Gets, Deletes int64
+	Flushes             int64
+	Compactions         int64
+
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+	ReadTime       time.Duration
+
+	BlocksWritten      int64
+	BlocksRead         int64
+	BlocksDecompressed int64
+	BlockCacheHits     int64
+
+	RawBytesWritten    int64
+	StoredBytesWritten int64
+}
+
+// WriteAmplification is stored bytes written per raw byte ingested.
+func (s Stats) WriteAmplification() float64 {
+	if s.RawBytesWritten == 0 {
+		return 0
+	}
+	return float64(s.StoredBytesWritten) / float64(s.RawBytesWritten)
+}
+
+// CompressionRatio is raw/stored over all block writes.
+func (s Stats) CompressionRatio() float64 {
+	if s.StoredBytesWritten == 0 {
+		return 0
+	}
+	return float64(s.RawBytesWritten) / float64(s.StoredBytesWritten)
+}
+
+// DecompressPerBlock is the mean block decompression latency, the quantity
+// KVSTORE1's read SLO bounds.
+func (s Stats) DecompressPerBlock() time.Duration {
+	if s.BlocksDecompressed == 0 {
+		return 0
+	}
+	return s.DecompressTime / time.Duration(s.BlocksDecompressed)
+}
+
+// DB is an embedded LSM key-value store. Safe for concurrent use (a single
+// mutex serializes operations; the paper's experiments measure compression
+// work, not lock scalability).
+type DB struct {
+	mu     sync.Mutex
+	opts   Options
+	eng    codec.Engine
+	mem    *memtable
+	levels [numLevels][]*sstable // levels[0] newest-first; deeper levels sorted, disjoint
+	cache  *blockCache
+	nextID int64
+	stats  Stats
+}
+
+// Open creates an empty DB with the given options.
+func Open(opts Options) (*DB, error) {
+	opts.fill()
+	eng, err := codec.NewEngine(opts.Codec, codec.Options{Level: opts.Level})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts: opts,
+		eng:  eng,
+		mem:  newMemtable(opts.Seed),
+	}
+	if opts.BlockCacheEntries > 0 {
+		db.cache = newBlockCache(opts.BlockCacheEntries)
+	}
+	return db, nil
+}
+
+// Options returns the DB configuration.
+func (db *DB) Options() Options { return db.opts }
+
+// ErrEmptyKey is returned for operations with an empty key.
+var ErrEmptyKey = errors.New("kvstore: empty key")
+
+// Put stores value under key.
+func (db *DB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := append([]byte{}, value...)
+	if v == nil {
+		v = []byte{}
+	}
+	db.mem.set(append([]byte{}, key...), v)
+	db.stats.Puts++
+	return db.maybeFlushLocked()
+}
+
+// Delete records a tombstone for key.
+func (db *DB) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mem.set(append([]byte{}, key...), nil)
+	db.stats.Deletes++
+	return db.maybeFlushLocked()
+}
+
+// Get fetches the value for key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, ErrEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t0 := time.Now()
+	defer func() {
+		db.stats.ReadTime += time.Since(t0)
+		db.stats.Gets++
+	}()
+
+	if v, ok := db.mem.get(key); ok {
+		if v == nil {
+			return nil, false, nil // tombstone
+		}
+		return append([]byte{}, v...), true, nil
+	}
+	// L0: newest table wins.
+	for _, t := range db.levels[0] {
+		if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+			continue
+		}
+		v, tomb, found, err := t.get(db.eng, key, &db.stats, db.cache)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	// Deeper levels: tables are disjoint; at most one candidate each.
+	for lvl := 1; lvl < numLevels; lvl++ {
+		for _, t := range db.levels[lvl] {
+			if bytes.Compare(key, t.smallest) < 0 {
+				break
+			}
+			if bytes.Compare(key, t.largest) > 0 {
+				continue
+			}
+			v, tomb, found, err := t.get(db.eng, key, &db.stats, db.cache)
+			if err != nil {
+				return nil, false, err
+			}
+			if found {
+				if tomb {
+					return nil, false, nil
+				}
+				return v, true, nil
+			}
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+func (db *DB) maybeFlushLocked() error {
+	if db.mem.approximateBytes() < db.opts.MemtableBytes {
+		return nil
+	}
+	return db.flushLocked()
+}
+
+// Flush forces the memtable into L0.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.len() == 0 {
+		return nil
+	}
+	w := newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+	db.nextID++
+	for it := db.mem.iterator(); it.valid(); it.next() {
+		var v []byte
+		if !it.tombstone() {
+			v = it.value()
+			if v == nil {
+				v = []byte{}
+			}
+		}
+		if err := w.add(it.key(), v); err != nil {
+			return err
+		}
+	}
+	t, err := w.finish()
+	if err != nil {
+		return err
+	}
+	if t != nil {
+		db.levels[0] = append([]*sstable{t}, db.levels[0]...)
+	}
+	db.mem = newMemtable(db.opts.Seed + db.nextID)
+	db.stats.Flushes++
+	return db.maybeCompactLocked()
+}
+
+func levelBytes(tables []*sstable) int64 {
+	var n int64
+	for _, t := range tables {
+		n += int64(t.size())
+	}
+	return n
+}
+
+func (db *DB) levelLimit(lvl int) int64 {
+	limit := db.opts.BaseLevelBytes
+	for i := 1; i < lvl; i++ {
+		limit *= 10
+	}
+	return limit
+}
+
+func (db *DB) maybeCompactLocked() error {
+	for {
+		progressed := false
+		if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
+			if err := db.compactL0Locked(); err != nil {
+				return err
+			}
+			progressed = true
+		}
+		for lvl := 1; lvl < numLevels-1; lvl++ {
+			if levelBytes(db.levels[lvl]) > db.levelLimit(lvl) {
+				if err := db.compactLevelLocked(lvl); err != nil {
+					return err
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// overlaps reports whether table t intersects [lo, hi].
+func overlaps(t *sstable, lo, hi []byte) bool {
+	return bytes.Compare(t.largest, lo) >= 0 && bytes.Compare(t.smallest, hi) <= 0
+}
+
+func (db *DB) compactL0Locked() error {
+	sources := db.levels[0]
+	lo := sources[0].smallest
+	hi := sources[0].largest
+	for _, t := range sources {
+		if bytes.Compare(t.smallest, lo) < 0 {
+			lo = t.smallest
+		}
+		if bytes.Compare(t.largest, hi) > 0 {
+			hi = t.largest
+		}
+	}
+	var keep, merge []*sstable
+	for _, t := range db.levels[1] {
+		if overlaps(t, lo, hi) {
+			merge = append(merge, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	// Priority: L0 newest first, then L1.
+	inputs := append(append([]*sstable{}, sources...), merge...)
+	out, err := db.mergeTablesLocked(inputs, 1)
+	if err != nil {
+		return err
+	}
+	db.levels[0] = nil
+	db.levels[1] = sortTables(append(keep, out...))
+	for _, t := range inputs {
+		if db.cache != nil {
+			db.cache.dropTable(t.id)
+		}
+	}
+	db.stats.Compactions++
+	return nil
+}
+
+func (db *DB) compactLevelLocked(lvl int) error {
+	if len(db.levels[lvl]) == 0 {
+		return nil
+	}
+	src := db.levels[lvl][0]
+	var keep, merge []*sstable
+	for _, t := range db.levels[lvl+1] {
+		if overlaps(t, src.smallest, src.largest) {
+			merge = append(merge, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	inputs := append([]*sstable{src}, merge...)
+	out, err := db.mergeTablesLocked(inputs, lvl+1)
+	if err != nil {
+		return err
+	}
+	db.levels[lvl] = db.levels[lvl][1:]
+	db.levels[lvl+1] = sortTables(append(keep, out...))
+	for _, t := range inputs {
+		if db.cache != nil {
+			db.cache.dropTable(t.id)
+		}
+	}
+	db.stats.Compactions++
+	return nil
+}
+
+func sortTables(ts []*sstable) []*sstable {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && bytes.Compare(ts[j].smallest, ts[j-1].smallest) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	return ts
+}
+
+// mergeTablesLocked k-way merges input tables (earlier inputs shadow later
+// ones) into new tables for targetLevel. Tombstones are dropped when the
+// target is the bottom level.
+func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable, error) {
+	// Tombstones can be dropped only when no deeper level holds data they
+	// might still be shadowing.
+	bottom := true
+	for lvl := targetLevel + 1; lvl < numLevels; lvl++ {
+		if len(db.levels[lvl]) > 0 {
+			bottom = false
+		}
+	}
+
+	mi := newMergeIterator(inputs, db.eng, &db.stats, db.cache)
+	var out []*sstable
+	w := newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+	db.nextID++
+	rawInTable := 0
+	for mi.valid() {
+		if !(mi.tombstone() && bottom) {
+			var v []byte
+			if !mi.tombstone() {
+				v = mi.value()
+				if v == nil {
+					v = []byte{}
+				}
+			}
+			if err := w.add(mi.key(), v); err != nil {
+				return nil, err
+			}
+			rawInTable += len(mi.key()) + len(mi.value())
+			if rawInTable >= db.opts.MaxTableBytes {
+				t, err := w.finish()
+				if err != nil {
+					return nil, err
+				}
+				if t != nil {
+					out = append(out, t)
+				}
+				w = newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+				db.nextID++
+				rawInTable = 0
+			}
+		}
+		if err := mi.next(); err != nil {
+			return nil, err
+		}
+	}
+	if mi.err != nil {
+		return nil, mi.err
+	}
+	t, err := w.finish()
+	if err != nil {
+		return nil, err
+	}
+	if t != nil {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// mergeIterator k-way merges table iterators; on duplicate keys the source
+// with the lowest index wins.
+type mergeIterator struct {
+	h   mergeHeap
+	err error
+	cur struct {
+		key       []byte
+		value     []byte
+		tombstone bool
+	}
+	done bool
+}
+
+type mergeSource struct {
+	it  *tableIterator
+	idx int
+}
+
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].it.key(), h[j].it.key())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newMergeIterator(inputs []*sstable, eng codec.Engine, stats *Stats, cache *blockCache) *mergeIterator {
+	mi := &mergeIterator{}
+	for i, t := range inputs {
+		it := t.iterator(eng, stats, cache)
+		if it.err != nil {
+			mi.err = it.err
+			return mi
+		}
+		if it.valid() {
+			mi.h = append(mi.h, &mergeSource{it: it, idx: i})
+		}
+	}
+	heap.Init(&mi.h)
+	if err := mi.next(); err != nil {
+		mi.err = err
+	}
+	return mi
+}
+
+func (mi *mergeIterator) valid() bool { return !mi.done && mi.err == nil }
+
+func (mi *mergeIterator) key() []byte     { return mi.cur.key }
+func (mi *mergeIterator) value() []byte   { return mi.cur.value }
+func (mi *mergeIterator) tombstone() bool { return mi.cur.tombstone }
+
+// next advances to the next distinct key.
+func (mi *mergeIterator) next() error {
+	for {
+		if mi.h.Len() == 0 {
+			mi.done = true
+			return nil
+		}
+		src := mi.h[0]
+		key := append([]byte{}, src.it.key()...)
+		value := append([]byte{}, src.it.value()...)
+		tomb := src.it.tombstone()
+		// Pop every source entry with this key; the first (lowest index,
+		// newest) defines the value.
+		for mi.h.Len() > 0 && bytes.Equal(mi.h[0].it.key(), key) {
+			s := mi.h[0]
+			s.it.next()
+			if s.it.err != nil {
+				return s.it.err
+			}
+			if s.it.valid() {
+				heap.Fix(&mi.h, 0)
+			} else {
+				heap.Pop(&mi.h)
+			}
+		}
+		mi.cur.key = key
+		mi.cur.value = value
+		mi.cur.tombstone = tomb
+		return nil
+	}
+}
+
+// Scan walks every live key in order, stopping when fn returns false.
+func (db *DB) Scan(fn func(key, value []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Merge all tables (L0 newest-first, then deeper levels) plus the
+	// memtable overlaid manually: simplest correct approach is to collect
+	// memtable entries and treat them as the newest source.
+	w := newTableWriter(-1, db.eng, db.opts.BlockSize, nil)
+	for it := db.mem.iterator(); it.valid(); it.next() {
+		var v []byte
+		if !it.tombstone() {
+			v = it.value()
+			if v == nil {
+				v = []byte{}
+			}
+		}
+		if err := w.add(it.key(), v); err != nil {
+			return err
+		}
+	}
+	memTable, err := w.finish()
+	if err != nil {
+		return err
+	}
+	var inputs []*sstable
+	if memTable != nil {
+		inputs = append(inputs, memTable)
+	}
+	inputs = append(inputs, db.levels[0]...)
+	for lvl := 1; lvl < numLevels; lvl++ {
+		inputs = append(inputs, db.levels[lvl]...)
+	}
+	mi := newMergeIterator(inputs, db.eng, &db.stats, nil)
+	for mi.valid() {
+		if !mi.tombstone() {
+			if !fn(mi.key(), mi.value()) {
+				return nil
+			}
+		}
+		if err := mi.next(); err != nil {
+			return err
+		}
+	}
+	return mi.err
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// TableCounts reports the number of tables per level (diagnostics).
+func (db *DB) TableCounts() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]int, numLevels)
+	for i := range db.levels {
+		out[i] = len(db.levels[i])
+	}
+	return out
+}
+
+// DiskBytes reports the stored size of all tables.
+func (db *DB) DiskBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var n int64
+	for _, lvl := range db.levels {
+		n += levelBytes(lvl)
+	}
+	return n
+}
+
+// String summarizes the DB state.
+func (db *DB) String() string {
+	counts := db.TableCounts()
+	return fmt.Sprintf("kvstore{codec=%s level=%d block=%d tables=%v}",
+		db.opts.Codec, db.opts.Level, db.opts.BlockSize, counts)
+}

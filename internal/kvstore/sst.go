@@ -1,0 +1,425 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// ErrCorrupt is returned for undecodable table blocks.
+var ErrCorrupt = errors.New("kvstore: corrupt table block")
+
+const restartInterval = 16
+
+// Block payload flags.
+const (
+	blockStoredRaw = iota
+	blockCompressed
+)
+
+// blockIndexEntry locates one data block inside a table.
+type blockIndexEntry struct {
+	lastKey []byte // largest key in the block
+	offset  int
+	length  int
+	rawLen  int
+}
+
+// sstable is one immutable sorted table. Data blocks are individually
+// compressed; the index stays in memory (this store models files as
+// buffers — see DESIGN.md).
+type sstable struct {
+	id         int64
+	data       []byte
+	index      []blockIndexEntry
+	smallest   []byte
+	largest    []byte
+	numEntries int
+	rawBytes   int
+}
+
+// size returns the stored (compressed) size of the table.
+func (t *sstable) size() int { return len(t.data) }
+
+// tableWriter accumulates sorted entries into blocks.
+type tableWriter struct {
+	eng       codec.Engine
+	blockSize int
+	stats     *Stats
+
+	table    *sstable
+	buf      []byte // current block, uncompressed
+	restarts []uint32
+	count    int
+	lastKey  []byte
+	firstKey []byte
+	prevKey  []byte
+}
+
+func newTableWriter(id int64, eng codec.Engine, blockSize int, stats *Stats) *tableWriter {
+	return &tableWriter{
+		eng:       eng,
+		blockSize: blockSize,
+		stats:     stats,
+		table:     &sstable{id: id},
+	}
+}
+
+func sharedPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// add appends an entry; keys must arrive in strictly increasing order.
+// value nil records a tombstone.
+func (w *tableWriter) add(key, value []byte) error {
+	if w.prevKey != nil && bytes.Compare(key, w.prevKey) <= 0 {
+		return fmt.Errorf("kvstore: keys out of order: %q after %q", key, w.prevKey)
+	}
+	shared := 0
+	if w.count%restartInterval == 0 {
+		w.restarts = append(w.restarts, uint32(len(w.buf)))
+	} else {
+		shared = sharedPrefixLen(w.prevKey, key)
+	}
+	w.buf = binary.AppendUvarint(w.buf, uint64(shared))
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(key)-shared))
+	if value == nil {
+		w.buf = binary.AppendUvarint(w.buf, 0) // tombstone
+	} else {
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(value))+1)
+	}
+	w.buf = append(w.buf, key[shared:]...)
+	w.buf = append(w.buf, value...)
+	w.count++
+	w.table.numEntries++
+	w.prevKey = append(w.prevKey[:0], key...)
+	w.lastKey = w.prevKey
+	if w.firstKey == nil {
+		w.firstKey = append([]byte{}, key...)
+	}
+	if len(w.buf) >= w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *tableWriter) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	// Append the restart array.
+	for _, r := range w.restarts {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, r)
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(w.restarts)))
+
+	offset := len(w.table.data)
+	t0 := time.Now()
+	comp, err := w.eng.Compress(nil, w.buf)
+	dt := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	if w.stats != nil {
+		w.stats.CompressTime += dt
+		w.stats.BlocksWritten++
+		w.stats.RawBytesWritten += int64(len(w.buf))
+	}
+	if len(comp) >= len(w.buf) {
+		w.table.data = append(w.table.data, blockStoredRaw)
+		w.table.data = append(w.table.data, w.buf...)
+	} else {
+		w.table.data = append(w.table.data, blockCompressed)
+		w.table.data = append(w.table.data, comp...)
+	}
+	if w.stats != nil {
+		w.stats.StoredBytesWritten += int64(len(w.table.data) - offset)
+	}
+	w.table.index = append(w.table.index, blockIndexEntry{
+		lastKey: append([]byte{}, w.lastKey...),
+		offset:  offset,
+		length:  len(w.table.data) - offset,
+		rawLen:  len(w.buf),
+	})
+	w.table.rawBytes += len(w.buf)
+	w.buf = w.buf[:0]
+	w.restarts = w.restarts[:0]
+	w.count = 0
+	return nil
+}
+
+// finish seals the table. Returns nil when no entries were added.
+func (w *tableWriter) finish() (*sstable, error) {
+	if err := w.flushBlock(); err != nil {
+		return nil, err
+	}
+	if w.table.numEntries == 0 {
+		return nil, nil
+	}
+	w.table.smallest = w.firstKey
+	w.table.largest = append([]byte{}, w.lastKey...)
+	return w.table, nil
+}
+
+// decodeBlock expands one data block and returns its entry region (the
+// restart array is validated and stripped).
+func decodeBlock(eng codec.Engine, t *sstable, e blockIndexEntry, stats *Stats) ([]byte, error) {
+	if e.offset+e.length > len(t.data) || e.length < 1 {
+		return nil, ErrCorrupt
+	}
+	payload := t.data[e.offset : e.offset+e.length]
+	var raw []byte
+	switch payload[0] {
+	case blockStoredRaw:
+		raw = payload[1:]
+	case blockCompressed:
+		t0 := time.Now()
+		var err error
+		raw, err = eng.Decompress(nil, payload[1:])
+		dt := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		if stats != nil {
+			stats.DecompressTime += dt
+			stats.BlocksDecompressed++
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	if stats != nil {
+		stats.BlocksRead++
+	}
+	if len(raw) < 4 {
+		return nil, ErrCorrupt
+	}
+	numRestarts := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	trailer := 4 + 4*int(numRestarts)
+	if trailer > len(raw) {
+		return nil, ErrCorrupt
+	}
+	return raw[:len(raw)-trailer], nil
+}
+
+// blockEntry is one decoded entry.
+type blockEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// walkBlock scans every entry of a decoded block in order, invoking fn.
+// fn returns false to stop early.
+func walkBlock(entries []byte, fn func(blockEntry) bool) error {
+	pos := 0
+	var key []byte
+	for pos < len(entries) {
+		shared, n := binary.Uvarint(entries[pos:])
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		pos += n
+		unshared, n := binary.Uvarint(entries[pos:])
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		pos += n
+		vtag, n := binary.Uvarint(entries[pos:])
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		pos += n
+		if int(shared) > len(key) || pos+int(unshared) > len(entries) {
+			return ErrCorrupt
+		}
+		key = append(key[:int(shared)], entries[pos:pos+int(unshared)]...)
+		pos += int(unshared)
+		var e blockEntry
+		e.key = key
+		if vtag == 0 {
+			e.tombstone = true
+		} else {
+			vlen := int(vtag) - 1
+			if pos+vlen > len(entries) {
+				return ErrCorrupt
+			}
+			e.value = entries[pos : pos+vlen]
+			pos += vlen
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// findBlock locates the block that may contain key (first block whose
+// lastKey ≥ key). Returns -1 when key is past the table.
+func (t *sstable) findBlock(key []byte) int {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].lastKey, key) >= 0
+	})
+	if i == len(t.index) {
+		return -1
+	}
+	return i
+}
+
+// get searches the table. Returns (value, tombstone, found).
+func (t *sstable) get(eng codec.Engine, key []byte, stats *Stats, cache *blockCache) ([]byte, bool, bool, error) {
+	bi := t.findBlock(key)
+	if bi < 0 || bytes.Compare(key, t.smallest) < 0 {
+		return nil, false, false, nil
+	}
+	entries, err := t.loadBlock(eng, bi, stats, cache)
+	if err != nil {
+		return nil, false, false, err
+	}
+	var out []byte
+	var tomb, found bool
+	err = walkBlock(entries, func(e blockEntry) bool {
+		c := bytes.Compare(e.key, key)
+		if c == 0 {
+			found = true
+			tomb = e.tombstone
+			out = append([]byte{}, e.value...)
+			return false
+		}
+		return c < 0 // keep scanning while behind
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	return out, tomb, found, nil
+}
+
+func (t *sstable) loadBlock(eng codec.Engine, bi int, stats *Stats, cache *blockCache) ([]byte, error) {
+	if cache != nil {
+		if b, ok := cache.get(t.id, bi); ok {
+			if stats != nil {
+				stats.BlockCacheHits++
+			}
+			return b, nil
+		}
+	}
+	entries, err := decodeBlock(eng, t, t.index[bi], stats)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.put(t.id, bi, entries)
+	}
+	return entries, nil
+}
+
+// tableIterator walks a whole table in key order.
+type tableIterator struct {
+	t       *sstable
+	eng     codec.Engine
+	stats   *Stats
+	cache   *blockCache
+	block   int
+	entries []blockEntry
+	pos     int
+	err     error
+}
+
+func (t *sstable) iterator(eng codec.Engine, stats *Stats, cache *blockCache) *tableIterator {
+	it := &tableIterator{t: t, eng: eng, stats: stats, cache: cache, block: -1}
+	it.nextBlock()
+	return it
+}
+
+func (it *tableIterator) nextBlock() {
+	it.entries = it.entries[:0]
+	it.pos = 0
+	it.block++
+	if it.block >= len(it.t.index) {
+		return
+	}
+	raw, err := it.t.loadBlock(it.eng, it.block, it.stats, it.cache)
+	if err != nil {
+		it.err = err
+		return
+	}
+	err = walkBlock(raw, func(e blockEntry) bool {
+		it.entries = append(it.entries, blockEntry{
+			key:       append([]byte{}, e.key...),
+			value:     append([]byte{}, e.value...),
+			tombstone: e.tombstone,
+		})
+		return true
+	})
+	if err != nil {
+		it.err = err
+	}
+}
+
+func (it *tableIterator) valid() bool {
+	return it.err == nil && it.block < len(it.t.index) && it.pos < len(it.entries)
+}
+func (it *tableIterator) key() []byte     { return it.entries[it.pos].key }
+func (it *tableIterator) value() []byte   { return it.entries[it.pos].value }
+func (it *tableIterator) tombstone() bool { return it.entries[it.pos].tombstone }
+func (it *tableIterator) next() {
+	it.pos++
+	if it.pos >= len(it.entries) {
+		it.nextBlock()
+	}
+}
+
+// blockCache is a bounded FIFO-ish cache of decoded blocks keyed by
+// (table, block).
+type blockCache struct {
+	maxEntries int
+	m          map[[2]int64][]byte
+	order      [][2]int64
+}
+
+func newBlockCache(maxEntries int) *blockCache {
+	return &blockCache{maxEntries: maxEntries, m: make(map[[2]int64][]byte)}
+}
+
+func (c *blockCache) get(table int64, block int) ([]byte, bool) {
+	b, ok := c.m[[2]int64{table, int64(block)}]
+	return b, ok
+}
+
+func (c *blockCache) put(table int64, block int, entries []byte) {
+	k := [2]int64{table, int64(block)}
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	for len(c.m) >= c.maxEntries && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, victim)
+	}
+	c.m[k] = append([]byte{}, entries...)
+	c.order = append(c.order, k)
+}
+
+// dropTable evicts all cached blocks of a table (after compaction).
+func (c *blockCache) dropTable(table int64) {
+	for k := range c.m {
+		if k[0] == table {
+			delete(c.m, k)
+		}
+	}
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if k[0] != table {
+			kept = append(kept, k)
+		}
+	}
+	c.order = kept
+}

@@ -1,0 +1,443 @@
+// Package lz implements the Lempel-Ziv match-finding stage shared by the
+// LZ4, Zstd-style and DEFLATE-style codecs in this repository.
+//
+// The paper this repository reproduces (ISPASS'23, "Characterization of Data
+// Compression in Datacenters") describes LZ compressors as a match-finding
+// stage followed by an entropy stage, with the compression-speed/ratio
+// trade-off governed almost entirely by the match finder. This package
+// provides that stage as a family of strategies of increasing effort:
+//
+//	Fast    — single hash table, greedy, optional skip acceleration
+//	          (used by LZ4 fast levels and negative Zstd-style levels)
+//	Greedy  — hash chains, takes the best match at each position
+//	Lazy    — hash chains, defers one position when a longer match follows
+//	Lazy2   — hash chains, evaluates two following positions
+//	Optimal — dynamic programming over chain candidates (approximate
+//	          cheapest encoding; the paper's "slow dynamic programming
+//	          algorithms" end of the spectrum)
+//
+// Parsers emit Sequences: runs of literals followed by a (offset, length)
+// match, exactly the intermediate representation both entropy stages
+// consume.
+package lz
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sequence is a single LZ77 parse step: LitLen literals copied verbatim,
+// followed by MatchLen bytes copied from Offset bytes back. The final
+// sequence of a parse may have MatchLen == 0 and Offset == 0 to flush
+// trailing literals.
+type Sequence struct {
+	LitLen   uint32
+	MatchLen uint32
+	Offset   uint32
+}
+
+// Strategy selects the match-finding algorithm.
+type Strategy int
+
+const (
+	// Fast uses a single hash table and greedy parsing with optional skip
+	// acceleration.
+	Fast Strategy = iota
+	// Greedy walks hash chains and commits to the best match at each
+	// position.
+	Greedy
+	// Lazy additionally evaluates the next position before committing.
+	Lazy
+	// Lazy2 evaluates the next two positions before committing.
+	Lazy2
+	// Optimal runs a dynamic program over chain candidates to approximate
+	// the cheapest encoding (the btopt end of the spectrum). Slowest,
+	// best ratio.
+	Optimal
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Fast:
+		return "fast"
+	case Greedy:
+		return "greedy"
+	case Lazy:
+		return "lazy"
+	case Lazy2:
+		return "lazy2"
+	case Optimal:
+		return "optimal"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Params configure a match finder. The zero value is not valid; use a codec
+// level table or fill every field.
+type Params struct {
+	WindowLog uint // maximum match offset is 1<<WindowLog
+	HashLog   uint // hash table has 1<<HashLog heads
+	ChainLog  uint // chain table has 1<<ChainLog links (chain strategies)
+	Depth     int  // maximum chain positions examined per search
+	MinMatch  int  // smallest emitted match length (3 or 4)
+	MaxMatch  int  // largest emitted match length, 0 = unlimited
+	SkipStep  int  // Fast only: advance per miss; >1 trades ratio for speed
+	Strategy  Strategy
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	if p.WindowLog < 10 || p.WindowLog > 30 {
+		return fmt.Errorf("lz: window log %d out of range [10,30]", p.WindowLog)
+	}
+	if p.HashLog < 6 || p.HashLog > 28 {
+		return fmt.Errorf("lz: hash log %d out of range [6,28]", p.HashLog)
+	}
+	if p.Strategy != Fast && (p.ChainLog < 6 || p.ChainLog > 30) {
+		return fmt.Errorf("lz: chain log %d out of range [6,30]", p.ChainLog)
+	}
+	if p.MinMatch < 3 || p.MinMatch > 7 {
+		return fmt.Errorf("lz: min match %d out of range [3,7]", p.MinMatch)
+	}
+	if p.MaxMatch != 0 && p.MaxMatch < p.MinMatch {
+		return fmt.Errorf("lz: max match %d below min match %d", p.MaxMatch, p.MinMatch)
+	}
+	if p.Depth < 0 {
+		return fmt.Errorf("lz: negative depth")
+	}
+	if p.SkipStep < 0 {
+		return fmt.Errorf("lz: negative skip step")
+	}
+	return nil
+}
+
+const (
+	prime3 = 506832829
+	prime4 = 2654435761
+	prime5 = 889523592379
+	prime6 = 227718039650203
+)
+
+// Matcher is a reusable match finder. It is not safe for concurrent use.
+type Matcher struct {
+	p    Params
+	head []int32
+	prev []int32
+}
+
+// NewMatcher allocates a match finder for the given parameters.
+func NewMatcher(p Params) (*Matcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Matcher{p: p, head: make([]int32, 1<<p.HashLog)}
+	if p.Strategy != Fast {
+		m.prev = make([]int32, 1<<p.ChainLog)
+	}
+	return m, nil
+}
+
+// Params returns the matcher's configuration.
+func (m *Matcher) Params() Params { return m.p }
+
+func (m *Matcher) hash(src []byte, i int) uint32 {
+	switch m.p.MinMatch {
+	case 3:
+		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
+		return (v * prime3) >> (32 - m.p.HashLog)
+	case 4:
+		v := binary.LittleEndian.Uint32(src[i:])
+		return (v * prime4) >> (32 - m.p.HashLog)
+	case 5:
+		v := binary.LittleEndian.Uint64(src[i:]) << 24
+		return uint32((v * prime5) >> (64 - m.p.HashLog))
+	default:
+		v := binary.LittleEndian.Uint64(src[i:]) << 16
+		return uint32((v * prime6) >> (64 - m.p.HashLog))
+	}
+}
+
+// matchLen counts equal bytes between src[a:] and src[b:], up to limit.
+func matchLen(src []byte, a, b, limit int) int {
+	n := 0
+	for b+n+8 <= limit {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + trailingZeroBytes(x)
+		}
+		n += 8
+	}
+	for b+n < limit && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+func trailingZeroBytes(x uint64) int {
+	n := 0
+	for x&0xff == 0 {
+		n++
+		x >>= 8
+	}
+	return n
+}
+
+// Parse appends the LZ77 sequences covering src[start:] to dst. Bytes before
+// start act as history (dictionary or previous blocks): matches may point
+// into them but no sequence covers them. The sum of LitLen+MatchLen over the
+// returned sequences always equals len(src)-start.
+func (m *Matcher) Parse(dst []Sequence, src []byte, start int) []Sequence {
+	if start >= len(src) {
+		return dst
+	}
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	if m.p.Strategy == Fast {
+		return m.parseFast(dst, src, start)
+	}
+	for i := range m.prev {
+		m.prev[i] = -1
+	}
+	if m.p.Strategy == Optimal {
+		return m.parseOptimal(dst, src, start)
+	}
+	return m.parseChain(dst, src, start)
+}
+
+func (m *Matcher) parseFast(dst []Sequence, src []byte, start int) []Sequence {
+	minMatch := m.p.MinMatch
+	window := 1 << m.p.WindowLog
+	step := m.p.SkipStep
+	if step < 1 {
+		step = 1
+	}
+	// Index history so matches can reach into it.
+	hashEnd := len(src) - 8
+	if minMatch < 5 {
+		hashEnd = len(src) - minMatch
+	}
+	for i := 0; i < start && i <= hashEnd; i++ {
+		m.head[m.hash(src, i)] = int32(i)
+	}
+
+	litStart := start
+	i := start
+	end := len(src)
+	for i+minMatch <= end && i <= hashEnd {
+		h := m.hash(src, i)
+		cand := int(m.head[h])
+		m.head[h] = int32(i)
+		if cand >= 0 && i-cand <= window {
+			ml := matchLen(src, cand, i, end)
+			if ml >= minMatch {
+				// Extend backwards into pending literals.
+				for i > litStart && cand > 0 && src[i-1] == src[cand-1] {
+					i--
+					cand--
+					ml++
+				}
+				if m.p.MaxMatch > 0 && ml > m.p.MaxMatch {
+					ml = m.p.MaxMatch
+				}
+				dst = append(dst, Sequence{
+					LitLen:   uint32(i - litStart),
+					MatchLen: uint32(ml),
+					Offset:   uint32(i - cand),
+				})
+				// Seed a couple of hashes inside the match so later data
+				// can still find it.
+				if mid := i + ml/2; mid <= hashEnd && ml >= minMatch*2 {
+					m.head[m.hash(src, mid)] = int32(mid)
+				}
+				i += ml
+				litStart = i
+				if i <= hashEnd {
+					m.head[m.hash(src, i-1)] = int32(i - 1)
+				}
+				continue
+			}
+		}
+		i += step
+	}
+	if litStart < end {
+		dst = append(dst, Sequence{LitLen: uint32(end - litStart)})
+	}
+	return dst
+}
+
+// findBest walks the hash chain at position i and returns the best match.
+func (m *Matcher) findBest(src []byte, i, end int) (bestLen, bestPos int) {
+	window := 1 << m.p.WindowLog
+	chainMask := int32(1<<m.p.ChainLog - 1)
+	minMatch := m.p.MinMatch
+	limit := i - window
+	if limit < 0 {
+		limit = 0
+	}
+	cand := int(m.head[m.hash(src, i)])
+	depth := m.p.Depth
+	bestLen = minMatch - 1
+	for d := 0; d < depth && cand >= limit && cand >= 0 && cand < i; d++ {
+		// Quick reject: check the byte just past the current best.
+		if i+bestLen < end && src[cand+bestLen] == src[i+bestLen] {
+			if ml := matchLen(src, cand, i, end); ml > bestLen {
+				bestLen = ml
+				bestPos = cand
+				if m.p.MaxMatch > 0 && ml >= m.p.MaxMatch {
+					break
+				}
+				if i+ml >= end {
+					break
+				}
+			}
+		}
+		next := int(m.prev[int32(cand)&chainMask])
+		if next >= cand {
+			break // stale entry from a farther position, chain ended
+		}
+		cand = next
+	}
+	if bestLen < minMatch {
+		return 0, 0
+	}
+	return bestLen, bestPos
+}
+
+func (m *Matcher) insert(src []byte, i int) {
+	h := m.hash(src, i)
+	chainMask := int32(1<<m.p.ChainLog - 1)
+	m.prev[int32(i)&chainMask] = m.head[h]
+	m.head[h] = int32(i)
+}
+
+func (m *Matcher) parseChain(dst []Sequence, src []byte, start int) []Sequence {
+	minMatch := m.p.MinMatch
+	end := len(src)
+	hashEnd := end - 8
+	if minMatch < 5 {
+		hashEnd = end - minMatch
+	}
+	for i := 0; i < start && i <= hashEnd; i++ {
+		m.insert(src, i)
+	}
+
+	lazySteps := 0
+	switch m.p.Strategy {
+	case Lazy:
+		lazySteps = 1
+	case Lazy2:
+		lazySteps = 2
+	}
+
+	litStart := start
+	i := start
+	lastOffset := 0
+	for i+minMatch <= end && i <= hashEnd {
+		ml, pos := m.findBest(src, i, end)
+		m.insert(src, i)
+		// Repeat-offset probe: re-using the previous match distance is
+		// nearly free to encode downstream (Zstandard's rep codes), so a
+		// same-distance match wins unless the chain found a clearly longer
+		// one.
+		if lastOffset > 0 && i-lastOffset >= 0 {
+			if repLen := matchLen(src, i-lastOffset, i, end); repLen >= minMatch {
+				if m.p.MaxMatch > 0 && repLen > m.p.MaxMatch {
+					repLen = m.p.MaxMatch
+				}
+				if repLen+2 >= ml {
+					ml, pos = repLen, i-lastOffset
+				}
+			}
+		}
+		if ml == 0 {
+			i++
+			continue
+		}
+		// Lazy evaluation: a longer match starting 1-2 bytes later wins.
+		for step := 0; step < lazySteps; step++ {
+			j := i + 1
+			if j+minMatch > end || j > hashEnd {
+				break
+			}
+			ml2, pos2 := m.findBest(src, j, end)
+			m.insert(src, j)
+			if ml2 > ml+step { // must beat the cost of an extra literal
+				i, ml, pos = j, ml2, pos2
+			} else {
+				break
+			}
+		}
+		// Extend backwards into pending literals.
+		for i > litStart && pos > 0 && src[i-1] == src[pos-1] {
+			i--
+			pos--
+			ml++
+		}
+		if m.p.MaxMatch > 0 && ml > m.p.MaxMatch {
+			ml = m.p.MaxMatch
+		}
+		dst = append(dst, Sequence{
+			LitLen:   uint32(i - litStart),
+			MatchLen: uint32(ml),
+			Offset:   uint32(i - pos),
+		})
+		lastOffset = i - pos
+		// Index the interior of the match (bounded so long matches stay
+		// cheap).
+		interior := ml
+		if interior > 64 {
+			interior = 64
+		}
+		for k := i + 1; k < i+interior && k <= hashEnd; k++ {
+			m.insert(src, k)
+		}
+		i += ml
+		litStart = i
+	}
+	if litStart < end {
+		dst = append(dst, Sequence{LitLen: uint32(end - litStart)})
+	}
+	return dst
+}
+
+// Apply reconstructs the parsed region from sequences: literals are taken
+// from orig (the original buffer handed to Parse) and matches are copied
+// from the sliding history. It is the reference decoder used by tests.
+func Apply(orig []byte, start int, seqs []Sequence) ([]byte, error) {
+	out := make([]byte, 0, len(orig)-start)
+	hist := append([]byte{}, orig[:start]...)
+	pos := start
+	for _, s := range seqs {
+		if pos+int(s.LitLen) > len(orig) {
+			return nil, fmt.Errorf("lz: literal run past end")
+		}
+		hist = append(hist, orig[pos:pos+int(s.LitLen)]...)
+		out = append(out, orig[pos:pos+int(s.LitLen)]...)
+		pos += int(s.LitLen)
+		if s.MatchLen > 0 {
+			if int(s.Offset) > len(hist) || s.Offset == 0 {
+				return nil, fmt.Errorf("lz: bad offset %d at pos %d", s.Offset, pos)
+			}
+			for k := 0; k < int(s.MatchLen); k++ {
+				b := hist[len(hist)-int(s.Offset)]
+				hist = append(hist, b)
+				out = append(out, b)
+			}
+			pos += int(s.MatchLen)
+		}
+	}
+	if pos != len(orig) {
+		return nil, fmt.Errorf("lz: sequences cover %d bytes, want %d", pos-start, len(orig)-start)
+	}
+	return out, nil
+}
+
+// TotalLen sums the bytes covered by a sequence list.
+func TotalLen(seqs []Sequence) int {
+	n := 0
+	for _, s := range seqs {
+		n += int(s.LitLen) + int(s.MatchLen)
+	}
+	return n
+}

@@ -1,0 +1,317 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testParams(s Strategy) Params {
+	return Params{
+		WindowLog: 17,
+		HashLog:   14,
+		ChainLog:  14,
+		Depth:     16,
+		MinMatch:  4,
+		SkipStep:  1,
+		Strategy:  s,
+	}
+}
+
+// compressible produces text-like data with heavy repetition.
+func compressible(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"the", "compression", "datacenter", "service", "zstd", "level", "block", "cache", "fleet", "cycles"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+var allStrategies = []Strategy{Fast, Greedy, Lazy, Lazy2, Optimal}
+
+func TestParseReconstruct(t *testing.T) {
+	src := compressible(1, 50000)
+	for _, s := range allStrategies {
+		m, err := NewMatcher(testParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := m.Parse(nil, src, 0)
+		if TotalLen(seqs) != len(src) {
+			t.Fatalf("%v: coverage %d != %d", s, TotalLen(seqs), len(src))
+		}
+		out, err := Apply(src, 0, seqs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("%v: reconstruction mismatch", s)
+		}
+	}
+}
+
+func TestParseWithHistory(t *testing.T) {
+	dict := compressible(2, 4096)
+	body := compressible(2, 2000) // same distribution => matches into dict
+	src := append(append([]byte{}, dict...), body...)
+	for _, s := range allStrategies {
+		m, err := NewMatcher(testParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := m.Parse(nil, src, len(dict))
+		if TotalLen(seqs) != len(body) {
+			t.Fatalf("%v: coverage %d != %d", s, TotalLen(seqs), len(body))
+		}
+		out, err := Apply(src, len(dict), seqs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(out, body) {
+			t.Fatalf("%v: reconstruction mismatch", s)
+		}
+		// With a good dictionary some matches must reach into history.
+		intoDict := false
+		pos := len(dict)
+		for _, q := range seqs {
+			pos += int(q.LitLen)
+			if q.MatchLen > 0 && int(q.Offset) > pos-len(dict) {
+				intoDict = true
+			}
+			pos += int(q.MatchLen)
+		}
+		if !intoDict {
+			t.Errorf("%v: no matches reached into the dictionary", s)
+		}
+	}
+}
+
+func TestParseIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 10000)
+	rng.Read(src)
+	for _, s := range allStrategies {
+		m, err := NewMatcher(testParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := m.Parse(nil, src, 0)
+		out, err := Apply(src, 0, seqs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("%v: reconstruction mismatch", s)
+		}
+	}
+}
+
+func TestParseEmptyAndTiny(t *testing.T) {
+	m, err := NewMatcher(testParams(Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs := m.Parse(nil, nil, 0); len(seqs) != 0 {
+		t.Fatalf("empty input: %v", seqs)
+	}
+	for n := 1; n < 12; n++ {
+		src := bytes.Repeat([]byte{'a'}, n)
+		seqs := m.Parse(nil, src, 0)
+		out, err := Apply(src, 0, seqs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}
+
+func TestParseRunOfBytes(t *testing.T) {
+	src := bytes.Repeat([]byte{'x'}, 100000)
+	for _, s := range allStrategies {
+		m, err := NewMatcher(testParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := m.Parse(nil, src, 0)
+		out, err := Apply(src, 0, seqs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("%v: mismatch", s)
+		}
+		if len(seqs) > 10 {
+			t.Errorf("%v: run of a single byte should collapse to few sequences, got %d", s, len(seqs))
+		}
+	}
+}
+
+func TestMaxMatchClipping(t *testing.T) {
+	p := testParams(Greedy)
+	p.MinMatch = 3
+	p.MaxMatch = 258 // DEFLATE limit
+	m, err := NewMatcher(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte{'q'}, 5000)
+	seqs := m.Parse(nil, src, 0)
+	for _, s := range seqs {
+		if int(s.MatchLen) > 258 {
+			t.Fatalf("match length %d exceeds max", s.MatchLen)
+		}
+	}
+	out, err := Apply(src, 0, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestWindowRespected(t *testing.T) {
+	p := testParams(Greedy)
+	p.WindowLog = 10 // 1 KiB window
+	m, err := NewMatcher(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repetition at distance 4 KiB: outside the window, must not match it.
+	block := compressible(7, 4096)
+	src := append(append([]byte{}, block...), block...)
+	seqs := m.Parse(nil, src, 0)
+	for _, s := range seqs {
+		if s.Offset > 1024 {
+			t.Fatalf("offset %d exceeds window", s.Offset)
+		}
+	}
+	out, err := Apply(src, 0, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestStrategyEffortOrdering(t *testing.T) {
+	// Higher-effort strategies should produce a cheaper parse. Cost proxy:
+	// every literal costs ~1 byte, every sequence ~3 bytes of headers.
+	src := compressible(11, 1<<17)
+	parseCost := func(s Strategy, depth int) int {
+		p := testParams(s)
+		p.Depth = depth
+		m, err := NewMatcher(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := 0
+		for _, q := range m.Parse(nil, src, 0) {
+			cost += int(q.LitLen) + 3
+		}
+		return cost
+	}
+	fast := parseCost(Fast, 1)
+	lazy2 := parseCost(Lazy2, 64)
+	if lazy2 > fast+fast/50 {
+		t.Fatalf("lazy2 parse cost %d materially above fast %d", lazy2, fast)
+	}
+	optimal := parseCost(Optimal, 64)
+	if optimal > lazy2+lazy2/25 {
+		t.Fatalf("optimal parse cost %d materially above lazy2 %d", optimal, lazy2)
+	}
+}
+
+func TestMinMatchVariants(t *testing.T) {
+	for _, mm := range []int{3, 4, 5, 6} {
+		p := testParams(Lazy)
+		p.MinMatch = mm
+		m, err := NewMatcher(p)
+		if err != nil {
+			t.Fatalf("minmatch %d: %v", mm, err)
+		}
+		src := compressible(int64(mm), 20000)
+		seqs := m.Parse(nil, src, 0)
+		for _, s := range seqs {
+			if s.MatchLen != 0 && int(s.MatchLen) < mm {
+				t.Fatalf("minmatch %d: match of length %d emitted", mm, s.MatchLen)
+			}
+		}
+		out, err := Apply(src, 0, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("minmatch %d: mismatch", mm)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams(Greedy)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{WindowLog: 5, HashLog: 14, ChainLog: 14, MinMatch: 4},
+		{WindowLog: 17, HashLog: 2, ChainLog: 14, MinMatch: 4},
+		{WindowLog: 17, HashLog: 14, ChainLog: 14, MinMatch: 1},
+		{WindowLog: 17, HashLog: 14, ChainLog: 14, MinMatch: 4, MaxMatch: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := NewMatcher(Params{}); err == nil {
+		t.Error("zero params must be rejected")
+	}
+}
+
+func TestQuickRoundtripAllStrategies(t *testing.T) {
+	f := func(seed int64, size uint16, strat uint8, startFrac uint8) bool {
+		n := int(size)%30000 + 1
+		src := compressible(seed, n)
+		// Sprinkle random bytes to vary compressibility.
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for k := 0; k < n/20; k++ {
+			src[rng.Intn(n)] = byte(rng.Intn(256))
+		}
+		start := int(startFrac) % (n + 1) / 2
+		p := testParams(allStrategies[int(strat)%len(allStrategies)])
+		m, err := NewMatcher(p)
+		if err != nil {
+			return false
+		}
+		seqs := m.Parse(nil, src, start)
+		out, err := Apply(src, start, seqs)
+		return err == nil && bytes.Equal(out, src[start:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := compressible(1, 1<<17)
+	for _, s := range allStrategies {
+		b.Run(s.String(), func(b *testing.B) {
+			m, err := NewMatcher(testParams(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var seqs []Sequence
+			for i := 0; i < b.N; i++ {
+				seqs = m.Parse(seqs[:0], src, 0)
+			}
+		})
+	}
+}

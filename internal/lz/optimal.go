@@ -1,0 +1,168 @@
+package lz
+
+import mathbits "math/bits"
+
+// Optimal parsing: the "slow dynamic programming algorithms which attempt
+// to find the optimal encoding" end of the paper's match-finder spectrum
+// (§II-B). A forward DP assigns every position the cheapest known encoding
+// cost in approximate output bits; hash chains supply match candidates and
+// a backtrack recovers the sequence list. Used by the Zstd-style codec's
+// highest levels, where compression speed is traded for the last few
+// percent of ratio.
+
+const (
+	// litBits approximates the entropy-coded cost of one literal.
+	litBits = 7
+	// matchBaseBits approximates the fixed cost of a sequence (codes plus
+	// FSE state amortization).
+	matchBaseBits = 11
+	// maxOptCandidates bounds chain positions examined per DP step.
+	maxOptCandidates = 32
+	// maxLenSamples bounds the lengths relaxed per candidate.
+	maxLenSamples = 12
+	// infPrice marks unreachable DP states.
+	infPrice = int32(1) << 30
+)
+
+// matchPrice approximates the encoded size of a match in bits.
+func matchPrice(length, offset int) int32 {
+	ofBits := int32(mathbits.Len32(uint32(offset))) // code + extra bits
+	var mlBits int32
+	if v := length - 3; v >= 32 {
+		mlBits = int32(mathbits.Len32(uint32(v))) - 4
+	}
+	return matchBaseBits + ofBits + mlBits
+}
+
+// optState is one DP cell: the cheapest way to reach this position.
+type optState struct {
+	price    int32
+	matchLen int32 // 0 = arrived via literal
+	offset   int32
+}
+
+// candidate is one chain hit at a position.
+type candidate struct {
+	pos    int
+	maxLen int
+}
+
+// collectCandidates walks the hash chain at position i gathering distinct
+// candidates (longest matches first would be ideal; chain order is
+// newest-first which keeps offsets small for equal lengths).
+func (m *Matcher) collectCandidates(src []byte, i, end int, out []candidate) []candidate {
+	window := 1 << m.p.WindowLog
+	chainMask := int32(1<<m.p.ChainLog - 1)
+	limit := i - window
+	if limit < 0 {
+		limit = 0
+	}
+	cand := int(m.head[m.hash(src, i)])
+	depth := m.p.Depth
+	if depth > maxOptCandidates {
+		depth = maxOptCandidates
+	}
+	best := m.p.MinMatch - 1
+	for d := 0; d < depth && cand >= limit && cand >= 0 && cand < i; d++ {
+		if i+best < end && src[cand+best] == src[i+best] {
+			if ml := matchLen(src, cand, i, end); ml >= m.p.MinMatch {
+				if m.p.MaxMatch > 0 && ml > m.p.MaxMatch {
+					ml = m.p.MaxMatch
+				}
+				out = append(out, candidate{pos: cand, maxLen: ml})
+				if ml > best {
+					best = ml
+				}
+			}
+		}
+		next := int(m.prev[int32(cand)&chainMask])
+		if next >= cand {
+			break
+		}
+		cand = next
+	}
+	return out
+}
+
+// parseOptimal runs the DP over src[start:] and backtracks into sequences.
+func (m *Matcher) parseOptimal(dst []Sequence, src []byte, start int) []Sequence {
+	end := len(src)
+	n := end - start
+	minMatch := m.p.MinMatch
+	hashEnd := end - 8
+	if minMatch < 5 {
+		hashEnd = end - minMatch
+	}
+	for i := 0; i < start && i <= hashEnd; i++ {
+		m.insert(src, i)
+	}
+
+	states := make([]optState, n+1)
+	for i := 1; i <= n; i++ {
+		states[i].price = infPrice
+	}
+
+	var cands []candidate
+	for i := 0; i < n; i++ {
+		cur := states[i].price
+		pos := start + i
+		if pos <= hashEnd {
+			cands = m.collectCandidates(src, pos, end, cands[:0])
+		} else {
+			cands = cands[:0]
+		}
+		if pos <= hashEnd {
+			m.insert(src, pos)
+		}
+		if cur >= infPrice {
+			continue
+		}
+		// Literal step.
+		if p := cur + litBits; p < states[i+1].price {
+			states[i+1] = optState{price: p}
+		}
+		// Match steps: relax a sampled set of lengths per candidate.
+		for _, c := range cands {
+			offset := pos - c.pos
+			span := c.maxLen - minMatch
+			step := 1
+			if span >= maxLenSamples {
+				step = span/maxLenSamples + 1
+			}
+			for l := c.maxLen; l >= minMatch; l -= step {
+				if p := cur + matchPrice(l, offset); p < states[i+l].price {
+					states[i+l] = optState{price: p, matchLen: int32(l), offset: int32(offset)}
+				}
+			}
+		}
+	}
+
+	// Backtrack from the end into reversed ops, then emit sequences in
+	// forward order.
+	type op struct{ ml, off int }
+	ops := make([]op, 0, n/4+1)
+	i := n
+	for i > 0 {
+		s := states[i]
+		if s.matchLen == 0 {
+			ops = append(ops, op{})
+			i--
+			continue
+		}
+		ops = append(ops, op{ml: int(s.matchLen), off: int(s.offset)})
+		i -= int(s.matchLen)
+	}
+	lit := 0
+	for k := len(ops) - 1; k >= 0; k-- {
+		if ops[k].ml == 0 {
+			lit++
+			continue
+		}
+		dst = append(dst, Sequence{LitLen: uint32(lit), MatchLen: uint32(ops[k].ml), Offset: uint32(ops[k].off)})
+		lit = 0
+	}
+	if lit > 0 {
+		dst = append(dst, Sequence{LitLen: uint32(lit)})
+	}
+	return dst
+}

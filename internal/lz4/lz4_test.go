@@ -1,0 +1,263 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func compressible(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"request", "response", "compression", "block", "offset", "service", "lz4", "token"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(byte(' '))
+	}
+	return buf.Bytes()[:n]
+}
+
+func roundtrip(t *testing.T, level int, src []byte) []byte {
+	t.Helper()
+	e, err := NewEncoder(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(nil, out)
+	if err != nil {
+		t.Fatalf("level %d size %d: %v", level, len(src), err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatalf("level %d size %d: roundtrip mismatch", level, len(src))
+	}
+	return out
+}
+
+func TestRoundtripAllLevels(t *testing.T) {
+	src := compressible(1, 100000)
+	for level := MinLevel; level <= MaxLevel; level++ {
+		if level == 0 {
+			continue
+		}
+		out := roundtrip(t, level, src)
+		if len(out) >= len(src) {
+			t.Errorf("level %d: no compression on compressible data (%d >= %d)", level, len(out), len(src))
+		}
+	}
+}
+
+func TestRoundtripEdgeSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 5, 11, 12, 13, 17, 64, 255, 256, 300, 4096} {
+		src := compressible(int64(n), n)
+		roundtrip(t, 1, src)
+		roundtrip(t, 9, src)
+	}
+}
+
+func TestRoundtripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 50000)
+	rng.Read(src)
+	out := roundtrip(t, 1, src)
+	if len(out) > CompressBound(len(src)) {
+		t.Fatalf("output %d exceeds bound %d", len(out), CompressBound(len(src)))
+	}
+}
+
+func TestRoundtripLongRuns(t *testing.T) {
+	src := bytes.Repeat([]byte{0}, 200000)
+	out := roundtrip(t, 1, src)
+	if len(out) > 1200 {
+		t.Fatalf("run-of-zeros should compress hard, got %d bytes", len(out))
+	}
+	// Long literal runs (random) force length-extension bytes.
+	rng := rand.New(rand.NewSource(3))
+	lit := make([]byte, 70000)
+	rng.Read(lit)
+	roundtrip(t, 1, lit)
+}
+
+func TestAccelerationLevels(t *testing.T) {
+	src := compressible(21, 1<<18)
+	sizes := map[int]int{}
+	for _, level := range []int{-10, -3, -1, 1} {
+		out := roundtrip(t, level, src)
+		sizes[level] = len(out)
+	}
+	// Acceleration trades ratio for speed: -10 must compress worse than 1.
+	if sizes[-10] <= sizes[1] {
+		t.Fatalf("acceleration -10 (%d) should compress worse than level 1 (%d)",
+			sizes[-10], sizes[1])
+	}
+}
+
+func TestHigherLevelCompressesBetter(t *testing.T) {
+	src := compressible(5, 1<<18)
+	e1, _ := NewEncoder(1)
+	e12, _ := NewEncoder(12)
+	out1, err := e1.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out12, err := e12.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out12) > len(out1) {
+		t.Fatalf("HC level 12 (%d) worse than level 1 (%d)", len(out12), len(out1))
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	if _, err := NewEncoder(0); err == nil {
+		t.Fatal("level 0 must be rejected")
+	}
+	if _, err := NewEncoder(13); err == nil {
+		t.Fatal("level 13 must be rejected")
+	}
+	if _, err := NewEncoder(-11); err == nil {
+		t.Fatal("level -11 must be rejected")
+	}
+	e, err := NewEncoder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Level() != 5 {
+		t.Fatalf("Level() = %d", e.Level())
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	e, _ := NewEncoder(1)
+	src := compressible(7, 5000)
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{0xff},
+		out[:len(out)/2],
+		append(append([]byte{}, out...), 0x01, 0x02),
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c); err == nil {
+			t.Errorf("case %d: corrupt input decoded successfully", i)
+		}
+	}
+	// Flipping offset bytes should be caught by bounds checks or size check.
+	mut := append([]byte{}, out...)
+	for i := range mut[5:20] {
+		mut[5+i] ^= 0xff
+	}
+	if back, err := Decompress(nil, mut); err == nil && bytes.Equal(back, src) {
+		t.Error("mutated payload decoded to original data")
+	}
+}
+
+func TestDecompressBlockSizeMismatch(t *testing.T) {
+	e, _ := NewEncoder(1)
+	src := compressible(9, 1000)
+	blk, err := e.CompressBlock(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressBlock(nil, blk, len(src)-1); err == nil {
+		t.Fatal("undersized target must fail")
+	}
+	if _, err := DecompressBlock(nil, blk, len(src)+1); err == nil {
+		t.Fatal("oversized target must fail")
+	}
+}
+
+func TestOffsetsWithinWindow(t *testing.T) {
+	// Data repeating at 100 KiB distance: beyond the 64 KiB format limit.
+	block := compressible(11, 100*1024)
+	src := append(append([]byte{}, block...), block...)
+	roundtrip(t, 12, src)
+}
+
+func TestAppendToNonEmptyDst(t *testing.T) {
+	e, _ := NewEncoder(1)
+	src := compressible(13, 3000)
+	prefix := []byte("PREFIX")
+	out, err := e.Compress(append([]byte{}, prefix...), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("dst prefix clobbered")
+	}
+	back, err := Decompress(append([]byte{}, prefix...), out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[len(prefix):], src) {
+		t.Fatal("roundtrip mismatch with non-empty dst")
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, size uint16, levelSel uint8, noise uint8) bool {
+		n := int(size) % 20000
+		src := compressible(seed, n)
+		rng := rand.New(rand.NewSource(seed ^ 77))
+		for k := 0; k < n*int(noise)/1024; k++ {
+			src[rng.Intn(n)] = byte(rng.Intn(256))
+		}
+		level := int(levelSel)%MaxLevel + 1
+		e, err := NewEncoder(level)
+		if err != nil {
+			return false
+		}
+		out, err := e.Compress(nil, src)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(nil, out)
+		return err == nil && bytes.Equal(back, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := compressible(1, 1<<18)
+	for _, level := range []int{1, 3, 6, 9, 12} {
+		b.Run(map[bool]string{true: "L"}[true]+string(rune('0'+level/10))+string(rune('0'+level%10)), func(b *testing.B) {
+			e, err := NewEncoder(level)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				out, _ = e.Compress(out[:0], src)
+			}
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := compressible(1, 1<<18)
+	e, _ := NewEncoder(6)
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var back []byte
+	for i := 0; i < b.N; i++ {
+		back, err = Decompress(back[:0], out)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package managed implements the paper's Managed Compression service
+// (§II-B): callers get a stateless Compress/Decompress API keyed by use
+// case, while the service keeps the state — it samples payloads, trains
+// per-use-case dictionaries from them, versions the dictionaries, and
+// resolves the right version at decompression time from the dictionary ID
+// embedded in each frame. This is how the paper's caches regain the
+// compression ratio that per-item compression of small objects loses.
+package managed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/datacomp/datacomp/internal/dict"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Level is the zstd-style compression level (default 3).
+	Level int
+	// DictSize bounds trained dictionaries (default 16 KiB).
+	DictSize int
+	// SampleEvery keeps one of every N compressed payloads for training
+	// (default 4).
+	SampleEvery int
+	// TrainAfter (re)trains once this many new samples have accumulated
+	// (default 256).
+	TrainAfter int
+	// MaxSamples bounds the retained training window (default 1024; older
+	// samples age out so dictionaries track drifting data).
+	MaxSamples int
+}
+
+func (c *Config) fill() {
+	if c.Level == 0 {
+		c.Level = 3
+	}
+	if c.DictSize == 0 {
+		c.DictSize = 16 << 10
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 4
+	}
+	if c.TrainAfter <= 0 {
+		c.TrainAfter = 256
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1024
+	}
+}
+
+// UseCaseStats describes one use case's state.
+type UseCaseStats struct {
+	Generations   int // dictionary versions trained so far
+	Samples       int // samples currently retained
+	RawBytes      int64
+	StoredBytes   int64
+	DictFrames    int64 // frames compressed with a dictionary
+	NoDictFrames  int64
+	ResolveMisses int64 // decompressions that needed a historical version
+}
+
+// Ratio is raw/stored bytes across all compressions of the use case.
+func (s UseCaseStats) Ratio() float64 {
+	if s.StoredBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.StoredBytes)
+}
+
+// useCase holds the per-use-case state the paper says the service keeps so
+// callers do not have to.
+type useCase struct {
+	plain    *zstd.Encoder
+	current  *zstd.Encoder // nil until the first dictionary is trained
+	currID   uint32
+	dicts    map[uint32][]byte // every version ever trained, by ID
+	samples  [][]byte
+	sinceTr  int
+	counter  int
+	stats    UseCaseStats
+	lastDict []byte
+}
+
+// Service is a managed-compression endpoint. Safe for concurrent use.
+type Service struct {
+	cfg Config
+	mu  sync.Mutex
+	ucs map[string]*useCase
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	cfg.fill()
+	return &Service{cfg: cfg, ucs: make(map[string]*useCase)}
+}
+
+func (s *Service) usecase(name string) (*useCase, error) {
+	if uc, ok := s.ucs[name]; ok {
+		return uc, nil
+	}
+	plain, err := zstd.NewEncoder(zstd.Options{Level: s.cfg.Level})
+	if err != nil {
+		return nil, err
+	}
+	uc := &useCase{plain: plain, dicts: make(map[uint32][]byte)}
+	s.ucs[name] = uc
+	return uc, nil
+}
+
+// ErrEmptyUseCase is returned for operations without a use-case name.
+var ErrEmptyUseCase = errors.New("managed: empty use case")
+
+// Compress compresses src for the named use case, appending the frame to
+// dst. The service transparently samples payloads and upgrades to trained
+// dictionaries as enough history accumulates.
+func (s *Service) Compress(usecase string, dst, src []byte) ([]byte, error) {
+	if usecase == "" {
+		return nil, ErrEmptyUseCase
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uc, err := s.usecase(usecase)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sampling: keep every Nth payload for training.
+	uc.counter++
+	if uc.counter%s.cfg.SampleEvery == 0 {
+		uc.samples = append(uc.samples, append([]byte{}, src...))
+		if len(uc.samples) > s.cfg.MaxSamples {
+			uc.samples = uc.samples[len(uc.samples)-s.cfg.MaxSamples:]
+		}
+		uc.sinceTr++
+		if uc.sinceTr >= s.cfg.TrainAfter {
+			if err := s.retrainLocked(uc); err == nil {
+				uc.sinceTr = 0
+			}
+			// Training failures (e.g. not enough data) are retried after
+			// the next batch of samples.
+		}
+	}
+
+	enc := uc.plain
+	if uc.current != nil {
+		enc = uc.current
+		uc.stats.DictFrames++
+	} else {
+		uc.stats.NoDictFrames++
+	}
+	start := len(dst)
+	out, err := enc.Compress(dst, src)
+	if err != nil {
+		return nil, err
+	}
+	uc.stats.RawBytes += int64(len(src))
+	uc.stats.StoredBytes += int64(len(out) - start)
+	uc.stats.Samples = len(uc.samples)
+	return out, nil
+}
+
+// retrainLocked trains a new dictionary generation from the sample window.
+func (s *Service) retrainLocked(uc *useCase) error {
+	d, err := dict.Train(uc.samples, dict.DefaultParams(s.cfg.DictSize))
+	if err != nil {
+		return err
+	}
+	id := zstd.DictID(d)
+	enc, err := zstd.NewEncoder(zstd.Options{Level: s.cfg.Level, Dict: d})
+	if err != nil {
+		return err
+	}
+	uc.dicts[id] = d
+	uc.current = enc
+	uc.currID = id
+	uc.lastDict = d
+	uc.stats.Generations++
+	return nil
+}
+
+// ErrUnknownDictionary is returned when a frame references a dictionary
+// this service never trained.
+var ErrUnknownDictionary = errors.New("managed: frame references unknown dictionary")
+
+// Decompress decodes a frame produced by Compress for the same use case,
+// resolving whichever dictionary generation the frame was written with.
+func (s *Service) Decompress(usecase string, dst, src []byte) ([]byte, error) {
+	if usecase == "" {
+		return nil, ErrEmptyUseCase
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uc, err := s.usecase(usecase)
+	if err != nil {
+		return nil, err
+	}
+	id, required, err := zstd.FrameDictID(src)
+	if err != nil {
+		return nil, err
+	}
+	if !required {
+		return zstd.Decompress(dst, src, nil)
+	}
+	d, ok := uc.dicts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w (id %08x)", ErrUnknownDictionary, id)
+	}
+	if id != uc.currID {
+		uc.stats.ResolveMisses++
+	}
+	return zstd.Decompress(dst, src, d)
+}
+
+// Stats snapshots a use case's statistics (zero value if unseen).
+func (s *Service) Stats(usecase string) UseCaseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if uc, ok := s.ucs[usecase]; ok {
+		st := uc.stats
+		st.Samples = len(uc.samples)
+		return st
+	}
+	return UseCaseStats{}
+}
+
+// Dictionary returns the current dictionary generation for a use case
+// (nil before the first training) — the out-of-band distribution hook for
+// remote decompressors.
+func (s *Service) Dictionary(usecase string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if uc, ok := s.ucs[usecase]; ok {
+		return append([]byte(nil), uc.lastDict...)
+	}
+	return nil
+}
+
+// UseCases lists the use cases seen so far.
+func (s *Service) UseCases() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.ucs))
+	for name := range s.ucs {
+		out = append(out, name)
+	}
+	return out
+}

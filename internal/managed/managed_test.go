@@ -1,0 +1,195 @@
+package managed
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+func items(seed int64, n int) [][]byte {
+	typ := corpus.DefaultItemTypes()[0]
+	return corpus.CacheItems(seed, typ, n)
+}
+
+func TestRoundtripBeforeAndAfterTraining(t *testing.T) {
+	s := New(Config{SampleEvery: 1, TrainAfter: 50})
+	payloads := items(1, 200)
+	var frames [][]byte
+	for _, p := range payloads {
+		f, err := s.Compress("user_profile", nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	// Every frame — dictionary-less early ones and dictionary frames from
+	// every later generation — must decompress.
+	for i, f := range frames {
+		back, err := s.Decompress("user_profile", nil, f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(back, payloads[i]) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+	st := s.Stats("user_profile")
+	if st.Generations < 2 {
+		t.Fatalf("expected multiple dictionary generations, got %d", st.Generations)
+	}
+	if st.NoDictFrames == 0 || st.DictFrames == 0 {
+		t.Fatalf("expected both frame kinds: %+v", st)
+	}
+	if st.Ratio() <= 1 {
+		t.Fatalf("ratio %.2f", st.Ratio())
+	}
+}
+
+func TestDictionaryImprovesOverTime(t *testing.T) {
+	s := New(Config{SampleEvery: 1, TrainAfter: 100, MaxSamples: 400})
+	warm := items(2, 120) // triggers one training
+	for _, p := range warm {
+		if _, err := s.Compress("uc", nil, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats("uc").Generations == 0 {
+		t.Fatal("no dictionary trained")
+	}
+	// Fresh items: compare managed output vs plain zstd.
+	fresh := items(99, 100)
+	plain, err := zstd.NewEncoder(zstd.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var managedBytes, plainBytes int
+	for _, p := range fresh {
+		mf, err := s.Compress("uc", nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := plain.Compress(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		managedBytes += len(mf)
+		plainBytes += len(pf)
+	}
+	if managedBytes >= plainBytes {
+		t.Fatalf("managed (%d) should beat plain (%d) on small items", managedBytes, plainBytes)
+	}
+}
+
+func TestOldGenerationsRemainDecodable(t *testing.T) {
+	s := New(Config{SampleEvery: 1, TrainAfter: 40, MaxSamples: 80})
+	var oldFrame []byte
+	var oldPayload []byte
+	for gen := 0; gen < 5; gen++ {
+		for _, p := range items(int64(gen), 60) {
+			f, err := s.Compress("uc", nil, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen == 1 && oldFrame == nil {
+				oldFrame = f
+				oldPayload = p
+			}
+		}
+	}
+	st := s.Stats("uc")
+	if st.Generations < 3 {
+		t.Fatalf("generations = %d", st.Generations)
+	}
+	back, err := s.Decompress("uc", nil, oldFrame)
+	if err != nil {
+		t.Fatalf("old generation frame: %v", err)
+	}
+	if !bytes.Equal(back, oldPayload) {
+		t.Fatal("old frame corrupted")
+	}
+}
+
+func TestUnknownDictionaryRejected(t *testing.T) {
+	s := New(Config{})
+	// A frame written with a dictionary the service never saw.
+	d := bytes.Repeat([]byte("external dictionary content "), 40)
+	enc, err := zstd.NewEncoder(zstd.Options{Level: 3, Dict: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := enc.Compress(nil, []byte("some payload some payload some payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decompress("uc", nil, frame); err == nil {
+		t.Fatal("unknown dictionary accepted")
+	}
+}
+
+func TestUseCasesAreIsolated(t *testing.T) {
+	s := New(Config{SampleEvery: 1, TrainAfter: 50})
+	for _, p := range items(3, 60) {
+		if _, err := s.Compress("a", nil, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats("a").Generations == 0 {
+		t.Fatal("use case a should have trained")
+	}
+	if s.Stats("b").Generations != 0 {
+		t.Fatal("use case b should be untouched")
+	}
+	ucs := s.UseCases()
+	if len(ucs) != 1 || ucs[0] != "a" {
+		t.Fatalf("use cases: %v", ucs)
+	}
+	if d := s.Dictionary("a"); len(d) == 0 {
+		t.Fatal("dictionary not exported")
+	}
+	if d := s.Dictionary("b"); d != nil {
+		t.Fatal("phantom dictionary")
+	}
+}
+
+func TestEmptyUseCaseRejected(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Compress("", nil, []byte("x")); err != ErrEmptyUseCase {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := s.Decompress("", nil, []byte("x")); err != ErrEmptyUseCase {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := New(Config{SampleEvery: 2, TrainAfter: 30})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			uc := fmt.Sprintf("uc-%d", g%3)
+			rng := rand.New(rand.NewSource(int64(g)))
+			typ := corpus.DefaultItemTypes()[g%4]
+			for i := 0; i < 50; i++ {
+				p := typ.Item(rng)
+				f, err := s.Compress(uc, nil, p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				back, err := s.Decompress(uc, nil, f)
+				if err != nil || !bytes.Equal(back, p) {
+					t.Errorf("roundtrip: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

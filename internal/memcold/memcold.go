@@ -1,0 +1,193 @@
+// Package memcold models transparent compression of cold memory pages, the
+// memory-TCO use of compression the paper's introduction cites (software-
+// defined far memory / TMO at warehouse scale): pages that have not been
+// touched for a configurable number of logical ticks are proactively
+// compressed in place; touching a compressed page "faults" it back by
+// decompressing. Incompressible pages are rejected and stay resident, as
+// in zswap.
+//
+// The pool uses a logical clock advanced by every operation, so tests and
+// experiments are deterministic: coldness is measured in accesses, not wall
+// time.
+package memcold
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// Config tunes the pool.
+type Config struct {
+	// PageSize is the unit of compression (default 4096).
+	PageSize int
+	// Codec and Level select the compressor (default zstd level 1: cold
+	// page compression favours speed, per the paper's level findings).
+	Codec string
+	Level int
+	// ColdAfter is the number of logical ticks without access after which
+	// a page becomes reclaimable (default 1024).
+	ColdAfter int64
+}
+
+func (c *Config) fill() {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Codec == "" {
+		c.Codec = "zstd"
+	}
+	if c.Level == 0 {
+		c.Level = 1
+	}
+	if c.ColdAfter == 0 {
+		c.ColdAfter = 1024
+	}
+}
+
+// Stats describes pool state and activity.
+type Stats struct {
+	Pages           int
+	PageSize        int
+	ResidentPages   int
+	CompressedPages int
+
+	ResidentBytes   int64
+	CompressedBytes int64
+
+	Compressions int64 // pages moved to the compressed region
+	Rejections   int64 // cold pages that did not compress
+	Faults       int64 // compressed pages touched and restored
+
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+}
+
+// Savings is the fraction of page bytes no longer resident.
+func (s Stats) Savings() float64 {
+	total := int64(s.Pages) * int64(s.PageSize)
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.ResidentBytes+s.CompressedBytes)/float64(total)
+}
+
+type page struct {
+	data       []byte // resident content; nil when compressed out
+	compressed []byte
+	lastAccess int64
+}
+
+// Pool is a page pool with cold-page compression. Not safe for concurrent
+// use (memory-management passes are serialized in the systems this models).
+type Pool struct {
+	cfg   Config
+	eng   codec.Engine
+	pages map[uint64]*page
+	clock int64
+	stats Stats
+}
+
+// New builds a pool.
+func New(cfg Config) (*Pool, error) {
+	cfg.fill()
+	eng, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{cfg: cfg, eng: eng, pages: make(map[uint64]*page)}, nil
+}
+
+// ErrBadPage is returned for size or address violations.
+var ErrBadPage = errors.New("memcold: bad page")
+
+// Write installs or replaces the page at addr. data must be exactly one
+// page.
+func (p *Pool) Write(addr uint64, data []byte) error {
+	if len(data) != p.cfg.PageSize {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrBadPage, len(data), p.cfg.PageSize)
+	}
+	p.clock++
+	pg, ok := p.pages[addr]
+	if !ok {
+		pg = &page{}
+		p.pages[addr] = pg
+	}
+	pg.data = append(pg.data[:0], data...)
+	pg.compressed = nil
+	pg.lastAccess = p.clock
+	return nil
+}
+
+// Read returns the page content, faulting it in from the compressed region
+// when needed.
+func (p *Pool) Read(addr uint64) ([]byte, error) {
+	p.clock++
+	pg, ok := p.pages[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: no page at %#x", ErrBadPage, addr)
+	}
+	if pg.data == nil {
+		t0 := time.Now()
+		data, err := p.eng.Decompress(nil, pg.compressed)
+		p.stats.DecompressTime += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		pg.data = data
+		pg.compressed = nil
+		p.stats.Faults++
+	}
+	pg.lastAccess = p.clock
+	return append([]byte{}, pg.data...), nil
+}
+
+// Tick advances the logical clock without touching pages (models elapsed
+// idle activity elsewhere in the host).
+func (p *Pool) Tick(n int64) { p.clock += n }
+
+// ReclaimCold runs one proactive pass: every resident page untouched for
+// ColdAfter ticks is compressed; pages that do not shrink are rejected and
+// stay resident. Returns the number of pages compressed in this pass.
+func (p *Pool) ReclaimCold() (int, error) {
+	compressed := 0
+	for _, pg := range p.pages {
+		if pg.data == nil || p.clock-pg.lastAccess < p.cfg.ColdAfter {
+			continue
+		}
+		t0 := time.Now()
+		out, err := p.eng.Compress(nil, pg.data)
+		p.stats.CompressTime += time.Since(t0)
+		if err != nil {
+			return compressed, err
+		}
+		if len(out) >= len(pg.data) {
+			p.stats.Rejections++
+			continue
+		}
+		pg.compressed = out
+		pg.data = nil
+		p.stats.Compressions++
+		compressed++
+	}
+	return compressed, nil
+}
+
+// Stats snapshots pool state.
+func (p *Pool) Stats() Stats {
+	st := p.stats
+	st.Pages = len(p.pages)
+	st.PageSize = p.cfg.PageSize
+	for _, pg := range p.pages {
+		if pg.data != nil {
+			st.ResidentPages++
+			st.ResidentBytes += int64(len(pg.data))
+		} else {
+			st.CompressedPages++
+			st.CompressedBytes += int64(len(pg.compressed))
+		}
+	}
+	return st
+}

@@ -1,0 +1,196 @@
+package memcold
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func textPage(seed int64, size int) []byte {
+	return corpus.LogLines(seed, size)
+}
+
+func TestWriteReadResident(t *testing.T) {
+	p, err := New(Config{PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := textPage(1, 4096)
+	if err := p.Write(0x1000, pg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pg) {
+		t.Fatal("mismatch")
+	}
+	if st := p.Stats(); st.Faults != 0 || st.CompressedPages != 0 {
+		t.Fatalf("unexpected compression activity: %+v", st)
+	}
+}
+
+func TestBadPages(t *testing.T) {
+	p, err := New(Config{PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(1, []byte("short")); err == nil {
+		t.Fatal("short page accepted")
+	}
+	if _, err := p.Read(0xdead); err == nil {
+		t.Fatal("phantom page read")
+	}
+	if _, err := New(Config{Codec: "bogus"}); err == nil {
+		t.Fatal("bogus codec accepted")
+	}
+}
+
+func TestColdPagesCompressAndFaultBack(t *testing.T) {
+	p, err := New(Config{PageSize: 4096, ColdAfter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{}
+	for i := uint64(0); i < 32; i++ {
+		pg := textPage(int64(i), 4096)
+		want[i<<12] = pg
+		if err := p.Write(i<<12, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep page 0 hot while everything else goes cold.
+	p.Tick(100)
+	if _, err := p.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.ReclaimCold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 31 {
+		t.Fatalf("compressed %d pages, want 31", n)
+	}
+	st := p.Stats()
+	if st.ResidentPages != 1 || st.CompressedPages != 31 {
+		t.Fatalf("split: %+v", st)
+	}
+	if st.Savings() <= 0.3 {
+		t.Fatalf("log pages should save real memory: %.2f", st.Savings())
+	}
+	// Every page faults back intact.
+	for addr, pg := range want {
+		got, err := p.Read(addr)
+		if err != nil {
+			t.Fatalf("addr %#x: %v", addr, err)
+		}
+		if !bytes.Equal(got, pg) {
+			t.Fatalf("addr %#x corrupted", addr)
+		}
+	}
+	st = p.Stats()
+	if st.Faults != 31 {
+		t.Fatalf("faults = %d", st.Faults)
+	}
+	if st.CompressedPages != 0 {
+		t.Fatalf("pages still compressed after faulting: %+v", st)
+	}
+}
+
+func TestHotPagesNeverCompressed(t *testing.T) {
+	p, err := New(Config{PageSize: 4096, ColdAfter: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(0, textPage(1, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(10) // well below ColdAfter
+	n, err := p.ReclaimCold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("hot page compressed")
+	}
+}
+
+func TestIncompressiblePagesRejected(t *testing.T) {
+	p, err := New(Config{PageSize: 4096, ColdAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	blob := make([]byte, 4096)
+	rng.Read(blob)
+	if err := p.Write(0, blob); err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(10)
+	n, err := p.ReclaimCold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("incompressible page compressed")
+	}
+	st := p.Stats()
+	if st.Rejections != 1 {
+		t.Fatalf("rejections = %d", st.Rejections)
+	}
+	got, err := p.Read(0)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("rejected page corrupted: %v", err)
+	}
+}
+
+func TestRewriteDropsCompressedCopy(t *testing.T) {
+	p, err := New(Config{PageSize: 4096, ColdAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(0, textPage(1, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(10)
+	if _, err := p.ReclaimCold(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := textPage(2, 4096)
+	if err := p.Write(0, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(0)
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("rewrite lost: %v", err)
+	}
+	if st := p.Stats(); st.Faults != 0 {
+		t.Fatal("rewrite should not fault")
+	}
+}
+
+func TestRepeatedReclaimIdempotent(t *testing.T) {
+	p, err := New(Config{PageSize: 4096, ColdAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := p.Write(i, textPage(int64(i), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Tick(10)
+	if _, err := p.ReclaimCold(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.ReclaimCold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("second pass compressed already-compressed pages")
+	}
+}

@@ -1,0 +1,195 @@
+package orc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func sampleCols(seed int64, rows int) []Column {
+	return []Column{
+		{Name: "ts", Kind: Int64, Ints: corpus.TimestampColumn(seed, rows)},
+		{Name: "entity", Kind: Int64, Ints: corpus.IDColumn(seed+1, rows)},
+		{Name: "metric", Kind: Float64, Floats: corpus.MetricColumn(seed+2, rows)},
+		{Name: "event", Kind: String, Strings: corpus.CategoryColumn(seed+3, rows)},
+		{Name: "sampled", Kind: Bool, Bools: corpus.FlagColumn(seed+4, rows, 0.1)},
+	}
+}
+
+func TestStripeRoundtrip(t *testing.T) {
+	for _, rows := range []int{1, 7, 8, 9, 1000, 10000} {
+		cols := sampleCols(int64(rows), rows)
+		enc, err := EncodeStripe(cols)
+		if err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+		back, err := DecodeStripe(enc)
+		if err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+		if !reflect.DeepEqual(cols, back) {
+			t.Fatalf("rows=%d: roundtrip mismatch", rows)
+		}
+	}
+}
+
+func TestDeltaBeatsDirectOnTimestamps(t *testing.T) {
+	rows := 10000
+	ts := corpus.TimestampColumn(1, rows)
+	rng := rand.New(rand.NewSource(2))
+	random := make([]int64, rows)
+	for i := range random {
+		random[i] = rng.Int63()
+	}
+	encTS, err := EncodeStripe([]Column{{Name: "t", Kind: Int64, Ints: ts}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encRand, err := EncodeStripe([]Column{{Name: "r", Kind: Int64, Ints: random}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encTS) >= len(encRand)/2 {
+		t.Errorf("delta coding should shrink timestamps: ts=%d random=%d", len(encTS), len(encRand))
+	}
+	if encTS[findPayloadStart(t, encTS)] != encDelta {
+		t.Error("timestamps should select delta encoding")
+	}
+}
+
+// findPayloadStart locates the first column's payload (encoding byte).
+func findPayloadStart(t *testing.T, stripe []byte) int {
+	t.Helper()
+	// rows uvarint, cols uvarint, nameLen uvarint, name, kind byte,
+	// payloadLen uvarint — all single-byte uvarints in these tests except
+	// the sizes; parse minimally.
+	pos := 0
+	skipUvarint := func() {
+		for stripe[pos]&0x80 != 0 {
+			pos++
+		}
+		pos++
+	}
+	skipUvarint() // rows
+	skipUvarint() // cols
+	nameLen := int(stripe[pos])
+	pos++
+	pos += nameLen
+	pos++         // kind
+	skipUvarint() // payload len
+	return pos
+}
+
+func TestDictionaryEncodingSelected(t *testing.T) {
+	rows := 1000
+	cats := corpus.CategoryColumn(1, rows)
+	enc, err := EncodeStripe([]Column{{Name: "c", Kind: String, Strings: cats}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[findPayloadStart(t, enc)] != encDict {
+		t.Error("low-cardinality strings should use dictionary encoding")
+	}
+	// High-cardinality strings go plain.
+	rng := rand.New(rand.NewSource(3))
+	uniq := make([]string, rows)
+	for i := range uniq {
+		b := make([]byte, 12)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		uniq[i] = string(b)
+	}
+	enc2, err := EncodeStripe([]Column{{Name: "u", Kind: String, Strings: uniq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc2[findPayloadStart(t, enc2)] != encPlain {
+		t.Error("unique strings should use plain encoding")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeStripe(nil); err == nil {
+		t.Error("empty stripe accepted")
+	}
+	cols := []Column{
+		{Name: "a", Kind: Int64, Ints: []int64{1, 2}},
+		{Name: "b", Kind: Bool, Bools: []bool{true}},
+	}
+	if _, err := EncodeStripe(cols); err == nil {
+		t.Error("mismatched row counts accepted")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cols := sampleCols(5, 100)
+	enc, err := EncodeStripe(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		enc[:3],
+		enc[:len(enc)/2],
+		append(append([]byte{}, enc...), 1, 2, 3),
+	}
+	for i, c := range cases {
+		if _, err := DecodeStripe(c); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math64Max, -math64Max - 1} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+const math64Max = int64(^uint64(0) >> 1)
+
+func TestQuickStripeRoundtrip(t *testing.T) {
+	f := func(seed int64, rowsSel uint16) bool {
+		rows := int(rowsSel)%2000 + 1
+		cols := sampleCols(seed, rows)
+		enc, err := EncodeStripe(cols)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeStripe(enc)
+		return err == nil && reflect.DeepEqual(cols, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeStripe(b *testing.B) {
+	cols := sampleCols(1, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeStripe(cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeStripe(b *testing.B) {
+	cols := sampleCols(1, 50000)
+	enc, err := EncodeStripe(cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeStripe(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

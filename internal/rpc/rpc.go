@@ -1,0 +1,323 @@
+// Package rpc is a minimal service-to-service RPC transport with
+// transparent per-message compression — the setting of the paper's
+// introduction, where datacenter services exchange objects over RPC and
+// compression trades CPU cycles for network bytes.
+//
+// Messages are length-delimited binary frames; payloads at or above a
+// configurable threshold are compressed with the configured codec and
+// flagged, so the peer decompresses only what was actually compressed
+// (small messages skip the codec entirely, as fleet services do). Both
+// ends account raw vs wire bytes and codec time, making the compute ⇄
+// network trade measurable per connection.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// Compression configures the transport's codec.
+type Compression struct {
+	// Codec names a registered codec; empty disables compression.
+	Codec string
+	// Level is the codec level (0 = codec default).
+	Level int
+	// MinSize skips compression for smaller payloads (default 256).
+	MinSize int
+}
+
+func (c *Compression) fill() {
+	if c.MinSize == 0 {
+		c.MinSize = 256
+	}
+}
+
+// Stats counts one endpoint's traffic.
+type Stats struct {
+	Calls          int64
+	RawBytes       int64 // payload bytes before compression (both directions)
+	WireBytes      int64 // payload bytes on the wire
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+}
+
+// Saved reports the fraction of payload bytes removed by compression.
+func (s Stats) Saved() float64 {
+	if s.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.WireBytes)/float64(s.RawBytes)
+}
+
+// frame flags.
+const (
+	flagCompressed = 1 << 0
+	flagError      = 1 << 1
+)
+
+const maxFrame = 64 << 20
+
+// transport frames and (de)compresses messages on one connection.
+// Not safe for concurrent use; Client/Server serialize around it.
+type transport struct {
+	r     *bufio.Reader
+	w     *bufio.Writer
+	eng   codec.Engine // nil = no compression
+	min   int
+	stats Stats
+	buf   []byte
+}
+
+func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
+	comp.fill()
+	t := &transport{
+		r:   bufio.NewReader(conn),
+		w:   bufio.NewWriter(conn),
+		min: comp.MinSize,
+	}
+	if comp.Codec != "" {
+		c, ok := codec.Lookup(comp.Codec)
+		if !ok {
+			return nil, fmt.Errorf("rpc: unknown codec %q", comp.Codec)
+		}
+		level := comp.Level
+		if level == 0 {
+			_, _, level = c.Levels()
+		}
+		eng, err := c.New(codec.Options{Level: level})
+		if err != nil {
+			return nil, err
+		}
+		t.eng = eng
+	}
+	return t, nil
+}
+
+// writeFrame sends flags, method and payload, compressing when worthwhile.
+func (t *transport) writeFrame(flags byte, method string, payload []byte) error {
+	wire := payload
+	if t.eng != nil && len(payload) >= t.min {
+		t0 := time.Now()
+		out, err := t.eng.Compress(t.buf[:0], payload)
+		t.stats.CompressTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		t.buf = out
+		if len(out) < len(payload) {
+			wire = out
+			flags |= flagCompressed
+		}
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(method)))]); err != nil {
+		return err
+	}
+	if _, err := t.w.WriteString(method); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(wire)))]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(wire); err != nil {
+		return err
+	}
+	t.stats.RawBytes += int64(len(payload))
+	t.stats.WireBytes += int64(len(wire))
+	return t.w.Flush()
+}
+
+// readFrame receives one message, decompressing as flagged.
+func (t *transport) readFrame() (flags byte, method string, payload []byte, err error) {
+	flags, err = t.r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	mlen, err := binary.ReadUvarint(t.r)
+	if err != nil || mlen > 4096 {
+		return 0, "", nil, errBad(err)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(t.r, mbuf); err != nil {
+		return 0, "", nil, err
+	}
+	plen, err := binary.ReadUvarint(t.r)
+	if err != nil || plen > maxFrame {
+		return 0, "", nil, errBad(err)
+	}
+	pbuf := make([]byte, plen)
+	if _, err := io.ReadFull(t.r, pbuf); err != nil {
+		return 0, "", nil, err
+	}
+	t.stats.WireBytes += int64(len(pbuf))
+	if flags&flagCompressed != 0 {
+		if t.eng == nil {
+			return 0, "", nil, errors.New("rpc: compressed frame on uncompressed transport")
+		}
+		t0 := time.Now()
+		out, err := t.eng.Decompress(nil, pbuf)
+		t.stats.DecompressTime += time.Since(t0)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		pbuf = out
+	}
+	t.stats.RawBytes += int64(len(pbuf))
+	return flags, string(mbuf), pbuf, nil
+}
+
+func errBad(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("rpc: malformed frame")
+}
+
+// Handler processes one request payload.
+type Handler func(req []byte) ([]byte, error)
+
+// Server dispatches method calls over accepted connections.
+type Server struct {
+	comp     Compression
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	stats    Stats
+}
+
+// NewServer builds a server with the given transport compression.
+func NewServer(comp Compression) *Server {
+	return &Server{comp: comp, handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler for method.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			_ = s.ServeConn(conn)
+			conn.Close()
+		}()
+	}
+}
+
+// ServeConn handles one connection until EOF.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	t, err := newTransport(conn, s.comp)
+	if err != nil {
+		return err
+	}
+	defer s.fold(&t.stats)
+	for {
+		_, method, req, err := t.readFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[method]
+		s.mu.RUnlock()
+		var resp []byte
+		flags := byte(0)
+		if !ok {
+			flags = flagError
+			resp = []byte(fmt.Sprintf("rpc: unknown method %q", method))
+		} else if resp, err = h(req); err != nil {
+			flags = flagError
+			resp = []byte(err.Error())
+		}
+		if err := t.writeFrame(flags, method, resp); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) fold(st *Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Calls += st.Calls
+	s.stats.RawBytes += st.RawBytes
+	s.stats.WireBytes += st.WireBytes
+	s.stats.CompressTime += st.CompressTime
+	s.stats.DecompressTime += st.DecompressTime
+}
+
+// Stats returns aggregate server-side traffic from finished connections.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Client issues calls over one connection. Safe for concurrent use; calls
+// are serialized.
+type Client struct {
+	mu   sync.Mutex
+	t    *transport
+	conn io.ReadWriter
+}
+
+// NewClient wraps an established connection. Both ends must use the same
+// Compression configuration.
+func NewClient(conn io.ReadWriter, comp Compression) (*Client, error) {
+	t, err := newTransport(conn, comp)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{t: t, conn: conn}, nil
+}
+
+// RemoteError is a handler-side failure relayed to the caller.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Call sends a request and waits for its response.
+func (c *Client) Call(method string, req []byte) ([]byte, error) {
+	if method == "" {
+		return nil, errors.New("rpc: empty method")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.t.writeFrame(0, method, req); err != nil {
+		return nil, err
+	}
+	flags, _, resp, err := c.t.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	c.t.stats.Calls++
+	if flags&flagError != 0 {
+		return nil, &RemoteError{Msg: string(resp)}
+	}
+	return resp, nil
+}
+
+// Stats returns the client's traffic counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.stats
+}

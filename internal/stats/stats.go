@@ -1,0 +1,226 @@
+// Package stats provides the small statistical toolkit used across the
+// characterization harness: streaming moments, percentiles, histogram/CDF
+// bucketing for size distributions (Figs 5, 8, 9), and the heavy-tailed
+// samplers (lognormal, zipf, pareto) that drive the synthetic service
+// workloads.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Observe adds one value.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (0 for fewer than 2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of values using
+// linear interpolation. The input is not modified.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SizeHistogram buckets values into power-of-two size classes, the
+// presentation the paper uses for item and block size distributions.
+type SizeHistogram struct {
+	counts map[int]int64 // bucket exponent -> count
+	total  int64
+	sum    float64
+}
+
+// NewSizeHistogram returns an empty histogram.
+func NewSizeHistogram() *SizeHistogram {
+	return &SizeHistogram{counts: make(map[int]int64)}
+}
+
+// Observe records one size in bytes.
+func (h *SizeHistogram) Observe(size int) {
+	if size < 0 {
+		size = 0
+	}
+	exp := 0
+	for 1<<exp < size {
+		exp++
+	}
+	h.counts[exp]++
+	h.total++
+	h.sum += float64(size)
+}
+
+// Total returns the number of observations.
+func (h *SizeHistogram) Total() int64 { return h.total }
+
+// Mean returns the mean observed size.
+func (h *SizeHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket holds one histogram row.
+type Bucket struct {
+	UpperBound int // inclusive upper bound in bytes (1<<exp)
+	Count      int64
+	Fraction   float64
+	CumFrac    float64
+}
+
+// Buckets returns the occupied buckets in ascending size order with
+// cumulative fractions (a CDF).
+func (h *SizeHistogram) Buckets() []Bucket {
+	exps := make([]int, 0, len(h.counts))
+	for e := range h.counts {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	out := make([]Bucket, 0, len(exps))
+	cum := int64(0)
+	for _, e := range exps {
+		cum += h.counts[e]
+		out = append(out, Bucket{
+			UpperBound: 1 << e,
+			Count:      h.counts[e],
+			Fraction:   float64(h.counts[e]) / float64(h.total),
+			CumFrac:    float64(cum) / float64(h.total),
+		})
+	}
+	return out
+}
+
+// FractionBelow reports the fraction of observations in buckets with upper
+// bound ≤ limit bytes.
+func (h *SizeHistogram) FractionBelow(limit int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var below int64
+	for e, c := range h.counts {
+		if 1<<e <= limit {
+			below += c
+		}
+	}
+	return float64(below) / float64(h.total)
+}
+
+// String renders the histogram as an ASCII table.
+func (h *SizeHistogram) String() string {
+	var b strings.Builder
+	for _, bk := range h.Buckets() {
+		bar := strings.Repeat("#", int(bk.Fraction*50))
+		fmt.Fprintf(&b, "%10s %8d (%5.1f%%) %s\n", FormatBytes(bk.UpperBound), bk.Count, bk.Fraction*100, bar)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Lognormal samples sizes with the strong small-item skew and long tail the
+// paper observes for cache items (Figs 8, 9). Mu and Sigma are the
+// parameters of the underlying normal in log space.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+	Min   int
+	Max   int
+}
+
+// Sample draws one size.
+func (l Lognormal) Sample(rng *rand.Rand) int {
+	v := int(math.Exp(rng.NormFloat64()*l.Sigma + l.Mu))
+	if v < l.Min {
+		v = l.Min
+	}
+	if l.Max > 0 && v > l.Max {
+		v = l.Max
+	}
+	return v
+}
+
+// Zipf wraps rand.Zipf with 1-based ranks for key popularity.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a sampler over ranks [1, n] with exponent s > 1.
+func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// Sample draws a rank in [1, n].
+func (z *Zipf) Sample() uint64 { return z.z.Uint64() + 1 }
+
+// Pareto samples heavy-tailed values with minimum xm and shape alpha.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws one value.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		w.Observe(v)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5.0) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("stddev = %v", w.Stddev())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty welford should be zero")
+	}
+	w.Observe(3)
+	if w.Variance() != 0 {
+		t.Fatal("single observation variance should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(vals, 100); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(vals, 50); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty p50 = %v", got)
+	}
+	// Input must not be reordered.
+	vals2 := []float64{3, 1, 2}
+	Percentile(vals2, 50)
+	if vals2[0] != 3 || vals2[1] != 1 || vals2[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := NewSizeHistogram()
+	for _, s := range []int{1, 2, 3, 4, 100, 1000, 1024, 1025, 65536} {
+		h.Observe(s)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	bks := h.Buckets()
+	if len(bks) == 0 {
+		t.Fatal("no buckets")
+	}
+	last := bks[len(bks)-1]
+	if last.CumFrac != 1.0 {
+		t.Fatalf("final cumulative fraction = %v", last.CumFrac)
+	}
+	for i := 1; i < len(bks); i++ {
+		if bks[i].UpperBound <= bks[i-1].UpperBound {
+			t.Fatal("buckets not sorted")
+		}
+		if bks[i].CumFrac < bks[i-1].CumFrac {
+			t.Fatal("CDF not monotonic")
+		}
+	}
+	if got := h.FractionBelow(1024); math.Abs(got-7.0/9.0) > 1e-12 {
+		t.Fatalf("FractionBelow(1024) = %v", got)
+	}
+	if !strings.Contains(h.String(), "KiB") {
+		t.Fatal("String output missing units")
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("mean not tracked")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		12:      "12B",
+		2048:    "2.0KiB",
+		1 << 20: "1.0MiB",
+		1 << 30: "1.0GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q want %q", n, got, want)
+		}
+	}
+}
+
+func TestLognormalSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := Lognormal{Mu: 5.5, Sigma: 1.2, Min: 16, Max: 1 << 20}
+	h := NewSizeHistogram()
+	for i := 0; i < 20000; i++ {
+		v := l.Sample(rng)
+		if v < 16 || v > 1<<20 {
+			t.Fatalf("sample %d out of bounds", v)
+		}
+		h.Observe(v)
+	}
+	// Lognormal(5.5, 1.2): most mass under 1 KiB, visible tail above.
+	if f := h.FractionBelow(1024); f < 0.7 || f > 0.99 {
+		t.Fatalf("fraction below 1KiB = %v, want skew toward small", f)
+	}
+	if f := h.FractionBelow(1 << 14); f >= 1.0 {
+		t.Fatal("expected a long tail above 16KiB")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 1.2, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		r := z.Sample()
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of bounds", r)
+		}
+		counts[r]++
+	}
+	if counts[1] < counts[100] {
+		t.Fatal("rank 1 should dominate rank 100")
+	}
+}
+
+func TestPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Pareto{Xm: 10, Alpha: 2}
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		v := p.Sample(rng)
+		if v < 10 {
+			t.Fatalf("sample %v below xm", v)
+		}
+		w.Observe(v)
+	}
+	// E[X] = alpha*xm/(alpha-1) = 20.
+	if w.Mean() < 17 || w.Mean() > 23 {
+		t.Fatalf("pareto mean = %v, want ≈20", w.Mean())
+	}
+}
+
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(seed int64, n uint8, p uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, int(n)+1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		got := Percentile(vals, float64(p%101))
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHistogramCDF(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewSizeHistogram()
+		for i := 0; i < int(n)+1; i++ {
+			h.Observe(rng.Intn(1 << 20))
+		}
+		bks := h.Buckets()
+		prev := 0.0
+		for _, b := range bks {
+			if b.CumFrac < prev {
+				return false
+			}
+			prev = b.CumFrac
+		}
+		return math.Abs(prev-1.0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package zlibx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func compressible(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"deflate", "huffman", "distance", "literal", "window", "zlib", "dynamic", "stored"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+func roundtrip(t *testing.T, level int, src []byte) []byte {
+	t.Helper()
+	e, err := NewEncoder(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		t.Fatalf("level %d size %d: %v", level, len(src), err)
+	}
+	back, err := Decompress(nil, out)
+	if err != nil {
+		t.Fatalf("level %d size %d: %v", level, len(src), err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatalf("level %d size %d: roundtrip mismatch", level, len(src))
+	}
+	return out
+}
+
+func TestRoundtripAllLevels(t *testing.T) {
+	src := compressible(1, 200000) // multi-block
+	for level := MinLevel; level <= MaxLevel; level++ {
+		out := roundtrip(t, level, src)
+		if level >= 1 && len(out) >= len(src) {
+			t.Errorf("level %d: no compression (%d >= %d)", level, len(out), len(src))
+		}
+	}
+}
+
+func TestLevel0Stores(t *testing.T) {
+	src := compressible(2, 10000)
+	out := roundtrip(t, 0, src)
+	if len(out) < len(src) {
+		t.Fatalf("level 0 must store, got %d < %d", len(out), len(src))
+	}
+}
+
+func TestRoundtripSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 10, 100, blockSize - 1, blockSize, blockSize + 1, 3*blockSize + 17} {
+		roundtrip(t, 1, compressible(int64(n), n))
+		roundtrip(t, 6, compressible(int64(n)+1, n))
+		roundtrip(t, 9, compressible(int64(n)+2, n))
+	}
+}
+
+func TestRoundtripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, 80000)
+	rng.Read(src)
+	out := roundtrip(t, 6, src)
+	if len(out) > len(src)+len(src)/50+64 {
+		t.Fatalf("expansion too large: %d vs %d", len(out), len(src))
+	}
+}
+
+func TestRoundtripSingleSymbol(t *testing.T) {
+	src := bytes.Repeat([]byte{'a'}, 100000)
+	out := roundtrip(t, 6, src)
+	if len(out) > 2000 {
+		t.Fatalf("run should compress hard, got %d", len(out))
+	}
+}
+
+func TestHigherLevelBetterRatio(t *testing.T) {
+	src := compressible(9, 1<<18)
+	e1, _ := NewEncoder(1)
+	e9, _ := NewEncoder(9)
+	out1, err := e1.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out9, err := e9.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out9) > len(out1) {
+		t.Errorf("level 9 (%d) worse than level 1 (%d)", len(out9), len(out1))
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	if _, err := NewEncoder(-1); err == nil {
+		t.Error("level -1 accepted")
+	}
+	if _, err := NewEncoder(10); err == nil {
+		t.Error("level 10 accepted")
+	}
+	e, err := NewEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Level() != 4 {
+		t.Errorf("Level() = %d", e.Level())
+	}
+}
+
+func TestLengthAndDistCodes(t *testing.T) {
+	for ml := minMatch; ml <= maxMatch; ml++ {
+		c := lengthCode(ml)
+		lo := int(lengthBase[c])
+		hi := lo + 1<<lengthExtra[c]
+		if ml < lo || ml >= hi {
+			// Code 28 (258) is exact.
+			if !(c == 28 && ml == 258) {
+				t.Fatalf("lengthCode(%d) = %d covers [%d,%d)", ml, c, lo, hi)
+			}
+		}
+	}
+	for _, off := range []int{1, 2, 4, 5, 8, 9, 256, 257, 1024, 4097, 32768} {
+		c := distCode(off)
+		lo := int(distBase[c])
+		hi := lo + 1<<distExtra[c]
+		if off < lo || off >= hi {
+			t.Fatalf("distCode(%d) = %d covers [%d,%d)", off, c, lo, hi)
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := compressible(11, 30000)
+	e, _ := NewEncoder(6)
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{0xff, 0xff},
+		out[:len(out)/3],
+		append(append([]byte{}, out...), 9, 9),
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c); err == nil {
+			t.Errorf("case %d decoded successfully", i)
+		}
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, size uint16, levelSel, noise uint8) bool {
+		n := int(size) % 30000
+		src := compressible(seed, n)
+		rng := rand.New(rand.NewSource(seed ^ 7))
+		for k := 0; k < n*int(noise)/1024; k++ {
+			src[rng.Intn(n)] = byte(rng.Intn(256))
+		}
+		level := int(levelSel) % (MaxLevel + 1)
+		e, err := NewEncoder(level)
+		if err != nil {
+			return false
+		}
+		out, err := e.Compress(nil, src)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(nil, out)
+		return err == nil && bytes.Equal(back, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := compressible(1, 1<<18)
+	for _, level := range []int{1, 6, 9} {
+		b.Run(string(rune('0'+level)), func(b *testing.B) {
+			e, err := NewEncoder(level)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				out, err = e.Compress(out[:0], src)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := compressible(1, 1<<18)
+	e, _ := NewEncoder(6)
+	out, err := e.Compress(nil, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var back []byte
+	for i := 0; i < b.N; i++ {
+		back, err = Decompress(back[:0], out)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package zstd implements a Zstandard-style compressor: an LZ77
+// match-finding stage followed by an entropy stage that Huffman-codes
+// literals and FSE-codes the sequence symbols, the two-stage architecture
+// whose trade-offs the reproduced paper characterizes.
+//
+// The codec mirrors Zstandard's design — 128 KiB blocks, literal-length /
+// match-length / offset code alphabets with extra bits, compression levels
+// −5..22 mapped to match-finder parameter sets, window-log control,
+// content-prefix dictionaries, and per-input adaptive hash-table sizing —
+// but uses its own frame format (it is not bitstream-compatible with the C
+// library; see DESIGN.md for the substitution argument).
+package zstd
+
+import mathbits "math/bits"
+
+// Literal-length codes (0..35). Codes below 16 encode the length directly
+// with no extra bits; higher codes carry baseline + extra bits, following
+// the published Zstandard alphabet.
+var llBaselines = [36]uint32{
+	0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+	16, 18, 20, 22, 24, 28, 32, 40, 48, 64, 128, 256, 512, 1024,
+	2048, 4096, 8192, 16384, 32768, 65536,
+}
+
+var llExtraBits = [36]uint8{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	1, 1, 1, 1, 2, 2, 3, 3, 4, 6, 7, 8, 9, 10,
+	11, 12, 13, 14, 15, 16,
+}
+
+// maxLLCode is the largest literal-length code.
+const maxLLCode = 35
+
+// llCodeTab maps literal lengths below 64 to codes; longer lengths use one
+// code per power of two. Built in init from the baseline/extra tables so the
+// two directions cannot drift apart.
+var llCodeTab [64]uint8
+
+// llCode maps a literal length to its code.
+func llCode(litLen uint32) uint8 {
+	if litLen < 64 {
+		return llCodeTab[litLen]
+	}
+	hb := uint8(mathbits.Len32(litLen) - 1) // ≥6
+	return 25 + (hb - 6)                    // baseline 64 lives at code 25
+}
+
+// Match-length codes (0..52). Codes below 32 encode length-3 directly.
+var mlBaselines = [53]uint32{
+	3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+	19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34,
+	35, 37, 39, 41, 43, 47, 51, 59, 67, 83, 99, 131, 259, 515,
+	1027, 2051, 4099, 8195, 16387, 32771, 65539,
+}
+
+var mlExtraBits = [53]uint8{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	1, 1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+}
+
+// maxMLCode is the largest match-length code.
+const maxMLCode = 52
+
+// mlCodeTab maps (matchLen-3) below 128 to codes; see llCodeTab.
+var mlCodeTab [128]uint8
+
+// mlCode maps a match length (≥3) to its code.
+func mlCode(matchLen uint32) uint8 {
+	v := matchLen - 3
+	if v < 128 {
+		return mlCodeTab[v]
+	}
+	hb := uint8(mathbits.Len32(v) - 1) // ≥7
+	return 43 + (hb - 7)               // baseline 131 (v=128) lives at code 43
+}
+
+func init() {
+	for c := 0; c <= maxLLCode; c++ {
+		lo := llBaselines[c]
+		hi := lo + 1<<llExtraBits[c]
+		for v := lo; v < hi && v < uint32(len(llCodeTab)); v++ {
+			llCodeTab[v] = uint8(c)
+		}
+	}
+	for c := 0; c <= maxMLCode; c++ {
+		lo := mlBaselines[c] - 3
+		hi := lo + 1<<mlExtraBits[c]
+		for v := lo; v < hi && v < uint32(len(mlCodeTab)); v++ {
+			mlCodeTab[v] = uint8(c)
+		}
+	}
+}
+
+// Offset coding follows Zstandard's scheme including repeat offsets: the
+// coded "offset value" is offset+3 for literal offsets, while values 1-3
+// select one of three rolling repeat slots (initialized to {1,4,8} at each
+// block). code = floor(log2(value)), value = (1<<code) + extra with `code`
+// extra bits. Repeats make consecutive same-offset matches — ubiquitous in
+// record-structured datacenter data — nearly free to encode.
+const maxOFCode = 31
+
+// repState is the rolling repeat-offset stack shared (in lockstep) by
+// encoder and decoder.
+type repState [3]uint32
+
+func newRepState() repState { return repState{1, 4, 8} }
+
+// encode maps an actual offset to its coded value, updating the stack.
+func (r *repState) encode(offset uint32) uint32 {
+	switch offset {
+	case r[0]:
+		return 1
+	case r[1]:
+		r[0], r[1] = r[1], r[0]
+		return 2
+	case r[2]:
+		r[0], r[1], r[2] = r[2], r[0], r[1]
+		return 3
+	default:
+		r[0], r[1], r[2] = offset, r[0], r[1]
+		return offset + 3
+	}
+}
+
+// decode maps a coded value back to the actual offset, updating the stack.
+func (r *repState) decode(value uint32) uint32 {
+	switch value {
+	case 1:
+		return r[0]
+	case 2:
+		r[0], r[1] = r[1], r[0]
+		return r[0]
+	case 3:
+		off := r[2]
+		r[0], r[1], r[2] = r[2], r[0], r[1]
+		return off
+	default:
+		off := value - 3
+		r[0], r[1], r[2] = off, r[0], r[1]
+		return off
+	}
+}
+
+func ofCode(value uint32) uint8 {
+	return uint8(mathbits.Len32(value) - 1)
+}
+
+func ofExtra(value uint32) (extra uint32, nbits uint8) {
+	c := ofCode(value)
+	return value - 1<<c, c
+}
+
+// llExtra returns the extra-bit payload for a literal length under its code.
+func llExtra(litLen uint32, code uint8) uint32 { return litLen - llBaselines[code] }
+
+// mlExtra returns the extra-bit payload for a match length under its code.
+func mlExtra(matchLen uint32, code uint8) uint32 { return matchLen - mlBaselines[code] }

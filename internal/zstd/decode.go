@@ -1,0 +1,377 @@
+package zstd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/datacomp/datacomp/internal/bits"
+	"github.com/datacomp/datacomp/internal/fse"
+	"github.com/datacomp/datacomp/internal/huffman"
+)
+
+// ErrCorrupt is returned for undecodable frames.
+var ErrCorrupt = errors.New("zstd: corrupt frame")
+
+// ErrDictMismatch is returned when a frame requires a dictionary that was
+// not supplied or does not match the recorded dictionary ID.
+var ErrDictMismatch = errors.New("zstd: dictionary missing or mismatched")
+
+// frameHeader is the parsed fixed part of a frame.
+type frameHeader struct {
+	contentSize uint64
+	dictID      uint32
+	hasDict     bool
+	hasChecksum bool
+	headerLen   int
+}
+
+func parseHeader(src []byte) (frameHeader, error) {
+	var h frameHeader
+	if len(src) < 6 {
+		return h, ErrCorrupt
+	}
+	if src[0] != frameMagic[0] || src[1] != frameMagic[1] || src[2] != frameMagic[2] || src[3] != frameMagic[3] {
+		return h, ErrCorrupt
+	}
+	flags := src[4]
+	if flags&^(flagDict|flagChecksum) != 0 {
+		return h, ErrCorrupt
+	}
+	h.hasDict = flags&flagDict != 0
+	h.hasChecksum = flags&flagChecksum != 0
+	size, n := binary.Uvarint(src[5:])
+	if n <= 0 {
+		return h, ErrCorrupt
+	}
+	pos := 5 + n
+	if h.hasDict {
+		if len(src) < pos+4 {
+			return h, ErrCorrupt
+		}
+		h.dictID = binary.LittleEndian.Uint32(src[pos:])
+		pos += 4
+	}
+	h.contentSize = size
+	h.headerLen = pos
+	return h, nil
+}
+
+// FrameDictID reports the dictionary ID recorded in a frame header and
+// whether the frame requires a dictionary at all. Managed-compression
+// services use it to resolve the right dictionary version before
+// decompressing.
+func FrameDictID(src []byte) (id uint32, required bool, err error) {
+	h, err := parseHeader(src)
+	if err != nil {
+		return 0, false, err
+	}
+	return h.dictID, h.hasDict, nil
+}
+
+// DecompressedSize reports the content size recorded in a frame header.
+func DecompressedSize(src []byte) (int, error) {
+	h, err := parseHeader(src)
+	if err != nil {
+		return 0, err
+	}
+	if h.contentSize > 1<<31 {
+		return 0, ErrCorrupt
+	}
+	return int(h.contentSize), nil
+}
+
+// Decompress decodes a frame, appending the content to dst. dict must be
+// the same content-prefix dictionary used at compression time (nil when the
+// frame was compressed without one).
+func Decompress(dst, src []byte, dict []byte) ([]byte, error) {
+	h, err := parseHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if h.contentSize > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	if h.hasDict {
+		if DictID(dict) != h.dictID {
+			return nil, ErrDictMismatch
+		}
+	} else if len(dict) > 0 {
+		return nil, ErrDictMismatch
+	}
+	pos := h.headerLen
+
+	// Decode into a history buffer seeded with the dictionary so match
+	// offsets can reach into it. The header's content size is untrusted:
+	// cap the preallocation and let verified blocks grow the buffer.
+	capHint := int(h.contentSize)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	buf := make([]byte, 0, len(dict)+capHint)
+	buf = append(buf, dict...)
+	base := len(buf)
+
+	d := &blockDecoder{}
+	for {
+		if pos+3 > len(src) {
+			return nil, ErrCorrupt
+		}
+		v := uint32(src[pos]) | uint32(src[pos+1])<<8 | uint32(src[pos+2])<<16
+		pos += 3
+		last := v&1 != 0
+		typ := int(v >> 1 & 3)
+		size := int(v >> 3)
+		switch typ {
+		case blockRaw:
+			if pos+size > len(src) {
+				return nil, ErrCorrupt
+			}
+			buf = append(buf, src[pos:pos+size]...)
+			pos += size
+		case blockRLE:
+			if pos >= len(src) {
+				return nil, ErrCorrupt
+			}
+			b := src[pos]
+			pos++
+			for i := 0; i < size; i++ {
+				buf = append(buf, b)
+			}
+		case blockCompressed:
+			if pos+size > len(src) {
+				return nil, ErrCorrupt
+			}
+			buf, err = d.decode(buf, src[pos:pos+size])
+			if err != nil {
+				return nil, err
+			}
+			pos += size
+		default:
+			return nil, ErrCorrupt
+		}
+		if len(buf)-base > int(h.contentSize) {
+			return nil, ErrCorrupt
+		}
+		if last {
+			break
+		}
+	}
+	if len(buf)-base != int(h.contentSize) {
+		return nil, ErrCorrupt
+	}
+	if h.hasChecksum {
+		if pos+8 > len(src) {
+			return nil, ErrCorrupt
+		}
+		want := binary.LittleEndian.Uint64(src[pos:])
+		hash := fnv.New64a()
+		hash.Write(buf[base:])
+		if hash.Sum64() != want {
+			return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		pos += 8
+	}
+	if pos != len(src) {
+		return nil, ErrCorrupt
+	}
+	return append(dst, buf[base:]...), nil
+}
+
+// blockDecoder holds reusable scratch for compressed-block decoding.
+type blockDecoder struct {
+	lits []byte
+	llc  []byte
+	ofc  []byte
+	mlc  []byte
+}
+
+// decodeStream reads one sequence-code stream.
+func decodeStream(dst []byte, mode byte, src []byte, pos, n int) ([]byte, int, error) {
+	switch mode {
+	case seqRLE:
+		if pos >= len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		b := src[pos]
+		pos++
+		for i := 0; i < n; i++ {
+			dst = append(dst, b)
+		}
+		return dst, pos, nil
+	case seqRaw:
+		if pos+n > len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		dst = append(dst, src[pos:pos+n]...)
+		return dst, pos + n, nil
+	case seqFSE:
+		length, k := binary.Uvarint(src[pos:])
+		if k <= 0 || pos+k+int(length) > len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		pos += k
+		var err error
+		dst, err = fse.Decompress(dst, src[pos:pos+int(length)], n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dst, pos + int(length), nil
+	default:
+		return nil, 0, ErrCorrupt
+	}
+}
+
+// decode expands one compressed block into buf (which carries all prior
+// history for match resolution).
+func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
+	pos := 0
+	if len(src) < 2 {
+		return nil, ErrCorrupt
+	}
+	litMode := src[pos]
+	pos++
+	litCount, n := binary.Uvarint(src[pos:])
+	if n <= 0 || litCount > MaxBlockSize {
+		return nil, ErrCorrupt
+	}
+	pos += n
+	d.lits = d.lits[:0]
+	switch litMode {
+	case litsRaw:
+		if pos+int(litCount) > len(src) {
+			return nil, ErrCorrupt
+		}
+		d.lits = append(d.lits, src[pos:pos+int(litCount)]...)
+		pos += int(litCount)
+	case litsRLE:
+		if pos >= len(src) {
+			return nil, ErrCorrupt
+		}
+		b := src[pos]
+		pos++
+		for i := 0; i < int(litCount); i++ {
+			d.lits = append(d.lits, b)
+		}
+	case litsHuff:
+		compLen, k := binary.Uvarint(src[pos:])
+		if k <= 0 || pos+k+int(compLen) > len(src) {
+			return nil, ErrCorrupt
+		}
+		pos += k
+		var err error
+		d.lits, err = huffman.Decompress(d.lits, src[pos:pos+int(compLen)], int(litCount))
+		if err != nil {
+			return nil, err
+		}
+		pos += int(compLen)
+	default:
+		return nil, ErrCorrupt
+	}
+
+	numSeqs64, n := binary.Uvarint(src[pos:])
+	if n <= 0 || numSeqs64 > MaxBlockSize {
+		return nil, ErrCorrupt
+	}
+	pos += n
+	numSeqs := int(numSeqs64)
+	if numSeqs == 0 {
+		if pos != len(src) {
+			return nil, ErrCorrupt
+		}
+		return append(buf, d.lits...), nil
+	}
+
+	if pos >= len(src) {
+		return nil, ErrCorrupt
+	}
+	modeByte := src[pos]
+	pos++
+	modes := [3]byte{modeByte & 3, modeByte >> 2 & 3, modeByte >> 4 & 3}
+	var err error
+	d.llc, pos, err = decodeStream(d.llc[:0], modes[0], src, pos, numSeqs)
+	if err != nil {
+		return nil, err
+	}
+	d.ofc, pos, err = decodeStream(d.ofc[:0], modes[1], src, pos, numSeqs)
+	if err != nil {
+		return nil, err
+	}
+	d.mlc, pos, err = decodeStream(d.mlc[:0], modes[2], src, pos, numSeqs)
+	if err != nil {
+		return nil, err
+	}
+	exLen, k := binary.Uvarint(src[pos:])
+	if k <= 0 || pos+k+int(exLen) != len(src) {
+		return nil, ErrCorrupt
+	}
+	pos += k
+	extras := bits.NewReader(src[pos : pos+int(exLen)])
+
+	litPos := 0
+	reps := newRepState()
+	for i := 0; i < numSeqs; i++ {
+		lc, oc, mc := d.llc[i], d.ofc[i], d.mlc[i]
+		if lc > maxLLCode || oc > maxOFCode || mc > maxMLCode {
+			return nil, ErrCorrupt
+		}
+		llx, err := extras.ReadBits(uint(llExtraBits[lc]))
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		ofx, err := extras.ReadBits(uint(oc))
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		mlx, err := extras.ReadBits(uint(mlExtraBits[mc]))
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		litLen := int(llBaselines[lc]) + int(llx)
+		ofValue := uint32(uint64(1)<<oc + ofx)
+		offset := int(reps.decode(ofValue))
+		matchLen := int(mlBaselines[mc]) + int(mlx)
+		if offset == 0 {
+			return nil, ErrCorrupt
+		}
+		if litPos+litLen > len(d.lits) {
+			return nil, ErrCorrupt
+		}
+		buf = append(buf, d.lits[litPos:litPos+litLen]...)
+		litPos += litLen
+		if offset > len(buf) {
+			return nil, ErrCorrupt
+		}
+		buf = appendMatch(buf, offset, matchLen)
+	}
+	// Trailing literals not claimed by any sequence.
+	buf = append(buf, d.lits[litPos:]...)
+	return buf, nil
+}
+
+// appendMatch extends out by length bytes copied from offset back,
+// handling overlap with doubling passes instead of per-byte writes.
+func appendMatch(out []byte, offset, length int) []byte {
+	n := len(out)
+	if offset >= length {
+		return append(out, out[n-offset:n-offset+length]...)
+	}
+	if length <= 16 {
+		// Short overlapping matches (the common case) stay on the cheap
+		// byte loop; the chunked path's setup costs more than it saves.
+		for j := 0; j < length; j++ {
+			out = append(out, out[len(out)-offset])
+		}
+		return out
+	}
+	out = append(out, make([]byte, length)...)
+	pos := n
+	remaining := length
+	for remaining > 0 {
+		c := copy(out[pos:pos+remaining], out[n-offset:pos])
+		pos += c
+		remaining -= c
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package zstd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/bits"
+	"github.com/datacomp/datacomp/internal/fse"
+	"github.com/datacomp/datacomp/internal/huffman"
+	"github.com/datacomp/datacomp/internal/lz"
+)
+
+// Frame constants.
+var frameMagic = [4]byte{'Z', 'S', 'X', '1'}
+
+const (
+	flagDict     = 1 << 0
+	flagChecksum = 1 << 1
+)
+
+// Block types.
+const (
+	blockRaw = iota
+	blockRLE
+	blockCompressed
+)
+
+// Literal-section modes.
+const (
+	litsRaw = iota
+	litsRLE
+	litsHuff
+)
+
+// Sequence-stream modes.
+const (
+	seqFSE = iota
+	seqRLE
+	seqRaw
+)
+
+// seqTableLog is the FSE table size for sequence code streams.
+const seqTableLog = 9
+
+// Options configure an Encoder.
+type Options struct {
+	// Level selects the speed/ratio trade-off, MinLevel..MaxLevel.
+	// 0 means DefaultLevel.
+	Level int
+	// WindowLog overrides the level's match window (MinWindowLog..
+	// MaxWindowLog). 0 keeps the level default. This is the knob the
+	// paper's sensitivity study 3 sweeps for hardware sizing.
+	WindowLog uint
+	// Dict is a content-prefix dictionary shared out-of-band with the
+	// decompressor, the mechanism behind the paper's small-item cache
+	// compression (§IV-C).
+	Dict []byte
+	// Checksum appends an FNV-64a of the content to the frame.
+	Checksum bool
+}
+
+// DictID identifies dictionary content; frames record it so decompression
+// with a mismatched dictionary fails cleanly.
+func DictID(dict []byte) uint32 {
+	if len(dict) == 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write(dict)
+	return h.Sum32()
+}
+
+// StageStats accumulates the time spent in the two compressor stages,
+// powering the paper's Figure 7 (match finding vs entropy split).
+type StageStats struct {
+	MatchFind time.Duration
+	Entropy   time.Duration
+}
+
+// Encoder compresses frames at a fixed configuration. Not safe for
+// concurrent use.
+type Encoder struct {
+	opts     Options
+	base     levelParams
+	dictID   uint32
+	matchers map[lz.Params]*lz.Matcher
+	stats    StageStats
+
+	seqs []lz.Sequence
+	lits []byte
+	llc  []byte
+	ofc  []byte
+	mlc  []byte
+	work []byte
+}
+
+// NewEncoder validates opts and returns an Encoder.
+func NewEncoder(opts Options) (*Encoder, error) {
+	if opts.Level == 0 {
+		opts.Level = DefaultLevel
+	}
+	base, err := paramsForLevel(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WindowLog != 0 && (opts.WindowLog < MinWindowLog || opts.WindowLog > MaxWindowLog) {
+		return nil, fmt.Errorf("zstd: window log %d out of range [%d,%d]", opts.WindowLog, MinWindowLog, MaxWindowLog)
+	}
+	return &Encoder{
+		opts:     opts,
+		base:     base,
+		dictID:   DictID(opts.Dict),
+		matchers: make(map[lz.Params]*lz.Matcher),
+	}, nil
+}
+
+// Options returns the encoder's configuration.
+func (e *Encoder) Options() Options { return e.opts }
+
+// Stages returns the accumulated per-stage compression time and can be
+// reset with ResetStages.
+func (e *Encoder) Stages() StageStats { return e.stats }
+
+// ResetStages clears the stage accounting.
+func (e *Encoder) ResetStages() { e.stats = StageStats{} }
+
+func (e *Encoder) matcher(srcLen int) (*lz.Matcher, error) {
+	p := adaptParams(e.base, srcLen, e.opts.WindowLog)
+	if m, ok := e.matchers[p]; ok {
+		return m, nil
+	}
+	m, err := lz.NewMatcher(p)
+	if err != nil {
+		return nil, err
+	}
+	e.matchers[p] = m
+	return m, nil
+}
+
+// Compress appends a complete frame holding src to dst.
+func (e *Encoder) Compress(dst, src []byte) ([]byte, error) {
+	dst = append(dst, frameMagic[:]...)
+	flags := byte(0)
+	if len(e.opts.Dict) > 0 {
+		flags |= flagDict
+	}
+	if e.opts.Checksum {
+		flags |= flagChecksum
+	}
+	dst = append(dst, flags)
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(src)))]...)
+	if flags&flagDict != 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, e.dictID)
+	}
+
+	// Work buffer: dictionary content acts as parse history.
+	buf := src
+	start := 0
+	if len(e.opts.Dict) > 0 {
+		e.work = append(e.work[:0], e.opts.Dict...)
+		e.work = append(e.work, src...)
+		buf = e.work
+		start = len(e.opts.Dict)
+	}
+
+	if len(src) == 0 {
+		dst = appendBlockHeader(dst, true, blockRaw, 0)
+	}
+	for blockStart := start; blockStart < len(buf); blockStart += MaxBlockSize {
+		blockEnd := blockStart + MaxBlockSize
+		if blockEnd > len(buf) {
+			blockEnd = len(buf)
+		}
+		last := blockEnd == len(buf)
+		var err error
+		dst, err = e.compressBlock(dst, buf, blockStart, blockEnd, last)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if e.opts.Checksum {
+		h := fnv.New64a()
+		h.Write(src)
+		dst = binary.LittleEndian.AppendUint64(dst, h.Sum64())
+	}
+	return dst, nil
+}
+
+// appendBlockHeader writes the 3-byte block header:
+// bit0 last, bits1-2 type, bits3-23 size.
+func appendBlockHeader(dst []byte, last bool, typ, size int) []byte {
+	v := uint32(size) << 3
+	v |= uint32(typ) << 1
+	if last {
+		v |= 1
+	}
+	return append(dst, byte(v), byte(v>>8), byte(v>>16))
+}
+
+func allSame(b []byte) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Encoder) compressBlock(dst, buf []byte, blockStart, blockEnd int, last bool) ([]byte, error) {
+	content := buf[blockStart:blockEnd]
+	if len(content) >= 16 && allSame(content) {
+		dst = appendBlockHeader(dst, last, blockRLE, len(content))
+		return append(dst, content[0]), nil
+	}
+
+	// Stage 1: match finding over the window preceding the block.
+	m, err := e.matcher(blockEnd - blockStart)
+	if err != nil {
+		return nil, err
+	}
+	windowBase := blockStart - (1 << m.Params().WindowLog)
+	if windowBase < 0 {
+		windowBase = 0
+	}
+	t0 := time.Now()
+	e.seqs = m.Parse(e.seqs[:0], buf[windowBase:blockEnd], blockStart-windowBase)
+	t1 := time.Now()
+	e.stats.MatchFind += t1.Sub(t0)
+
+	// Stage 2: entropy coding.
+	payload, err := e.encodeBlockPayload(content)
+	e.stats.Entropy += time.Since(t1)
+	if err != nil {
+		return nil, err
+	}
+	if payload == nil || len(payload) >= len(content) {
+		dst = appendBlockHeader(dst, last, blockRaw, len(content))
+		return append(dst, content...), nil
+	}
+	dst = appendBlockHeader(dst, last, blockCompressed, len(payload))
+	return append(dst, payload...), nil
+}
+
+// encodeBlockPayload serializes the parsed sequences. It returns nil when
+// the representation cannot beat a raw block.
+func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
+	e.lits = e.lits[:0]
+	e.llc = e.llc[:0]
+	e.ofc = e.ofc[:0]
+	e.mlc = e.mlc[:0]
+	extras := bits.NewWriter(64)
+
+	pos := 0
+	numSeqs := 0
+	reps := newRepState()
+	for _, s := range e.seqs {
+		e.lits = append(e.lits, content[pos:pos+int(s.LitLen)]...)
+		pos += int(s.LitLen) + int(s.MatchLen)
+		if s.MatchLen == 0 {
+			continue // trailing literals live only in the literal section
+		}
+		if s.MatchLen < 3 || s.Offset == 0 {
+			return nil, errors.New("zstd: internal: invalid sequence")
+		}
+		numSeqs++
+		lc := llCode(s.LitLen)
+		ofValue := reps.encode(s.Offset)
+		oc := ofCode(ofValue)
+		mc := mlCode(s.MatchLen)
+		e.llc = append(e.llc, lc)
+		e.ofc = append(e.ofc, oc)
+		e.mlc = append(e.mlc, mc)
+		extras.WriteBits(uint64(llExtra(s.LitLen, lc)), uint(llExtraBits[lc]))
+		ofx, ofn := ofExtra(ofValue)
+		extras.WriteBits(uint64(ofx), uint(ofn))
+		extras.WriteBits(uint64(mlExtra(s.MatchLen, mc)), uint(mlExtraBits[mc]))
+	}
+	if pos != len(content) {
+		return nil, fmt.Errorf("zstd: internal: sequences cover %d of %d bytes", pos, len(content))
+	}
+
+	var payload []byte
+	var tmp [binary.MaxVarintLen64]byte
+
+	// Literals section.
+	switch {
+	case len(e.lits) == 0:
+		payload = append(payload, litsRaw)
+		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], 0)]...)
+	case len(e.lits) >= 8 && allSame(e.lits):
+		payload = append(payload, litsRLE)
+		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
+		payload = append(payload, e.lits[0])
+	default:
+		if enc, err := huffman.Compress(nil, e.lits); err == nil {
+			payload = append(payload, litsHuff)
+			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
+			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
+			payload = append(payload, enc...)
+		} else if err == huffman.ErrIncompressible {
+			payload = append(payload, litsRaw)
+			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
+			payload = append(payload, e.lits...)
+		} else {
+			return nil, err
+		}
+	}
+
+	// Sequence section.
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(numSeqs))]...)
+	if numSeqs > 0 {
+		streams := [3][]byte{e.llc, e.ofc, e.mlc}
+		encoded := make([][]byte, 3)
+		modes := [3]byte{}
+		for i, s := range streams {
+			switch {
+			case allSame(s):
+				modes[i] = seqRLE
+				encoded[i] = s[:1]
+			default:
+				if enc, err := fse.Compress(nil, s, seqTableLog); err == nil {
+					modes[i] = seqFSE
+					encoded[i] = enc
+				} else if err == fse.ErrIncompressible {
+					modes[i] = seqRaw
+					encoded[i] = s
+				} else {
+					return nil, err
+				}
+			}
+		}
+		payload = append(payload, modes[0]|modes[1]<<2|modes[2]<<4)
+		for i, enc := range encoded {
+			switch modes[i] {
+			case seqRLE:
+				payload = append(payload, enc[0])
+			case seqRaw: // length implied by numSeqs
+				payload = append(payload, enc...)
+			case seqFSE:
+				payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
+				payload = append(payload, enc...)
+			}
+		}
+		ex := extras.Flush()
+		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(ex)))]...)
+		payload = append(payload, ex...)
+	}
+	return payload, nil
+}
