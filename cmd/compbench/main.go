@@ -5,6 +5,11 @@
 // Usage:
 //
 //	compbench [-size N] [-seed N] [-levels 1,3,5,9] [-algos zstd,zlib,lz4] [-files dickens,xml]
+//	          [-telemetry addr] [-hold]
+//
+// With -telemetry, every engine is instrumented and a telemetry endpoint
+// serves /metrics (Prometheus), /vars (JSON) and /profile (stage shares)
+// while the benchmark runs; a final snapshot is printed at exit.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
 func main() {
@@ -27,7 +33,27 @@ func main() {
 	algosFlag := flag.String("algos", "zstd,zlib,lz4", "comma-separated codecs")
 	filesFlag := flag.String("files", "", "comma-separated corpus members (default all)")
 	repeats := flag.Int("repeats", 1, "measurement repeats")
+	telemetryAddr := flag.String("telemetry", "", "serve telemetry on this address (e.g. :8080 or :0) and instrument engines")
+	hold := flag.Bool("hold", false, "with -telemetry, keep serving after the run until interrupted")
+	profileHz := flag.Int("profile-hz", 997, "with -telemetry, stage-sampling frequency")
 	flag.Parse()
+
+	var (
+		profiler *telemetry.Profiler
+		server   *telemetry.Server
+	)
+	if *telemetryAddr != "" {
+		profiler = telemetry.NewProfiler(*profileHz)
+		profiler.Start()
+		defer profiler.Stop()
+		var err error
+		server, err = telemetry.Serve(*telemetryAddr, telemetry.Default, profiler)
+		if err != nil {
+			fatal(err)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "compbench: telemetry on http://%s (/metrics /vars /profile)\n", server.Addr)
+	}
 
 	levels, err := parseInts(*levelsFlag)
 	if err != nil {
@@ -69,6 +95,11 @@ func main() {
 				if err != nil {
 					fatal(err)
 				}
+				if *telemetryAddr != "" {
+					eng = telemetry.Instrument(eng, telemetry.InstrumentOptions{
+						Codec: algo, Level: level, Profiler: profiler,
+					})
+				}
 				m, err := codec.Measure(eng, [][]byte{f.Data}, 0, *repeats)
 				if err != nil {
 					fatal(fmt.Errorf("%s %s L%d: %w", f.Name, algo, level, err))
@@ -79,6 +110,21 @@ func main() {
 		}
 	}
 	w.Flush()
+
+	if *telemetryAddr != "" {
+		fmt.Println()
+		fmt.Println("--- telemetry snapshot (/metrics) ---")
+		telemetry.WritePrometheus(os.Stdout, telemetry.Default)
+		if shares := profiler.Profile().StageShares(); len(shares) > 0 {
+			fmt.Println()
+			fmt.Println("--- cycle shares (/profile) ---")
+			fmt.Print(telemetry.FormatStageShares(shares))
+		}
+		if *hold {
+			fmt.Fprintf(os.Stderr, "compbench: holding telemetry endpoint on http://%s; Ctrl-C to exit\n", server.Addr)
+			select {}
+		}
+	}
 }
 
 func parseInts(s string) ([]int, error) {

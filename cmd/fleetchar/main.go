@@ -20,13 +20,25 @@ import (
 	"text/tabwriter"
 
 	"github.com/datacomp/datacomp/internal/fleet"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
 func main() {
 	samples := flag.Int("samples", 2_000_000, "profiler samples")
 	seed := flag.Int64("seed", 30, "profiling seed")
 	measureBytes := flag.Int("measure-bytes", 1<<20, "bytes per configuration measurement")
+	telemetryAddr := flag.String("telemetry", "", "serve telemetry (shared registry) on this address while running")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, telemetry.Default, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetchar:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fleetchar: telemetry on http://%s (/metrics /vars)\n", srv.Addr)
+	}
 
 	p := &fleet.Profiler{Samples: *samples, Seed: *seed, MeasureBytes: *measureBytes}
 	r, err := p.Profile(fleet.DefaultFleet())

@@ -28,6 +28,7 @@ import (
 	"github.com/datacomp/datacomp/internal/fleet"
 	"github.com/datacomp/datacomp/internal/kvstore"
 	"github.com/datacomp/datacomp/internal/stats"
+	"github.com/datacomp/datacomp/internal/telemetry"
 	"github.com/datacomp/datacomp/internal/warehouse"
 )
 
@@ -43,7 +44,17 @@ func main() {
 	fig11 := flag.Bool("fig11", false, "print Fig 11")
 	fig12 := flag.Bool("fig12", false, "print Fig 12")
 	fig13 := flag.Bool("fig13", false, "print Fig 13")
+	telemetryAddr := flag.String("telemetry", "", "serve telemetry (shared registry) on this address while running")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, telemetry.Default, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "servicechar: telemetry on http://%s (/metrics /vars)\n", srv.Addr)
+	}
 
 	all := !(*table1 || *fig6 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13)
 	if all || *table1 {

@@ -17,7 +17,37 @@ import (
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/dict"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
+
+// Package-level telemetry on the shared registry, registered on first
+// cache construction. All caches in the process aggregate here; per-cache
+// numbers stay available via Cache.Stats.
+var (
+	tmOnce      sync.Once
+	tmHits      *telemetry.Counter
+	tmMisses    *telemetry.Counter
+	tmSets      *telemetry.Counter
+	tmEvicts    *telemetry.Counter
+	tmCompNS    *telemetry.Counter
+	tmDecompNS  *telemetry.Counter
+	tmItemBytes *telemetry.Histogram
+	tmResident  *telemetry.Gauge
+)
+
+func tm() {
+	tmOnce.Do(func() {
+		r := telemetry.Default
+		tmHits = r.Counter("cache_hits_total", "cache get hits")
+		tmMisses = r.Counter("cache_misses_total", "cache get misses")
+		tmSets = r.Counter("cache_sets_total", "cache sets")
+		tmEvicts = r.Counter("cache_evictions_total", "LRU evictions")
+		tmCompNS = r.Counter("cache_compress_ns_total", "server-side compression time")
+		tmDecompNS = r.Counter("cache_decompress_ns_total", "client-side decompression time")
+		tmItemBytes = r.Histogram("cache_item_bytes", "raw item size on set", "bytes")
+		tmResident = r.Gauge("cache_resident_compressed_bytes", "resident compressed bytes across caches")
+	})
+}
 
 // Config configures a Cache.
 type Config struct {
@@ -112,6 +142,7 @@ type Cache struct {
 // New builds a cache from cfg.
 func New(cfg Config) (*Cache, error) {
 	cfg.fill()
+	tm()
 	if _, ok := codec.Lookup(cfg.Codec); !ok {
 		return nil, fmt.Errorf("cache: unknown codec %q", cfg.Codec)
 	}
@@ -173,7 +204,9 @@ func (c *Cache) Set(key, typ string, value []byte) error {
 	} else {
 		t0 := time.Now()
 		out, err := s.engine(typ).Compress(nil, value)
-		s.stats.ServerCompressTime += time.Since(t0)
+		dt := time.Since(t0)
+		s.stats.ServerCompressTime += dt
+		tmCompNS.Add(dt.Nanoseconds())
 		if err != nil {
 			return err
 		}
@@ -189,6 +222,7 @@ func (c *Cache) Set(key, typ string, value []byte) error {
 		s.bytes -= int64(len(old.payload))
 		s.stats.ResidentRawBytes -= int64(old.rawSize)
 		s.stats.ResidentCompressedBytes -= int64(len(old.payload))
+		tmResident.Add(-int64(len(old.payload)))
 		s.lru.Remove(old.lruEntry)
 		delete(s.items, key)
 	}
@@ -199,6 +233,9 @@ func (c *Cache) Set(key, typ string, value []byte) error {
 	s.stats.Sets++
 	s.stats.ResidentRawBytes += int64(len(value))
 	s.stats.ResidentCompressedBytes += int64(len(payload))
+	tmSets.Inc()
+	tmItemBytes.Observe(int64(len(value)))
+	tmResident.Add(int64(len(payload)))
 
 	if s.cfg.CapacityBytes > 0 {
 		for s.bytes > s.cfg.CapacityBytes && s.lru.Len() > 1 {
@@ -209,6 +246,8 @@ func (c *Cache) Set(key, typ string, value []byte) error {
 			s.stats.ResidentRawBytes -= int64(victim.rawSize)
 			s.stats.ResidentCompressedBytes -= int64(len(victim.payload))
 			s.stats.Evicts++
+			tmEvicts.Inc()
+			tmResident.Add(-int64(len(victim.payload)))
 		}
 	}
 	return nil
@@ -227,10 +266,12 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 	e, ok := s.items[key]
 	if !ok {
 		s.stats.Misses++
+		tmMisses.Inc()
 		return nil, false, nil
 	}
 	s.lru.MoveToFront(e.lruEntry)
 	s.stats.Hits++
+	tmHits.Inc()
 	s.stats.NetworkBytesCompressed += int64(len(e.payload))
 	s.stats.NetworkBytesRaw += int64(e.rawSize)
 	if e.stored {
@@ -238,7 +279,9 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 	}
 	t0 := time.Now()
 	out, err := s.engine(e.typ).Decompress(nil, e.payload)
-	s.stats.ClientDecompressTime += time.Since(t0)
+	dt := time.Since(t0)
+	s.stats.ClientDecompressTime += dt
+	tmDecompNS.Add(dt.Nanoseconds())
 	if err != nil {
 		return nil, false, err
 	}
@@ -262,6 +305,7 @@ func (c *Cache) Delete(key string) bool {
 	s.bytes -= int64(len(e.payload))
 	s.stats.ResidentRawBytes -= int64(e.rawSize)
 	s.stats.ResidentCompressedBytes -= int64(len(e.payload))
+	tmResident.Add(-int64(len(e.payload)))
 	return true
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/datacomp/datacomp/internal/lz4"
+	"github.com/datacomp/datacomp/internal/stage"
 	"github.com/datacomp/datacomp/internal/zlibx"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
@@ -123,6 +124,18 @@ type StagedEngine interface {
 	Engine
 	Stages() zstd.StageStats
 }
+
+// StageHooker is implemented by engines whose encoder reports stage
+// transitions (match finding, entropy coding, serialization) to a hook.
+// All three built-in codecs implement it; the telemetry instrumentation
+// uses the hook for per-stage cycle attribution.
+type StageHooker interface {
+	SetStageHook(stage.Hook)
+}
+
+func (e *zstdEngine) SetStageHook(h stage.Hook) { e.enc.SetStageHook(h) }
+func (e *lz4Engine) SetStageHook(h stage.Hook)  { e.enc.SetStageHook(h) }
+func (e *zlibEngine) SetStageHook(h stage.Hook) { e.enc.SetStageHook(h) }
 
 // lz4Codec adapts internal/lz4.
 type lz4Codec struct{}

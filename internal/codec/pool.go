@@ -1,0 +1,113 @@
+package codec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Pool recycles engines for one (codec, options) configuration. Engines
+// are documented as single-goroutine, so concurrent callers historically
+// constructed a fresh engine per call or per connection — paying matcher
+// allocation (hash/chain tables run to megabytes at high levels) on every
+// construction. A Pool amortizes that: Get hands out an idle engine or
+// builds one, Put returns it for reuse. Safe for concurrent use.
+type Pool struct {
+	codec Codec
+	opts  Options
+	pool  sync.Pool
+}
+
+// NewPool validates the configuration by building one engine eagerly and
+// returns a pool producing engines for it.
+func NewPool(name string, opts Options) (*Pool, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown codec %q", name)
+	}
+	first, err := c.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{codec: c, opts: opts}
+	p.pool.New = func() any {
+		eng, err := c.New(opts)
+		if err != nil {
+			// Options validated at construction; a failure here would be a
+			// registry swap, which misuse deserves a panic.
+			panic(fmt.Sprintf("codec: pool construction failed: %v", err))
+		}
+		return eng
+	}
+	p.pool.Put(first)
+	return p, nil
+}
+
+// Options returns the pool's engine configuration.
+func (p *Pool) Options() Options { return p.opts }
+
+// Codec returns the pool's codec name.
+func (p *Pool) Codec() string { return p.codec.Name() }
+
+// Get returns an engine for exclusive use. Return it with Put.
+func (p *Pool) Get() Engine { return p.pool.Get().(Engine) }
+
+// Put returns an engine obtained from Get. Putting an engine from a
+// different configuration corrupts the pool; don't.
+func (p *Pool) Put(e Engine) {
+	if e == nil {
+		return
+	}
+	// Clear any instrumentation hook so a pooled engine never fires a stale
+	// closure for its next borrower.
+	if h, ok := e.(StageHooker); ok {
+		h.SetStageHook(nil)
+	}
+	p.pool.Put(e)
+}
+
+// Do runs f with a pooled engine, returning it afterwards.
+func (p *Pool) Do(f func(Engine) error) error {
+	e := p.Get()
+	defer p.Put(e)
+	return f(e)
+}
+
+// poolKey identifies a shared pool configuration. Dictionaries are keyed
+// by content hash + length, mirroring zstd.DictID semantics.
+type poolKey struct {
+	name     string
+	level    int
+	window   uint
+	dictHash uint64
+	dictLen  int
+}
+
+var (
+	sharedMu    sync.Mutex
+	sharedPools = map[poolKey]*Pool{}
+)
+
+// SharedPool returns a process-wide pool for the configuration, creating
+// it on first use. Repeated calls with an equal configuration return the
+// same pool, so independent subsystems (RPC transports, instrumented
+// benchmark runs) share recycled engines.
+func SharedPool(name string, opts Options) (*Pool, error) {
+	k := poolKey{name: name, level: opts.Level, window: opts.WindowLog, dictLen: len(opts.Dict)}
+	if len(opts.Dict) > 0 {
+		h := fnv.New64a()
+		h.Write(opts.Dict)
+		k.dictHash = h.Sum64()
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p, ok := sharedPools[k]; ok {
+		return p, nil
+	}
+	p, err := NewPool(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	sharedPools[k] = p
+	return p, nil
+}

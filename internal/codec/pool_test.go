@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestPoolRoundtrip(t *testing.T) {
+	p, err := NewPool("zstd", Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codec() != "zstd" || p.Options().Level != 3 {
+		t.Fatalf("pool config %s/%+v", p.Codec(), p.Options())
+	}
+	data := bytes.Repeat([]byte("pooled engines compress too "), 2000)
+	eng := p.Get()
+	comp, err := eng.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Decompress(nil, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+	p.Put(eng)
+	p.Put(nil) // must be a no-op
+}
+
+func TestPoolUnknownCodec(t *testing.T) {
+	if _, err := NewPool("nope", Options{}); err == nil {
+		t.Fatal("expected error for unknown codec")
+	}
+}
+
+func TestPoolInvalidOptions(t *testing.T) {
+	// Validation happens eagerly at construction, not at first Get.
+	if _, err := NewPool("zstd", Options{Level: 9999}); err == nil {
+		t.Fatal("expected error for invalid level")
+	}
+}
+
+func TestPoolDo(t *testing.T) {
+	p, err := NewPool("lz4", Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("abcabcabc"), 500)
+	err = p.Do(func(e Engine) error {
+		comp, err := e.Compress(nil, data)
+		if err != nil {
+			return err
+		}
+		out, err := e.Decompress(nil, comp)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("roundtrip mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p, err := NewPool("zstd", Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("concurrent pooled compression "), 1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := p.Do(func(e Engine) error {
+					comp, err := e.Compress(nil, data)
+					if err != nil {
+						return err
+					}
+					out, err := e.Decompress(nil, comp)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(out, data) {
+						t.Error("roundtrip mismatch")
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSharedPool(t *testing.T) {
+	a, err := SharedPool("zstd", Options{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedPool("zstd", Options{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal configurations must share one pool")
+	}
+	c, err := SharedPool("zstd", Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different levels must not share a pool")
+	}
+	// Dictionaries key by content, not slice identity.
+	dict := bytes.Repeat([]byte("dictionary material "), 100)
+	d1, err := SharedPool("zstd", Options{Level: 2, Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := SharedPool("zstd", Options{Level: 2, Dict: append([]byte{}, dict...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("equal dictionary content must share one pool")
+	}
+	if d1 == a {
+		t.Fatal("dictionary pool must differ from plain pool")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/orc"
 	"github.com/datacomp/datacomp/internal/stats"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
 // Category is a service class, matching the paper's taxonomy (§III-A).
@@ -304,6 +305,11 @@ type Report struct {
 	Measured []UseMetrics
 	// Samples is the number of profiler samples drawn.
 	Samples int
+	// Cycles is the raw sample aggregation the report was computed from —
+	// the same substrate telemetry.Profiler fills when sampling live
+	// engines, so downstream tooling can consume simulated and live
+	// profiles uniformly.
+	Cycles *telemetry.CycleProfile
 }
 
 // Profiler runs the sampled-stack emulation.
@@ -326,15 +332,13 @@ func (p *Profiler) fill() {
 	}
 }
 
-// stackBucket is one (service, function) attribution target.
+// stackBucket is one (service, function) attribution target. Sampled hits
+// are accumulated in a telemetry.CycleProfile keyed by the bucket's key,
+// not here — the simulated profiler and the live telemetry.Profiler share
+// that aggregation substrate.
 type stackBucket struct {
-	service  string
-	category Category
-	algo     string // "" = application code
-	level    int
-	compress bool
-	weight   float64 // exact cycle share
-	samples  int64
+	key    telemetry.SampleKey
+	weight float64 // exact cycle share
 }
 
 // Profile measures every configuration in the fleet and emulates the
@@ -394,20 +398,29 @@ func (p *Profiler) Profile(fleet []Service) (*Report, error) {
 		w := s.CycleWeight / totalWeight
 		app := w * (1 - s.CompFrac)
 		buckets = append(buckets, stackBucket{
-			service: s.Name, category: s.Category, weight: app,
+			key:    telemetry.SampleKey{Service: s.Name, Group: string(s.Category)},
+			weight: app,
 		})
 		for _, u := range s.Uses {
 			base := w * s.CompFrac * u.CycleShare
 			buckets = append(buckets,
-				stackBucket{service: s.Name, category: s.Category, algo: u.Algorithm,
-					level: u.Level, compress: true, weight: base * u.CompressShare},
-				stackBucket{service: s.Name, category: s.Category, algo: u.Algorithm,
-					level: u.Level, compress: false, weight: base * (1 - u.CompressShare)},
+				stackBucket{
+					key: telemetry.SampleKey{Service: s.Name, Group: string(s.Category),
+						Codec: u.Algorithm, Level: u.Level, Dir: telemetry.DirCompress},
+					weight: base * u.CompressShare,
+				},
+				stackBucket{
+					key: telemetry.SampleKey{Service: s.Name, Group: string(s.Category),
+						Codec: u.Algorithm, Level: u.Level, Dir: telemetry.DirDecompress},
+					weight: base * (1 - u.CompressShare),
+				},
 			)
 		}
 	}
 
-	// Sampling phase: draw stack samples from the distribution.
+	// Sampling phase: draw stack samples from the distribution into the
+	// shared cycle-profile aggregation.
+	profile := telemetry.NewCycleProfile()
 	rng := rand.New(rand.NewSource(p.Seed))
 	cum := make([]float64, len(buckets))
 	total := 0.0
@@ -426,7 +439,7 @@ func (p *Profiler) Profile(fleet []Service) (*Report, error) {
 				hi = mid
 			}
 		}
-		buckets[lo].samples++
+		profile.Add(buckets[lo].key, 1)
 	}
 
 	// Aggregation phase (everything below uses the sampled counts, as the
@@ -439,8 +452,8 @@ func (p *Profiler) Profile(fleet []Service) (*Report, error) {
 		ServiceZstdPct:  map[string]float64{},
 		BlockSizes:      stats.NewSizeHistogram(),
 		Samples:         p.Samples,
+		Cycles:          profile,
 	}
-	n := float64(p.Samples)
 	catTotal := map[Category]float64{}
 	catZstd := map[Category]float64{}
 	catComp := map[Category]float64{}
@@ -451,32 +464,37 @@ func (p *Profiler) Profile(fleet []Service) (*Report, error) {
 	levelCount := map[int]float64{}
 	var fleetComp, fleetDecomp float64
 
-	for _, b := range buckets {
-		c := float64(b.samples)
-		catTotal[b.category] += c
-		svcTotal[b.service] += c
-		if b.algo == "" {
+	// Fleet-wide algorithm shares come straight off the profile's
+	// classifier-based grouping (application samples count toward the
+	// denominator, as they do for a real sampling profiler).
+	for algo, share := range profile.ShareBy(func(k telemetry.SampleKey) (string, bool) {
+		return k.Codec, k.Codec != ""
+	}) {
+		r.AlgorithmPct[algo] = share * 100
+		r.TotalCompressionPct += share * 100
+	}
+
+	for k, samples := range profile.Samples() {
+		c := float64(samples)
+		cat := Category(k.Group)
+		catTotal[cat] += c
+		svcTotal[k.Service] += c
+		if k.Codec == "" {
 			continue
 		}
-		r.TotalCompressionPct += c
-		r.AlgorithmPct[b.algo] += c
-		if b.compress {
+		if k.Dir == telemetry.DirCompress {
 			fleetComp += c
-			catComp[b.category] += c
+			catComp[cat] += c
 		} else {
 			fleetDecomp += c
-			catDecomp[b.category] += c
+			catDecomp[cat] += c
 		}
-		if b.algo == "zstd" {
-			catZstd[b.category] += c
-			svcZstd[b.service] += c
+		if k.Codec == "zstd" {
+			catZstd[cat] += c
+			svcZstd[k.Service] += c
 			zstdTotal += c
-			levelCount[b.level] += c
+			levelCount[k.Level] += c
 		}
-	}
-	r.TotalCompressionPct = r.TotalCompressionPct / n * 100
-	for a := range r.AlgorithmPct {
-		r.AlgorithmPct[a] = r.AlgorithmPct[a] / n * 100
 	}
 	for _, cat := range Categories() {
 		if catTotal[cat] > 0 {

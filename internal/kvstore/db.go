@@ -9,7 +9,40 @@ import (
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
+
+// Package-level telemetry on the shared registry, registered on first Open.
+// All DBs in the process aggregate here; per-DB numbers remain in DB.Stats.
+var (
+	tmOnce                                  sync.Once
+	tmPuts, tmGets, tmDeletes               *telemetry.Counter
+	tmFlushes, tmCompactions                *telemetry.Counter
+	tmCompNS, tmDecompNS, tmReadNS          *telemetry.Counter
+	tmBlocksWritten, tmBlocksRead           *telemetry.Counter
+	tmBlocksDecompressed, tmBlockCacheHits  *telemetry.Counter
+	tmRawBytesWritten, tmStoredBytesWritten *telemetry.Counter
+)
+
+func tm() {
+	tmOnce.Do(func() {
+		r := telemetry.Default
+		tmPuts = r.Counter("kvstore_puts_total", "kvstore put operations")
+		tmGets = r.Counter("kvstore_gets_total", "kvstore get operations")
+		tmDeletes = r.Counter("kvstore_deletes_total", "kvstore delete operations")
+		tmFlushes = r.Counter("kvstore_flushes_total", "memtable flushes")
+		tmCompactions = r.Counter("kvstore_compactions_total", "level compactions")
+		tmCompNS = r.Counter("kvstore_compress_ns_total", "block compression time (flush + compaction)")
+		tmDecompNS = r.Counter("kvstore_decompress_ns_total", "block decompression time")
+		tmReadNS = r.Counter("kvstore_read_ns_total", "time inside Get")
+		tmBlocksWritten = r.Counter("kvstore_blocks_written_total", "data blocks written")
+		tmBlocksRead = r.Counter("kvstore_blocks_read_total", "data blocks read")
+		tmBlocksDecompressed = r.Counter("kvstore_blocks_decompressed_total", "data blocks decompressed")
+		tmBlockCacheHits = r.Counter("kvstore_block_cache_hits_total", "decoded-block cache hits")
+		tmRawBytesWritten = r.Counter("kvstore_raw_bytes_written_total", "raw bytes entering block compression")
+		tmStoredBytesWritten = r.Counter("kvstore_stored_bytes_written_total", "stored bytes after block compression")
+	})
+}
 
 // Options configure a DB. The compression triple (Codec, Level, BlockSize)
 // is the configuration surface the paper's KVSTORE1 study optimizes.
@@ -128,6 +161,7 @@ type DB struct {
 // Open creates an empty DB with the given options.
 func Open(opts Options) (*DB, error) {
 	opts.fill()
+	tm()
 	eng, err := codec.NewEngine(opts.Codec, codec.Options{Level: opts.Level})
 	if err != nil {
 		return nil, err
@@ -162,6 +196,7 @@ func (db *DB) Put(key, value []byte) error {
 	}
 	db.mem.set(append([]byte{}, key...), v)
 	db.stats.Puts++
+	tmPuts.Inc()
 	return db.maybeFlushLocked()
 }
 
@@ -174,6 +209,7 @@ func (db *DB) Delete(key []byte) error {
 	defer db.mu.Unlock()
 	db.mem.set(append([]byte{}, key...), nil)
 	db.stats.Deletes++
+	tmDeletes.Inc()
 	return db.maybeFlushLocked()
 }
 
@@ -186,8 +222,11 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	defer db.mu.Unlock()
 	t0 := time.Now()
 	defer func() {
-		db.stats.ReadTime += time.Since(t0)
+		dt := time.Since(t0)
+		db.stats.ReadTime += dt
 		db.stats.Gets++
+		tmReadNS.Add(dt.Nanoseconds())
+		tmGets.Inc()
 	}()
 
 	if v, ok := db.mem.get(key); ok {
@@ -278,6 +317,7 @@ func (db *DB) flushLocked() error {
 	}
 	db.mem = newMemtable(db.opts.Seed + db.nextID)
 	db.stats.Flushes++
+	tmFlushes.Inc()
 	return db.maybeCompactLocked()
 }
 
@@ -359,6 +399,7 @@ func (db *DB) compactL0Locked() error {
 		}
 	}
 	db.stats.Compactions++
+	tmCompactions.Inc()
 	return nil
 }
 
@@ -388,6 +429,7 @@ func (db *DB) compactLevelLocked(lvl int) error {
 		}
 	}
 	db.stats.Compactions++
+	tmCompactions.Inc()
 	return nil
 }
 

@@ -133,6 +133,9 @@ func (w *tableWriter) flushBlock() error {
 		w.stats.CompressTime += dt
 		w.stats.BlocksWritten++
 		w.stats.RawBytesWritten += int64(len(w.buf))
+		tmCompNS.Add(dt.Nanoseconds())
+		tmBlocksWritten.Inc()
+		tmRawBytesWritten.Add(int64(len(w.buf)))
 	}
 	if len(comp) >= len(w.buf) {
 		w.table.data = append(w.table.data, blockStoredRaw)
@@ -143,6 +146,7 @@ func (w *tableWriter) flushBlock() error {
 	}
 	if w.stats != nil {
 		w.stats.StoredBytesWritten += int64(len(w.table.data) - offset)
+		tmStoredBytesWritten.Add(int64(len(w.table.data) - offset))
 	}
 	w.table.index = append(w.table.index, blockIndexEntry{
 		lastKey: append([]byte{}, w.lastKey...),
@@ -192,12 +196,15 @@ func decodeBlock(eng codec.Engine, t *sstable, e blockIndexEntry, stats *Stats) 
 		if stats != nil {
 			stats.DecompressTime += dt
 			stats.BlocksDecompressed++
+			tmDecompNS.Add(dt.Nanoseconds())
+			tmBlocksDecompressed.Inc()
 		}
 	default:
 		return nil, ErrCorrupt
 	}
 	if stats != nil {
 		stats.BlocksRead++
+		tmBlocksRead.Inc()
 	}
 	if len(raw) < 4 {
 		return nil, ErrCorrupt
@@ -307,6 +314,7 @@ func (t *sstable) loadBlock(eng codec.Engine, bi int, stats *Stats, cache *block
 		if b, ok := cache.get(t.id, bi); ok {
 			if stats != nil {
 				stats.BlockCacheHits++
+				tmBlockCacheHits.Inc()
 			}
 			return b, nil
 		}

@@ -7,8 +7,11 @@
 // configurable threshold are compressed with the configured codec and
 // flagged, so the peer decompresses only what was actually compressed
 // (small messages skip the codec entirely, as fleet services do). Both
-// ends account raw vs wire bytes and codec time, making the compute ⇄
-// network trade measurable per connection.
+// ends account raw vs wire bytes and codec time with atomic counters,
+// making the compute ⇄ network trade measurable per connection while
+// reader and writer goroutines run, and publish into the shared telemetry
+// registry. Transports draw engines from a codec.Pool keyed by
+// configuration, so connection churn does not pay engine construction.
 package rpc
 
 import (
@@ -19,9 +22,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
 // Compression configures the transport's codec.
@@ -40,7 +45,7 @@ func (c *Compression) fill() {
 	}
 }
 
-// Stats counts one endpoint's traffic.
+// Stats is a consistent snapshot of one endpoint's traffic.
 type Stats struct {
 	Calls          int64
 	RawBytes       int64 // payload bytes before compression (both directions)
@@ -57,6 +62,58 @@ func (s Stats) Saved() float64 {
 	return 1 - float64(s.WireBytes)/float64(s.RawBytes)
 }
 
+// counters is the race-safe accumulator behind Stats. Counters are
+// mutated from whichever goroutine touches the frame (reader or writer),
+// so every field is an independent atomic; snapshot() assembles a Stats.
+type counters struct {
+	calls        atomic.Int64
+	rawBytes     atomic.Int64
+	wireBytes    atomic.Int64
+	compressNS   atomic.Int64
+	decompressNS atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Calls:          c.calls.Load(),
+		RawBytes:       c.rawBytes.Load(),
+		WireBytes:      c.wireBytes.Load(),
+		CompressTime:   time.Duration(c.compressNS.Load()),
+		DecompressTime: time.Duration(c.decompressNS.Load()),
+	}
+}
+
+func (c *counters) foldInto(dst *counters) {
+	dst.calls.Add(c.calls.Load())
+	dst.rawBytes.Add(c.rawBytes.Load())
+	dst.wireBytes.Add(c.wireBytes.Load())
+	dst.compressNS.Add(c.compressNS.Load())
+	dst.decompressNS.Add(c.decompressNS.Load())
+}
+
+// Package-level telemetry, registered once on first transport creation.
+var (
+	tmOnce       sync.Once
+	tmCalls      *telemetry.Counter
+	tmRawBytes   *telemetry.Counter
+	tmWireBytes  *telemetry.Counter
+	tmCompNS     *telemetry.Counter
+	tmDecompNS   *telemetry.Counter
+	tmFrameBytes *telemetry.Histogram
+)
+
+func tm() {
+	tmOnce.Do(func() {
+		r := telemetry.Default
+		tmCalls = r.Counter("rpc_calls_total", "completed RPC calls")
+		tmRawBytes = r.Counter("rpc_raw_bytes_total", "payload bytes before compression")
+		tmWireBytes = r.Counter("rpc_wire_bytes_total", "payload bytes on the wire")
+		tmCompNS = r.Counter("rpc_compress_ns_total", "time compressing RPC payloads")
+		tmDecompNS = r.Counter("rpc_decompress_ns_total", "time decompressing RPC payloads")
+		tmFrameBytes = r.Histogram("rpc_wire_frame_bytes", "wire payload size per frame", "bytes")
+	})
+}
+
 // frame flags.
 const (
 	flagCompressed = 1 << 0
@@ -66,18 +123,21 @@ const (
 const maxFrame = 64 << 20
 
 // transport frames and (de)compresses messages on one connection.
-// Not safe for concurrent use; Client/Server serialize around it.
+// The engine is single-goroutine (Client/Server serialize frame I/O), but
+// the stats counters are safe to read concurrently.
 type transport struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	eng   codec.Engine // nil = no compression
+	pool  *codec.Pool  // where eng came from, for release()
 	min   int
-	stats Stats
+	stats counters
 	buf   []byte
 }
 
 func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
 	comp.fill()
+	tm()
 	t := &transport{
 		r:   bufio.NewReader(conn),
 		w:   bufio.NewWriter(conn),
@@ -92,13 +152,23 @@ func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
 		if level == 0 {
 			_, _, level = c.Levels()
 		}
-		eng, err := c.New(codec.Options{Level: level})
+		pool, err := codec.SharedPool(comp.Codec, codec.Options{Level: level})
 		if err != nil {
 			return nil, err
 		}
-		t.eng = eng
+		t.pool = pool
+		t.eng = pool.Get()
 	}
 	return t, nil
+}
+
+// release returns the engine to its pool. Safe to call more than once.
+func (t *transport) release() {
+	if t.pool != nil && t.eng != nil {
+		t.pool.Put(t.eng)
+		t.eng = nil
+		t.pool = nil
+	}
 }
 
 // writeFrame sends flags, method and payload, compressing when worthwhile.
@@ -107,7 +177,9 @@ func (t *transport) writeFrame(flags byte, method string, payload []byte) error 
 	if t.eng != nil && len(payload) >= t.min {
 		t0 := time.Now()
 		out, err := t.eng.Compress(t.buf[:0], payload)
-		t.stats.CompressTime += time.Since(t0)
+		ns := time.Since(t0).Nanoseconds()
+		t.stats.compressNS.Add(ns)
+		tmCompNS.Add(ns)
 		if err != nil {
 			return err
 		}
@@ -133,8 +205,11 @@ func (t *transport) writeFrame(flags byte, method string, payload []byte) error 
 	if _, err := t.w.Write(wire); err != nil {
 		return err
 	}
-	t.stats.RawBytes += int64(len(payload))
-	t.stats.WireBytes += int64(len(wire))
+	t.stats.rawBytes.Add(int64(len(payload)))
+	t.stats.wireBytes.Add(int64(len(wire)))
+	tmRawBytes.Add(int64(len(payload)))
+	tmWireBytes.Add(int64(len(wire)))
+	tmFrameBytes.Observe(int64(len(wire)))
 	return t.w.Flush()
 }
 
@@ -160,20 +235,24 @@ func (t *transport) readFrame() (flags byte, method string, payload []byte, err 
 	if _, err := io.ReadFull(t.r, pbuf); err != nil {
 		return 0, "", nil, err
 	}
-	t.stats.WireBytes += int64(len(pbuf))
+	t.stats.wireBytes.Add(int64(len(pbuf)))
+	tmWireBytes.Add(int64(len(pbuf)))
 	if flags&flagCompressed != 0 {
 		if t.eng == nil {
 			return 0, "", nil, errors.New("rpc: compressed frame on uncompressed transport")
 		}
 		t0 := time.Now()
 		out, err := t.eng.Decompress(nil, pbuf)
-		t.stats.DecompressTime += time.Since(t0)
+		ns := time.Since(t0).Nanoseconds()
+		t.stats.decompressNS.Add(ns)
+		tmDecompNS.Add(ns)
 		if err != nil {
 			return 0, "", nil, err
 		}
 		pbuf = out
 	}
-	t.stats.RawBytes += int64(len(pbuf))
+	t.stats.rawBytes.Add(int64(len(pbuf)))
+	tmRawBytes.Add(int64(len(pbuf)))
 	return flags, string(mbuf), pbuf, nil
 }
 
@@ -192,12 +271,17 @@ type Server struct {
 	comp     Compression
 	mu       sync.RWMutex
 	handlers map[string]Handler
-	stats    Stats
+	live     map[*transport]struct{}
+	closed   counters
 }
 
 // NewServer builds a server with the given transport compression.
 func NewServer(comp Compression) *Server {
-	return &Server{comp: comp, handlers: make(map[string]Handler)}
+	return &Server{
+		comp:     comp,
+		handlers: make(map[string]Handler),
+		live:     make(map[*transport]struct{}),
+	}
 }
 
 // Register installs a handler for method.
@@ -227,7 +311,16 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
-	defer s.fold(&t.stats)
+	s.mu.Lock()
+	s.live[t] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.live, t)
+		s.mu.Unlock()
+		t.stats.foldInto(&s.closed)
+		t.release()
+	}()
 	for {
 		_, method, req, err := t.readFrame()
 		if err != nil {
@@ -248,27 +341,25 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			flags = flagError
 			resp = []byte(err.Error())
 		}
+		t.stats.calls.Add(1)
+		tmCalls.Add(1)
 		if err := t.writeFrame(flags, method, resp); err != nil {
 			return err
 		}
 	}
 }
 
-func (s *Server) fold(st *Stats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Calls += st.Calls
-	s.stats.RawBytes += st.RawBytes
-	s.stats.WireBytes += st.WireBytes
-	s.stats.CompressTime += st.CompressTime
-	s.stats.DecompressTime += st.DecompressTime
-}
-
-// Stats returns aggregate server-side traffic from finished connections.
+// Stats returns aggregate server-side traffic, including connections still
+// in flight — the live view a telemetry scrape needs.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var agg counters
+	s.closed.foldInto(&agg)
+	s.mu.RLock()
+	for t := range s.live {
+		t.stats.foldInto(&agg)
+	}
+	s.mu.RUnlock()
+	return agg.snapshot()
 }
 
 // Client issues calls over one connection. Safe for concurrent use; calls
@@ -287,6 +378,18 @@ func NewClient(conn io.ReadWriter, comp Compression) (*Client, error) {
 		return nil, err
 	}
 	return &Client{t: t, conn: conn}, nil
+}
+
+// Close releases the client's pooled engine. The underlying connection is
+// the caller's to close. Calls after Close fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t.eng != nil {
+		c.t.release()
+		c.t.min = int(^uint(0) >> 1) // never try to compress again
+	}
+	return nil
 }
 
 // RemoteError is a handler-side failure relayed to the caller.
@@ -308,16 +411,16 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.t.stats.Calls++
+	c.t.stats.calls.Add(1)
+	tmCalls.Add(1)
 	if flags&flagError != 0 {
 		return nil, &RemoteError{Msg: string(resp)}
 	}
 	return resp, nil
 }
 
-// Stats returns the client's traffic counters.
+// Stats returns the client's traffic counters. Safe to call concurrently
+// with in-flight Calls.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t.stats
+	return c.t.stats.snapshot()
 }

@@ -218,6 +218,67 @@ func TestConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+func TestStatsConcurrentWithCalls(t *testing.T) {
+	// Stats snapshots must be safe while calls are in flight on both ends
+	// (the race detector enforces this).
+	comp := Compression{Codec: "zstd", Level: 1}
+	s := echoServer(comp)
+	c := pipePair(t, s, comp)
+	payload := corpus.LogLines(5, 16<<10)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = c.Stats()
+				_ = s.Stats()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		resp, err := c.Call("echo", payload)
+		if err != nil || !bytes.Equal(resp, payload) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Calls != 50 {
+		t.Fatalf("client calls = %d, want 50", st.Calls)
+	}
+	// The server view includes the still-live connection.
+	if srv := s.Stats(); srv.Calls != 50 {
+		t.Fatalf("server calls = %d, want 50", srv.Calls)
+	}
+}
+
+func TestClientCloseReleasesEngine(t *testing.T) {
+	comp := Compression{Codec: "zstd", Level: 1}
+	c := pipePair(t, echoServer(comp), comp)
+	payload := corpus.LogLines(9, 8<<10)
+	if _, err := c.Call("echo", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Stats remain readable after Close.
+	if st := c.Stats(); st.Calls != 1 {
+		t.Fatalf("calls after close = %d", st.Calls)
+	}
+}
+
 func TestServerStatsAggregation(t *testing.T) {
 	comp := Compression{Codec: "zstd", Level: 1}
 	s := echoServer(comp)

@@ -1,0 +1,47 @@
+// Package stage defines the canonical compressor-stage identifiers shared
+// by the codec implementations (internal/zstd, internal/lz4, internal/zlibx)
+// and the telemetry subsystem. The paper's fleet profiler attributes CPU
+// cycles to codec *functions*, not just codec calls (Figs 3, 4, 7): the
+// match-finding stage and the entropy-coding stage behave very differently
+// across levels, so observability has to keep them apart. Codec packages
+// cannot import internal/codec (it imports them), so the stage vocabulary
+// lives in this leaf package.
+package stage
+
+// ID identifies one compressor stage.
+type ID uint8
+
+// The stage taxonomy. App means "not inside a codec stage" (frame headers,
+// buffer management, application code). Serialize is LZ4's byte-aligned
+// token emission — the paper's point that LZ4 has no entropy stage is
+// preserved by keeping it distinct from Entropy.
+const (
+	App ID = iota
+	MatchFind
+	Entropy
+	Serialize
+	numStages
+)
+
+// Count is the number of defined stages, for array sizing.
+const Count = int(numStages)
+
+// String returns the stage's telemetry label.
+func (id ID) String() string {
+	switch id {
+	case App:
+		return "app"
+	case MatchFind:
+		return "matchfind"
+	case Entropy:
+		return "entropy"
+	case Serialize:
+		return "serialize"
+	default:
+		return "unknown"
+	}
+}
+
+// Hook observes stage transitions inside an encoder. Implementations must
+// be cheap: hooks fire once or twice per block on the compression hot path.
+type Hook func(ID)

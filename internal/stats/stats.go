@@ -28,6 +28,21 @@ func (w *Welford) Observe(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// ObserveN adds n identical observations of x in O(1), merging a
+// zero-variance batch by the Chan et al. parallel update. Telemetry
+// histograms use it to summarize bucketed counts without replaying every
+// observation.
+func (w *Welford) ObserveN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	d := x - w.mean
+	total := w.n + n
+	w.mean += d * float64(n) / float64(total)
+	w.m2 += d * d * float64(w.n) * float64(n) / float64(total)
+	w.n = total
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int64 { return w.n }
 

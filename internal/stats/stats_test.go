@@ -62,6 +62,66 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"single", []float64{7}, 50, 7},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"p0 is min", []float64{5, 1, 9}, 0, 1},
+		{"p100 is max", []float64{5, 1, 9}, 100, 9},
+		{"negative p clamps to min", []float64{5, 1, 9}, -10, 1},
+		{"p above 100 clamps to max", []float64{5, 1, 9}, 150, 9},
+		{"unsorted median", []float64{9, 1, 5}, 50, 5},
+		{"unsorted interpolated", []float64{4, 2, 3, 1}, 50, 2.5},
+		{"duplicates", []float64{2, 2, 2, 2}, 75, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.vals, tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.vals, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWelfordObserveN(t *testing.T) {
+	// ObserveN(x, n) must match n individual Observe(x) calls exactly.
+	var a, b Welford
+	batches := []struct {
+		x float64
+		n int64
+	}{{10, 3}, {-4, 1}, {2.5, 7}, {100, 2}}
+	for _, bt := range batches {
+		a.ObserveN(bt.x, bt.n)
+		for i := int64(0); i < bt.n; i++ {
+			b.Observe(bt.x)
+		}
+	}
+	if a.N() != b.N() {
+		t.Fatalf("n: %d vs %d", a.N(), b.N())
+	}
+	if math.Abs(a.Mean()-b.Mean()) > 1e-9 {
+		t.Fatalf("mean: %v vs %v", a.Mean(), b.Mean())
+	}
+	if math.Abs(a.Variance()-b.Variance()) > 1e-9 {
+		t.Fatalf("variance: %v vs %v", a.Variance(), b.Variance())
+	}
+	// Non-positive counts are ignored.
+	before := a
+	a.ObserveN(42, 0)
+	a.ObserveN(42, -5)
+	if a != before {
+		t.Fatal("ObserveN with n <= 0 mutated the accumulator")
+	}
+}
+
 func TestSizeHistogram(t *testing.T) {
 	h := NewSizeHistogram()
 	for _, s := range []int{1, 2, 3, 4, 100, 1000, 1024, 1025, 65536} {

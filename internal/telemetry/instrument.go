@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/stage"
+)
+
+// InstrumentOptions configure Instrument.
+type InstrumentOptions struct {
+	// Codec and Level label the metrics (e.g. codec="zstd", level=3).
+	Codec string
+	Level int
+	// Registry receives the metrics (nil = Default).
+	Registry *Registry
+	// Profiler, when set, samples this engine's in-flight operations.
+	Profiler *Profiler
+}
+
+// Instrumented wraps a codec.Engine and publishes per-operation telemetry:
+// operation counters, raw/compressed byte counters, latency and input-size
+// histograms, and — for engines implementing codec.StageHooker — exact
+// per-stage time attribution (match finding vs entropy coding vs
+// serialization), mirroring the paper's function-level cycle breakdown.
+// Like all engines, an Instrumented is not safe for concurrent use.
+type Instrumented struct {
+	eng codec.Engine
+
+	compressOps   *Counter
+	decompressOps *Counter
+	errors        *Counter
+	rawBytes      *Counter
+	compBytes     *Counter
+	compressNS    *Histogram
+	decompressNS  *Histogram
+	inputSize     *Histogram
+	stageNS       [stage.Count]*Counter
+
+	slot *opSlot
+
+	// per-operation stage timer state, driven by the engine's stage hook.
+	curStage  stage.ID
+	stageMark time.Time
+	opNanos   [stage.Count]int64
+}
+
+// Instrument wraps eng with telemetry. The wrapper registers its metrics
+// once, labelled {codec, level}; instrumenting several engines with the
+// same labels aggregates into the same metrics.
+func Instrument(eng codec.Engine, opts InstrumentOptions) *Instrumented {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	lbl := func(name string, extra ...string) string {
+		kv := append([]string{"codec", opts.Codec, "level", strconv.Itoa(opts.Level)}, extra...)
+		return Label(name, kv...)
+	}
+	ie := &Instrumented{
+		eng:           eng,
+		compressOps:   reg.Counter(lbl("codec_compress_ops_total"), "compression operations"),
+		decompressOps: reg.Counter(lbl("codec_decompress_ops_total"), "decompression operations"),
+		errors:        reg.Counter(lbl("codec_errors_total"), "failed codec operations"),
+		rawBytes:      reg.Counter(lbl("codec_compress_raw_bytes_total"), "bytes entering compression"),
+		compBytes:     reg.Counter(lbl("codec_compress_compressed_bytes_total"), "bytes leaving compression"),
+		compressNS:    reg.Histogram(lbl("codec_compress_ns"), "compression latency", "ns"),
+		decompressNS:  reg.Histogram(lbl("codec_decompress_ns"), "decompression latency", "ns"),
+		inputSize:     reg.Histogram(lbl("codec_compress_input_bytes"), "compression input size", "bytes"),
+		slot:          &opSlot{codec: opts.Codec, level: opts.Level},
+	}
+	for s := 0; s < stage.Count; s++ {
+		ie.stageNS[s] = reg.Counter(
+			lbl("codec_stage_ns_total", "stage", stage.ID(s).String()),
+			"compression time per stage")
+	}
+	if h, ok := eng.(codec.StageHooker); ok {
+		h.SetStageHook(ie.onStage)
+	}
+	if opts.Profiler != nil {
+		opts.Profiler.register(ie.slot)
+	}
+	return ie
+}
+
+// Unwrap returns the underlying engine.
+func (ie *Instrumented) Unwrap() codec.Engine { return ie.eng }
+
+// onStage is the engine's stage-transition hook: close out the elapsed
+// interval on the previous stage, then switch. Called from the compressing
+// goroutine only, one or two times per 64-128 KiB block — cheap relative
+// to the block's compression work.
+func (ie *Instrumented) onStage(s stage.ID) {
+	now := time.Now()
+	ie.opNanos[ie.curStage] += now.Sub(ie.stageMark).Nanoseconds()
+	ie.curStage = s
+	ie.stageMark = now
+	ie.slot.setStage(s)
+}
+
+// Compress implements codec.Engine.
+func (ie *Instrumented) Compress(dst, src []byte) ([]byte, error) {
+	ie.slot.begin(DirCompress)
+	ie.curStage = stage.App
+	ie.stageMark = time.Now()
+	for i := range ie.opNanos {
+		ie.opNanos[i] = 0
+	}
+	t0 := ie.stageMark
+
+	out, err := ie.eng.Compress(dst, src)
+
+	dur := time.Since(t0)
+	ie.opNanos[ie.curStage] += time.Since(ie.stageMark).Nanoseconds()
+	ie.slot.end()
+	if err != nil {
+		ie.errors.Inc()
+		return out, err
+	}
+	ie.compressOps.Inc()
+	ie.rawBytes.Add(int64(len(src)))
+	ie.compBytes.Add(int64(len(out) - len(dst)))
+	ie.compressNS.Observe(dur.Nanoseconds())
+	ie.inputSize.Observe(int64(len(src)))
+	for s, ns := range ie.opNanos {
+		if ns > 0 {
+			ie.stageNS[s].Add(ns)
+		}
+	}
+	return out, nil
+}
+
+// Decompress implements codec.Engine.
+func (ie *Instrumented) Decompress(dst, src []byte) ([]byte, error) {
+	ie.slot.begin(DirDecompress)
+	t0 := time.Now()
+	out, err := ie.eng.Decompress(dst, src)
+	dur := time.Since(t0)
+	ie.slot.end()
+	if err != nil {
+		ie.errors.Inc()
+		return out, err
+	}
+	ie.decompressOps.Inc()
+	ie.decompressNS.Observe(dur.Nanoseconds())
+	return out, nil
+}
+
+// InstrumentedEngine builds an engine via the registry and instruments it
+// in one step — the convenience the cmd/ tools use.
+func InstrumentedEngine(name string, opts codec.Options, iopts InstrumentOptions) (*Instrumented, error) {
+	c, ok := codec.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown codec %q", name)
+	}
+	if opts.Level == 0 {
+		_, _, opts.Level = c.Levels()
+	}
+	eng, err := c.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	iopts.Codec = name
+	iopts.Level = opts.Level
+	return Instrument(eng, iopts), nil
+}

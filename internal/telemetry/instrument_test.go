@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/stage"
+)
+
+func testPayload(t *testing.T) []byte {
+	t.Helper()
+	return corpus.LogLines(42, 256<<10)
+}
+
+func TestInstrumentedRoundtrip(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"zstd", "lz4", "zlib"} {
+		t.Run(name, func(t *testing.T) {
+			ie, err := InstrumentedEngine(name, codec.Options{}, InstrumentOptions{Registry: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := testPayload(t)
+			comp, err := ie.Compress(nil, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := ie.Decompress(nil, comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatal("roundtrip mismatch through instrumented engine")
+			}
+			if ie.Unwrap() == nil {
+				t.Fatal("Unwrap returned nil")
+			}
+		})
+	}
+}
+
+func TestInstrumentedMetrics(t *testing.T) {
+	reg := NewRegistry()
+	ie, err := InstrumentedEngine("zstd", codec.Options{Level: 3}, InstrumentOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testPayload(t)
+	comp, err := ie.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ie.Decompress(nil, comp); err != nil {
+		t.Fatal(err)
+	}
+
+	lbl := func(name string, extra ...string) string {
+		kv := append([]string{"codec", "zstd", "level", "3"}, extra...)
+		return Label(name, kv...)
+	}
+	if got := reg.Counter(lbl("codec_compress_ops_total"), "").Value(); got != 1 {
+		t.Fatalf("compress ops = %d", got)
+	}
+	if got := reg.Counter(lbl("codec_decompress_ops_total"), "").Value(); got != 1 {
+		t.Fatalf("decompress ops = %d", got)
+	}
+	if got := reg.Counter(lbl("codec_compress_raw_bytes_total"), "").Value(); got != int64(len(data)) {
+		t.Fatalf("raw bytes = %d, want %d", got, len(data))
+	}
+	if got := reg.Counter(lbl("codec_compress_compressed_bytes_total"), "").Value(); got != int64(len(comp)) {
+		t.Fatalf("compressed bytes = %d, want %d", got, len(comp))
+	}
+	if reg.Histogram(lbl("codec_compress_ns"), "", "ns").Count() != 1 {
+		t.Fatal("latency histogram not observed")
+	}
+	if reg.Histogram(lbl("codec_compress_input_bytes"), "", "bytes").Count() != 1 {
+		t.Fatal("input size histogram not observed")
+	}
+}
+
+func TestInstrumentedStageAttribution(t *testing.T) {
+	// zstd implements codec.StageHooker, so per-stage counters must fill
+	// with real time: match finding and entropy coding both nonzero for a
+	// compressible input, and their sum bounded by total compress time.
+	reg := NewRegistry()
+	ie, err := InstrumentedEngine("zstd", codec.Options{Level: 3}, InstrumentOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testPayload(t)
+	if _, err := ie.Compress(nil, data); err != nil {
+		t.Fatal(err)
+	}
+	lbl := func(s stage.ID) string {
+		return Label("codec_stage_ns_total",
+			"codec", "zstd", "level", "3", "stage", s.String())
+	}
+	mf := reg.Counter(lbl(stage.MatchFind), "").Value()
+	ent := reg.Counter(lbl(stage.Entropy), "").Value()
+	if mf <= 0 {
+		t.Fatalf("matchfind ns = %d, want > 0", mf)
+	}
+	if ent <= 0 {
+		t.Fatalf("entropy ns = %d, want > 0", ent)
+	}
+	total := reg.Histogram(Label("codec_compress_ns", "codec", "zstd", "level", "3"), "", "ns").Sum()
+	if mf+ent > total {
+		t.Fatalf("stage time %d exceeds op time %d", mf+ent, total)
+	}
+}
+
+func TestInstrumentedDefaultLevelLabel(t *testing.T) {
+	// Level 0 resolves to the codec's default so metrics are labelled with
+	// the real level, not 0.
+	reg := NewRegistry()
+	if _, err := InstrumentedEngine("zstd", codec.Options{}, InstrumentOptions{Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	reg.Each(func(name, help, unit string, m interface{}) {
+		if strings.Contains(name, `level="0"`) {
+			t.Fatalf("metric labelled with level 0: %s", name)
+		}
+		if strings.Contains(name, "codec_compress_ops_total") {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("no metrics registered")
+	}
+}
+
+func TestInstrumentedEngineUnknownCodec(t *testing.T) {
+	if _, err := InstrumentedEngine("nope", codec.Options{}, InstrumentOptions{}); err == nil {
+		t.Fatal("expected error for unknown codec")
+	}
+}
+
+func TestInstrumentWithProfiler(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProfiler(10000)
+	ie, err := InstrumentedEngine("zstd", codec.Options{Level: 9}, InstrumentOptions{Registry: reg, Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.LogLines(7, 1<<20)
+	p.Start()
+	defer p.Stop()
+	// Compress repeatedly until the sampler catches an in-flight op.
+	for i := 0; i < 200 && p.Profile().Total() == 0; i++ {
+		if _, err := ie.Compress(nil, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Profile().Total() == 0 {
+		t.Skip("sampler never overlapped an operation (very slow or coarse timer)")
+	}
+	for k := range p.Profile().Samples() {
+		if k.Codec != "zstd" || k.Level != 9 || k.Dir != DirCompress {
+			t.Fatalf("unexpected sample attribution: %+v", k)
+		}
+	}
+}
+
+func TestPoolClearsStageHook(t *testing.T) {
+	// An instrumented engine returned to a pool must not fire its old hook
+	// for the next borrower.
+	pool, err := codec.NewPool("zstd", codec.Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := pool.Get()
+	fired := 0
+	eng.(codec.StageHooker).SetStageHook(func(stage.ID) { fired++ })
+	data := testPayload(t)
+	if _, err := eng.Compress(nil, data); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("hook never fired")
+	}
+	pool.Put(eng)
+	fired = 0
+	eng2 := pool.Get()
+	if _, err := eng2.Compress(nil, data); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("stale stage hook fired after Put/Get")
+	}
+	pool.Put(eng2)
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("ops_total", "operations")
+	c2 := r.Counter("ops_total", "ignored on second registration")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter")
+	}
+	c1.Inc()
+	c2.Add(2)
+	if c1.Value() != 3 {
+		t.Fatalf("value = %d, want 3", c1.Value())
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	h := r.Histogram("lat_ns", "latency", "ns")
+	if h != r.Histogram("lat_ns", "", "") {
+		t.Fatal("same name must return the same histogram")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind clash")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestRegistryEachSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta", "")
+	r.Gauge("alpha", "")
+	r.Histogram("mid", "", "ns")
+	var names []string
+	r.Each(func(name, help, unit string, m interface{}) {
+		names = append(names, name)
+	})
+	want := []string{"alpha", "mid", "zeta"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared_total", "").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+}
+
+func TestLabel(t *testing.T) {
+	got := Label("rpc_calls_total", "side", "client", "codec", "zstd")
+	want := `rpc_calls_total{side="client",codec="zstd"}`
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+	if Label("plain") != "plain" {
+		t.Fatal("no labels should return the bare name")
+	}
+	escaped := Label("m", "k", "a\"b\\c\nd")
+	if !strings.Contains(escaped, `a\"b\\c\nd`) {
+		t.Fatalf("escaping failed: %q", escaped)
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	base, labels := splitLabels(`m{k="v"}`)
+	if base != "m" || labels != `k="v"` {
+		t.Fatalf("splitLabels = %q, %q", base, labels)
+	}
+	base, labels = splitLabels("plain")
+	if base != "plain" || labels != "" {
+		t.Fatalf("splitLabels(plain) = %q, %q", base, labels)
+	}
+}

@@ -20,12 +20,38 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/orc"
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
+
+// Package-level telemetry on the shared registry, registered at first
+// stripe I/O. All workflows in the process aggregate here; per-run numbers
+// remain in the returned Stats.
+var (
+	tmOnce                   sync.Once
+	tmCompNS, tmDecompNS     *telemetry.Counter
+	tmMatchNS, tmEntropyNS   *telemetry.Counter
+	tmRawBytes, tmStoredByte *telemetry.Counter
+	tmStripeBytes            *telemetry.Histogram
+)
+
+func tm() {
+	tmOnce.Do(func() {
+		r := telemetry.Default
+		tmCompNS = r.Counter("warehouse_compress_ns_total", "stripe compression time")
+		tmDecompNS = r.Counter("warehouse_decompress_ns_total", "stripe decompression time")
+		tmMatchNS = r.Counter("warehouse_matchfind_ns_total", "zstd match-finding time inside stripe compression")
+		tmEntropyNS = r.Counter("warehouse_entropy_ns_total", "zstd entropy-coding time inside stripe compression")
+		tmRawBytes = r.Counter("warehouse_raw_bytes_total", "raw stripe bytes compressed")
+		tmStoredByte = r.Counter("warehouse_stored_bytes_total", "stored stripe bytes after compression")
+		tmStripeBytes = r.Histogram("warehouse_stripe_raw_bytes", "raw encoded stripe size", "bytes")
+	})
+}
 
 // Stats aggregates one workflow run.
 type Stats struct {
@@ -124,6 +150,8 @@ func (c *stageCapture) fold(st *Stats) {
 	s := c.staged.Stages()
 	st.MatchFindTime += s.MatchFind - c.lastMF
 	st.EntropyTime += s.Entropy - c.last
+	tmMatchNS.Add((s.MatchFind - c.lastMF).Nanoseconds())
+	tmEntropyNS.Add((s.Entropy - c.last).Nanoseconds())
 	c.lastMF = s.MatchFind
 	c.last = s.Entropy
 }
@@ -143,6 +171,7 @@ func generateBatch(seed int64, rows int) []orc.Column {
 // writeStripe ORC-encodes columns and compresses the stripe in ≤256 KiB
 // blocks.
 func writeStripe(cols []orc.Column, eng codec.Engine, cap *stageCapture, st *Stats) ([]byte, error) {
+	tm()
 	t0 := time.Now()
 	encoded, err := orc.EncodeStripe(cols)
 	st.EncodeTime += time.Since(t0)
@@ -151,24 +180,32 @@ func writeStripe(cols []orc.Column, eng codec.Engine, cap *stageCapture, st *Sta
 	}
 	t1 := time.Now()
 	framed, err := codec.CompressBlocks(eng, encoded, orc.MaxCompressionBlock)
-	st.CompressTime += time.Since(t1)
+	dt := time.Since(t1)
+	st.CompressTime += dt
 	if err != nil {
 		return nil, err
 	}
+	tmCompNS.Add(dt.Nanoseconds())
 	cap.fold(st)
 	st.RawBytes += int64(len(encoded))
 	st.StoredBytes += int64(len(framed))
+	tmRawBytes.Add(int64(len(encoded)))
+	tmStoredByte.Add(int64(len(framed)))
+	tmStripeBytes.Observe(int64(len(encoded)))
 	return framed, nil
 }
 
 // readStripe decompresses and decodes one stored stripe.
 func readStripe(framed []byte, eng codec.Engine, st *Stats) ([]orc.Column, error) {
+	tm()
 	t0 := time.Now()
 	encoded, err := codec.DecompressBlocks(eng, framed)
-	st.DecompressTime += time.Since(t0)
+	dt := time.Since(t0)
+	st.DecompressTime += dt
 	if err != nil {
 		return nil, err
 	}
+	tmDecompNS.Add(dt.Nanoseconds())
 	t1 := time.Now()
 	cols, err := orc.DecodeStripe(encoded)
 	st.EncodeTime += time.Since(t1)

@@ -11,6 +11,7 @@ import (
 	"github.com/datacomp/datacomp/internal/fse"
 	"github.com/datacomp/datacomp/internal/huffman"
 	"github.com/datacomp/datacomp/internal/lz"
+	"github.com/datacomp/datacomp/internal/stage"
 )
 
 // Frame constants.
@@ -83,11 +84,12 @@ type StageStats struct {
 // Encoder compresses frames at a fixed configuration. Not safe for
 // concurrent use.
 type Encoder struct {
-	opts     Options
-	base     levelParams
-	dictID   uint32
-	matchers map[lz.Params]*lz.Matcher
-	stats    StageStats
+	opts      Options
+	base      levelParams
+	dictID    uint32
+	matchers  map[lz.Params]*lz.Matcher
+	stats     StageStats
+	stageHook stage.Hook
 
 	seqs []lz.Sequence
 	lits []byte
@@ -126,6 +128,18 @@ func (e *Encoder) Stages() StageStats { return e.stats }
 
 // ResetStages clears the stage accounting.
 func (e *Encoder) ResetStages() { e.stats = StageStats{} }
+
+// SetStageHook installs a hook fired at stage transitions inside Compress
+// (stage.MatchFind before parsing, stage.Entropy before entropy coding,
+// stage.App when the block completes). A nil hook disables notification.
+// The hook is called from the compressing goroutine only.
+func (e *Encoder) SetStageHook(h stage.Hook) { e.stageHook = h }
+
+func (e *Encoder) enterStage(s stage.ID) {
+	if e.stageHook != nil {
+		e.stageHook(s)
+	}
+}
 
 func (e *Encoder) matcher(srcLen int) (*lz.Matcher, error) {
 	p := adaptParams(e.base, srcLen, e.opts.WindowLog)
@@ -226,14 +240,17 @@ func (e *Encoder) compressBlock(dst, buf []byte, blockStart, blockEnd int, last 
 	if windowBase < 0 {
 		windowBase = 0
 	}
+	e.enterStage(stage.MatchFind)
 	t0 := time.Now()
 	e.seqs = m.Parse(e.seqs[:0], buf[windowBase:blockEnd], blockStart-windowBase)
 	t1 := time.Now()
 	e.stats.MatchFind += t1.Sub(t0)
 
 	// Stage 2: entropy coding.
+	e.enterStage(stage.Entropy)
 	payload, err := e.encodeBlockPayload(content)
 	e.stats.Entropy += time.Since(t1)
+	e.enterStage(stage.App)
 	if err != nil {
 		return nil, err
 	}
