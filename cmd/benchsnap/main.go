@@ -1,0 +1,166 @@
+// Command benchsnap measures the steady-state hot path of every registered
+// codec at its benchmark levels and writes a machine-readable snapshot
+// (BENCH_codec.json) of ns/op, MB/s, B/op and allocs/op per
+// (codec, level, payload, direction). CI runs it on every change so the
+// repository keeps a perf trajectory; -check makes it exit nonzero when any
+// warmed engine allocates on the steady-state path, turning the snapshot
+// into the allocation regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+// Entry is one measured point of the snapshot.
+type Entry struct {
+	Codec       string  `json:"codec"`
+	Level       int     `json:"level"`
+	Payload     string  `json:"payload"`
+	Direction   string  `json:"direction"` // "compress" | "decompress"
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Ratio       float64 `json:"ratio"` // original/compressed, compress rows only
+}
+
+type snapshot struct {
+	Note    string  `json:"note"`
+	Entries []Entry `json:"entries"`
+}
+
+var configs = []struct {
+	codec string
+	level int
+}{
+	{"lz4", 1}, {"lz4", 9},
+	{"zstd", 1}, {"zstd", 3}, {"zstd", 9},
+	{"zlib", 1}, {"zlib", 6},
+}
+
+type payload struct {
+	name string
+	data []byte
+}
+
+func payloads(size int) []payload {
+	return []payload{
+		{"logs", corpus.LogLines(7, size)},
+		{"source", corpus.SourceCode(7, size)},
+		{"records", corpus.Records(7, size)},
+	}
+}
+
+func measure(eng codec.Engine, data []byte, decompress bool) (testing.BenchmarkResult, float64, error) {
+	comp, err := eng.Compress(nil, data)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	ratio := float64(len(data)) / float64(len(comp))
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		out := make([]byte, 0, 2*len(data))
+		// Warm scratch tables and buffers before the measured loop.
+		if decompress {
+			if out, benchErr = eng.Decompress(out[:0], comp); benchErr != nil {
+				return
+			}
+		} else {
+			if out, benchErr = eng.Compress(out[:0], data); benchErr != nil {
+				return
+			}
+		}
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if decompress {
+				out, benchErr = eng.Decompress(out[:0], comp)
+			} else {
+				out, benchErr = eng.Compress(out[:0], data)
+			}
+			if benchErr != nil {
+				return
+			}
+		}
+	})
+	return res, ratio, benchErr
+}
+
+func main() {
+	testing.Init() // registers -test.* flags so -benchtime can forward
+	out := flag.String("o", "BENCH_codec.json", "output path (- for stdout)")
+	size := flag.Int("size", 128<<10, "payload size in bytes")
+	benchtime := flag.Duration("benchtime", 0, "per-point benchmark time (0 = testing default)")
+	check := flag.Bool("check", false, "exit nonzero if any steady-state point allocates")
+	flag.Parse()
+	if *benchtime > 0 {
+		// testing.Benchmark honours the -test.benchtime flag.
+		if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	snap := snapshot{Note: "steady-state hot path: warmed engines, reused dst buffers (see steady_bench_test.go)"}
+	dirty := false
+	for _, cfg := range configs {
+		for _, p := range payloads(*size) {
+			name, data := p.name, p.data
+			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: %s L%d: %v\n", cfg.codec, cfg.level, err)
+				os.Exit(1)
+			}
+			for _, dir := range []string{"compress", "decompress"} {
+				res, ratio, err := measure(eng, data, dir == "decompress")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchsnap: %s L%d %s %s: %v\n", cfg.codec, cfg.level, name, dir, err)
+					os.Exit(1)
+				}
+				e := Entry{
+					Codec:       cfg.codec,
+					Level:       cfg.level,
+					Payload:     name,
+					Direction:   dir,
+					NsPerOp:     res.NsPerOp(),
+					MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					AllocsPerOp: res.AllocsPerOp(),
+				}
+				if dir == "compress" {
+					e.Ratio = ratio
+				}
+				if e.AllocsPerOp != 0 {
+					dirty = true
+					fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: %s L%d %s %s: %d allocs/op (%d B/op)\n",
+						cfg.codec, cfg.level, name, dir, e.AllocsPerOp, e.BytesPerOp)
+				}
+				snap.Entries = append(snap.Entries, e)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	if *check && dirty {
+		os.Exit(1)
+	}
+}

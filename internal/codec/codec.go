@@ -97,8 +97,8 @@ func (zstdCodec) SupportsDict() bool          { return true }
 func (zstdCodec) SupportsWindow() bool        { return true }
 
 type zstdEngine struct {
-	enc  *zstd.Encoder
-	dict []byte
+	enc *zstd.Encoder
+	dec *zstd.Decoder
 }
 
 func (zstdCodec) New(opts Options) (Engine, error) {
@@ -106,12 +106,12 @@ func (zstdCodec) New(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &zstdEngine{enc: enc, dict: opts.Dict}, nil
+	return &zstdEngine{enc: enc, dec: zstd.NewDecoder(opts.Dict)}, nil
 }
 
 func (e *zstdEngine) Compress(dst, src []byte) ([]byte, error) { return e.enc.Compress(dst, src) }
 func (e *zstdEngine) Decompress(dst, src []byte) ([]byte, error) {
-	return zstd.Decompress(dst, src, e.dict)
+	return e.dec.Decompress(dst, src)
 }
 
 // Stages exposes the zstd engine's two-stage timing for the warehouse
@@ -172,7 +172,10 @@ func (zlibCodec) Levels() (min, max, def int) { return zlibx.MinLevel, zlibx.Max
 func (zlibCodec) SupportsDict() bool          { return false }
 func (zlibCodec) SupportsWindow() bool        { return false }
 
-type zlibEngine struct{ enc *zlibx.Encoder }
+type zlibEngine struct {
+	enc *zlibx.Encoder
+	dec *zlibx.Decoder
+}
 
 func (zlibCodec) New(opts Options) (Engine, error) {
 	if len(opts.Dict) > 0 {
@@ -185,11 +188,11 @@ func (zlibCodec) New(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &zlibEngine{enc: enc}, nil
+	return &zlibEngine{enc: enc, dec: zlibx.NewDecoder()}, nil
 }
 
 func (e *zlibEngine) Compress(dst, src []byte) ([]byte, error)   { return e.enc.Compress(dst, src) }
-func (e *zlibEngine) Decompress(dst, src []byte) ([]byte, error) { return zlibx.Decompress(dst, src) }
+func (e *zlibEngine) Decompress(dst, src []byte) ([]byte, error) { return e.dec.Decompress(dst, src) }
 
 func init() {
 	Register(zstdCodec{})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallel compresses large buffers with a pool of engines, one chunk per
@@ -16,9 +17,15 @@ import (
 //
 // The frame layout reuses the CompressBlocks container, so payloads are
 // interchangeable with DecompressBlocks.
+//
+// Engines are borrowed from a Pool per call and per-chunk output buffers
+// are recycled through a sync.Pool, so Parallel is safe for concurrent use
+// and steady-state calls churn no frame buffers.
 type Parallel struct {
-	engines []Engine
+	pool    *Pool
+	workers int
 	chunk   int
+	bufs    sync.Pool // *[]byte chunk outputs
 }
 
 // NewParallel builds a parallel compressor with `workers` engines of the
@@ -31,69 +38,108 @@ func NewParallel(name string, opts Options, workers, chunkSize int) (*Parallel, 
 	if chunkSize <= 0 {
 		chunkSize = 256 << 10
 	}
-	c, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("codec: unknown codec %q", name)
+	pool, err := NewPool(name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("codec: parallel: %w", err)
 	}
-	p := &Parallel{chunk: chunkSize}
-	for i := 0; i < workers; i++ {
-		eng, err := c.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		p.engines = append(p.engines, eng)
-	}
-	return p, nil
+	return &Parallel{pool: pool, workers: workers, chunk: chunkSize}, nil
 }
 
-// Workers reports the engine-pool size.
-func (p *Parallel) Workers() int { return len(p.engines) }
+// Workers reports the worker count used per call.
+func (p *Parallel) Workers() int { return p.workers }
+
+func (p *Parallel) getBuf() *[]byte {
+	if b, ok := p.bufs.Get().(*[]byte); ok {
+		return b
+	}
+	b := make([]byte, 0, p.chunk)
+	return &b
+}
+
+// firstErr records the first error observed across workers; later errors
+// lose the CAS and are dropped.
+type firstErr struct {
+	p atomic.Pointer[error]
+}
+
+func (f *firstErr) set(err error) { f.p.CompareAndSwap(nil, &err) }
+
+func (f *firstErr) get() error {
+	if e := f.p.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// runWorkers fans n work items out across the worker pool with an atomic
+// fetch-add counter; fn compresses or decompresses item i with the borrowed
+// engine. The first error stops all workers.
+func (p *Parallel) runWorkers(n int, fn func(eng Engine, i int) error) error {
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var ferr firstErr
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := p.pool.Get()
+			defer p.pool.Put(eng)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ferr.get() != nil {
+					return
+				}
+				if err := fn(eng, i); err != nil {
+					ferr.set(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ferr.get()
+}
 
 // Compress compresses src into the block-frame format, fanning chunks out
 // across the engine pool.
 func (p *Parallel) Compress(src []byte) ([]byte, error) {
 	blocks := SplitBlocks(src, p.chunk)
-	outs := make([][]byte, len(blocks))
-	errs := make([]error, len(p.engines))
-
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < len(p.engines); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			eng := p.engines[w]
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(blocks) {
-					return
-				}
-				out, err := eng.Compress(nil, blocks[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				outs[i] = out
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	outs := make([]*[]byte, len(blocks))
+	err := p.runWorkers(len(blocks), func(eng Engine, i int) error {
+		bp := p.getBuf()
+		out, err := eng.Compress((*bp)[:0], blocks[i])
 		if err != nil {
-			return nil, err
+			p.bufs.Put(bp)
+			return err
 		}
+		*bp = out
+		outs[i] = bp
+		return nil
+	})
+	if err != nil {
+		for _, bp := range outs {
+			if bp != nil {
+				p.bufs.Put(bp)
+			}
+		}
+		return nil, err
 	}
 
-	// Assemble the standard block frame.
-	var frame []byte
+	// Assemble the standard block frame in one allocation.
+	total := binary.MaxVarintLen64
+	for _, bp := range outs {
+		total += binary.MaxVarintLen64 + len(*bp)
+	}
+	frame := make([]byte, 0, total)
 	frame = binary.AppendUvarint(frame, uint64(len(blocks)))
-	for _, out := range outs {
-		frame = binary.AppendUvarint(frame, uint64(len(out)))
-		frame = append(frame, out...)
+	for _, bp := range outs {
+		frame = binary.AppendUvarint(frame, uint64(len(*bp)))
+		frame = append(frame, *bp...)
+		p.bufs.Put(bp)
 	}
 	return frame, nil
 }
@@ -121,42 +167,34 @@ func (p *Parallel) Decompress(frame []byte) ([]byte, error) {
 		return nil, errors.New("codec: corrupt block frame")
 	}
 
-	outs := make([][]byte, len(spans))
-	errs := make([]error, len(p.engines))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < len(p.engines); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			eng := p.engines[w]
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(spans) {
-					return
-				}
-				out, err := eng.Decompress(nil, frame[spans[i].start:spans[i].end])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				outs[i] = out
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	outs := make([]*[]byte, len(spans))
+	err := p.runWorkers(len(spans), func(eng Engine, i int) error {
+		bp := p.getBuf()
+		out, err := eng.Decompress((*bp)[:0], frame[spans[i].start:spans[i].end])
 		if err != nil {
-			return nil, err
+			p.bufs.Put(bp)
+			return err
 		}
+		*bp = out
+		outs[i] = bp
+		return nil
+	})
+	if err != nil {
+		for _, bp := range outs {
+			if bp != nil {
+				p.bufs.Put(bp)
+			}
+		}
+		return nil, err
 	}
-	var result []byte
-	for _, out := range outs {
-		result = append(result, out...)
+	total := 0
+	for _, bp := range outs {
+		total += len(*bp)
+	}
+	result := make([]byte, 0, total)
+	for _, bp := range outs {
+		result = append(result, *bp...)
+		p.bufs.Put(bp)
 	}
 	return result, nil
 }

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -133,5 +135,48 @@ func BenchmarkParallelCompress(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelConcurrentUse exercises the pooled engines and recycled chunk
+// buffers from many goroutines at once — the scenario the engine pool and
+// sync.Pool buffer recycling must survive. Run under -race this is the
+// regression gate for the atomic work counter and first-error plumbing.
+func TestParallelConcurrentUse(t *testing.T) {
+	p, err := NewParallel("zstd", Options{Level: 1}, 4, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := compressible(int64(g), 512<<10)
+			for iter := 0; iter < 3; iter++ {
+				frame, err := p.Compress(data)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				back, err := p.Decompress(frame)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(back, data) {
+					errs[g] = fmt.Errorf("caller %d: roundtrip mismatch", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

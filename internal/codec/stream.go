@@ -129,6 +129,7 @@ type Reader struct {
 	r       *bufio.Reader
 	eng     Engine
 	block   []byte
+	payload []byte // reused compressed-block read buffer
 	pos     int
 	readHdr bool
 	done    bool
@@ -162,7 +163,10 @@ func (r *Reader) fillBlock() error {
 	if n > maxStreamBlock {
 		return errors.New("codec: stream block too large")
 	}
-	payload := make([]byte, n)
+	if uint64(cap(r.payload)) < n {
+		r.payload = make([]byte, n)
+	}
+	payload := r.payload[:n]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
 		return fmt.Errorf("codec: stream block body: %w", err)
 	}

@@ -7,6 +7,11 @@
 // per symbol, and decoding walks forward from a flushed final state read via
 // a reverse bit stream. Payloads are self-describing: a one-byte table log
 // followed by the bit-packed normalized counts, then the tANS bit stream.
+//
+// Tables support in-place reinitialization (EncTable.Init, DecTable.Init)
+// and the Scratch type threads them plus the bit-stream state across blocks,
+// so a warmed steady-state encoder or decoder performs zero heap
+// allocations per payload.
 package fse
 
 import (
@@ -25,10 +30,15 @@ var ErrIncompressible = errors.New("fse: input not compressible")
 // ErrCorrupt is returned when a payload cannot be decoded.
 var ErrCorrupt = errors.New("fse: corrupt payload")
 
-// spread distributes symbols over the state table using the FSE step walk.
-func spread(norm []uint16, tableLog uint) []byte {
+// spreadInto distributes symbols over the state table using the FSE step
+// walk, reusing table's capacity.
+func spreadInto(table []byte, norm []uint16, tableLog uint) []byte {
 	tableSize := 1 << tableLog
-	table := make([]byte, tableSize)
+	if cap(table) < tableSize {
+		table = make([]byte, tableSize)
+	} else {
+		table = table[:tableSize]
+	}
 	step := (tableSize >> 1) + (tableSize >> 3) + 3
 	mask := tableSize - 1
 	pos := 0
@@ -46,20 +56,23 @@ type symbolTransform struct {
 	deltaFindState int32
 }
 
-// EncTable is a prepared tANS encoding table.
+// EncTable is a prepared tANS encoding table. The zero value is empty;
+// (re)initialize it with Init, which reuses the table's storage.
 type EncTable struct {
 	tableLog   uint
 	stateTable []uint16 // next-state values, indexed by cumulative slot
 	symbolTT   []symbolTransform
 	norm       []uint16
+	spread     []byte // scratch for the state-spread walk
 }
 
-// BuildEncTable constructs an encoding table from normalized counts summing
-// to 1<<tableLog. A distribution giving the whole table to one symbol is
-// rejected: callers should use RLE for single-symbol data.
-func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
+// Init (re)builds the encoding table in place from normalized counts summing
+// to 1<<tableLog, reusing all internal storage. A distribution giving the
+// whole table to one symbol is rejected: callers should use RLE for
+// single-symbol data. The table keeps a reference to norm.
+func (t *EncTable) Init(norm []uint16, tableLog uint) error {
 	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
-		return nil, fmt.Errorf("fse: table log %d out of range", tableLog)
+		return fmt.Errorf("fse: table log %d out of range", tableLog)
 	}
 	tableSize := uint32(1) << tableLog
 	distinct := 0
@@ -68,29 +81,35 @@ func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
 			distinct++
 		}
 		if uint32(n) == tableSize {
-			return nil, errors.New("fse: single-symbol distribution (use RLE)")
+			return errors.New("fse: single-symbol distribution (use RLE)")
 		}
 	}
 	if distinct == 0 {
-		return nil, errors.New("fse: empty distribution")
+		return errors.New("fse: empty distribution")
 	}
-	sp := spread(norm, tableLog)
+	t.spread = spreadInto(t.spread, norm, tableLog)
 
-	t := &EncTable{
-		tableLog:   tableLog,
-		stateTable: make([]uint16, tableSize),
-		symbolTT:   make([]symbolTransform, len(norm)),
-		norm:       norm,
+	t.tableLog = tableLog
+	t.norm = norm
+	if cap(t.stateTable) < int(tableSize) {
+		t.stateTable = make([]uint16, tableSize)
+	} else {
+		t.stateTable = t.stateTable[:tableSize]
+	}
+	if cap(t.symbolTT) < len(norm) {
+		t.symbolTT = make([]symbolTransform, len(norm))
+	} else {
+		t.symbolTT = t.symbolTT[:len(norm)]
 	}
 	// Cumulative slot index per symbol.
-	cumul := make([]uint32, len(norm)+1)
+	var cumul [257]uint32
+	var next [256]uint32
 	for s, n := range norm {
 		cumul[s+1] = cumul[s] + uint32(n)
 	}
-	next := make([]uint32, len(norm))
-	copy(next, cumul[:len(norm)])
+	copy(next[:len(norm)], cumul[:len(norm)])
 	for u := uint32(0); u < tableSize; u++ {
-		s := sp[u]
+		s := t.spread[u]
 		t.stateTable[next[s]] = uint16(tableSize + u)
 		next[s]++
 	}
@@ -98,6 +117,7 @@ func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
 	for s, n := range norm {
 		switch n {
 		case 0:
+			t.symbolTT[s] = symbolTransform{}
 		case 1:
 			t.symbolTT[s] = symbolTransform{
 				deltaNbBits:    uint32(tableLog)<<16 - tableSize,
@@ -113,6 +133,16 @@ func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
 			}
 			total += int32(n)
 		}
+	}
+	return nil
+}
+
+// BuildEncTable constructs an encoding table from normalized counts summing
+// to 1<<tableLog. See EncTable.Init for the constraints.
+func BuildEncTable(norm []uint16, tableLog uint) (*EncTable, error) {
+	t := new(EncTable)
+	if err := t.Init(norm, tableLog); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -149,16 +179,19 @@ type decEntry struct {
 	nbBits       uint8
 }
 
-// DecTable is a prepared tANS decoding table.
+// DecTable is a prepared tANS decoding table. The zero value is empty;
+// (re)initialize it with Init, which reuses the table's storage.
 type DecTable struct {
 	tableLog uint
 	table    []decEntry
+	spread   []byte // scratch for the state-spread walk
 }
 
-// BuildDecTable constructs a decoding table from normalized counts.
-func BuildDecTable(norm []uint16, tableLog uint) (*DecTable, error) {
+// Init (re)builds the decoding table in place from normalized counts,
+// reusing all internal storage.
+func (d *DecTable) Init(norm []uint16, tableLog uint) error {
 	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
-		return nil, fmt.Errorf("fse: table log %d out of range", tableLog)
+		return fmt.Errorf("fse: table log %d out of range", tableLog)
 	}
 	tableSize := uint32(1) << tableLog
 	sum := uint32(0)
@@ -166,16 +199,21 @@ func BuildDecTable(norm []uint16, tableLog uint) (*DecTable, error) {
 		sum += uint32(n)
 	}
 	if sum != tableSize {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	sp := spread(norm, tableLog)
-	d := &DecTable{tableLog: tableLog, table: make([]decEntry, tableSize)}
-	next := make([]uint32, len(norm))
+	d.spread = spreadInto(d.spread, norm, tableLog)
+	d.tableLog = tableLog
+	if cap(d.table) < int(tableSize) {
+		d.table = make([]decEntry, tableSize)
+	} else {
+		d.table = d.table[:tableSize]
+	}
+	var next [256]uint32
 	for s, n := range norm {
 		next[s] = uint32(n)
 	}
 	for u := uint32(0); u < tableSize; u++ {
-		s := sp[u]
+		s := d.spread[u]
 		x := next[s]
 		next[s]++
 		nbBits := uint8(tableLog) - uint8(mathbits.Len32(x)-1)
@@ -184,6 +222,15 @@ func BuildDecTable(norm []uint16, tableLog uint) (*DecTable, error) {
 			symbol:       s,
 			nbBits:       nbBits,
 		}
+	}
+	return nil
+}
+
+// BuildDecTable constructs a decoding table from normalized counts.
+func BuildDecTable(norm []uint16, tableLog uint) (*DecTable, error) {
+	d := new(DecTable)
+	if err := d.Init(norm, tableLog); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -235,13 +282,13 @@ func DecodeWith(dst []byte, d *DecTable, r *bits.ReverseReader, n int) ([]byte, 
 	return dst, nil
 }
 
-// writeNormHeader serializes tableLog and the normalized counts. The counts
-// are bit-packed with a shrinking width: each count is written in
-// Len(remaining) bits where remaining is the number of unassigned slots, and
-// the stream ends when remaining hits zero.
-func writeNormHeader(dst []byte, norm []uint16, tableLog uint) []byte {
+// writeNormHeader serializes tableLog and the normalized counts through w
+// (reset here). The counts are bit-packed with a shrinking width: each count
+// is written in Len(remaining) bits where remaining is the number of
+// unassigned slots, and the stream ends when remaining hits zero.
+func writeNormHeader(dst []byte, w *bits.Writer, norm []uint16, tableLog uint) []byte {
 	dst = append(dst, byte(tableLog))
-	w := bits.NewWriter(len(norm))
+	w.Reset()
 	remaining := 1 << tableLog
 	for _, n := range norm {
 		width := uint(mathbits.Len32(uint32(remaining)))
@@ -254,9 +301,9 @@ func writeNormHeader(dst []byte, norm []uint16, tableLog uint) []byte {
 	return append(dst, w.Flush()...)
 }
 
-// readNormHeader parses a header, returning the counts, table log and the
-// number of bytes consumed.
-func readNormHeader(src []byte) (norm []uint16, tableLog uint, consumed int, err error) {
+// readNormHeaderInto parses a header, appending the counts to norm[:0] and
+// returning the counts, table log and the number of bytes consumed.
+func readNormHeaderInto(scratch []uint16, src []byte) (norm []uint16, tableLog uint, consumed int, err error) {
 	if len(src) < 2 {
 		return nil, 0, 0, ErrCorrupt
 	}
@@ -264,7 +311,9 @@ func readNormHeader(src []byte) (norm []uint16, tableLog uint, consumed int, err
 	if tableLog < hist.MinTableLog || tableLog > hist.MaxTableLog {
 		return nil, 0, 0, ErrCorrupt
 	}
-	r := bits.NewReader(src[1:])
+	norm = scratch[:0]
+	var r bits.Reader
+	r.Reset(src[1:])
 	remaining := 1 << tableLog
 	for remaining > 0 {
 		width := uint(mathbits.Len32(uint32(remaining)))
@@ -285,10 +334,20 @@ func readNormHeader(src []byte) (norm []uint16, tableLog uint, consumed int, err
 	return norm, tableLog, 1 + (bitsUsed+7)/8, nil
 }
 
-// Compress entropy-codes syms into a self-describing payload appended to
-// dst. It returns ErrIncompressible when coding would not shrink the input
-// and an error for empty or single-symbol input (handle those as raw/RLE).
-func Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
+// Scratch owns the coding tables, normalized-count buffer and bit-stream
+// state, so a warmed steady-state encoder or decoder performs zero heap
+// allocations per payload. The zero value is ready to use; a Scratch is not
+// safe for concurrent use.
+type Scratch struct {
+	enc  EncTable
+	dec  DecTable
+	norm []uint16
+	w    bits.Writer
+	rr   bits.ReverseReader
+}
+
+// Compress is the scratch-reusing form of the package-level Compress.
+func (s *Scratch) Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
 	if len(syms) < 2 {
 		return nil, ErrIncompressible
 	}
@@ -297,41 +356,54 @@ func Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
 		return nil, ErrIncompressible
 	}
 	tableLog := hist.OptimalTableLog(&h, maxTableLog)
-	norm, err := h.Normalize(tableLog)
+	norm, err := h.NormalizeInto(s.norm, tableLog)
 	if err != nil {
 		return nil, err
 	}
-	t, err := BuildEncTable(norm, tableLog)
-	if err != nil {
+	s.norm = norm
+	if err := s.enc.Init(norm, tableLog); err != nil {
 		return nil, err
 	}
 	start := len(dst)
-	dst = writeNormHeader(dst, norm, tableLog)
-	w := bits.NewWriter(len(syms) / 2)
-	if err := EncodeWith(w, t, syms); err != nil {
+	dst = writeNormHeader(dst, &s.w, norm, tableLog)
+	s.w.Reset()
+	if err := EncodeWith(&s.w, &s.enc, syms); err != nil {
 		return nil, err
 	}
-	dst = append(dst, w.FlushMarker()...)
+	dst = append(dst, s.w.FlushMarker()...)
 	if len(dst)-start >= len(syms) {
 		return nil, ErrIncompressible
 	}
 	return dst, nil
 }
 
+// Decompress is the scratch-reusing form of the package-level Decompress.
+func (s *Scratch) Decompress(dst, src []byte, n int) ([]byte, error) {
+	norm, tableLog, consumed, err := readNormHeaderInto(s.norm, src)
+	if err != nil {
+		return nil, err
+	}
+	s.norm = norm
+	if err := s.dec.Init(norm, tableLog); err != nil {
+		return nil, err
+	}
+	if err := s.rr.Reset(src[consumed:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	return DecodeWith(dst, &s.dec, &s.rr, n)
+}
+
+// Compress entropy-codes syms into a self-describing payload appended to
+// dst. It returns ErrIncompressible when coding would not shrink the input
+// and an error for empty or single-symbol input (handle those as raw/RLE).
+func Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
+	var s Scratch
+	return s.Compress(dst, syms, maxTableLog)
+}
+
 // Decompress decodes a payload produced by Compress into exactly n symbols
 // appended to dst.
 func Decompress(dst, src []byte, n int) ([]byte, error) {
-	norm, tableLog, consumed, err := readNormHeader(src)
-	if err != nil {
-		return nil, err
-	}
-	d, err := BuildDecTable(norm, tableLog)
-	if err != nil {
-		return nil, err
-	}
-	r, err := bits.NewReverseReader(src[consumed:])
-	if err != nil {
-		return nil, ErrCorrupt
-	}
-	return DecodeWith(dst, d, r, n)
+	var s Scratch
+	return s.Decompress(dst, src, n)
 }

@@ -178,8 +178,9 @@ func TestNormHeaderRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hdr := writeNormHeader(nil, norm, log)
-		got, gotLog, consumed, err := readNormHeader(hdr)
+		var w bits.Writer
+		hdr := writeNormHeader(nil, &w, norm, log)
+		got, gotLog, consumed, err := readNormHeaderInto(nil, hdr)
 		if err != nil {
 			t.Fatalf("log %d: %v", log, err)
 		}

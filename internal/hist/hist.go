@@ -127,6 +127,13 @@ var ErrTooManySymbols = errors.New("hist: more distinct symbols than table slots
 // with a nonzero raw count receives at least one slot. The returned slice has
 // length MaxSymbol+1.
 func (h *Histogram) Normalize(tableLog uint) ([]uint16, error) {
+	return h.NormalizeInto(nil, tableLog)
+}
+
+// NormalizeInto is Normalize writing into dst (reusing its capacity), the
+// form steady-state encoders call so table construction does not allocate.
+// The returned slice has length MaxSymbol+1.
+func (h *Histogram) NormalizeInto(dst []uint16, tableLog uint) ([]uint16, error) {
 	if h.Total == 0 || h.MaxSymbol < 0 {
 		return nil, ErrEmpty
 	}
@@ -135,7 +142,15 @@ func (h *Histogram) Normalize(tableLog uint) ([]uint16, error) {
 	if distinct > tableSize {
 		return nil, ErrTooManySymbols
 	}
-	norm := make([]uint16, h.MaxSymbol+1)
+	norm := dst
+	if n := h.MaxSymbol + 1; cap(norm) < n {
+		norm = make([]uint16, n)
+	} else {
+		norm = norm[:n]
+	}
+	for i := range norm {
+		norm[i] = 0
+	}
 	if distinct == 1 {
 		norm[h.MaxSymbol] = uint16(tableSize)
 		return norm, nil
@@ -147,7 +162,8 @@ func (h *Histogram) Normalize(tableLog uint) ([]uint16, error) {
 		sym  int
 		frac float64
 	}
-	rems := make([]rem, 0, distinct)
+	var remArr [MaxSymbols]rem
+	rems := remArr[:0]
 	sum := 0
 	scale := float64(tableSize) / float64(h.Total)
 	for s := 0; s <= h.MaxSymbol; s++ {

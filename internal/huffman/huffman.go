@@ -5,23 +5,30 @@
 //   - Primitives (BuildLengths, CanonicalCodes) that compute optimal
 //     length-limited code lengths via the package-merge algorithm and assign
 //     canonical codes. The DEFLATE-style codec builds its lit/len and
-//     distance tables from these.
+//     distance tables from these. Their scratch-taking variants
+//     (BuildScratch.BuildLengths, CanonicalCodesInto) run allocation-free
+//     once warmed.
 //   - A byte-stream coder (Compress/Decompress) with a compact 4-bit weight
 //     table header, used by the Zstd-style codec to compress block literals.
 //     Codes are limited to MaxCodeLen bits and decoded with a single
-//     table lookup.
+//     table lookup. The Scratch type carries every table and work buffer
+//     across blocks so the steady-state path performs zero heap allocations.
 package huffman
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/datacomp/datacomp/internal/bits"
 )
 
 // MaxCodeLen is the code-length limit for the byte-stream coder.
 const MaxCodeLen = 11
+
+// maxBuildBits bounds the code-length limit BuildScratch supports; both
+// in-repo alphabets (MaxCodeLen=11, zlibx's 12) fit well under it.
+const maxBuildBits = 16
 
 // ErrIncompressible is returned by Compress when Huffman coding does not
 // shrink the input; callers should store the data raw.
@@ -30,78 +37,140 @@ var ErrIncompressible = errors.New("huffman: input not compressible")
 // ErrCorrupt is returned when a compressed payload cannot be decoded.
 var ErrCorrupt = errors.New("huffman: corrupt payload")
 
+// BuildScratch holds the package-merge work lists, reused across builds so
+// steady-state table construction does not allocate.
+type BuildScratch struct {
+	syms  []int32  // used symbols, sorted by (frequency, symbol)
+	prevW []uint64 // weights of the previous level's merged list
+	curW  []uint64
+	// levels[l] is level l's merged list: an entry ≥ 0 indexes syms (a base
+	// item), -1 marks a package of two entries from level l-1. Level 0 is
+	// the base list itself and is not stored.
+	levels [maxBuildBits][]int32
+}
+
+// BuildLengths computes optimal length-limited code lengths for freqs into
+// lengths (len(lengths) must equal len(freqs)), reusing the scratch work
+// lists. Semantics match the package-level BuildLengths.
+func (s *BuildScratch) BuildLengths(lengths []uint8, freqs []uint32, maxBits uint8) error {
+	if len(lengths) != len(freqs) {
+		return errors.New("huffman: lengths/freqs size mismatch")
+	}
+	if maxBits == 0 || int(maxBits) > maxBuildBits {
+		return fmt.Errorf("huffman: bit limit %d out of range [1,%d]", maxBits, maxBuildBits)
+	}
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	s.syms = s.syms[:0]
+	for sym, f := range freqs {
+		if f > 0 {
+			s.syms = append(s.syms, int32(sym))
+		}
+	}
+	n := len(s.syms)
+	switch n {
+	case 0:
+		return errors.New("huffman: no symbols")
+	case 1:
+		lengths[s.syms[0]] = 1
+		return nil
+	}
+	if n > 1<<maxBits {
+		return fmt.Errorf("huffman: %d symbols exceed %d-bit limit", n, maxBits)
+	}
+	slices.SortFunc(s.syms, func(a, b int32) int {
+		if fa, fb := freqs[a], freqs[b]; fa != fb {
+			if fa < fb {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
+
+	// Forward package-merge: level l's list merges the base items with the
+	// pairwise packages of level l-1, recording only base-or-package per
+	// entry (package contents are implied by position, so no per-item
+	// symbol sets are materialized).
+	pw := s.prevW[:0]
+	for _, sym := range s.syms {
+		pw = append(pw, uint64(freqs[sym]))
+	}
+	cw := s.curW[:0]
+	for l := 1; l < int(maxBits); l++ {
+		list := s.levels[l][:0]
+		cw = cw[:0]
+		npkg := len(pw) / 2
+		bi, pi := 0, 0
+		for bi < n || pi < npkg {
+			var pkgW uint64
+			if pi < npkg {
+				pkgW = pw[2*pi] + pw[2*pi+1]
+			}
+			if pi >= npkg || (bi < n && uint64(freqs[s.syms[bi]]) <= pkgW) {
+				list = append(list, int32(bi))
+				cw = append(cw, uint64(freqs[s.syms[bi]]))
+				bi++
+			} else {
+				list = append(list, -1)
+				cw = append(cw, pkgW)
+				pi++
+			}
+		}
+		s.levels[l] = list
+		pw, cw = cw, pw
+	}
+	s.prevW, s.curW = pw, cw
+
+	// Backward walk: the first 2n-2 entries of the final list are taken;
+	// a taken package expands to the first 2·(packages taken) entries one
+	// level down, and every taken base item adds one bit to its symbol.
+	take := 2*n - 2
+	for l := int(maxBits) - 1; l >= 1; l-- {
+		list := s.levels[l]
+		if take > len(list) {
+			take = len(list)
+		}
+		npkgTaken := 0
+		for _, e := range list[:take] {
+			if e >= 0 {
+				lengths[s.syms[e]]++
+			} else {
+				npkgTaken++
+			}
+		}
+		take = 2 * npkgTaken
+	}
+	if take > n {
+		take = n
+	}
+	for _, sym := range s.syms[:take] {
+		lengths[sym]++
+	}
+	return nil
+}
+
 // BuildLengths returns optimal length-limited Huffman code lengths for the
 // given symbol frequencies, using the package-merge algorithm. Symbols with
 // zero frequency receive length 0. maxBits must satisfy
 // 2^maxBits ≥ number of used symbols. A single used symbol gets length 1.
 func BuildLengths(freqs []uint32, maxBits uint8) ([]uint8, error) {
-	type item struct {
-		weight uint64
-		syms   []int // original symbols contributing to this package
-	}
-	var used []int
-	for s, f := range freqs {
-		if f > 0 {
-			used = append(used, s)
-		}
-	}
+	var s BuildScratch
 	lengths := make([]uint8, len(freqs))
-	switch len(used) {
-	case 0:
-		return nil, errors.New("huffman: no symbols")
-	case 1:
-		lengths[used[0]] = 1
-		return lengths, nil
-	}
-	if len(used) > 1<<maxBits {
-		return nil, fmt.Errorf("huffman: %d symbols exceed %d-bit limit", len(used), maxBits)
-	}
-
-	base := make([]item, len(used))
-	for i, s := range used {
-		base[i] = item{weight: uint64(freqs[s]), syms: []int{s}}
-	}
-	sort.Slice(base, func(i, j int) bool { return base[i].weight < base[j].weight })
-
-	// Package-merge: iterate maxBits levels; at each level pair up the
-	// previous level's packages and merge with the base items.
-	prev := append([]item(nil), base...)
-	for level := 1; level < int(maxBits); level++ {
-		var packaged []item
-		for i := 0; i+1 < len(prev); i += 2 {
-			syms := make([]int, 0, len(prev[i].syms)+len(prev[i+1].syms))
-			syms = append(syms, prev[i].syms...)
-			syms = append(syms, prev[i+1].syms...)
-			packaged = append(packaged, item{weight: prev[i].weight + prev[i+1].weight, syms: syms})
-		}
-		merged := make([]item, 0, len(packaged)+len(base))
-		bi, pi := 0, 0
-		for bi < len(base) || pi < len(packaged) {
-			if pi >= len(packaged) || (bi < len(base) && base[bi].weight <= packaged[pi].weight) {
-				merged = append(merged, base[bi])
-				bi++
-			} else {
-				merged = append(merged, packaged[pi])
-				pi++
-			}
-		}
-		prev = merged
-	}
-
-	// The first 2n-2 entries of the final list determine code lengths: each
-	// appearance of a symbol adds one bit to its length.
-	take := 2*len(used) - 2
-	for i := 0; i < take && i < len(prev); i++ {
-		for _, s := range prev[i].syms {
-			lengths[s]++
-		}
+	if err := s.BuildLengths(lengths, freqs, maxBits); err != nil {
+		return nil, err
 	}
 	return lengths, nil
 }
 
-// CanonicalCodes assigns canonical (MSB-first) codes to the given lengths.
-// The returned slice parallels lengths; entries with length 0 are 0.
-func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+// CanonicalCodesInto assigns canonical (MSB-first) codes for lengths into
+// codes, which must have len(codes) == len(lengths). Entries with length 0
+// are set to 0. It performs no heap allocation.
+func CanonicalCodesInto(codes []uint32, lengths []uint8) error {
+	if len(codes) != len(lengths) {
+		return errors.New("huffman: codes/lengths size mismatch")
+	}
 	maxLen := uint8(0)
 	for _, l := range lengths {
 		if l > maxLen {
@@ -109,15 +178,15 @@ func CanonicalCodes(lengths []uint8) ([]uint32, error) {
 		}
 	}
 	if maxLen == 0 {
-		return nil, errors.New("huffman: all lengths zero")
+		return errors.New("huffman: all lengths zero")
 	}
-	blCount := make([]uint32, maxLen+1)
+	var blCount [256]uint32
+	var nextCode [257]uint32
 	for _, l := range lengths {
 		if l > 0 {
 			blCount[l]++
 		}
 	}
-	nextCode := make([]uint32, maxLen+2)
 	code := uint32(0)
 	for b := uint8(1); b <= maxLen; b++ {
 		code = (code + blCount[b-1]) << 1
@@ -125,14 +194,25 @@ func CanonicalCodes(lengths []uint8) ([]uint32, error) {
 	}
 	// Kraft check: the final code for the longest length must not overflow.
 	if code+blCount[maxLen] > 1<<maxLen {
-		return nil, errors.New("huffman: oversubscribed code lengths")
+		return errors.New("huffman: oversubscribed code lengths")
 	}
-	codes := make([]uint32, len(lengths))
 	for s, l := range lengths {
 		if l > 0 {
 			codes[s] = nextCode[l]
 			nextCode[l]++
+		} else {
+			codes[s] = 0
 		}
+	}
+	return nil
+}
+
+// CanonicalCodes assigns canonical (MSB-first) codes to the given lengths.
+// The returned slice parallels lengths; entries with length 0 are 0.
+func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+	codes := make([]uint32, len(lengths))
+	if err := CanonicalCodesInto(codes, lengths); err != nil {
+		return nil, err
 	}
 	return codes, nil
 }
@@ -173,19 +253,37 @@ func BuildTable(freqs []uint32) (*Table, error) {
 }
 
 func tableFromLengths(lengths []uint8) (*Table, error) {
-	codes, err := CanonicalCodes(lengths)
-	if err != nil {
+	t := &Table{}
+	if err := t.init(lengths); err != nil {
 		return nil, err
 	}
-	t := &Table{maxSym: -1}
-	t.dec = make([]decEntry, 1<<MaxCodeLen)
-	// Mark unused entries with len=0 so corrupt streams are detected.
+	return t, nil
+}
+
+// init (re)builds the table in place, reusing the decode slab.
+func (t *Table) init(lengths []uint8) error {
+	if len(lengths) > 256 {
+		return errors.New("huffman: alphabet exceeds 256 symbols")
+	}
+	var codes [256]uint32
+	if err := CanonicalCodesInto(codes[:len(lengths)], lengths); err != nil {
+		return err
+	}
+	if t.dec == nil {
+		t.dec = make([]decEntry, 1<<MaxCodeLen)
+	} else {
+		// Unused entries must read as len=0 so corrupt streams are detected.
+		clear(t.dec)
+	}
+	clear(t.lengths[:])
+	clear(t.codes[:])
+	t.maxSym = -1
 	for s, l := range lengths {
 		if l == 0 {
 			continue
 		}
 		if l > MaxCodeLen {
-			return nil, fmt.Errorf("huffman: length %d exceeds limit", l)
+			return fmt.Errorf("huffman: length %d exceeds limit", l)
 		}
 		t.maxSym = s
 		rev := ReverseBits(codes[s], l)
@@ -196,7 +294,7 @@ func tableFromLengths(lengths []uint8) (*Table, error) {
 			t.dec[idx] = decEntry{sym: byte(s), len: l}
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // Lengths returns the code length for each symbol (0 = unused).
@@ -236,17 +334,29 @@ func (t *Table) writeHeader(dst []byte) []byte {
 	return dst
 }
 
-// readHeader parses a weight table, returning the table and bytes consumed.
-func readHeader(src []byte) (*Table, int, error) {
+// Scratch owns every table and work buffer the byte-stream coder needs, so
+// a warmed encoder or decoder runs the steady-state path with zero heap
+// allocations. The zero value is ready to use; a Scratch is not safe for
+// concurrent use.
+type Scratch struct {
+	build   BuildScratch
+	table   Table
+	w       bits.Writer
+	freqs   [256]uint32
+	lengths [256]uint8
+}
+
+// readHeader parses a weight table into s.table, returning bytes consumed.
+func (s *Scratch) readHeader(src []byte) (int, error) {
 	if len(src) < 1 {
-		return nil, 0, ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	n := int(src[0]) + 1
 	need := 1 + (n+1)/2
 	if len(src) < need {
-		return nil, 0, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	lengths := make([]uint8, n)
+	lengths := s.lengths[:n]
 	for i := 0; i < n; i++ {
 		b := src[1+i/2]
 		var w byte
@@ -256,33 +366,31 @@ func readHeader(src []byte) (*Table, int, error) {
 			w = b >> 4
 		}
 		if w > MaxCodeLen+1 {
-			return nil, 0, ErrCorrupt
+			return 0, ErrCorrupt
 		}
 		if w > 0 {
 			lengths[i] = MaxCodeLen + 1 - w
+		} else {
+			lengths[i] = 0
 		}
 	}
-	t, err := tableFromLengths(lengths)
-	if err != nil {
-		return nil, 0, ErrCorrupt
+	if err := s.table.init(lengths); err != nil {
+		return 0, ErrCorrupt
 	}
-	return t, need, nil
+	return need, nil
 }
 
-// Compress Huffman-codes src, appending the table header and payload to dst.
-// It returns ErrIncompressible when the encoded form (header included) would
-// not be smaller than src, and an error when src is empty or single-symbol
-// (callers handle those with raw/RLE block modes).
-func Compress(dst, src []byte) ([]byte, error) {
+// Compress is the scratch-reusing form of the package-level Compress.
+func (s *Scratch) Compress(dst, src []byte) ([]byte, error) {
 	if len(src) < 2 {
 		return nil, ErrIncompressible
 	}
-	var freqs [256]uint32
+	clear(s.freqs[:])
 	for _, b := range src {
-		freqs[b]++
+		s.freqs[b]++
 	}
 	distinct := 0
-	for _, f := range freqs {
+	for _, f := range s.freqs {
 		if f > 0 {
 			distinct++
 		}
@@ -290,21 +398,55 @@ func Compress(dst, src []byte) ([]byte, error) {
 	if distinct < 2 {
 		return nil, ErrIncompressible // RLE territory
 	}
-	t, err := BuildTable(freqs[:])
-	if err != nil {
+	if err := s.build.BuildLengths(s.lengths[:], s.freqs[:], MaxCodeLen); err != nil {
 		return nil, err
 	}
-	payloadBits := t.EstimateSize(freqs[:])
+	t := &s.table
+	if err := t.init(s.lengths[:]); err != nil {
+		return nil, err
+	}
+	payloadBits := t.EstimateSize(s.freqs[:])
 	estimate := headerSize(t.maxSym) + (payloadBits+7)/8
 	if estimate >= len(src) {
 		return nil, ErrIncompressible
 	}
 	dst = t.writeHeader(dst)
-	w := bits.NewWriter((payloadBits + 7) / 8)
+	s.w.Reset()
 	for _, b := range src {
-		w.WriteBits(uint64(t.codes[b]), uint(t.lengths[b]))
+		s.w.WriteBits(uint64(t.codes[b]), uint(t.lengths[b]))
 	}
-	return append(dst, w.Flush()...), nil
+	return append(dst, s.w.Flush()...), nil
+}
+
+// Decompress is the scratch-reusing form of the package-level Decompress.
+func (s *Scratch) Decompress(dst, src []byte, n int) ([]byte, error) {
+	used, err := s.readHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	var r bits.Reader
+	r.Reset(src[used:])
+	t := &s.table
+	for i := 0; i < n; i++ {
+		e := t.dec[r.Peek(MaxCodeLen)]
+		if e.len == 0 {
+			return nil, ErrCorrupt
+		}
+		if err := r.Skip(uint(e.len)); err != nil {
+			return nil, ErrCorrupt
+		}
+		dst = append(dst, e.sym)
+	}
+	return dst, nil
+}
+
+// Compress Huffman-codes src, appending the table header and payload to dst.
+// It returns ErrIncompressible when the encoded form (header included) would
+// not be smaller than src, and an error when src is empty or single-symbol
+// (callers handle those with raw/RLE block modes).
+func Compress(dst, src []byte) ([]byte, error) {
+	var s Scratch
+	return s.Compress(dst, src)
 }
 
 // CompressWithTable encodes src with a pre-built table (for dictionary reuse),
@@ -327,20 +469,6 @@ func CompressWithTable(dst, src []byte, t *Table) ([]byte, error) {
 // Decompress decodes a payload produced by Compress into exactly n bytes,
 // appended to dst.
 func Decompress(dst, src []byte, n int) ([]byte, error) {
-	t, used, err := readHeader(src)
-	if err != nil {
-		return nil, err
-	}
-	r := bits.NewReader(src[used:])
-	for i := 0; i < n; i++ {
-		e := t.dec[r.Peek(MaxCodeLen)]
-		if e.len == 0 {
-			return nil, ErrCorrupt
-		}
-		if err := r.Skip(uint(e.len)); err != nil {
-			return nil, ErrCorrupt
-		}
-		dst = append(dst, e.sym)
-	}
-	return dst, nil
+	var s Scratch
+	return s.Decompress(dst, src, n)
 }

@@ -323,7 +323,19 @@ func appendMatch(out []byte, offset, length int) []byte {
 		}
 		return out
 	}
-	out = append(out, make([]byte, length)...)
+	// Extend by reslicing: grow capacity geometrically when needed rather
+	// than appending a throwaway zero-filled buffer per match.
+	total := n + length
+	if total > cap(out) {
+		newCap := 2 * cap(out)
+		if newCap < total {
+			newCap = total
+		}
+		grown := make([]byte, n, newCap)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:total]
 	pos := n
 	remaining := length
 	for remaining > 0 {

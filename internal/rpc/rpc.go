@@ -125,14 +125,26 @@ const maxFrame = 64 << 20
 // transport frames and (de)compresses messages on one connection.
 // The engine is single-goroutine (Client/Server serialize frame I/O), but
 // the stats counters are safe to read concurrently.
+//
+// When owned is set (server side), readFrame returns method and payload
+// slices backed by the transport's scratch buffers, valid only until the
+// next readFrame — the serve loop fully consumes each frame before reading
+// the next, so steady-state serving allocates nothing per frame. Client
+// transports leave owned unset because Call hands the response payload to
+// the caller, which keeps it.
 type transport struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	eng   codec.Engine // nil = no compression
 	pool  *codec.Pool  // where eng came from, for release()
 	min   int
+	owned bool
 	stats counters
-	buf   []byte
+	buf     []byte // compression scratch (write side)
+	mbuf    []byte // method scratch (read side)
+	rbuf    []byte // wire-payload scratch (read side)
+	dbuf    []byte // decompression scratch (read side, owned only)
+	wmethod []byte // method scratch (write side, avoids string→[]byte churn)
 }
 
 func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
@@ -172,7 +184,7 @@ func (t *transport) release() {
 }
 
 // writeFrame sends flags, method and payload, compressing when worthwhile.
-func (t *transport) writeFrame(flags byte, method string, payload []byte) error {
+func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	wire := payload
 	if t.eng != nil && len(payload) >= t.min {
 		t0 := time.Now()
@@ -196,7 +208,7 @@ func (t *transport) writeFrame(flags byte, method string, payload []byte) error 
 	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(method)))]); err != nil {
 		return err
 	}
-	if _, err := t.w.WriteString(method); err != nil {
+	if _, err := t.w.Write(method); err != nil {
 		return err
 	}
 	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(wire)))]); err != nil {
@@ -213,47 +225,70 @@ func (t *transport) writeFrame(flags byte, method string, payload []byte) error 
 	return t.w.Flush()
 }
 
-// readFrame receives one message, decompressing as flagged.
-func (t *transport) readFrame() (flags byte, method string, payload []byte, err error) {
+// readFrame receives one message, decompressing as flagged. On an owned
+// transport, method and payload alias scratch buffers valid until the next
+// readFrame; otherwise the payload is freshly allocated for the caller.
+func (t *transport) readFrame() (flags byte, method, payload []byte, err error) {
 	flags, err = t.r.ReadByte()
 	if err != nil {
-		return 0, "", nil, err
+		return 0, nil, nil, err
 	}
 	mlen, err := binary.ReadUvarint(t.r)
 	if err != nil || mlen > 4096 {
-		return 0, "", nil, errBad(err)
+		return 0, nil, nil, errBad(err)
 	}
-	mbuf := make([]byte, mlen)
+	if uint64(cap(t.mbuf)) < mlen {
+		t.mbuf = make([]byte, mlen)
+	}
+	mbuf := t.mbuf[:mlen]
 	if _, err := io.ReadFull(t.r, mbuf); err != nil {
-		return 0, "", nil, err
+		return 0, nil, nil, err
 	}
 	plen, err := binary.ReadUvarint(t.r)
 	if err != nil || plen > maxFrame {
-		return 0, "", nil, errBad(err)
+		return 0, nil, nil, errBad(err)
 	}
-	pbuf := make([]byte, plen)
+	compressed := flags&flagCompressed != 0
+	var pbuf []byte
+	if t.owned || compressed {
+		// Wire bytes are scratch: either the frame is consumed in place
+		// (owned) or decompression copies out of them below.
+		if uint64(cap(t.rbuf)) < plen {
+			t.rbuf = make([]byte, plen)
+		}
+		pbuf = t.rbuf[:plen]
+	} else {
+		pbuf = make([]byte, plen)
+	}
 	if _, err := io.ReadFull(t.r, pbuf); err != nil {
-		return 0, "", nil, err
+		return 0, nil, nil, err
 	}
 	t.stats.wireBytes.Add(int64(len(pbuf)))
 	tmWireBytes.Add(int64(len(pbuf)))
-	if flags&flagCompressed != 0 {
+	if compressed {
 		if t.eng == nil {
-			return 0, "", nil, errors.New("rpc: compressed frame on uncompressed transport")
+			return 0, nil, nil, errors.New("rpc: compressed frame on uncompressed transport")
+		}
+		dst := []byte(nil)
+		if t.owned {
+			dst = t.dbuf[:0]
 		}
 		t0 := time.Now()
-		out, err := t.eng.Decompress(nil, pbuf)
+		out, err := t.eng.Decompress(dst, pbuf)
 		ns := time.Since(t0).Nanoseconds()
 		t.stats.decompressNS.Add(ns)
 		tmDecompNS.Add(ns)
 		if err != nil {
-			return 0, "", nil, err
+			return 0, nil, nil, err
+		}
+		if t.owned {
+			t.dbuf = out
 		}
 		pbuf = out
 	}
 	t.stats.rawBytes.Add(int64(len(pbuf)))
 	tmRawBytes.Add(int64(len(pbuf)))
-	return flags, string(mbuf), pbuf, nil
+	return flags, mbuf, pbuf, nil
 }
 
 func errBad(err error) error {
@@ -263,7 +298,9 @@ func errBad(err error) error {
 	return errors.New("rpc: malformed frame")
 }
 
-// Handler processes one request payload.
+// Handler processes one request payload. The request slice is only valid
+// for the duration of the call (the server reuses its frame buffers);
+// handlers that need the bytes afterwards must copy them.
 type Handler func(req []byte) ([]byte, error)
 
 // Server dispatches method calls over accepted connections.
@@ -311,6 +348,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
+	t.owned = true // frames are consumed within the loop iteration
 	s.mu.Lock()
 	s.live[t] = struct{}{}
 	s.mu.Unlock()
@@ -330,7 +368,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			return err
 		}
 		s.mu.RLock()
-		h, ok := s.handlers[method]
+		h, ok := s.handlers[string(method)] // map lookup does not allocate
 		s.mu.RUnlock()
 		var resp []byte
 		flags := byte(0)
@@ -404,7 +442,8 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.t.writeFrame(0, method, req); err != nil {
+	c.t.wmethod = append(c.t.wmethod[:0], method...)
+	if err := c.t.writeFrame(0, c.t.wmethod, req); err != nil {
 		return nil, err
 	}
 	flags, _, resp, err := c.t.readFrame()

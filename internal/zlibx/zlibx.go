@@ -139,6 +139,17 @@ type Encoder struct {
 	matcher   *lz.Matcher // nil for level 0
 	seqs      []lz.Sequence
 	stageHook stage.Hook
+
+	// Entropy-stage scratch, reused across blocks so a warmed encoder
+	// performs zero heap allocations per payload.
+	build      huffman.BuildScratch
+	litLenFreq [numLitLen]uint32
+	distFreq   [numDist]uint32
+	litLens    [numLitLen]uint8
+	distLens   [numDist]uint8
+	litCodes   [numLitLen]uint32
+	distCodes  [numDist]uint32
+	w          bits.Writer
 }
 
 // SetStageHook installs a hook fired at stage transitions inside Compress:
@@ -218,7 +229,7 @@ func (e *Encoder) compressBlock(dst, src []byte, start, end int, last bool) ([]b
 	e.seqs = e.matcher.Parse(e.seqs[:0], src[base:end], start-base)
 
 	e.enterStage(stage.Entropy)
-	payload, err := encodeDynamic(content, e.seqs)
+	payload, err := e.encodeDynamic(content, e.seqs)
 	e.enterStage(stage.App)
 	if err != nil {
 		return nil, err
@@ -257,39 +268,48 @@ func writeTable(w *bits.Writer, lengths []uint8) {
 	}
 }
 
-func readTable(r *bits.Reader, n int) ([]uint8, error) {
-	lengths := make([]uint8, 0, n)
-	for len(lengths) < n {
+// readTable deserializes n code lengths into lengths (len(lengths) == n).
+func readTable(r *bits.Reader, lengths []uint8) error {
+	i := 0
+	for i < len(lengths) {
 		flag, err := r.ReadBits(1)
 		if err != nil {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		if flag == 1 {
 			run, err := r.ReadBits(6)
 			if err != nil {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
-			for k := 0; k <= int(run) && len(lengths) < n; k++ {
-				lengths = append(lengths, 0)
+			for k := 0; k <= int(run) && i < len(lengths); k++ {
+				lengths[i] = 0
+				i++
 			}
 			continue
 		}
 		v, err := r.ReadBits(4)
 		if err != nil {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		lengths = append(lengths, uint8(v))
+		lengths[i] = uint8(v)
+		i++
 	}
-	return lengths, nil
+	return nil
 }
 
 // encodeDynamic serializes one dynamic-Huffman block. Returns nil when the
 // alphabet degenerates (e.g. a single distinct token), signalling the caller
 // to store the block.
-func encodeDynamic(content []byte, seqs []lz.Sequence) ([]byte, error) {
+func (e *Encoder) encodeDynamic(content []byte, seqs []lz.Sequence) ([]byte, error) {
 	// Histogram both alphabets.
-	litLenFreq := make([]uint32, numLitLen)
-	distFreq := make([]uint32, numDist)
+	litLenFreq := e.litLenFreq[:]
+	distFreq := e.distFreq[:]
+	for i := range litLenFreq {
+		litLenFreq[i] = 0
+	}
+	for i := range distFreq {
+		distFreq[i] = 0
+	}
 	pos := 0
 	hasMatch := false
 	for _, s := range seqs {
@@ -308,30 +328,31 @@ func encodeDynamic(content []byte, seqs []lz.Sequence) ([]byte, error) {
 	}
 	litLenFreq[eobSym]++
 
-	litLens, err := huffman.BuildLengths(litLenFreq, maxCodeBits)
-	if err != nil {
+	litLens := e.litLens[:]
+	litCodes := e.litCodes[:]
+	if err := e.build.BuildLengths(litLens, litLenFreq, maxCodeBits); err != nil {
 		return nil, err
 	}
-	litCodes, err := huffman.CanonicalCodes(litLens)
-	if err != nil {
+	if err := huffman.CanonicalCodesInto(litCodes, litLens); err != nil {
 		return nil, err
 	}
-	var distLens []uint8
-	var distCodes []uint32
+	distLens := e.distLens[:]
+	distCodes := e.distCodes[:]
 	if hasMatch {
-		distLens, err = huffman.BuildLengths(distFreq, maxCodeBits)
-		if err != nil {
+		if err := e.build.BuildLengths(distLens, distFreq, maxCodeBits); err != nil {
 			return nil, err
 		}
-		distCodes, err = huffman.CanonicalCodes(distLens)
-		if err != nil {
+		if err := huffman.CanonicalCodesInto(distCodes, distLens); err != nil {
 			return nil, err
 		}
 	} else {
-		distLens = make([]uint8, numDist)
+		for i := range distLens {
+			distLens[i] = 0
+		}
 	}
 
-	w := bits.NewWriter(len(content) / 2)
+	w := &e.w
+	w.Reset()
 	writeTable(w, litLens)
 	writeTable(w, distLens)
 
@@ -358,23 +379,30 @@ func encodeDynamic(content []byte, seqs []lz.Sequence) ([]byte, error) {
 	return w.Flush(), nil
 }
 
-// decTable is a flat lookup decoder for ≤maxCodeBits codes.
+// decTable is a flat lookup decoder for ≤maxCodeBits codes. The zero value
+// is empty; (re)build it with init, which reuses the entry slab.
 type decTable struct {
 	entries []uint32 // sym<<8 | len; len 0 = invalid
 }
 
-func buildDecTable(lengths []uint8) (*decTable, error) {
-	codes, err := huffman.CanonicalCodes(lengths)
-	if err != nil {
-		return nil, err
+// init (re)builds the lookup table in place from code lengths. codes is
+// caller-provided scratch with len(codes) ≥ len(lengths).
+func (t *decTable) init(lengths []uint8, codes []uint32) error {
+	if err := huffman.CanonicalCodesInto(codes[:len(lengths)], lengths); err != nil {
+		return err
 	}
-	t := &decTable{entries: make([]uint32, 1<<maxCodeBits)}
+	if cap(t.entries) < 1<<maxCodeBits {
+		t.entries = make([]uint32, 1<<maxCodeBits)
+	} else {
+		t.entries = t.entries[:1<<maxCodeBits]
+		clear(t.entries)
+	}
 	for sym, l := range lengths {
 		if l == 0 {
 			continue
 		}
 		if l > maxCodeBits {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		rev := huffman.ReverseBits(codes[sym], l)
 		step := uint32(1) << l
@@ -382,7 +410,7 @@ func buildDecTable(lengths []uint8) (*decTable, error) {
 			t.entries[idx] = uint32(sym)<<8 | uint32(l)
 		}
 	}
-	return t, nil
+	return nil
 }
 
 func (t *decTable) decode(r *bits.Reader) (int, error) {
@@ -397,8 +425,29 @@ func (t *decTable) decode(r *bits.Reader) (int, error) {
 	return int(e >> 8), nil
 }
 
+// Decoder decompresses payloads, reusing its Huffman lookup tables and
+// length scratch across calls so a warmed Decoder performs zero heap
+// allocations per payload. The zero value is ready to use; a Decoder is not
+// safe for concurrent use.
+type Decoder struct {
+	litTab   decTable
+	distTab  decTable
+	litLens  [numLitLen]uint8
+	distLens [numDist]uint8
+	codes    [numLitLen]uint32 // canonical-code scratch for table builds
+}
+
+// NewDecoder returns an empty Decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
 // Decompress decodes a payload produced by Compress, appending to dst.
 func Decompress(dst, src []byte) ([]byte, error) {
+	var d Decoder
+	return d.Decompress(dst, src)
+}
+
+// Decompress decodes a payload produced by Compress, appending to dst.
+func (d *Decoder) Decompress(dst, src []byte) ([]byte, error) {
 	contentSize, n := binary.Uvarint(src)
 	if n <= 0 || contentSize > 1<<31 {
 		return nil, ErrCorrupt
@@ -430,7 +479,7 @@ func Decompress(dst, src []byte) ([]byte, error) {
 			}
 			pos += k
 			var err error
-			out, err = decodeDynamic(out, base, src[pos:pos+int(sz)])
+			out, err = d.decodeDynamic(out, base, src[pos:pos+int(sz)])
 			if err != nil {
 				return nil, err
 			}
@@ -454,34 +503,34 @@ func Decompress(dst, src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func decodeDynamic(out []byte, base int, payload []byte) ([]byte, error) {
-	r := bits.NewReader(payload)
-	litLens, err := readTable(r, numLitLen)
-	if err != nil {
+func (d *Decoder) decodeDynamic(out []byte, base int, payload []byte) ([]byte, error) {
+	var rv bits.Reader
+	rv.Reset(payload)
+	r := &rv
+	if err := readTable(r, d.litLens[:]); err != nil {
 		return nil, err
 	}
-	distLens, err := readTable(r, numDist)
-	if err != nil {
+	if err := readTable(r, d.distLens[:]); err != nil {
 		return nil, err
 	}
-	litTab, err := buildDecTable(litLens)
-	if err != nil {
+	if err := d.litTab.init(d.litLens[:], d.codes[:]); err != nil {
 		return nil, ErrCorrupt
 	}
 	var distTab *decTable
 	hasDist := false
-	for _, l := range distLens {
+	for _, l := range d.distLens {
 		if l > 0 {
 			hasDist = true
 			break
 		}
 	}
 	if hasDist {
-		distTab, err = buildDecTable(distLens)
-		if err != nil {
+		if err := d.distTab.init(d.distLens[:], d.codes[:]); err != nil {
 			return nil, ErrCorrupt
 		}
+		distTab = &d.distTab
 	}
+	litTab := &d.litTab
 	for {
 		sym, err := litTab.decode(r)
 		if err != nil {
@@ -540,7 +589,19 @@ func appendMatch(out []byte, offset, length int) []byte {
 		}
 		return out
 	}
-	out = append(out, make([]byte, length)...)
+	// Extend by reslicing: grow capacity geometrically when needed rather
+	// than appending a throwaway zero-filled buffer per match.
+	total := n + length
+	if total > cap(out) {
+		newCap := 2 * cap(out)
+		if newCap < total {
+			newCap = total
+		}
+		grown := make([]byte, n, newCap)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:total]
 	pos := n
 	remaining := length
 	for remaining > 0 {

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"github.com/datacomp/datacomp/internal/bits"
 	"github.com/datacomp/datacomp/internal/fse"
@@ -82,10 +81,32 @@ func DecompressedSize(src []byte) (int, error) {
 	return int(h.contentSize), nil
 }
 
+// Decoder decompresses frames produced with a fixed dictionary, reusing its
+// history buffer and entropy-table scratch across frames so a warmed Decoder
+// performs zero heap allocations per frame. Not safe for concurrent use.
+type Decoder struct {
+	dict []byte
+	buf  []byte // history: dict prefix + decoded content
+	bd   blockDecoder
+}
+
+// NewDecoder returns a Decoder for frames compressed with dict (nil for
+// dictionary-less frames).
+func NewDecoder(dict []byte) *Decoder {
+	return &Decoder{dict: dict}
+}
+
 // Decompress decodes a frame, appending the content to dst. dict must be
 // the same content-prefix dictionary used at compression time (nil when the
 // frame was compressed without one).
 func Decompress(dst, src []byte, dict []byte) ([]byte, error) {
+	d := Decoder{dict: dict}
+	return d.Decompress(dst, src)
+}
+
+// Decompress decodes a frame, appending the content to dst.
+func (dec *Decoder) Decompress(dst, src []byte) ([]byte, error) {
+	dict := dec.dict
 	h, err := parseHeader(src)
 	if err != nil {
 		return nil, err
@@ -109,11 +130,13 @@ func Decompress(dst, src []byte, dict []byte) ([]byte, error) {
 	if capHint > 1<<20 {
 		capHint = 1 << 20
 	}
-	buf := make([]byte, 0, len(dict)+capHint)
-	buf = append(buf, dict...)
+	if need := len(dict) + capHint; cap(dec.buf) < need {
+		dec.buf = make([]byte, 0, need)
+	}
+	buf := append(dec.buf[:0], dict...)
 	base := len(buf)
 
-	d := &blockDecoder{}
+	d := &dec.bd
 	for {
 		if pos+3 > len(src) {
 			return nil, ErrCorrupt
@@ -161,14 +184,13 @@ func Decompress(dst, src []byte, dict []byte) ([]byte, error) {
 	if len(buf)-base != int(h.contentSize) {
 		return nil, ErrCorrupt
 	}
+	dec.buf = buf // keep grown history capacity for the next frame
 	if h.hasChecksum {
 		if pos+8 > len(src) {
 			return nil, ErrCorrupt
 		}
 		want := binary.LittleEndian.Uint64(src[pos:])
-		hash := fnv.New64a()
-		hash.Write(buf[base:])
-		if hash.Sum64() != want {
+		if fnv64a(buf[base:]) != want {
 			return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 		}
 		pos += 8
@@ -179,16 +201,20 @@ func Decompress(dst, src []byte, dict []byte) ([]byte, error) {
 	return append(dst, buf[base:]...), nil
 }
 
-// blockDecoder holds reusable scratch for compressed-block decoding.
+// blockDecoder holds reusable scratch for compressed-block decoding: the
+// section buffers plus the Huffman and FSE table scratch, so repeated blocks
+// rebuild entropy tables in place.
 type blockDecoder struct {
-	lits []byte
-	llc  []byte
-	ofc  []byte
-	mlc  []byte
+	lits  []byte
+	llc   []byte
+	ofc   []byte
+	mlc   []byte
+	huff  huffman.Scratch
+	fseSc fse.Scratch
 }
 
 // decodeStream reads one sequence-code stream.
-func decodeStream(dst []byte, mode byte, src []byte, pos, n int) ([]byte, int, error) {
+func (d *blockDecoder) decodeStream(dst []byte, mode byte, src []byte, pos, n int) ([]byte, int, error) {
 	switch mode {
 	case seqRLE:
 		if pos >= len(src) {
@@ -213,7 +239,7 @@ func decodeStream(dst []byte, mode byte, src []byte, pos, n int) ([]byte, int, e
 		}
 		pos += k
 		var err error
-		dst, err = fse.Decompress(dst, src[pos:pos+int(length)], n)
+		dst, err = d.fseSc.Decompress(dst, src[pos:pos+int(length)], n)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -261,7 +287,7 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		}
 		pos += k
 		var err error
-		d.lits, err = huffman.Decompress(d.lits, src[pos:pos+int(compLen)], int(litCount))
+		d.lits, err = d.huff.Decompress(d.lits, src[pos:pos+int(compLen)], int(litCount))
 		if err != nil {
 			return nil, err
 		}
@@ -290,15 +316,15 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 	pos++
 	modes := [3]byte{modeByte & 3, modeByte >> 2 & 3, modeByte >> 4 & 3}
 	var err error
-	d.llc, pos, err = decodeStream(d.llc[:0], modes[0], src, pos, numSeqs)
+	d.llc, pos, err = d.decodeStream(d.llc[:0], modes[0], src, pos, numSeqs)
 	if err != nil {
 		return nil, err
 	}
-	d.ofc, pos, err = decodeStream(d.ofc[:0], modes[1], src, pos, numSeqs)
+	d.ofc, pos, err = d.decodeStream(d.ofc[:0], modes[1], src, pos, numSeqs)
 	if err != nil {
 		return nil, err
 	}
-	d.mlc, pos, err = decodeStream(d.mlc[:0], modes[2], src, pos, numSeqs)
+	d.mlc, pos, err = d.decodeStream(d.mlc[:0], modes[2], src, pos, numSeqs)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +333,8 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	pos += k
-	extras := bits.NewReader(src[pos : pos+int(exLen)])
+	var extras bits.Reader
+	extras.Reset(src[pos : pos+int(exLen)])
 
 	litPos := 0
 	reps := newRepState()
@@ -365,7 +392,19 @@ func appendMatch(out []byte, offset, length int) []byte {
 		}
 		return out
 	}
-	out = append(out, make([]byte, length)...)
+	// Extend by reslicing: grow capacity geometrically when needed rather
+	// than appending a throwaway zero-filled buffer per match.
+	total := n + length
+	if total > cap(out) {
+		newCap := 2 * cap(out)
+		if newCap < total {
+			newCap = total
+		}
+		grown := make([]byte, n, newCap)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:total]
 	pos := n
 	remaining := length
 	for remaining > 0 {

@@ -97,6 +97,15 @@ type Encoder struct {
 	ofc  []byte
 	mlc  []byte
 	work []byte
+
+	// Entropy-stage scratch, reused across blocks so a warmed encoder
+	// performs zero heap allocations per frame.
+	huff    huffman.Scratch
+	fseSc   fse.Scratch
+	extras  bits.Writer
+	payload []byte
+	litEnc  []byte
+	seqEnc  [3][]byte
 }
 
 // NewEncoder validates opts and returns an Encoder.
@@ -197,11 +206,24 @@ func (e *Encoder) Compress(dst, src []byte) ([]byte, error) {
 		}
 	}
 	if e.opts.Checksum {
-		h := fnv.New64a()
-		h.Write(src)
-		dst = binary.LittleEndian.AppendUint64(dst, h.Sum64())
+		dst = binary.LittleEndian.AppendUint64(dst, fnv64a(src))
 	}
 	return dst, nil
+}
+
+// fnv64a is an inline FNV-64a so checksumming does not allocate a
+// hash.Hash64 per frame (hash/fnv's constructor escapes to the heap).
+func fnv64a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // appendBlockHeader writes the 3-byte block header:
@@ -269,7 +291,8 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 	e.llc = e.llc[:0]
 	e.ofc = e.ofc[:0]
 	e.mlc = e.mlc[:0]
-	extras := bits.NewWriter(64)
+	extras := &e.extras
+	extras.Reset()
 
 	pos := 0
 	numSeqs := 0
@@ -300,7 +323,7 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 		return nil, fmt.Errorf("zstd: internal: sequences cover %d of %d bytes", pos, len(content))
 	}
 
-	var payload []byte
+	payload := e.payload[:0]
 	var tmp [binary.MaxVarintLen64]byte
 
 	// Literals section.
@@ -313,7 +336,8 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
 		payload = append(payload, e.lits[0])
 	default:
-		if enc, err := huffman.Compress(nil, e.lits); err == nil {
+		if enc, err := e.huff.Compress(e.litEnc[:0], e.lits); err == nil {
+			e.litEnc = enc
 			payload = append(payload, litsHuff)
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
@@ -331,7 +355,7 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(numSeqs))]...)
 	if numSeqs > 0 {
 		streams := [3][]byte{e.llc, e.ofc, e.mlc}
-		encoded := make([][]byte, 3)
+		var encoded [3][]byte
 		modes := [3]byte{}
 		for i, s := range streams {
 			switch {
@@ -339,7 +363,8 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 				modes[i] = seqRLE
 				encoded[i] = s[:1]
 			default:
-				if enc, err := fse.Compress(nil, s, seqTableLog); err == nil {
+				if enc, err := e.fseSc.Compress(e.seqEnc[i][:0], s, seqTableLog); err == nil {
+					e.seqEnc[i] = enc
 					modes[i] = seqFSE
 					encoded[i] = enc
 				} else if err == fse.ErrIncompressible {
@@ -366,5 +391,6 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(ex)))]...)
 		payload = append(payload, ex...)
 	}
+	e.payload = payload // keep capacity for the next block
 	return payload, nil
 }

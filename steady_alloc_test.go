@@ -1,0 +1,173 @@
+// Allocation regression gate: a warmed engine must perform zero heap
+// allocations per steady-state operation, for every codec, in both
+// directions, with and without dictionaries, and through the telemetry
+// wrapper. These tests are what keeps the scratch-reuse architecture honest
+// — any re-introduced per-op make/append-make shows up as a failure here
+// long before it shows up in a fleet profile.
+package datacomp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/telemetry"
+)
+
+// allocsPerOp measures steady-state allocations of op after one warm-up
+// call. AllocsPerRun already averages over runs; the explicit warm-up keeps
+// first-call table/buffer growth out of the measurement.
+func allocsPerOp(t *testing.T, op func()) float64 {
+	t.Helper()
+	op()
+	return testing.AllocsPerRun(10, op)
+}
+
+func requireZeroAllocs(t *testing.T, name string, op func()) {
+	t.Helper()
+	if n := allocsPerOp(t, op); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	payload := corpus.LogLines(11, 64<<10)
+	for _, cfg := range steadyConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s_L%d", cfg.codec, cfg.level), func(t *testing.T) {
+			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, err := eng.Compress(nil, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip sanity before measuring.
+			got, err := eng.Decompress(nil, comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("roundtrip mismatch")
+			}
+
+			cbuf := make([]byte, 0, 2*len(payload))
+			requireZeroAllocs(t, "compress", func() {
+				out, err := eng.Compress(cbuf[:0], payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cbuf = out
+			})
+			dbuf := make([]byte, 0, 2*len(payload))
+			requireZeroAllocs(t, "decompress", func() {
+				out, err := eng.Decompress(dbuf[:0], comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dbuf = out
+			})
+			// Round-trip through both reused buffers.
+			requireZeroAllocs(t, "roundtrip", func() {
+				var err error
+				cbuf, err = eng.Compress(cbuf[:0], payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dbuf, err = eng.Decompress(dbuf[:0], cbuf)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if !bytes.Equal(dbuf, payload) {
+				t.Fatal("steady-state roundtrip mismatch")
+			}
+		})
+	}
+}
+
+func TestSteadyStateAllocsWithDict(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	// Small-item + shared-dictionary shape (§IV-C): the dictionary seeds
+	// the match window, so per-op state is strictly larger than the plain
+	// path — it must still be allocation-free once warmed.
+	dict := corpus.LogLines(3, 8<<10)
+	payload := corpus.LogLines(11, 4<<10)
+	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3, Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := eng.Compress(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Decompress(nil, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("dict roundtrip mismatch")
+	}
+	cbuf := make([]byte, 0, 2*len(payload))
+	dbuf := make([]byte, 0, 2*len(payload))
+	requireZeroAllocs(t, "dict roundtrip", func() {
+		var err error
+		cbuf, err = eng.Compress(cbuf[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbuf, err = eng.Decompress(dbuf[:0], cbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !bytes.Equal(dbuf, payload) {
+		t.Fatal("steady-state dict roundtrip mismatch")
+	}
+}
+
+func TestInstrumentedAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	// The telemetry wrapper must not reintroduce per-op allocations, or
+	// -telemetry runs stop being representative of hot-path cost.
+	payload := corpus.LogLines(11, 64<<10)
+	reg := telemetry.NewRegistry()
+	ie, err := telemetry.InstrumentedEngine("zstd", codec.Options{Level: 3},
+		telemetry.InstrumentOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ie.Compress(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbuf := make([]byte, 0, 2*len(payload))
+	requireZeroAllocs(t, "instrumented compress", func() {
+		out, err := ie.Compress(cbuf[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbuf = out
+	})
+	dbuf := make([]byte, 0, 2*len(payload))
+	requireZeroAllocs(t, "instrumented decompress", func() {
+		out, err := ie.Decompress(dbuf[:0], comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbuf = out
+	})
+	if !bytes.Equal(dbuf, payload) {
+		t.Fatal("instrumented roundtrip mismatch")
+	}
+}

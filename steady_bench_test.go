@@ -1,0 +1,99 @@
+// Steady-state hot-path benchmarks: warmed engines, reused destination
+// buffers, per-operation heap accounting. These are the numbers the
+// allocation regression gate (TestSteadyStateAllocs, CI bench job) tracks:
+// a warmed Encoder/Decoder must stay at 0 allocs/op, and throughput on the
+// Fig. 1 corpus classes must not regress.
+//
+// Run with:
+//
+//	go test -run='^$' -bench=BenchmarkSteadyState -benchmem
+package datacomp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+// steadyPayload is one payload class of the steady-state suite. The three
+// classes proxy the paper's Fig. 1 corpus spread: natural-language-like
+// text, structured source, and binary records.
+type steadyPayload struct {
+	name string
+	data []byte
+}
+
+func steadyPayloads() []steadyPayload {
+	const n = 128 << 10
+	return []steadyPayload{
+		{"logs", corpus.LogLines(7, n)},
+		{"source", corpus.SourceCode(7, n)},
+		{"records", corpus.Records(7, n)},
+	}
+}
+
+// steadyConfigs lists the (codec, level) points of the suite: the default
+// and the hottest fleet levels per codec.
+func steadyConfigs() []struct {
+	codec string
+	level int
+} {
+	return []struct {
+		codec string
+		level int
+	}{
+		{"lz4", 1},
+		{"lz4", 9},
+		{"zstd", 1},
+		{"zstd", 3},
+		{"zstd", 9},
+		{"zlib", 1},
+		{"zlib", 6},
+	}
+}
+
+func BenchmarkSteadyState(b *testing.B) {
+	for _, cfg := range steadyConfigs() {
+		for _, p := range steadyPayloads() {
+			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp, err := eng.Compress(nil, p.data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("compress/%s_L%d/%s", cfg.codec, cfg.level, p.name), func(b *testing.B) {
+				out := make([]byte, 0, 2*len(p.data))
+				b.SetBytes(int64(len(p.data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err = eng.Compress(out[:0], p.data)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("decompress/%s_L%d/%s", cfg.codec, cfg.level, p.name), func(b *testing.B) {
+				out := make([]byte, 0, 2*len(p.data))
+				// Warm the decoder's internal scratch before measuring.
+				out, err = eng.Decompress(out[:0], comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(p.data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err = eng.Decompress(out[:0], comp)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
