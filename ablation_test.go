@@ -61,7 +61,7 @@ func BenchmarkAblationDictSize(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eng, err := codec.NewEngine("zstd", codec.Options{Level: 3, Dict: d})
+			eng, err := codec.NewEngine("zstd", codec.WithLevel(3), codec.WithDict(d))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -31,7 +31,7 @@ func BenchmarkFig1Codecs(b *testing.B) {
 		for algo, ls := range levels {
 			for _, level := range ls {
 				b.Run(fmt.Sprintf("%s/%s_L%d", f.Name, algo, level), func(b *testing.B) {
-					eng, err := codec.NewEngine(algo, codec.Options{Level: level})
+					eng, err := codec.NewEngine(algo, codec.WithLevel(level))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -55,7 +55,7 @@ func BenchmarkFig1Decompress(b *testing.B) {
 	files := corpus.Silesia(1, 1<<19)
 	for _, algo := range []string{"zstd", "zlib", "lz4"} {
 		b.Run(algo, func(b *testing.B) {
-			eng, err := codec.NewEngine(algo, codec.Options{Level: 1})
+			eng, err := codec.NewEngine(algo, codec.WithLevel(1))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -187,11 +187,11 @@ func BenchmarkFig10Fig11DictCompression(b *testing.B) {
 	for _, level := range []int{1, 3, 6, 11} {
 		for _, mode := range []string{"plain", "dict"} {
 			b.Run(fmt.Sprintf("L%d_%s", level, mode), func(b *testing.B) {
-				opts := codec.Options{Level: level}
+				opts := []codec.Option{codec.WithLevel(level)}
 				if mode == "dict" {
-					opts.Dict = d
+					opts = append(opts, codec.WithDict(d))
 				}
-				eng, err := codec.NewEngine("zstd", opts)
+				eng, err := codec.NewEngine("zstd", opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -225,7 +225,7 @@ func BenchmarkFig12AdsLevels(b *testing.B) {
 		}
 		for _, level := range []int{-5, -1, 1, 4, 9} {
 			b.Run(fmt.Sprintf("model%s_L%d", m.Name, level), func(b *testing.B) {
-				eng, err := codec.NewEngine("zstd", codec.Options{Level: level})
+				eng, err := codec.NewEngine("zstd", codec.WithLevel(level))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -271,7 +271,7 @@ func BenchmarkFig13BlockSize(b *testing.B) {
 	sample := corpus.SSTSample(1, 2<<20)
 	for _, bs := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
 		b.Run(fmt.Sprintf("block%dKiB", bs/1024), func(b *testing.B) {
-			eng, err := codec.NewEngine("zstd", codec.Options{Level: 1})
+			eng, err := codec.NewEngine("zstd", codec.WithLevel(1))
 			if err != nil {
 				b.Fatal(err)
 			}

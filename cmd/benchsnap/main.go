@@ -114,7 +114,7 @@ func main() {
 	for _, cfg := range configs {
 		for _, p := range payloads(*size) {
 			name, data := p.name, p.data
-			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
+			eng, err := codec.NewEngine(cfg.codec, codec.WithLevel(cfg.level))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchsnap: %s L%d: %v\n", cfg.codec, cfg.level, err)
 				os.Exit(1)

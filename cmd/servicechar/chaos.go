@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/faultinject"
+	"github.com/datacomp/datacomp/internal/rpc"
+	"github.com/datacomp/datacomp/internal/telemetry"
+)
+
+// runChaos drives the RPC serving path through the fault-injection
+// harness: an echo server on a loopback pipe, a client whose read side
+// randomly flips bits, and a retry/redial policy that survives it. The
+// invariant on display is the hardening contract — every corrupted
+// response is detected (ErrCorrupt), none is silently wrong.
+func runChaos() {
+	fmt.Println("=== chaos: bit-flip injection on the RPC serving path ===")
+	comp := rpc.Compression{Codec: "zstd", Level: 1, Checksum: true}
+	server := rpc.NewServer(comp, rpc.WithShedThreshold(64))
+	server.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+
+	reg := telemetry.Default
+	corruptC := reg.Counter("rpc_corrupt_frames_total", "frames failing integrity verification")
+	retriesC := reg.Counter("rpc_retries_total", "retried client calls")
+	corrupt0, retries0 := corruptC.Value(), retriesC.Value()
+
+	flipSeed := uint64(*seed)
+	redials := 0
+	dial := func(ctx context.Context) (io.ReadWriter, error) {
+		cc, sc := net.Pipe()
+		go func() {
+			_ = server.ServeConn(context.Background(), sc)
+			sc.Close()
+		}()
+		flipSeed++
+		redials++
+		return faultinject.New(cc,
+			faultinject.WithSeed(flipSeed), faultinject.WithBitFlips(0.00001)), nil
+	}
+	conn, _ := dial(context.Background())
+	redials = 0 // the first dial is setup, not recovery
+	client, err := rpc.NewClient(conn, comp,
+		rpc.WithRedial(dial),
+		rpc.WithRetry(rpc.RetryPolicy{
+			Max:        3,
+			Backoff:    2 * time.Millisecond,
+			Idempotent: func(string) bool { return true },
+		}),
+		rpc.WithBreaker(rpc.BreakerPolicy{Threshold: 8, Cooldown: 50 * time.Millisecond}),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	const calls = 200
+	okCount, failed, wrong := 0, 0, 0
+	ctx := context.Background()
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		payload := corpus.ModelB.Request(rng)
+		resp, err := client.Call(ctx, "echo", payload)
+		switch {
+		case err == nil && bytes.Equal(resp, payload):
+			okCount++
+		case err == nil:
+			wrong++ // checksum hole: corruption delivered as data
+		case errors.Is(err, rpc.ErrCorrupt):
+			failed++
+		default:
+			failed++
+		}
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("calls            %d (%.1f/s)\n", calls, float64(calls)/elapsed.Seconds())
+	fmt.Printf("succeeded        %d (after up to 3 retries)\n", okCount)
+	fmt.Printf("failed detected  %d\n", failed)
+	fmt.Printf("silently wrong   %d\n", wrong)
+	fmt.Printf("corrupt frames   %d (detected by frame checksum)\n", corruptC.Value()-corrupt0)
+	fmt.Printf("retries          %d\n", retriesC.Value()-retries0)
+	fmt.Printf("redials          %d (desynced connections replaced)\n", redials)
+	if wrong > 0 {
+		fatal(fmt.Errorf("%d corrupted responses were NOT detected", wrong))
+	}
+	fmt.Println("\nEvery injected corruption was caught by the XXH64 frame checksum;")
+	fmt.Println("retry + redial recovered the idempotent calls that hit it.")
+}

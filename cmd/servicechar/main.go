@@ -44,6 +44,7 @@ func main() {
 	fig11 := flag.Bool("fig11", false, "print Fig 11")
 	fig12 := flag.Bool("fig12", false, "print Fig 12")
 	fig13 := flag.Bool("fig13", false, "print Fig 13")
+	chaos := flag.Bool("chaos", false, "run the fault-injection harness against a loopback RPC server and report corruption handling")
 	telemetryAddr := flag.String("telemetry", "", "serve telemetry (shared registry) on this address while running")
 	flag.Parse()
 
@@ -54,6 +55,11 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "servicechar: telemetry on http://%s (/metrics /vars)\n", srv.Addr)
+	}
+
+	if *chaos {
+		runChaos()
+		return
 	}
 
 	all := !(*table1 || *fig6 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *fig13)
@@ -233,11 +239,11 @@ func printDictCurve(service, figure string, types []corpus.ItemType) {
 	fmt.Fprintln(w, "level\tmode\tratio\tcomp MB/s")
 	for _, level := range []int{1, 3, 6, 11} {
 		for _, mode := range []string{"plain", "dict"} {
-			opts := codec.Options{Level: level}
+			opts := []codec.Option{codec.WithLevel(level)}
 			if mode == "dict" {
-				opts.Dict = d
+				opts = append(opts, codec.WithDict(d))
 			}
-			eng, err := codec.NewEngine("zstd", opts)
+			eng, err := codec.NewEngine("zstd", opts...)
 			if err != nil {
 				fatal(err)
 			}
@@ -260,7 +266,7 @@ func printFig12() {
 	for _, m := range corpus.AdsModels() {
 		reqs := m.Requests(*seed, 3)
 		for _, level := range []int{-5, -3, -1, 1, 2, 3, 4, 5, 6, 7, 8, 9} {
-			eng, err := codec.NewEngine("zstd", codec.Options{Level: level})
+			eng, err := codec.NewEngine("zstd", codec.WithLevel(level))
 			if err != nil {
 				fatal(err)
 			}
@@ -282,7 +288,7 @@ func printFig13() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "block\tratio\tcomp MB/s\tdecomp time/block")
 	for _, bs := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
-		eng, err := codec.NewEngine("zstd", codec.Options{Level: 1})
+		eng, err := codec.NewEngine("zstd", codec.WithLevel(1))
 		if err != nil {
 			fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,9 +29,10 @@ func runWorkload(comp rpc.Compression) (rpc.Stats, time.Duration) {
 		}
 		return []byte{sum, byte(len(req) >> 8)}, nil
 	})
+	ctx := context.Background()
 	cc, sc := net.Pipe()
 	go func() {
-		_ = server.ServeConn(sc)
+		_ = server.ServeConn(ctx, sc)
 	}()
 	client, err := rpc.NewClient(cc, comp)
 	if err != nil {
@@ -41,7 +43,7 @@ func runWorkload(comp rpc.Compression) (rpc.Stats, time.Duration) {
 	t0 := time.Now()
 	for i := 0; i < 20; i++ {
 		req := corpus.ModelB.Request(rng)
-		if _, err := client.Call("rank", req); err != nil {
+		if _, err := client.Call(ctx, "rank", req); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -37,7 +37,7 @@ func main() {
 	// 2. Levels trade speed for ratio (zstd sweep).
 	fmt.Println("\n== zstd level sweep ==")
 	for _, level := range []int{-5, 1, 3, 7, 12, 19} {
-		eng, err := codec.NewEngine("zstd", codec.Options{Level: level})
+		eng, err := codec.NewEngine("zstd", codec.WithLevel(level))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,11 +58,11 @@ func main() {
 		log.Fatal(err)
 	}
 	items := corpus.CacheItems(3, typ, 300)
-	plain, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	plain, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dicted, err := codec.NewEngine("zstd", codec.Options{Level: 3, Dict: d})
+	dicted, err := codec.NewEngine("zstd", codec.WithLevel(3), codec.WithDict(d))
 	if err != nil {
 		log.Fatal(err)
 	}

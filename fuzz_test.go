@@ -5,6 +5,9 @@
 package datacomp_test
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"github.com/datacomp/datacomp/internal/corpus"
@@ -12,6 +15,7 @@ import (
 	"github.com/datacomp/datacomp/internal/huffman"
 	"github.com/datacomp/datacomp/internal/lz4"
 	"github.com/datacomp/datacomp/internal/orc"
+	"github.com/datacomp/datacomp/internal/rpc"
 	"github.com/datacomp/datacomp/internal/zlibx"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
@@ -112,6 +116,44 @@ func FuzzHuffmanDecompress(f *testing.F) {
 			n = 16
 		}
 		_, _ = huffman.Decompress(nil, data, n)
+	})
+}
+
+func FuzzRPCFrame(f *testing.F) {
+	for _, frame := range [][]byte{
+		rpc.EncodeFrame(0, "echo", nil),
+		rpc.EncodeFrame(0, "rank", corpus.LogLines(1, 2048)),
+		rpc.EncodeFrame(2, "fail", []byte("handler exploded")),
+	} {
+		f.Add(frame)
+		if len(frame) > 4 {
+			mut := append([]byte{}, frame...)
+			mut[len(mut)/2] ^= 0x55
+			f.Add(mut)
+			f.Add(frame[:len(frame)/2])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flags, method, payload, err := rpc.ParseFrame(data)
+		if err != nil {
+			// The whole failure surface of the frame parser: a clean EOF
+			// between frames, or typed corruption. Anything else (or a
+			// panic) is a parser bug.
+			if !errors.Is(err, rpc.ErrCorrupt) && !errors.Is(err, io.EOF) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		// Accepted frames must survive a re-encode/re-parse cycle intact
+		// (byte equality is too strict: ReadUvarint accepts non-canonical
+		// varint encodings that PutUvarint never emits).
+		flags2, method2, payload2, err := rpc.ParseFrame(rpc.EncodeFrame(flags, string(method), payload))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if flags2 != flags || !bytes.Equal(method2, method) || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame did not round-trip")
+		}
 	})
 }
 

@@ -160,7 +160,7 @@ func TestCompOptPickIsActuallyFeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fresh data, fresh engine.
-	eng, err := codec.NewEngine(best.Config.Algorithm, codec.Options{Level: best.Config.Level})
+	eng, err := codec.NewEngine(best.Config.Algorithm, codec.WithLevel(best.Config.Level))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestCrossCodecFrameRejection(t *testing.T) {
 	frames := map[string][]byte{}
 	engines := map[string]codec.Engine{}
 	for _, name := range codec.Names() {
-		eng, err := codec.NewEngine(name, codec.Options{Level: 1})
+		eng, err := codec.NewEngine(name, codec.WithLevel(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -350,7 +350,7 @@ func TestBlockCompressionAcrossCodecsAndSizes(t *testing.T) {
 	for _, name := range codec.Names() {
 		var prevRatio float64
 		for _, bs := range []int{1 << 10, 8 << 10, 64 << 10} {
-			eng, err := codec.NewEngine(name, codec.Options{Level: 1})
+			eng, err := codec.NewEngine(name, codec.WithLevel(1))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -111,11 +111,11 @@ func New(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{cfg: cfg}
 	if cfg.Compress {
 		var err error
-		p.client, err = codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		p.client, err = codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
 		if err != nil {
 			return nil, err
 		}
-		p.server, err = codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		p.server, err = codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
 		if err != nil {
 			return nil, err
 		}

@@ -148,7 +148,7 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c := &Cache{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
-		raw, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+		raw, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,7 @@ func New(cfg Config) (*Cache, error) {
 			cfg:     &c.cfg,
 		}
 		for typ, d := range cfg.Dicts {
-			eng, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level, Dict: d})
+			eng, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level), codec.WithDict(d))
 			if err != nil {
 				return nil, fmt.Errorf("cache: dictionary for type %q: %w", typ, err)
 			}

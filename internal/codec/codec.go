@@ -18,9 +18,32 @@ import (
 
 	"github.com/datacomp/datacomp/internal/lz4"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/xxhash"
 	"github.com/datacomp/datacomp/internal/zlibx"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
+
+// ErrCorrupt reports that a payload failed integrity verification or could
+// not be decoded. Every decode failure surfaced by this package wraps it,
+// so callers on the serving path branch on one sentinel:
+//
+//	if errors.Is(err, codec.ErrCorrupt) { ... }
+var ErrCorrupt = errors.New("codec: corrupt payload")
+
+// corruptError marks a decode failure as corruption while preserving the
+// codec's own diagnosis in the error chain.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string   { return e.err.Error() }
+func (e *corruptError) Unwrap() []error { return []error{ErrCorrupt, e.err} }
+
+// corrupt wraps a decode error with ErrCorrupt (idempotently).
+func corrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return &corruptError{err: err}
+}
 
 // Options configure an Engine instance.
 type Options struct {
@@ -30,6 +53,36 @@ type Options struct {
 	WindowLog uint
 	// Dict is a shared content-prefix dictionary (zstd only).
 	Dict []byte
+	// Checksum frames every payload with an XXH64 content checksum,
+	// verified on decompression (see NewEngine; applied by the engine
+	// construction layer, uniformly across codecs).
+	Checksum bool
+}
+
+// Option is a functional setting for NewEngine. Options compose left to
+// right; later options override earlier ones.
+type Option func(*Options)
+
+// WithLevel sets the codec-specific compression level (0 = codec default).
+func WithLevel(level int) Option { return func(o *Options) { o.Level = level } }
+
+// WithWindowLog overrides the match window (zstd only).
+func WithWindowLog(w uint) Option { return func(o *Options) { o.WindowLog = w } }
+
+// WithDict sets a shared content-prefix dictionary (zstd only).
+func WithDict(dict []byte) Option { return func(o *Options) { o.Dict = dict } }
+
+// WithChecksum toggles the XXH64 content checksum frame.
+func WithChecksum(on bool) Option { return func(o *Options) { o.Checksum = on } }
+
+// BuildOptions folds functional options into an Options struct, for the
+// APIs that still accept the struct form (Codec.New, NewPool, SharedPool).
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
 }
 
 // Engine is a configured compressor/decompressor pair. Engines are not safe
@@ -111,7 +164,11 @@ func (zstdCodec) New(opts Options) (Engine, error) {
 
 func (e *zstdEngine) Compress(dst, src []byte) ([]byte, error) { return e.enc.Compress(dst, src) }
 func (e *zstdEngine) Decompress(dst, src []byte) ([]byte, error) {
-	return e.dec.Decompress(dst, src)
+	out, err := e.dec.Decompress(dst, src)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return out, nil
 }
 
 // Stages exposes the zstd engine's two-stage timing for the warehouse
@@ -145,7 +202,10 @@ func (lz4Codec) Levels() (min, max, def int) { return lz4.MinLevel, lz4.MaxLevel
 func (lz4Codec) SupportsDict() bool          { return false }
 func (lz4Codec) SupportsWindow() bool        { return false }
 
-type lz4Engine struct{ enc *lz4.Encoder }
+type lz4Engine struct {
+	enc *lz4.Encoder
+	dec *lz4.Decoder
+}
 
 func (lz4Codec) New(opts Options) (Engine, error) {
 	if len(opts.Dict) > 0 {
@@ -158,11 +218,17 @@ func (lz4Codec) New(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &lz4Engine{enc: enc}, nil
+	return &lz4Engine{enc: enc, dec: lz4.NewDecoder()}, nil
 }
 
-func (e *lz4Engine) Compress(dst, src []byte) ([]byte, error)   { return e.enc.Compress(dst, src) }
-func (e *lz4Engine) Decompress(dst, src []byte) ([]byte, error) { return lz4.Decompress(dst, src) }
+func (e *lz4Engine) Compress(dst, src []byte) ([]byte, error) { return e.enc.Compress(dst, src) }
+func (e *lz4Engine) Decompress(dst, src []byte) ([]byte, error) {
+	out, err := e.dec.Decompress(dst, src)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return out, nil
+}
 
 // zlibCodec adapts internal/zlibx.
 type zlibCodec struct{}
@@ -191,8 +257,14 @@ func (zlibCodec) New(opts Options) (Engine, error) {
 	return &zlibEngine{enc: enc, dec: zlibx.NewDecoder()}, nil
 }
 
-func (e *zlibEngine) Compress(dst, src []byte) ([]byte, error)   { return e.enc.Compress(dst, src) }
-func (e *zlibEngine) Decompress(dst, src []byte) ([]byte, error) { return e.dec.Decompress(dst, src) }
+func (e *zlibEngine) Compress(dst, src []byte) ([]byte, error) { return e.enc.Compress(dst, src) }
+func (e *zlibEngine) Decompress(dst, src []byte) ([]byte, error) {
+	out, err := e.dec.Decompress(dst, src)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return out, nil
+}
 
 func init() {
 	Register(zstdCodec{})
@@ -200,13 +272,99 @@ func init() {
 	Register(zlibCodec{})
 }
 
-// NewEngine is a convenience wrapper: look up a codec and build an engine.
-func NewEngine(name string, opts Options) (Engine, error) {
+// Checksum frame layout: one magic byte, then the little-endian XXH64 of
+// the uncompressed content, then the inner codec payload. The checksum
+// covers the content (not the compressed bytes) so verification also
+// catches a decoder that silently produced wrong output.
+const (
+	checksumMagic     = 0xC1
+	checksumHeaderLen = 9
+)
+
+// Static corrupt errors so the verification path allocates nothing new.
+var (
+	errChecksumHeader   = &corruptError{err: errors.New("codec: missing or malformed checksum header")}
+	errChecksumMismatch = &corruptError{err: errors.New("codec: content checksum mismatch")}
+	errBlockFrame       = errors.New("codec: corrupt block frame")
+)
+
+// checksummed frames an inner engine's payloads with an XXH64 content
+// checksum and verifies it on decompression. Steady-state cost is one hash
+// pass per direction and zero allocations.
+type checksummed struct{ eng Engine }
+
+func (c *checksummed) Compress(dst, src []byte) ([]byte, error) {
+	var hdr [checksumHeaderLen]byte
+	hdr[0] = checksumMagic
+	binary.LittleEndian.PutUint64(hdr[1:], xxhash.Sum64(src))
+	dst = append(dst, hdr[:]...)
+	return c.eng.Compress(dst, src)
+}
+
+func (c *checksummed) Decompress(dst, src []byte) ([]byte, error) {
+	if len(src) < checksumHeaderLen || src[0] != checksumMagic {
+		return nil, errChecksumHeader
+	}
+	want := binary.LittleEndian.Uint64(src[1:checksumHeaderLen])
+	base := len(dst)
+	out, err := c.eng.Decompress(dst, src[checksumHeaderLen:])
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	if xxhash.Sum64(out[base:]) != want {
+		return nil, errChecksumMismatch
+	}
+	return out, nil
+}
+
+// SetStageHook forwards instrumentation to the wrapped engine.
+func (c *checksummed) SetStageHook(h stage.Hook) {
+	if s, ok := c.eng.(StageHooker); ok {
+		s.SetStageHook(h)
+	}
+}
+
+// Unwrap returns the engine beneath the checksum frame.
+func (c *checksummed) Unwrap() Engine { return c.eng }
+
+// passthrough stores content verbatim: the bottom rung of the degradation
+// ladder, where an overloaded server stops spending compression cycles.
+type passthrough struct{}
+
+func (passthrough) Compress(dst, src []byte) ([]byte, error)   { return append(dst, src...), nil }
+func (passthrough) Decompress(dst, src []byte) ([]byte, error) { return append(dst, src...), nil }
+
+// Passthrough returns an engine that copies content unmodified. It is not
+// in the registry — it exists for degradation ladders and tests, not as a
+// measurable codec.
+func Passthrough() Engine { return passthrough{} }
+
+// NewEngine looks up a codec by name and builds an engine from functional
+// options — the construction surface for everything outside this package:
+//
+//	eng, err := codec.NewEngine("zstd", codec.WithLevel(3), codec.WithChecksum(true))
+func NewEngine(name string, opts ...Option) (Engine, error) {
 	c, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("codec: unknown codec %q", name)
 	}
-	return c.New(opts)
+	return buildEngine(c, BuildOptions(opts...))
+}
+
+// buildEngine constructs an engine from resolved options, layering the
+// checksum frame on top when requested. Codec implementations never see
+// Options.Checksum — integrity framing is uniform across codecs.
+func buildEngine(c Codec, o Options) (Engine, error) {
+	raw := o
+	raw.Checksum = false
+	e, err := c.New(raw)
+	if err != nil {
+		return nil, err
+	}
+	if o.Checksum {
+		e = &checksummed{eng: e}
+	}
+	return e, nil
 }
 
 // SplitBlocks cuts data into independently compressible blocks of at most
@@ -254,14 +412,14 @@ func CompressBlocks(eng Engine, data []byte, blockSize int) ([]byte, error) {
 func DecompressBlocks(eng Engine, framed []byte) ([]byte, error) {
 	count, n := binary.Uvarint(framed)
 	if n <= 0 || count > 1<<28 {
-		return nil, errors.New("codec: corrupt block frame")
+		return nil, corrupt(errBlockFrame)
 	}
 	pos := n
 	var out []byte
 	for i := uint64(0); i < count; i++ {
 		sz, k := binary.Uvarint(framed[pos:])
 		if k <= 0 || pos+k+int(sz) > len(framed) {
-			return nil, errors.New("codec: corrupt block frame")
+			return nil, corrupt(errBlockFrame)
 		}
 		pos += k
 		var err error
@@ -272,7 +430,7 @@ func DecompressBlocks(eng Engine, framed []byte) ([]byte, error) {
 		pos += int(sz)
 	}
 	if pos != len(framed) {
-		return nil, errors.New("codec: corrupt block frame")
+		return nil, corrupt(errBlockFrame)
 	}
 	return out, nil
 }

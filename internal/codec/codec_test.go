@@ -68,22 +68,22 @@ func TestEngineRoundtripAllCodecs(t *testing.T) {
 }
 
 func TestNewEngineUnknown(t *testing.T) {
-	if _, err := NewEngine("nope", Options{Level: 1}); err == nil {
+	if _, err := NewEngine("nope", WithLevel(1)); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 }
 
 func TestOptionsRejectedWhereUnsupported(t *testing.T) {
-	if _, err := NewEngine("lz4", Options{Level: 1, Dict: []byte("d")}); err == nil {
+	if _, err := NewEngine("lz4", WithLevel(1), WithDict([]byte("d"))); err == nil {
 		t.Error("lz4 with dict accepted")
 	}
-	if _, err := NewEngine("lz4", Options{Level: 1, WindowLog: 16}); err == nil {
+	if _, err := NewEngine("lz4", WithLevel(1), WithWindowLog(16)); err == nil {
 		t.Error("lz4 with window accepted")
 	}
-	if _, err := NewEngine("zlib", Options{Level: 6, Dict: []byte("d")}); err == nil {
+	if _, err := NewEngine("zlib", WithLevel(6), WithDict([]byte("d"))); err == nil {
 		t.Error("zlib with dict accepted")
 	}
-	if _, err := NewEngine("zstd", Options{Level: 3, Dict: []byte("dict"), WindowLog: 16}); err != nil {
+	if _, err := NewEngine("zstd", WithLevel(3), WithDict([]byte("dict")), WithWindowLog(16)); err != nil {
 		t.Errorf("zstd with dict+window rejected: %v", err)
 	}
 }
@@ -136,7 +136,7 @@ func TestCompressDecompressBlocks(t *testing.T) {
 }
 
 func TestDecompressBlocksCorrupt(t *testing.T) {
-	eng, err := NewEngine("lz4", Options{Level: 1})
+	eng, err := NewEngine("lz4", WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestDecompressBlocksCorrupt(t *testing.T) {
 }
 
 func TestMeasure(t *testing.T) {
-	eng, err := NewEngine("zstd", Options{Level: 1})
+	eng, err := NewEngine("zstd", WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestMeasureZeroValueMetrics(t *testing.T) {
 }
 
 func TestStagedEngine(t *testing.T) {
-	eng, err := NewEngine("zstd", Options{Level: 3})
+	eng, err := NewEngine("zstd", WithLevel(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func (badEngine) Compress(dst, src []byte) ([]byte, error)   { return append(dst
 func (badEngine) Decompress(dst, src []byte) ([]byte, error) { return append(dst, 'x'), nil }
 
 func TestMeasureRepeats(t *testing.T) {
-	eng, err := NewEngine("lz4", Options{Level: 1})
+	eng, err := NewEngine("lz4", WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}

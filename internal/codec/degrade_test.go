@@ -1,0 +1,217 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock scripts the latency the Degrader perceives: each Compress
+// reads the clock twice (before/after), so stepping the clock by `step`
+// between reads simulates an operation of that duration.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+type recordingObserver struct {
+	events []struct{ from, to int }
+}
+
+func (r *recordingObserver) RungChanged(from, to int, _ Rung) {
+	r.events = append(r.events, struct{ from, to int }{from, to})
+}
+
+func testPayload() []byte {
+	// Compressible but nontrivial content.
+	var b bytes.Buffer
+	for i := 0; i < 200; i++ {
+		b.WriteString("service=cache1 op=get latency_us=123 result=hit shard=07\n")
+	}
+	return b.Bytes()
+}
+
+func newTestDegrader(t *testing.T, clk *fakeClock, obs DegraderObserver) *Degrader {
+	t.Helper()
+	d, err := NewDegrader(DegraderConfig{
+		Ladder:   []Rung{{"zstd", 9}, {"zstd", 1}, {"lz4", 1}, {}},
+		High:     10 * time.Millisecond,
+		Low:      2 * time.Millisecond,
+		Window:   3,
+		Recover:  4,
+		Observer: obs,
+		Now:      clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDegraderDownshiftsUnderPressureAndRecovers(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: 20 * time.Millisecond}
+	obs := &recordingObserver{}
+	d := newTestDegrader(t, clk, obs)
+	payload := testPayload()
+
+	roundtrip := func() {
+		t.Helper()
+		comp, err := d.Compress(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.Decompress(nil, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Fatal("roundtrip mismatch")
+		}
+	}
+
+	// Synthetic latency spike: every op takes 20ms (> High). Window=3, so
+	// rung advances one step per 3 ops until the ladder bottoms out.
+	for i := 0; i < 3; i++ {
+		roundtrip()
+	}
+	if d.Rung() != 1 {
+		t.Fatalf("after first window rung = %d, want 1", d.Rung())
+	}
+	for i := 0; i < 6; i++ {
+		roundtrip()
+	}
+	if d.Rung() != 3 || d.Current().Codec != "" {
+		t.Fatalf("ladder should bottom out at passthrough, rung = %d (%s)", d.Rung(), d.Current())
+	}
+	// Further pressure cannot shift below the last rung.
+	for i := 0; i < 5; i++ {
+		roundtrip()
+	}
+	if d.Rung() != 3 {
+		t.Fatalf("rung moved past ladder end: %d", d.Rung())
+	}
+
+	// Pressure clears: ops now take 1ms (< Low). Recover=4, so the rung
+	// climbs back one step per 4 ops until it reaches the configured level.
+	clk.step = time.Millisecond
+	for i := 0; i < 12; i++ {
+		roundtrip()
+	}
+	if d.Rung() != 0 {
+		t.Fatalf("rung did not recover to configured level: %d (%s)", d.Rung(), d.Current())
+	}
+
+	// Transition log: three downshifts then three upshifts.
+	want := []struct{ from, to int }{{0, 1}, {1, 2}, {2, 3}, {3, 2}, {2, 1}, {1, 0}}
+	if len(obs.events) != len(want) {
+		t.Fatalf("events = %v, want %v", obs.events, want)
+	}
+	for i, e := range obs.events {
+		if e != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestDegraderSteadyLatencyHolds(t *testing.T) {
+	// Latency between the watermarks must not shift the rung either way.
+	clk := &fakeClock{now: time.Unix(0, 0), step: 5 * time.Millisecond}
+	d := newTestDegrader(t, clk, nil)
+	payload := testPayload()
+	for i := 0; i < 50; i++ {
+		if _, err := d.Compress(nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rung() != 0 {
+		t.Fatalf("rung drifted to %d on steady mid-band latency", d.Rung())
+	}
+}
+
+func TestDegraderCrossRungDecode(t *testing.T) {
+	// Frames compressed at an earlier rung must stay decodable after the
+	// compressor has shifted — the tag, not current state, selects the
+	// decoder.
+	clk := &fakeClock{now: time.Unix(0, 0), step: 20 * time.Millisecond}
+	d := newTestDegrader(t, clk, nil)
+	payload := testPayload()
+	var frames [][]byte
+	for i := 0; i < 12; i++ {
+		comp, err := d.Compress(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), comp...))
+	}
+	if d.Rung() == 0 {
+		t.Fatal("test expected the ladder to shift")
+	}
+	for i, f := range frames {
+		out, err := d.Decompress(nil, f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Fatalf("frame %d roundtrip mismatch", i)
+		}
+	}
+}
+
+func TestDegraderCorruptTag(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	d := newTestDegrader(t, clk, nil)
+	if _, err := d.Decompress(nil, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty payload: %v", err)
+	}
+	if _, err := d.Decompress(nil, []byte{0xFF, 1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range tag: %v", err)
+	}
+}
+
+func TestDegraderChecksumCatchesBitFlip(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	d, err := NewDegrader(DegraderConfig{
+		Ladder:   []Rung{{"lz4", 1}, {}},
+		High:     10 * time.Millisecond,
+		Checksum: true,
+		Now:      clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload()
+	comp, err := d.Compress(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(comp); i += 37 {
+		mut := append([]byte(nil), comp...)
+		mut[i] ^= 0x10
+		if out, err := d.Decompress(nil, mut); err == nil && bytes.Equal(out, payload) {
+			continue // flip landed in slack the codec tolerates — payload still right
+		} else if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: error %v does not wrap ErrCorrupt", i, err)
+		} else if err == nil {
+			t.Fatalf("flip at %d: silently wrong payload", i)
+		}
+	}
+}
+
+func TestDegraderValidation(t *testing.T) {
+	if _, err := NewDegrader(DegraderConfig{}); err == nil {
+		t.Fatal("missing High accepted")
+	}
+	if _, err := NewDegrader(DegraderConfig{High: time.Millisecond, Low: time.Second}); err == nil {
+		t.Fatal("Low >= High accepted")
+	}
+	if _, err := NewDegrader(DegraderConfig{High: time.Second, Ladder: []Rung{{"bogus", 1}}}); err == nil {
+		t.Fatal("unknown rung codec accepted")
+	}
+}

@@ -43,7 +43,7 @@ func TestParallelInteropWithSerialBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := NewEngine("lz4", Options{Level: 1})
+	serial, err := NewEngine("lz4", WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,13 +25,13 @@ func NewPool(name string, opts Options) (*Pool, error) {
 	if !ok {
 		return nil, fmt.Errorf("codec: unknown codec %q", name)
 	}
-	first, err := c.New(opts)
+	first, err := buildEngine(c, opts)
 	if err != nil {
 		return nil, err
 	}
 	p := &Pool{codec: c, opts: opts}
 	p.pool.New = func() any {
-		eng, err := c.New(opts)
+		eng, err := buildEngine(c, opts)
 		if err != nil {
 			// Options validated at construction; a failure here would be a
 			// registry swap, which misuse deserves a panic.
@@ -81,6 +81,7 @@ type poolKey struct {
 	window   uint
 	dictHash uint64
 	dictLen  int
+	checksum bool
 }
 
 var (
@@ -93,7 +94,7 @@ var (
 // same pool, so independent subsystems (RPC transports, instrumented
 // benchmark runs) share recycled engines.
 func SharedPool(name string, opts Options) (*Pool, error) {
-	k := poolKey{name: name, level: opts.Level, window: opts.WindowLog, dictLen: len(opts.Dict)}
+	k := poolKey{name: name, level: opts.Level, window: opts.WindowLog, dictLen: len(opts.Dict), checksum: opts.Checksum}
 	if len(opts.Dict) > 0 {
 		h := fnv.New64a()
 		h.Write(opts.Dict)

@@ -8,7 +8,7 @@ import (
 
 func streamRoundtrip(t *testing.T, name string, data []byte, blockSize int) {
 	t.Helper()
-	wEng, err := NewEngine(name, Options{Level: 1})
+	wEng, err := NewEngine(name, WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func streamRoundtrip(t *testing.T, name string, data []byte, blockSize int) {
 	if err := w.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	rEng, err := NewEngine(name, Options{Level: 1})
+	rEng, err := NewEngine(name, WithLevel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestStreamEdgeSizes(t *testing.T) {
 }
 
 func TestStreamWriterAfterClose(t *testing.T) {
-	eng, _ := NewEngine("lz4", Options{Level: 1})
+	eng, _ := NewEngine("lz4", WithLevel(1))
 	var sink bytes.Buffer
 	w := NewStreamWriter(&sink, eng, 0)
 	if err := w.Close(); err != nil {
@@ -71,7 +71,7 @@ func TestStreamWriterAfterClose(t *testing.T) {
 }
 
 func TestStreamReaderErrors(t *testing.T) {
-	eng, _ := NewEngine("zstd", Options{Level: 1})
+	eng, _ := NewEngine("zstd", WithLevel(1))
 	// Bad magic.
 	r := NewStreamReader(bytes.NewReader([]byte("NOPE....")), eng)
 	if _, err := io.ReadAll(r); err == nil {

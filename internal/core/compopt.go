@@ -166,11 +166,11 @@ func (e *CompEngine) Evaluate(cfg Config) (Result, error) {
 	if len(e.Samples) == 0 {
 		return Result{}, errors.New("core: no sample data")
 	}
-	eng, err := codec.NewEngine(cfg.Algorithm, codec.Options{
-		Level:     cfg.Level,
-		WindowLog: cfg.WindowLog,
-		Dict:      cfg.Dict,
-	})
+	eng, err := codec.NewEngine(cfg.Algorithm,
+		codec.WithLevel(cfg.Level),
+		codec.WithWindowLog(cfg.WindowLog),
+		codec.WithDict(cfg.Dict),
+	)
 	if err != nil {
 		return Result{}, err
 	}

@@ -11,7 +11,7 @@ import (
 // ratio compresses data with zstd level 3 and returns the ratio.
 func ratio(t *testing.T, data []byte) float64 {
 	t.Helper()
-	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	eng, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		t.Fatal(err)
 	}

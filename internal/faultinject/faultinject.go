@@ -1,0 +1,163 @@
+// Package faultinject wraps an io.ReadWriter with deterministic failure
+// injection: bit flips, stream truncation, and delayed or fragmented
+// transfers. It is the chaos harness behind the serving path's integrity
+// tests — every corruption a frame checksum must catch is produced here,
+// reproducibly, from a seed.
+//
+// All randomness comes from a splitmix64 generator seeded explicitly, so
+// a failing chaos run is replayed by its seed alone.
+package faultinject
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Conn wraps an io.ReadWriter with injected faults. Reads and writes each
+// take an internal lock, so a Conn is safe for the one-reader/one-writer
+// pattern the rpc transport uses.
+type Conn struct {
+	rw io.ReadWriter
+
+	mu       sync.Mutex
+	rng      uint64
+	flipRate float64 // probability of flipping one bit per byte read
+	truncAt  int64   // total readable bytes; negative = unlimited
+	readN    int64
+	delay    time.Duration // sleep before each chunk transfer
+	chunk    int           // max bytes per underlying read/write; 0 = unlimited
+}
+
+// Option configures a Conn.
+type Option func(*Conn)
+
+// WithSeed sets the deterministic RNG seed (default 1).
+func WithSeed(seed uint64) Option { return func(c *Conn) { c.rng = splitmix(seed) } }
+
+// WithBitFlips flips one bit per read byte with probability rate.
+func WithBitFlips(rate float64) Option { return func(c *Conn) { c.flipRate = rate } }
+
+// WithTruncate cuts the stream after n readable bytes: the wrapped reader
+// then reports io.ErrUnexpectedEOF, as a peer dying mid-frame does.
+func WithTruncate(n int64) Option { return func(c *Conn) { c.truncAt = n } }
+
+// WithDelay sleeps d before every chunk transferred in either direction —
+// the slow-peer injection used by deadline tests.
+func WithDelay(d time.Duration) Option { return func(c *Conn) { c.delay = d } }
+
+// WithChunk caps the bytes moved per underlying read or write call,
+// fragmenting large frames into partial transfers.
+func WithChunk(n int) Option { return func(c *Conn) { c.chunk = n } }
+
+// New wraps rw with the configured faults.
+func New(rw io.ReadWriter, opts ...Option) *Conn {
+	c := &Conn{rw: rw, rng: splitmix(1), truncAt: -1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// splitmix advances a splitmix64 state and returns the mixed output; used
+// both to derive the initial state from a seed and as the step function.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns a uniform uint64 and advances the generator.
+func (c *Conn) next() uint64 {
+	c.rng = splitmix(c.rng)
+	return c.rng
+}
+
+// chance reports true with probability p.
+func (c *Conn) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(c.next()>>11)/(1<<53) < p
+}
+
+// Read implements io.Reader with truncation, chunking, delay, and bit
+// flips applied to the bytes read.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	limit := len(p)
+	if c.chunk > 0 && limit > c.chunk {
+		limit = c.chunk
+	}
+	if c.truncAt >= 0 {
+		remain := c.truncAt - c.readN
+		if remain <= 0 {
+			c.mu.Unlock()
+			return 0, io.ErrUnexpectedEOF
+		}
+		if int64(limit) > remain {
+			limit = int(remain)
+		}
+	}
+	delay := c.delay
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n, err := c.rw.Read(p[:limit])
+
+	c.mu.Lock()
+	c.readN += int64(n)
+	if c.flipRate > 0 {
+		for i := 0; i < n; i++ {
+			if c.chance(c.flipRate) {
+				p[i] ^= 1 << (c.next() & 7)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements io.Writer, fragmenting into delayed chunks. The full
+// payload is always delivered (partial-write injection exercises framing
+// code against fragmentation, not data loss — loss is truncation's job).
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	chunk := c.chunk
+	delay := c.delay
+	c.mu.Unlock()
+	if chunk <= 0 {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return c.rw.Write(p)
+	}
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		n, err := c.rw.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Close closes the wrapped connection when it supports it.
+func (c *Conn) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}

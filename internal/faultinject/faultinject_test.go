@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestDeterministicFlips(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 512)
+	run := func(seed uint64) []byte {
+		src := bytes.NewBuffer(append([]byte(nil), payload...))
+		c := New(src, WithSeed(seed), WithBitFlips(0.01))
+		out, err := io.ReadAll(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("1% flip rate over 4KiB corrupted nothing")
+	}
+	if c := run(8); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestFlipRateZeroIsTransparent(t *testing.T) {
+	payload := []byte("unharmed payload")
+	c := New(bytes.NewBuffer(append([]byte(nil), payload...)), WithSeed(3))
+	out, err := io.ReadAll(c)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("transparent mode mangled data: %v %q", err, out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	payload := make([]byte, 1000)
+	c := New(bytes.NewBuffer(payload), WithTruncate(100))
+	got, err := io.ReadAll(c)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d bytes past truncation point", len(got))
+	}
+}
+
+func TestChunkedWrites(t *testing.T) {
+	var sink chunkRecorder
+	c := New(&sink, WithChunk(10))
+	payload := make([]byte, 95)
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if len(sink.sizes) != 10 {
+		t.Fatalf("chunks = %v", sink.sizes)
+	}
+	for i, s := range sink.sizes[:9] {
+		if s != 10 {
+			t.Fatalf("chunk %d size %d", i, s)
+		}
+	}
+	if sink.sizes[9] != 5 {
+		t.Fatalf("tail chunk size %d", sink.sizes[9])
+	}
+}
+
+type chunkRecorder struct {
+	sizes []int
+}
+
+func (c *chunkRecorder) Write(p []byte) (int, error) {
+	c.sizes = append(c.sizes, len(p))
+	return len(p), nil
+}
+
+func (c *chunkRecorder) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func TestDelay(t *testing.T) {
+	src := bytes.NewBufferString("x")
+	c := New(src, WithDelay(20*time.Millisecond))
+	t0 := time.Now()
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("read returned after %v, want ≥20ms delay", d)
+	}
+}

@@ -368,7 +368,7 @@ func (p *Profiler) Profile(fleet []Service) (*Report, error) {
 			if _, ok := measured[k]; ok {
 				continue
 			}
-			eng, err := codec.NewEngine(u.Algorithm, codec.Options{Level: u.Level})
+			eng, err := codec.NewEngine(u.Algorithm, codec.WithLevel(u.Level))
 			if err != nil {
 				return nil, fmt.Errorf("fleet: %s: %w", s.Name, err)
 			}

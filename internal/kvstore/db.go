@@ -162,7 +162,7 @@ type DB struct {
 func Open(opts Options) (*DB, error) {
 	opts.fill()
 	tm()
-	eng, err := codec.NewEngine(opts.Codec, codec.Options{Level: opts.Level})
+	eng, err := codec.NewEngine(opts.Codec, codec.WithLevel(opts.Level))
 	if err != nil {
 		return nil, err
 	}

@@ -221,6 +221,23 @@ func emitBlock(dst, src []byte, seqs []lz.Sequence) ([]byte, error) {
 	return dst, nil
 }
 
+// Decoder decompresses payloads produced by an Encoder. LZ4 decoding is
+// stateless, so the type exists for constructor symmetry with the zstd and
+// zlibx packages (NewEncoder/NewDecoder pairs) and as an anchor for future
+// decoder-side state (streaming windows, dictionaries).
+type Decoder struct{}
+
+// NewDecoder returns a Decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decompress decodes a payload produced by Compress, appending to dst.
+func (d *Decoder) Decompress(dst, src []byte) ([]byte, error) { return Decompress(dst, src) }
+
+// DecompressBlock decodes a raw LZ4 block of known decompressed size.
+func (d *Decoder) DecompressBlock(dst, src []byte, size int) ([]byte, error) {
+	return DecompressBlock(dst, src, size)
+}
+
 // Decompress decodes a payload produced by Compress, appending to dst.
 func Decompress(dst, src []byte) ([]byte, error) {
 	size, n := binary.Uvarint(src)

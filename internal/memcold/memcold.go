@@ -93,7 +93,7 @@ type Pool struct {
 // New builds a pool.
 func New(cfg Config) (*Pool, error) {
 	cfg.fill()
-	eng, err := codec.NewEngine(cfg.Codec, codec.Options{Level: cfg.Level})
+	eng, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
 	if err != nil {
 		return nil, err
 	}

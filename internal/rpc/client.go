@@ -1,0 +1,373 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// RemoteError is a handler-side failure relayed to the caller. It proves
+// the transport worked end to end, so it never trips the circuit breaker
+// and is never retried.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// ErrCircuitOpen is returned by Call when the per-connection circuit
+// breaker is open: recent calls failed at the transport layer, and the
+// cooldown has not elapsed.
+var ErrCircuitOpen = errors.New("rpc: circuit breaker open")
+
+// ErrClientClosed is returned by Call after Close.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// RetryPolicy configures automatic retries of failed calls. Only transport
+// failures retry (RemoteError means the request was executed); only
+// methods the Idempotent predicate approves retry, because a transport
+// error leaves it unknown whether the server ran the request.
+type RetryPolicy struct {
+	// Max is the number of retries after the initial attempt.
+	Max int
+	// Backoff is the delay before the first retry, doubling each retry
+	// (default 10ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 1s).
+	MaxBackoff time.Duration
+	// Idempotent reports whether a method is safe to re-execute. Nil
+	// disables retries entirely.
+	Idempotent func(method string) bool
+}
+
+func (p *RetryPolicy) fill() {
+	if p.Backoff <= 0 {
+		p.Backoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+}
+
+// delay returns the backoff before retry number n (1-based), deterministic
+// exponential growth capped at MaxBackoff.
+func (p *RetryPolicy) delay(n int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// BreakerPolicy configures the per-connection circuit breaker: after
+// Threshold consecutive transport failures the breaker opens and calls
+// fail fast with ErrCircuitOpen until Cooldown elapses, after which a
+// single probe call is let through (half-open).
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that opens the breaker;
+	// 0 disables it.
+	Threshold int
+	// Cooldown is how long the breaker stays open (default 1s).
+	Cooldown time.Duration
+}
+
+func (p *BreakerPolicy) fill() {
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry enables automatic retries per policy.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { p.fill(); c.retry = p }
+}
+
+// WithBreaker enables the per-connection circuit breaker.
+func WithBreaker(p BreakerPolicy) ClientOption {
+	return func(c *Client) { p.fill(); c.breaker = p }
+}
+
+// WithRedial installs a dialer used to replace the connection after a
+// transport failure desynchronizes it. Without one, a desynced client
+// fails all subsequent calls.
+func WithRedial(dial func(ctx context.Context) (io.ReadWriter, error)) ClientOption {
+	return func(c *Client) { c.redial = dial }
+}
+
+// Client issues calls over one connection. Safe for concurrent use; calls
+// are serialized.
+type Client struct {
+	comp    Compression
+	retry   RetryPolicy
+	breaker BreakerPolicy
+	redial  func(ctx context.Context) (io.ReadWriter, error)
+	now     func() time.Time // injectable for breaker tests
+
+	mu     sync.Mutex
+	t      *transport
+	conn   io.ReadWriter
+	closed bool
+	broken bool // stream desynced; conn unusable until redial
+	folded counters
+
+	fails     int // consecutive transport failures (breaker input)
+	openUntil time.Time
+}
+
+// NewClient wraps an established connection. Both ends must use the same
+// Compression configuration.
+func NewClient(conn io.ReadWriter, comp Compression, opts ...ClientOption) (*Client, error) {
+	t, err := newTransport(conn, comp)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{comp: comp, t: t, conn: conn, now: time.Now}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Close releases the client's pooled engine. The underlying connection is
+// the caller's to close. Calls after Close fail with ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.t.release()
+	return nil
+}
+
+// Stats returns the client's traffic counters, including traffic on
+// connections since replaced by redials. Safe to call concurrently with
+// in-flight Calls.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	var agg counters
+	c.folded.foldInto(&agg)
+	c.t.stats.foldInto(&agg)
+	c.mu.Unlock()
+	return agg.snapshot()
+}
+
+// Call sends a request and waits for its response. The context's deadline
+// and cancellation propagate into the connection I/O when the connection
+// is a net.Conn; transport failures on idempotent methods retry with
+// exponential backoff per the client's RetryPolicy.
+func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, error) {
+	if method == "" {
+		return nil, errors.New("rpc: empty method")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if err := c.gate(); err != nil {
+		return nil, err
+	}
+
+	retryable := c.retry.Max > 0 && c.retry.Idempotent != nil && c.retry.Idempotent(method)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			tmDeadline.Inc()
+			return nil, err
+		}
+		if attempt > 0 {
+			tmRetries.Inc()
+			if err := sleepCtx(ctx, c.retry.delay(attempt)); err != nil {
+				tmDeadline.Inc()
+				return nil, err
+			}
+		}
+		if c.broken {
+			if err := c.redialLocked(ctx); err != nil {
+				lastErr = err
+				c.recordFailure()
+				if !retryable || attempt >= c.retry.Max {
+					return nil, lastErr
+				}
+				continue
+			}
+		}
+		resp, err := c.attempt(ctx, method, req)
+		if err == nil {
+			c.recordSuccess()
+			return resp, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			// The transport delivered both frames; only the handler failed.
+			c.recordSuccess()
+			return nil, err
+		}
+		c.recordFailure()
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, lastErr
+		}
+		if !retryable || attempt >= c.retry.Max {
+			return nil, lastErr
+		}
+		if c.broken && c.redial == nil {
+			return nil, lastErr // nothing left to retry on
+		}
+	}
+}
+
+// CallLegacy sends a request without a context.
+//
+// Deprecated: use Call with a context; this wrapper exists for the v1 API
+// and uses context.Background().
+func (c *Client) CallLegacy(method string, req []byte) ([]byte, error) {
+	return c.Call(context.Background(), method, req)
+}
+
+// gate enforces the circuit breaker at call entry: open → fast fail;
+// cooldown elapsed → allow one half-open probe.
+func (c *Client) gate() error {
+	if c.breaker.Threshold <= 0 || c.fails < c.breaker.Threshold {
+		return nil
+	}
+	if c.now().Before(c.openUntil) {
+		tmBreakerFastFail.Inc()
+		return ErrCircuitOpen
+	}
+	return nil // half-open probe
+}
+
+func (c *Client) recordSuccess() { c.fails = 0 }
+
+func (c *Client) recordFailure() {
+	c.fails++
+	if c.breaker.Threshold > 0 && c.fails >= c.breaker.Threshold {
+		if c.fails == c.breaker.Threshold {
+			tmBreakerOpen.Inc()
+		}
+		c.openUntil = c.now().Add(c.breaker.Cooldown)
+	}
+}
+
+// redialLocked replaces a desynced connection via the configured dialer,
+// folding the dead transport's stats into the client total.
+func (c *Client) redialLocked(ctx context.Context) error {
+	if c.redial == nil {
+		return errors.New("rpc: connection desynchronized and no redialer configured")
+	}
+	conn, err := c.redial(ctx)
+	if err != nil {
+		return err
+	}
+	t, err := newTransport(conn, c.comp)
+	if err != nil {
+		return err
+	}
+	c.t.stats.foldInto(&c.folded)
+	c.t.release()
+	c.t = t
+	c.conn = conn
+	c.broken = false
+	return nil
+}
+
+// attempt performs one request/response exchange with ctx deadlines armed
+// on the connection, and marks the client broken when the error leaves the
+// stream position unknown.
+func (c *Client) attempt(ctx context.Context, method string, req []byte) ([]byte, error) {
+	release := armDeadline(ctx, c.conn)
+	defer release()
+	c.t.wmethod = append(c.t.wmethod[:0], method...)
+	if err := c.t.writeFrame(0, c.t.wmethod, req); err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	flags, _, resp, err := c.t.readFrame()
+	if err != nil {
+		if !isAligned(err) {
+			c.broken = true
+		}
+		return nil, c.ctxErr(ctx, err)
+	}
+	c.t.stats.calls.Add(1)
+	tmCalls.Inc()
+	if flags&flagError != 0 {
+		return nil, &RemoteError{Msg: string(resp)}
+	}
+	return resp, nil
+}
+
+// ctxErr prefers the context's verdict over the raw I/O error: a deadline
+// firing surfaces as a net timeout on the connection, but the caller asked
+// in context terms and gets the answer in context terms.
+func (c *Client) ctxErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		tmDeadline.Inc()
+		return ctxErr
+	}
+	// A connection timeout can fire a beat before the context's own timer:
+	// the conn deadline was armed from ctx, so the timeout IS the deadline.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			tmDeadline.Inc()
+			return context.DeadlineExceeded
+		}
+	}
+	return err
+}
+
+// armDeadline projects ctx onto a net.Conn: the deadline is set up front,
+// and cancellation forces an immediate wakeup by setting a past deadline.
+// The returned release detaches the watcher and clears the deadline.
+// Non-net connections (pipes, buffers) get no projection — callers there
+// rely on ctx checks between operations.
+func armDeadline(ctx context.Context, conn io.ReadWriter) func() {
+	nc, ok := conn.(net.Conn)
+	if !ok {
+		return func() {}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(d)
+	}
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			nc.SetDeadline(time.Unix(1, 0))
+		})
+	}
+	return func() {
+		if stop != nil {
+			stop()
+		}
+		nc.SetDeadline(time.Time{})
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,21 +1,28 @@
-// Package rpc is a minimal service-to-service RPC transport with
-// transparent per-message compression — the setting of the paper's
-// introduction, where datacenter services exchange objects over RPC and
-// compression trades CPU cycles for network bytes.
+// Package rpc is a service-to-service RPC transport with transparent
+// per-message compression — the setting of the paper's introduction, where
+// datacenter services exchange objects over RPC and compression trades CPU
+// cycles for network bytes.
 //
-// Messages are length-delimited binary frames; payloads at or above a
-// configurable threshold are compressed with the configured codec and
-// flagged, so the peer decompresses only what was actually compressed
-// (small messages skip the codec entirely, as fleet services do). Both
-// ends account raw vs wire bytes and codec time with atomic counters,
-// making the compute ⇄ network trade measurable per connection while
-// reader and writer goroutines run, and publish into the shared telemetry
-// registry. Transports draw engines from a codec.Pool keyed by
-// configuration, so connection churn does not pay engine construction.
+// Messages are length-delimited binary frames carrying an XXH64 integrity
+// checksum over method and payload; payloads at or above a configurable
+// threshold are compressed with the configured codec and flagged, so the
+// peer decompresses only what was actually compressed (small messages skip
+// the codec entirely, as fleet services do). The serving path is hardened
+// for production failure modes: corrupt frames surface as ErrCorrupt (never
+// a panic or a silently wrong payload), Client.Call takes a context whose
+// deadline propagates into the connection, idempotent methods retry with
+// exponential backoff behind a per-connection circuit breaker, and an
+// overloaded server sheds compression work past a queue-depth threshold.
+//
+// Both ends account raw vs wire bytes and codec time with atomic counters
+// and publish into the shared telemetry registry. Transports draw engines
+// from a codec.Pool keyed by configuration, so connection churn does not
+// pay engine construction.
 package rpc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +34,7 @@ import (
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/xxhash"
 )
 
 // Compression configures the transport's codec.
@@ -37,12 +45,49 @@ type Compression struct {
 	Level int
 	// MinSize skips compression for smaller payloads (default 256).
 	MinSize int
+	// Checksum additionally frames codec payloads with a content checksum
+	// (codec.WithChecksum), verifying decompressed bytes end to end on top
+	// of the always-on wire-frame checksum.
+	Checksum bool
 }
 
 func (c *Compression) fill() {
 	if c.MinSize == 0 {
 		c.MinSize = 256
 	}
+}
+
+// ErrCorrupt is the typed error for frames that fail integrity
+// verification — a checksum mismatch, a malformed header, a truncated
+// frame, or an undecodable payload. It aliases codec.ErrCorrupt so one
+// errors.Is covers both layers.
+var ErrCorrupt = codec.ErrCorrupt
+
+// Frame-corruption detail errors, all wrapping ErrCorrupt.
+var (
+	errUnknownFlags = fmt.Errorf("%w: unknown frame flags", ErrCorrupt)
+	errMethodLen    = fmt.Errorf("%w: method length out of range", ErrCorrupt)
+	errFrameLen     = fmt.Errorf("%w: payload length out of range", ErrCorrupt)
+	errHeader       = fmt.Errorf("%w: malformed frame header", ErrCorrupt)
+	errTruncated    = fmt.Errorf("%w: truncated frame", ErrCorrupt)
+	errSumMismatch  = fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+)
+
+// alignedError marks a frame error detected after the whole frame was
+// consumed: the byte stream is still frame-aligned, so the connection
+// remains usable. Errors without this mark leave the stream in an unknown
+// position and the connection must be abandoned.
+type alignedError struct{ err error }
+
+func (e *alignedError) Error() string { return e.err.Error() }
+func (e *alignedError) Unwrap() error { return e.err }
+
+func aligned(err error) error { return &alignedError{err: err} }
+
+// isAligned reports whether the connection survived the error.
+func isAligned(err error) bool {
+	var a *alignedError
+	return errors.As(err, &a)
 }
 
 // Stats is a consistent snapshot of one endpoint's traffic.
@@ -93,13 +138,19 @@ func (c *counters) foldInto(dst *counters) {
 
 // Package-level telemetry, registered once on first transport creation.
 var (
-	tmOnce       sync.Once
-	tmCalls      *telemetry.Counter
-	tmRawBytes   *telemetry.Counter
-	tmWireBytes  *telemetry.Counter
-	tmCompNS     *telemetry.Counter
-	tmDecompNS   *telemetry.Counter
-	tmFrameBytes *telemetry.Histogram
+	tmOnce            sync.Once
+	tmCalls           *telemetry.Counter
+	tmRawBytes        *telemetry.Counter
+	tmWireBytes       *telemetry.Counter
+	tmCompNS          *telemetry.Counter
+	tmDecompNS        *telemetry.Counter
+	tmFrameBytes      *telemetry.Histogram
+	tmCorrupt         *telemetry.Counter
+	tmRetries         *telemetry.Counter
+	tmBreakerOpen     *telemetry.Counter
+	tmBreakerFastFail *telemetry.Counter
+	tmShed            *telemetry.Counter
+	tmDeadline        *telemetry.Counter
 )
 
 func tm() {
@@ -111,16 +162,39 @@ func tm() {
 		tmCompNS = r.Counter("rpc_compress_ns_total", "time compressing RPC payloads")
 		tmDecompNS = r.Counter("rpc_decompress_ns_total", "time decompressing RPC payloads")
 		tmFrameBytes = r.Histogram("rpc_wire_frame_bytes", "wire payload size per frame", "bytes")
+		tmCorrupt = r.Counter("rpc_corrupt_frames_total", "frames failing integrity verification")
+		tmRetries = r.Counter("rpc_retries_total", "retried client calls")
+		tmBreakerOpen = r.Counter("rpc_breaker_open_total", "circuit breaker open transitions")
+		tmBreakerFastFail = r.Counter("rpc_breaker_fastfail_total", "calls rejected by an open circuit breaker")
+		tmShed = r.Counter("rpc_shed_frames_total", "response frames sent uncompressed due to load shedding")
+		tmDeadline = r.Counter("rpc_deadline_exceeded_total", "calls failed by context deadline or cancellation")
 	})
 }
 
-// frame flags.
+// Frame layout (v2):
+//
+//	flags   1 byte   (flagCompressed | flagError; anything else is corrupt)
+//	mlen    uvarint  method length (≤ maxMethod)
+//	method  mlen bytes
+//	plen    uvarint  wire payload length (≤ maxFrame)
+//	sum     8 bytes  little-endian XXH64 over method then wire payload
+//	payload plen bytes
+//
+// v1 frames had no checksum; the format changed because a transport that
+// sits on latency-critical service paths must detect bit flips and
+// truncation instead of delivering silently wrong bytes (see DESIGN.md).
 const (
 	flagCompressed = 1 << 0
 	flagError      = 1 << 1
+
+	flagsKnown = flagCompressed | flagError
 )
 
-const maxFrame = 64 << 20
+const (
+	maxFrame    = 64 << 20
+	maxMethod   = 4096
+	frameSumLen = 8
+)
 
 // transport frames and (de)compresses messages on one connection.
 // The engine is single-goroutine (Client/Server serialize frame I/O), but
@@ -133,13 +207,14 @@ const maxFrame = 64 << 20
 // transports leave owned unset because Call hands the response payload to
 // the caller, which keeps it.
 type transport struct {
-	r     *bufio.Reader
-	w     *bufio.Writer
-	eng   codec.Engine // nil = no compression
-	pool  *codec.Pool  // where eng came from, for release()
-	min   int
-	owned bool
-	stats counters
+	r       *bufio.Reader
+	w       *bufio.Writer
+	eng     codec.Engine // nil = no compression
+	pool    *codec.Pool  // where eng came from, for release()
+	min     int
+	owned   bool
+	shed    func() bool // when non-nil and true, skip compression (overload)
+	stats   counters
 	buf     []byte // compression scratch (write side)
 	mbuf    []byte // method scratch (read side)
 	rbuf    []byte // wire-payload scratch (read side)
@@ -164,7 +239,7 @@ func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
 		if level == 0 {
 			_, _, level = c.Levels()
 		}
-		pool, err := codec.SharedPool(comp.Codec, codec.Options{Level: level})
+		pool, err := codec.SharedPool(comp.Codec, codec.Options{Level: level, Checksum: comp.Checksum})
 		if err != nil {
 			return nil, err
 		}
@@ -183,22 +258,37 @@ func (t *transport) release() {
 	}
 }
 
-// writeFrame sends flags, method and payload, compressing when worthwhile.
+// frameSum hashes what the checksum covers: method bytes, then the exact
+// bytes that ride the wire as payload.
+func frameSum(method, wire []byte) uint64 {
+	var d xxhash.Digest
+	d.Reset()
+	d.Write(method)
+	d.Write(wire)
+	return d.Sum64()
+}
+
+// writeFrame sends flags, method and payload, compressing when worthwhile
+// and not shedding, and stamps the frame checksum.
 func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	wire := payload
 	if t.eng != nil && len(payload) >= t.min {
-		t0 := time.Now()
-		out, err := t.eng.Compress(t.buf[:0], payload)
-		ns := time.Since(t0).Nanoseconds()
-		t.stats.compressNS.Add(ns)
-		tmCompNS.Add(ns)
-		if err != nil {
-			return err
-		}
-		t.buf = out
-		if len(out) < len(payload) {
-			wire = out
-			flags |= flagCompressed
+		if t.shed != nil && t.shed() {
+			tmShed.Inc()
+		} else {
+			t0 := time.Now()
+			out, err := t.eng.Compress(t.buf[:0], payload)
+			ns := time.Since(t0).Nanoseconds()
+			t.stats.compressNS.Add(ns)
+			tmCompNS.Add(ns)
+			if err != nil {
+				return err
+			}
+			t.buf = out
+			if len(out) < len(payload) {
+				wire = out
+				flags |= flagCompressed
+			}
 		}
 	}
 	var hdr [binary.MaxVarintLen64]byte
@@ -214,6 +304,11 @@ func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(wire)))]); err != nil {
 		return err
 	}
+	var sum [frameSumLen]byte
+	binary.LittleEndian.PutUint64(sum[:], frameSum(method, wire))
+	if _, err := t.w.Write(sum[:]); err != nil {
+		return err
+	}
 	if _, err := t.w.Write(wire); err != nil {
 		return err
 	}
@@ -225,28 +320,75 @@ func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	return t.w.Flush()
 }
 
-// readFrame receives one message, decompressing as flagged. On an owned
-// transport, method and payload alias scratch buffers valid until the next
-// readFrame; otherwise the payload is freshly allocated for the caller.
+// corruptFrame counts and returns a frame-integrity failure.
+func corruptFrame(err error) error {
+	tmCorrupt.Inc()
+	return err
+}
+
+// midFrame maps an I/O error that happened inside a frame: EOF at that
+// point is truncation, which is corruption, not a clean close.
+func midFrame(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return corruptFrame(errTruncated)
+	}
+	return err
+}
+
+// readHeaderUvarint reads a length field. Any decode failure that is not
+// plain I/O — e.g. a varint overflowing 64 bits — means the header bytes
+// themselves are garbage, which is corruption.
+func (t *transport) readHeaderUvarint() (uint64, error) {
+	n, err := binary.ReadUvarint(t.r)
+	if err == nil {
+		return n, nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return 0, corruptFrame(errTruncated)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return 0, err // connection-level failure, not frame corruption
+	}
+	return 0, corruptFrame(errHeader)
+}
+
+// readFrame receives one message, verifying the frame checksum and
+// decompressing as flagged. On an owned transport, method and payload alias
+// scratch buffers valid until the next readFrame; otherwise the payload is
+// freshly allocated for the caller.
 func (t *transport) readFrame() (flags byte, method, payload []byte, err error) {
 	flags, err = t.r.ReadByte()
 	if err != nil {
+		return 0, nil, nil, err // clean EOF between frames is a close
+	}
+	if flags&^flagsKnown != 0 {
+		return 0, nil, nil, corruptFrame(errUnknownFlags)
+	}
+	mlen, err := t.readHeaderUvarint()
+	if err != nil {
 		return 0, nil, nil, err
 	}
-	mlen, err := binary.ReadUvarint(t.r)
-	if err != nil || mlen > 4096 {
-		return 0, nil, nil, errBad(err)
+	if mlen > maxMethod {
+		return 0, nil, nil, corruptFrame(errMethodLen)
 	}
 	if uint64(cap(t.mbuf)) < mlen {
 		t.mbuf = make([]byte, mlen)
 	}
 	mbuf := t.mbuf[:mlen]
 	if _, err := io.ReadFull(t.r, mbuf); err != nil {
+		return 0, nil, nil, midFrame(err)
+	}
+	plen, err := t.readHeaderUvarint()
+	if err != nil {
 		return 0, nil, nil, err
 	}
-	plen, err := binary.ReadUvarint(t.r)
-	if err != nil || plen > maxFrame {
-		return 0, nil, nil, errBad(err)
+	if plen > maxFrame {
+		return 0, nil, nil, corruptFrame(errFrameLen)
+	}
+	var sum [frameSumLen]byte
+	if _, err := io.ReadFull(t.r, sum[:]); err != nil {
+		return 0, nil, nil, midFrame(err)
 	}
 	compressed := flags&flagCompressed != 0
 	var pbuf []byte
@@ -261,13 +403,18 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 		pbuf = make([]byte, plen)
 	}
 	if _, err := io.ReadFull(t.r, pbuf); err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, midFrame(err)
+	}
+	if frameSum(mbuf, pbuf) != binary.LittleEndian.Uint64(sum[:]) {
+		// The whole frame was consumed before verification failed, so the
+		// stream is still aligned.
+		return 0, nil, nil, aligned(corruptFrame(errSumMismatch))
 	}
 	t.stats.wireBytes.Add(int64(len(pbuf)))
 	tmWireBytes.Add(int64(len(pbuf)))
 	if compressed {
 		if t.eng == nil {
-			return 0, nil, nil, errors.New("rpc: compressed frame on uncompressed transport")
+			return 0, nil, nil, aligned(corruptFrame(fmt.Errorf("%w: compressed frame on uncompressed transport", ErrCorrupt)))
 		}
 		dst := []byte(nil)
 		if t.owned {
@@ -279,7 +426,9 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 		t.stats.decompressNS.Add(ns)
 		tmDecompNS.Add(ns)
 		if err != nil {
-			return 0, nil, nil, err
+			// codec decode errors wrap codec.ErrCorrupt; the frame itself
+			// was consumed, so the connection stays aligned.
+			return 0, nil, nil, aligned(corruptFrame(err))
 		}
 		if t.owned {
 			t.dbuf = out
@@ -291,175 +440,25 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 	return flags, mbuf, pbuf, nil
 }
 
-func errBad(err error) error {
-	if err != nil {
-		return err
+// EncodeFrame renders one uncompressed frame to bytes — the writer half of
+// the wire format, exposed for fuzzing and tests.
+func EncodeFrame(flags byte, method string, payload []byte) []byte {
+	tm()
+	var buf bytes.Buffer
+	t := &transport{w: bufio.NewWriter(&buf), min: int(^uint(0) >> 1)}
+	if err := t.writeFrame(flags, []byte(method), payload); err != nil {
+		// A bytes.Buffer write cannot fail; a failure here is a programming
+		// error in the frame writer itself.
+		panic(err)
 	}
-	return errors.New("rpc: malformed frame")
+	return buf.Bytes()
 }
 
-// Handler processes one request payload. The request slice is only valid
-// for the duration of the call (the server reuses its frame buffers);
-// handlers that need the bytes afterwards must copy them.
-type Handler func(req []byte) ([]byte, error)
-
-// Server dispatches method calls over accepted connections.
-type Server struct {
-	comp     Compression
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	live     map[*transport]struct{}
-	closed   counters
-}
-
-// NewServer builds a server with the given transport compression.
-func NewServer(comp Compression) *Server {
-	return &Server{
-		comp:     comp,
-		handlers: make(map[string]Handler),
-		live:     make(map[*transport]struct{}),
-	}
-}
-
-// Register installs a handler for method.
-func (s *Server) Register(method string, h Handler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.handlers[method] = h
-}
-
-// Serve accepts connections until the listener closes.
-func (s *Server) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go func() {
-			_ = s.ServeConn(conn)
-			conn.Close()
-		}()
-	}
-}
-
-// ServeConn handles one connection until EOF.
-func (s *Server) ServeConn(conn io.ReadWriter) error {
-	t, err := newTransport(conn, s.comp)
-	if err != nil {
-		return err
-	}
-	t.owned = true // frames are consumed within the loop iteration
-	s.mu.Lock()
-	s.live[t] = struct{}{}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.live, t)
-		s.mu.Unlock()
-		t.stats.foldInto(&s.closed)
-		t.release()
-	}()
-	for {
-		_, method, req, err := t.readFrame()
-		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		s.mu.RLock()
-		h, ok := s.handlers[string(method)] // map lookup does not allocate
-		s.mu.RUnlock()
-		var resp []byte
-		flags := byte(0)
-		if !ok {
-			flags = flagError
-			resp = []byte(fmt.Sprintf("rpc: unknown method %q", method))
-		} else if resp, err = h(req); err != nil {
-			flags = flagError
-			resp = []byte(err.Error())
-		}
-		t.stats.calls.Add(1)
-		tmCalls.Add(1)
-		if err := t.writeFrame(flags, method, resp); err != nil {
-			return err
-		}
-	}
-}
-
-// Stats returns aggregate server-side traffic, including connections still
-// in flight — the live view a telemetry scrape needs.
-func (s *Server) Stats() Stats {
-	var agg counters
-	s.closed.foldInto(&agg)
-	s.mu.RLock()
-	for t := range s.live {
-		t.stats.foldInto(&agg)
-	}
-	s.mu.RUnlock()
-	return agg.snapshot()
-}
-
-// Client issues calls over one connection. Safe for concurrent use; calls
-// are serialized.
-type Client struct {
-	mu   sync.Mutex
-	t    *transport
-	conn io.ReadWriter
-}
-
-// NewClient wraps an established connection. Both ends must use the same
-// Compression configuration.
-func NewClient(conn io.ReadWriter, comp Compression) (*Client, error) {
-	t, err := newTransport(conn, comp)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{t: t, conn: conn}, nil
-}
-
-// Close releases the client's pooled engine. The underlying connection is
-// the caller's to close. Calls after Close fail.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.t.eng != nil {
-		c.t.release()
-		c.t.min = int(^uint(0) >> 1) // never try to compress again
-	}
-	return nil
-}
-
-// RemoteError is a handler-side failure relayed to the caller.
-type RemoteError struct{ Msg string }
-
-func (e *RemoteError) Error() string { return e.Msg }
-
-// Call sends a request and waits for its response.
-func (c *Client) Call(method string, req []byte) ([]byte, error) {
-	if method == "" {
-		return nil, errors.New("rpc: empty method")
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.t.wmethod = append(c.t.wmethod[:0], method...)
-	if err := c.t.writeFrame(0, c.t.wmethod, req); err != nil {
-		return nil, err
-	}
-	flags, _, resp, err := c.t.readFrame()
-	if err != nil {
-		return nil, err
-	}
-	c.t.stats.calls.Add(1)
-	tmCalls.Add(1)
-	if flags&flagError != 0 {
-		return nil, &RemoteError{Msg: string(resp)}
-	}
-	return resp, nil
-}
-
-// Stats returns the client's traffic counters. Safe to call concurrently
-// with in-flight Calls.
-func (c *Client) Stats() Stats {
-	return c.t.stats.snapshot()
+// ParseFrame decodes one frame from data with no codec configured — the
+// parser half of the wire format, exposed for fuzzing and tests. Arbitrary
+// input must yield an error, never a panic.
+func ParseFrame(data []byte) (flags byte, method, payload []byte, err error) {
+	tm()
+	t := &transport{r: bufio.NewReader(bytes.NewReader(data))}
+	return t.readFrame()
 }

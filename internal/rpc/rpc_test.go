@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -16,7 +17,7 @@ func pipePair(t *testing.T, s *Server, comp Compression) *Client {
 	t.Helper()
 	cc, sc := net.Pipe()
 	go func() {
-		_ = s.ServeConn(sc)
+		_ = s.ServeConn(context.Background(), sc)
 		sc.Close()
 	}()
 	c, err := NewClient(cc, comp)
@@ -42,7 +43,7 @@ func TestCallUncompressed(t *testing.T) {
 	comp := Compression{}
 	c := pipePair(t, echoServer(comp), comp)
 	payload := []byte("hello over the wire")
-	resp, err := c.Call("echo", payload)
+	resp, err := c.Call(context.Background(), "echo", payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCallCompressedSavesWireBytes(t *testing.T) {
 	comp := Compression{Codec: "zstd", Level: 1}
 	c := pipePair(t, echoServer(comp), comp)
 	payload := corpus.LogLines(1, 64<<10)
-	resp, err := c.Call("echo", payload)
+	resp, err := c.Call(context.Background(), "echo", payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCallCompressedSavesWireBytes(t *testing.T) {
 func TestSmallMessagesSkipCodec(t *testing.T) {
 	comp := Compression{Codec: "zstd", Level: 1, MinSize: 1024}
 	c := pipePair(t, echoServer(comp), comp)
-	if _, err := c.Call("echo", []byte("tiny")); err != nil {
+	if _, err := c.Call(context.Background(), "echo", []byte("tiny")); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.CompressTime != 0 {
@@ -101,7 +102,7 @@ func TestIncompressiblePayloadSentRaw(t *testing.T) {
 	}
 	// Make truly random-ish.
 	rngFill(blob)
-	resp, err := c.Call("echo", blob)
+	resp, err := c.Call(context.Background(), "echo", blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,13 +129,13 @@ func rngFill(b []byte) {
 func TestRemoteError(t *testing.T) {
 	comp := Compression{Codec: "zstd"}
 	c := pipePair(t, echoServer(comp), comp)
-	_, err := c.Call("fail", []byte("boom"))
+	_, err := c.Call(context.Background(), "fail", []byte("boom"))
 	var re *RemoteError
 	if !errors.As(err, &re) || !strings.Contains(re.Msg, "exploded") {
 		t.Fatalf("want RemoteError, got %v", err)
 	}
 	// Connection remains usable after a handler error.
-	if _, err := c.Call("echo", []byte("still alive")); err != nil {
+	if _, err := c.Call(context.Background(), "echo", []byte("still alive")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -142,12 +143,12 @@ func TestRemoteError(t *testing.T) {
 func TestUnknownMethod(t *testing.T) {
 	comp := Compression{}
 	c := pipePair(t, echoServer(comp), comp)
-	_, err := c.Call("nope", nil)
+	_, err := c.Call(context.Background(), "nope", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || !strings.Contains(re.Msg, "unknown method") {
 		t.Fatalf("got %v", err)
 	}
-	if _, err := c.Call("", nil); err == nil {
+	if _, err := c.Call(context.Background(), "", nil); err == nil {
 		t.Fatal("empty method accepted")
 	}
 }
@@ -160,7 +161,7 @@ func TestBadCodecRejected(t *testing.T) {
 	cc, sc := net.Pipe()
 	defer cc.Close()
 	defer sc.Close()
-	if err := s.ServeConn(sc); err == nil {
+	if err := s.ServeConn(context.Background(), sc); err == nil {
 		t.Fatal("server accepted bogus codec")
 	}
 }
@@ -173,7 +174,7 @@ func TestOverTCP(t *testing.T) {
 		t.Skipf("no loopback: %v", err)
 	}
 	defer ln.Close()
-	go s.Serve(ln)
+	go s.Serve(context.Background(), ln)
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -186,7 +187,7 @@ func TestOverTCP(t *testing.T) {
 	}
 	payload := corpus.LogLines(3, 32<<10)
 	for i := 0; i < 5; i++ {
-		resp, err := c.Call("echo", payload)
+		resp, err := c.Call(context.Background(), "echo", payload)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func TestConcurrentClients(t *testing.T) {
 			c := pipePair(t, s, comp)
 			payload := corpus.LogLines(int64(g), 8<<10)
 			for i := 0; i < 10; i++ {
-				resp, err := c.Call("echo", payload)
+				resp, err := c.Call(context.Background(), "echo", payload)
 				if err != nil || !bytes.Equal(resp, payload) {
 					t.Errorf("client %d: %v", g, err)
 					return
@@ -242,7 +243,7 @@ func TestStatsConcurrentWithCalls(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 50; i++ {
-		resp, err := c.Call("echo", payload)
+		resp, err := c.Call(context.Background(), "echo", payload)
 		if err != nil || !bytes.Equal(resp, payload) {
 			t.Fatalf("call %d: %v", i, err)
 		}
@@ -264,7 +265,7 @@ func TestClientCloseReleasesEngine(t *testing.T) {
 	comp := Compression{Codec: "zstd", Level: 1}
 	c := pipePair(t, echoServer(comp), comp)
 	payload := corpus.LogLines(9, 8<<10)
-	if _, err := c.Call("echo", payload); err != nil {
+	if _, err := c.Call(context.Background(), "echo", payload); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Close(); err != nil {
@@ -285,14 +286,14 @@ func TestServerStatsAggregation(t *testing.T) {
 	cc, sc := net.Pipe()
 	done := make(chan struct{})
 	go func() {
-		_ = s.ServeConn(sc)
+		_ = s.ServeConn(context.Background(), sc)
 		close(done)
 	}()
 	c, err := NewClient(cc, comp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Call("echo", corpus.LogLines(1, 32<<10)); err != nil {
+	if _, err := c.Call(context.Background(), "echo", corpus.LogLines(1, 32<<10)); err != nil {
 		t.Fatal(err)
 	}
 	cc.Close()

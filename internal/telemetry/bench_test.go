@@ -10,11 +10,11 @@ import (
 
 func benchEngines(b *testing.B) (raw codec.Engine, inst *Instrumented, data []byte) {
 	b.Helper()
-	raw, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	raw, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	eng, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestInstrumentOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	raw, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	raw, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3})
+	eng, err := codec.NewEngine("zstd", codec.WithLevel(3))
 	if err != nil {
 		t.Fatal(err)
 	}

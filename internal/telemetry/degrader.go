@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// degraderMetrics publishes Degrader rung transitions into a registry.
+type degraderMetrics struct {
+	down *Counter
+	up   *Counter
+	rung *Gauge
+}
+
+// DegraderMetrics returns a codec.DegraderObserver that publishes
+// degradation events into reg (nil = Default):
+//
+//	codec_degrader_downshift_total  transitions toward cheaper rungs
+//	codec_degrader_upshift_total    recovery transitions
+//	codec_degrader_rung             active rung index (0 = configured level)
+//
+// Wire it in via DegraderConfig.Observer.
+func DegraderMetrics(reg *Registry) codec.DegraderObserver {
+	if reg == nil {
+		reg = Default
+	}
+	return &degraderMetrics{
+		down: reg.Counter("codec_degrader_downshift_total", "degrader shifts toward cheaper codecs under pressure"),
+		up:   reg.Counter("codec_degrader_upshift_total", "degrader recovery shifts toward the configured level"),
+		rung: reg.Gauge("codec_degrader_rung", "active degrader rung (0 = configured level)"),
+	}
+}
+
+func (m *degraderMetrics) RungChanged(from, to int, _ codec.Rung) {
+	if to > from {
+		m.down.Inc()
+	} else {
+		m.up.Inc()
+	}
+	m.rung.Set(int64(to))
+}

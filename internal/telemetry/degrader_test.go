@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+// TestDegraderMetricsPublishesTransitions drives a Degrader through a
+// pressure spike and recovery and asserts the transitions are visible as
+// registry counters — the contract the dashboards depend on.
+func TestDegraderMetricsPublishesTransitions(t *testing.T) {
+	reg := NewRegistry()
+	now := time.Unix(0, 0)
+	step := 20 * time.Millisecond
+	d, err := codec.NewDegrader(codec.DegraderConfig{
+		Ladder:   []codec.Rung{{Codec: "zstd", Level: 1}, {}},
+		High:     10 * time.Millisecond,
+		Low:      2 * time.Millisecond,
+		Window:   2,
+		Recover:  2,
+		Observer: DegraderMetrics(reg),
+		Now: func() time.Time {
+			now = now.Add(step)
+			return now
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("a log line that compresses a log line that compresses")
+	for i := 0; i < 4; i++ {
+		if _, err := d.Compress(nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rung() != 1 {
+		t.Fatalf("degrader did not downshift under pressure: rung %d", d.Rung())
+	}
+	step = time.Millisecond / 2
+	for i := 0; i < 6; i++ {
+		if _, err := d.Compress(nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rung() != 0 {
+		t.Fatalf("degrader did not recover: rung %d", d.Rung())
+	}
+
+	down := reg.Counter("codec_degrader_downshift_total", "")
+	up := reg.Counter("codec_degrader_upshift_total", "")
+	rung := reg.Gauge("codec_degrader_rung", "")
+	if down.Value() != 1 || up.Value() != 1 {
+		t.Fatalf("counters: downshift=%d upshift=%d, want 1/1", down.Value(), up.Value())
+	}
+	if rung.Value() != 0 {
+		t.Fatalf("rung gauge = %d, want 0 after recovery", rung.Value())
+	}
+}

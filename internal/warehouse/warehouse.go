@@ -127,7 +127,7 @@ func (d *Dataset) StoredBytes() int64 {
 
 // engine builds a zstd engine and returns it with its staged view.
 func engine(level int) (codec.Engine, codec.StagedEngine, error) {
-	eng, err := codec.NewEngine("zstd", codec.Options{Level: level})
+	eng, err := codec.NewEngine("zstd", codec.WithLevel(level))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,96 @@
+package xxhash
+
+import (
+	"testing"
+)
+
+// Published XXH64 test vectors (seed 0).
+var vectors = []struct {
+	in   string
+	want uint64
+}{
+	{"", 0xef46db3751d8e999},
+	{"a", 0xd24ec4f1a98c6e5b},
+	{"abc", 0x44bc2cf5ad770999},
+	{"message digest", 0x066ed728fceeb3be},
+	{"abcdefghijklmnopqrstuvwxyz", 0xcfe1f278fa89835c},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", 0xaaa46907d3047814},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", 0xe04a477f19ee145d},
+}
+
+func TestSum64Vectors(t *testing.T) {
+	for _, v := range vectors {
+		if got := Sum64([]byte(v.in)); got != v.want {
+			t.Errorf("Sum64(%q) = %#x, want %#x", v.in, got, v.want)
+		}
+	}
+}
+
+func TestDigestMatchesSum64(t *testing.T) {
+	// Streaming must equal one-shot for every length and several split
+	// points, covering the <32-byte tail, the buffered boundary, and the
+	// bulk loop.
+	buf := make([]byte, 257)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	for n := 0; n <= len(buf); n++ {
+		want := Sum64(buf[:n])
+		for _, split := range []int{0, 1, 7, 31, 32, 33, n / 2, n} {
+			if split > n {
+				continue
+			}
+			var d Digest
+			d.Reset()
+			d.Write(buf[:split])
+			d.Write(buf[split:n])
+			if got := d.Sum64(); got != want {
+				t.Fatalf("len %d split %d: digest %#x, want %#x", n, split, got, want)
+			}
+		}
+	}
+}
+
+func TestDigestIncrementalSum(t *testing.T) {
+	// Sum64 must not disturb the state: write, sum, write more, sum again.
+	var d Digest
+	d.Reset()
+	d.Write([]byte("abc"))
+	if got := d.Sum64(); got != 0x44bc2cf5ad770999 {
+		t.Fatalf("mid-stream sum = %#x", got)
+	}
+	d.Write([]byte("defghijklmnopqrstuvwxyz"))
+	if got, want := d.Sum64(), Sum64([]byte("abcdefghijklmnopqrstuvwxyz")); got != want {
+		t.Fatalf("continued sum = %#x, want %#x", got, want)
+	}
+}
+
+func TestSum64NoAllocs(t *testing.T) {
+	buf := make([]byte, 64<<10)
+	if n := testing.AllocsPerRun(10, func() {
+		_ = Sum64(buf)
+	}); n != 0 {
+		t.Fatalf("Sum64 allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		var d Digest
+		d.Reset()
+		d.Write(buf[:1000])
+		d.Write(buf[1000:])
+		_ = d.Sum64()
+	}); n != 0 {
+		t.Fatalf("Digest allocates %v/op", n)
+	}
+}
+
+func BenchmarkSum64(b *testing.B) {
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		_ = Sum64(buf)
+	}
+}

@@ -38,57 +38,66 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 	payload := corpus.LogLines(11, 64<<10)
 	for _, cfg := range steadyConfigs() {
-		cfg := cfg
-		t.Run(fmt.Sprintf("%s_L%d", cfg.codec, cfg.level), func(t *testing.T) {
-			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
-			if err != nil {
-				t.Fatal(err)
+		for _, checksum := range []bool{false, true} {
+			cfg, checksum := cfg, checksum
+			name := fmt.Sprintf("%s_L%d", cfg.codec, cfg.level)
+			if checksum {
+				// The integrity frame (one XXH64 pass per direction) must not
+				// cost the hot path a single allocation.
+				name += "_ck"
 			}
-			comp, err := eng.Compress(nil, payload)
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Round-trip sanity before measuring.
-			got, err := eng.Decompress(nil, comp)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got, payload) {
-				t.Fatal("roundtrip mismatch")
-			}
+			t.Run(name, func(t *testing.T) {
+				eng, err := codec.NewEngine(cfg.codec,
+					codec.WithLevel(cfg.level), codec.WithChecksum(checksum))
+				if err != nil {
+					t.Fatal(err)
+				}
+				comp, err := eng.Compress(nil, payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Round-trip sanity before measuring.
+				got, err := eng.Decompress(nil, comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatal("roundtrip mismatch")
+				}
 
-			cbuf := make([]byte, 0, 2*len(payload))
-			requireZeroAllocs(t, "compress", func() {
-				out, err := eng.Compress(cbuf[:0], payload)
-				if err != nil {
-					t.Fatal(err)
+				cbuf := make([]byte, 0, 2*len(payload))
+				requireZeroAllocs(t, "compress", func() {
+					out, err := eng.Compress(cbuf[:0], payload)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cbuf = out
+				})
+				dbuf := make([]byte, 0, 2*len(payload))
+				requireZeroAllocs(t, "decompress", func() {
+					out, err := eng.Decompress(dbuf[:0], comp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dbuf = out
+				})
+				// Round-trip through both reused buffers.
+				requireZeroAllocs(t, "roundtrip", func() {
+					var err error
+					cbuf, err = eng.Compress(cbuf[:0], payload)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dbuf, err = eng.Decompress(dbuf[:0], cbuf)
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				if !bytes.Equal(dbuf, payload) {
+					t.Fatal("steady-state roundtrip mismatch")
 				}
-				cbuf = out
 			})
-			dbuf := make([]byte, 0, 2*len(payload))
-			requireZeroAllocs(t, "decompress", func() {
-				out, err := eng.Decompress(dbuf[:0], comp)
-				if err != nil {
-					t.Fatal(err)
-				}
-				dbuf = out
-			})
-			// Round-trip through both reused buffers.
-			requireZeroAllocs(t, "roundtrip", func() {
-				var err error
-				cbuf, err = eng.Compress(cbuf[:0], payload)
-				if err != nil {
-					t.Fatal(err)
-				}
-				dbuf, err = eng.Decompress(dbuf[:0], cbuf)
-				if err != nil {
-					t.Fatal(err)
-				}
-			})
-			if !bytes.Equal(dbuf, payload) {
-				t.Fatal("steady-state roundtrip mismatch")
-			}
-		})
+		}
 	}
 }
 
@@ -101,7 +110,7 @@ func TestSteadyStateAllocsWithDict(t *testing.T) {
 	// path — it must still be allocation-free once warmed.
 	dict := corpus.LogLines(3, 8<<10)
 	payload := corpus.LogLines(11, 4<<10)
-	eng, err := codec.NewEngine("zstd", codec.Options{Level: 3, Dict: dict})
+	eng, err := codec.NewEngine("zstd", codec.WithLevel(3), codec.WithDict(dict))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,7 @@ func steadyConfigs() []struct {
 func BenchmarkSteadyState(b *testing.B) {
 	for _, cfg := range steadyConfigs() {
 		for _, p := range steadyPayloads() {
-			eng, err := codec.NewEngine(cfg.codec, codec.Options{Level: cfg.level})
+			eng, err := codec.NewEngine(cfg.codec, codec.WithLevel(cfg.level))
 			if err != nil {
 				b.Fatal(err)
 			}
