@@ -28,7 +28,10 @@ type Entry struct {
 	MBPerS      float64 `json:"mb_per_s"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
-	Ratio       float64 `json:"ratio"` // original/compressed, compress rows only
+	// Ratio is original/compressed for the measured payload. Both
+	// directions of a (codec, level, payload) pair carry the same value —
+	// a decompress row decodes exactly what its compress row produced.
+	Ratio float64 `json:"ratio"`
 }
 
 type snapshot struct {
@@ -100,6 +103,8 @@ func main() {
 	size := flag.Int("size", 128<<10, "payload size in bytes")
 	benchtime := flag.Duration("benchtime", 0, "per-point benchmark time (0 = testing default)")
 	check := flag.Bool("check", false, "exit nonzero if any steady-state point allocates")
+	baseline := flag.String("baseline", "", "committed snapshot to regress against (with -check)")
+	slowdown := flag.Float64("slowdown", 0.5, "fail -baseline when MB/s falls below this fraction of the baseline")
 	flag.Parse()
 	if *benchtime > 0 {
 		// testing.Benchmark honours the -test.benchtime flag.
@@ -135,9 +140,7 @@ func main() {
 					BytesPerOp:  res.AllocedBytesPerOp(),
 					AllocsPerOp: res.AllocsPerOp(),
 				}
-				if dir == "compress" {
-					e.Ratio = ratio
-				}
+				e.Ratio = ratio
 				if e.AllocsPerOp != 0 {
 					dirty = true
 					fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: %s L%d %s %s: %d allocs/op (%d B/op)\n",
@@ -160,7 +163,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" && !compareBaseline(*baseline, snap.Entries, *slowdown) {
+		dirty = true
+	}
 	if *check && dirty {
 		os.Exit(1)
 	}
+}
+
+// compareBaseline regresses the fresh entries against a committed snapshot.
+// Allocations and compression ratio are machine-independent and checked
+// strictly; throughput is gated by the generous slowdown fraction so a
+// slower CI machine does not fail the build, while a real decode-path
+// regression (or an entropy-stage fallback to a slow path) still does.
+func compareBaseline(path string, entries []Entry, slowdown float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: baseline: %v\n", err)
+		return false
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: baseline: %v\n", err)
+		return false
+	}
+	type key struct {
+		codec, payload, dir string
+		level               int
+	}
+	ref := make(map[key]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		ref[key{e.Codec, e.Payload, e.Direction, e.Level}] = e
+	}
+	ok := true
+	for _, e := range entries {
+		b, found := ref[key{e.Codec, e.Payload, e.Direction, e.Level}]
+		if !found {
+			continue // new configuration: nothing to regress against
+		}
+		id := fmt.Sprintf("%s L%d %s %s", e.Codec, e.Level, e.Payload, e.Direction)
+		if b.AllocsPerOp == 0 && e.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION: %s: %d allocs/op (baseline 0)\n", id, e.AllocsPerOp)
+			ok = false
+		}
+		if b.Ratio > 0 && e.Ratio < b.Ratio*0.98 {
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION: %s: ratio %.4f (baseline %.4f)\n", id, e.Ratio, b.Ratio)
+			ok = false
+		}
+		if b.MBPerS > 0 && e.MBPerS < b.MBPerS*slowdown {
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION: %s: %.1f MB/s under %.0f%% of baseline %.1f MB/s\n",
+				id, e.MBPerS, slowdown*100, b.MBPerS)
+			ok = false
+		}
+	}
+	return ok
 }

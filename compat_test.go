@@ -1,0 +1,77 @@
+// Backward-compatibility gate for the zstd frame format. The fixtures under
+// testdata/compat are v1 ('ZSX1') frames produced before the multi-stream
+// entropy stage landed; the decoder must keep decoding them byte-identically
+// forever, even though the encoder now emits v2 ('ZSX2') frames with block
+// modes v1 never defined.
+package datacomp_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/zstd"
+)
+
+func TestZstdV1FrameCompat(t *testing.T) {
+	// The corpus generators are deterministic, so the original payloads are
+	// regenerated rather than stored.
+	t.Run("logs_l3_checksum", func(t *testing.T) {
+		frame, err := os.ReadFile("testdata/compat/zstd_v1_logs_l3_ck.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := corpus.LogLines(7, 96<<10)
+		got, err := zstd.Decompress(nil, frame, nil)
+		if err != nil {
+			t.Fatalf("decode v1 frame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("v1 frame decoded to wrong payload (%d bytes, want %d)", len(got), len(want))
+		}
+	})
+	t.Run("dict_item", func(t *testing.T) {
+		frame, err := os.ReadFile("testdata/compat/zstd_v1_dict_item.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dict := corpus.LogLines(3, 8<<10)
+		want := corpus.LogLines(11, 4<<10)
+		id, hasDict, err := zstd.FrameDictID(frame)
+		if err != nil || !hasDict {
+			t.Fatalf("FrameDictID: id=%d hasDict=%v err=%v", id, hasDict, err)
+		}
+		if wantID := zstd.DictID(dict); id != wantID {
+			t.Fatalf("dict ID %d, want %d", id, wantID)
+		}
+		got, err := zstd.Decompress(nil, frame, dict)
+		if err != nil {
+			t.Fatalf("decode v1 dict frame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("v1 dict frame decoded to wrong payload (%d bytes, want %d)", len(got), len(want))
+		}
+	})
+	// A v1 frame must never carry v2-only block modes: flipping the version
+	// byte of a fresh v2 frame back to '1' has to fail decoding whenever the
+	// frame actually uses them, instead of mis-decoding.
+	t.Run("v2_modes_rejected_in_v1", func(t *testing.T) {
+		enc, err := zstd.NewEncoder(zstd.Options{Level: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := corpus.LogLines(7, 96<<10) // large: literals use the 4-stream mode
+		frame, err := enc.Compress(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[3] != '2' {
+			t.Fatalf("fresh frame magic byte = %q, want '2'", frame[3])
+		}
+		frame[3] = '1'
+		if _, err := zstd.Decompress(nil, frame, nil); err == nil {
+			t.Fatal("v2-mode blocks accepted under a v1 header")
+		}
+	})
+}

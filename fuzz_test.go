@@ -119,6 +119,67 @@ func FuzzHuffmanDecompress(f *testing.F) {
 	})
 }
 
+// FuzzEntropyRoundTrip drives every entropy-stage coder pair — Huffman
+// single- and 4-stream, FSE single- and 2-state — through encode→decode on
+// arbitrary payloads. Compressible or not, whatever the encoder accepts
+// must decode back byte-identical; the raw input is also fed straight to
+// the decoders, which may reject it but never panic.
+func FuzzEntropyRoundTrip(f *testing.F) {
+	allDistinct := make([]byte, 256)
+	for i := range allDistinct {
+		allDistinct[i] = byte(i)
+	}
+	for _, seed := range [][]byte{
+		nil,                          // empty
+		{42},                         // single symbol
+		bytes.Repeat([]byte{7}, 500), // RLE
+		allDistinct,                  // flat histogram
+		corpus.LogLines(3, 2048),
+		corpus.Records(5, 4096),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			data = data[:1<<18]
+		}
+		roundtrip := func(name string, compress func() ([]byte, error), decompress func([]byte) ([]byte, error)) {
+			enc, err := compress()
+			if err != nil {
+				if err == huffman.ErrIncompressible || err == fse.ErrIncompressible {
+					return
+				}
+				t.Fatalf("%s compress: %v", name, err)
+			}
+			dec, err := decompress(enc)
+			if err != nil {
+				t.Fatalf("%s decompress: %v", name, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("%s: roundtrip mismatch (%d bytes)", name, len(data))
+			}
+		}
+		roundtrip("huffman",
+			func() ([]byte, error) { return huffman.Compress(nil, data) },
+			func(enc []byte) ([]byte, error) { return huffman.Decompress(nil, enc, len(data)) })
+		roundtrip("huffman4",
+			func() ([]byte, error) { return huffman.Compress4(nil, data) },
+			func(enc []byte) ([]byte, error) { return huffman.Decompress4(nil, enc, len(data)) })
+		roundtrip("fse",
+			func() ([]byte, error) { return fse.Compress(nil, data, 11) },
+			func(enc []byte) ([]byte, error) { return fse.Decompress(nil, enc, len(data)) })
+		roundtrip("fse2",
+			func() ([]byte, error) { return fse.Compress2(nil, data, 11) },
+			func(enc []byte) ([]byte, error) { return fse.Decompress2(nil, enc, len(data)) })
+
+		// The raw input as a hostile compressed payload: errors allowed,
+		// panics are not.
+		n := len(data) % (1 << 12)
+		_, _ = huffman.Decompress4(nil, data, n)
+		_, _ = fse.Decompress2(nil, data, n)
+	})
+}
+
 func FuzzRPCFrame(f *testing.F) {
 	for _, frame := range [][]byte{
 		rpc.EncodeFrame(0, "echo", nil),

@@ -1,0 +1,255 @@
+package bits
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// This file holds the branch-reduced 64-bit bit-I/O used by the multi-stream
+// entropy decoders. The byte-stream format is identical to Writer/Reader/
+// ReverseReader (LSB-first, little-endian, marker-terminated for reverse
+// streams); only the access pattern differs. The structs here follow the
+// zstd BIT_DStream design: the reader keeps an 8-byte window of the stream
+// in a register, a peek/consume split lets table-driven decoders look up
+// symbols without per-bit branches, and a single Refill call per loop
+// iteration reloads the window with one bounds-checked 8-byte load
+// (scalar tail at the stream edges). Between two Refill calls a caller may
+// consume at most 56 bits.
+
+// Writer64 accumulates bits LSB-first like Writer, but buffers up to 64
+// bits in a register and dumps whole words with a single 8-byte store, so
+// the encode inner loop carries no per-byte branches. The zero value is
+// ready to use; ResetBuf lets the caller supply the output slice so
+// streams can be emitted directly into a frame under construction.
+type Writer64 struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // valid low bits in acc, < 8 after Carry
+}
+
+// ResetBuf discards all state and directs output to buf (appended to).
+func (w *Writer64) ResetBuf(buf []byte) {
+	w.buf = buf
+	w.acc = 0
+	w.nacc = 0
+}
+
+// Reset discards all state, keeping the buffer's capacity for reuse.
+func (w *Writer64) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// Add appends the n low bits of v without checking accumulator capacity.
+// The caller must guarantee at most 64 bits accumulate between Carry
+// calls; the hot encode loops Add a bounded group of codes (≤56 bits) and
+// Carry once per group.
+func (w *Writer64) Add(v uint64, n uint) {
+	w.acc |= (v & (1<<n - 1)) << w.nacc
+	w.nacc += n
+}
+
+// Carry stores the accumulator's complete bytes into the buffer with one
+// 8-byte write, leaving at most 7 bits pending.
+func (w *Writer64) Carry() {
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], w.acc)
+	nbytes := w.nacc >> 3
+	w.buf = append(w.buf, word[:nbytes]...)
+	w.acc >>= nbytes * 8
+	w.nacc &= 7
+}
+
+// WriteBits appends the n low bits of v (n ≤ 56), carrying automatically.
+// Slower than Add/Carry groups; used outside the innermost loops.
+func (w *Writer64) WriteBits(v uint64, n uint) {
+	if w.nacc+n > 64 {
+		w.Carry()
+	}
+	w.Add(v, n)
+}
+
+// BitsWritten reports the total number of bits written so far.
+func (w *Writer64) BitsWritten() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Flush pads the pending bits with zeros to a byte boundary and returns
+// the buffer. Further writes start a new byte.
+func (w *Writer64) Flush() []byte {
+	w.Carry()
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// FlushMarker writes the terminating 1-bit required by reverse readers,
+// pads to a byte boundary and returns the buffer.
+func (w *Writer64) FlushMarker() []byte {
+	w.WriteBits(1, 1)
+	return w.Flush()
+}
+
+// Reader64 consumes an LSB-first bit stream in forward (write) order with
+// the peek/consume split. Usage pattern:
+//
+//	r.Init(data)
+//	for ... {
+//		r.Refill()                    // one bounds-checked 8-byte load
+//		e := table[r.Peek(tableLog)]  // no branch
+//		r.Consume(bits)               // no branch
+//		... up to 56 bits total between Refills
+//	}
+//	if r.Overrun() { corrupt }
+//
+// Peeking past the end of the stream yields zero bits (like Reader.Peek);
+// Overrun reports whether consumption went past the end.
+type Reader64 struct {
+	data     []byte
+	ptr      int    // start of the 8-byte window loaded in acc
+	limit    int    // len(data)-8: last valid window start (negative: short stream)
+	acc      uint64 // little-endian load of data[ptr:ptr+8] (tail: zero-padded)
+	consumed uint   // bits consumed from the low end of acc
+}
+
+// Init points the reader at data and loads the first window.
+func (r *Reader64) Init(data []byte) {
+	r.data = data
+	r.ptr = 0
+	r.limit = len(data) - 8
+	r.consumed = 0
+	if len(data) >= 8 {
+		r.acc = binary.LittleEndian.Uint64(data)
+		return
+	}
+	r.acc = 0
+	for i, b := range data {
+		r.acc |= uint64(b) << (8 * i)
+	}
+}
+
+// Refill advances the window past consumed whole bytes and reloads it with
+// a single 8-byte load, clamped to the final full window: at the end of
+// the stream the remaining bits drain from the register and further peeks
+// zero-extend. Small enough to inline into the decode loops.
+func (r *Reader64) Refill() {
+	if r.limit < 0 {
+		return // whole stream already in acc
+	}
+	p := r.ptr + int(r.consumed>>3)
+	if p > r.limit {
+		p = r.limit
+	}
+	r.consumed -= uint(p-r.ptr) << 3
+	r.ptr = p
+	r.acc = binary.LittleEndian.Uint64(r.data[p:])
+}
+
+// Peek returns the next n bits without consuming them. Requires
+// consumed+n ≤ 64 within the current window, which holds for any total of
+// ≤ 56 bits peeked+consumed since the last Refill. Past the end of the
+// stream the missing bits read as zero.
+func (r *Reader64) Peek(n uint) uint64 {
+	return (r.acc >> r.consumed) & (1<<n - 1)
+}
+
+// Consume advances over n bits previously observed via Peek.
+func (r *Reader64) Consume(n uint) { r.consumed += n }
+
+// ReadBits reads the next n bits (n ≤ 56 since the last Refill). Reads
+// past the end return zero bits; check Overrun at a convenient boundary.
+func (r *Reader64) ReadBits(n uint) uint64 {
+	v := (r.acc >> r.consumed) & (1<<n - 1)
+	r.consumed += n
+	return v
+}
+
+// BitsConsumed reports the total number of bits consumed from the stream.
+func (r *Reader64) BitsConsumed() int { return r.ptr*8 + int(r.consumed) }
+
+// Overrun reports whether consumption went past the end of the stream.
+func (r *Reader64) Overrun() bool { return r.BitsConsumed() > len(r.data)*8 }
+
+// ReverseReader64 consumes a marker-terminated bit stream in the reverse
+// order of writing (the tANS direction), holding the current 8-byte window
+// in a register. The contract mirrors Reader64: one Refill per loop
+// iteration, at most 56 bits read between Refills, reads past the start
+// of the stream zero-fill from the low side, Overrun checked once at the
+// end of decoding.
+type ReverseReader64 struct {
+	data     []byte
+	ptr      int    // start of the 8-byte window loaded in acc
+	acc      uint64 // window bytes; the stream's last byte sits at the top
+	consumed uint   // bits consumed from the high end of acc
+	bitsLeft int    // unread payload bits; negative once overrun
+}
+
+// Init points the reader at data, locating the marker bit in the final
+// byte. It returns an error when the stream is empty or carries no marker.
+func (r *ReverseReader64) Init(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("bits: empty reverse stream")
+	}
+	last := data[len(data)-1]
+	if last == 0 {
+		return errors.New("bits: reverse stream missing end marker")
+	}
+	r.data = data
+	if len(data) >= 8 {
+		r.ptr = len(data) - 8
+		r.acc = binary.LittleEndian.Uint64(data[r.ptr:])
+	} else {
+		// Whole stream fits in the register; a negative ptr keeps Refill
+		// permanently on its drain path.
+		r.ptr = -8
+		r.acc = 0
+		for i, b := range data {
+			r.acc |= uint64(b) << (8 * (8 - len(data) + i))
+		}
+	}
+	// Skip the zero padding and the marker bit itself.
+	r.consumed = uint(8-bits.Len8(last)) + 1
+	r.bitsLeft = (len(data)-1)*8 + bits.Len8(last) - 1
+	return nil
+}
+
+// ReadBits reads the next n bits (n ≤ 56 since the last Refill) in
+// reverse write order, with no per-read branches. Reading past the start
+// of the stream yields zero bits on the low side, exactly like
+// ReverseReader; check Overrun once when decoding completes.
+func (r *ReverseReader64) ReadBits(n uint) uint64 {
+	v := (r.acc << r.consumed) >> (64 - n)
+	r.consumed += n
+	r.bitsLeft -= int(n)
+	return v
+}
+
+// Refill slides the window down past consumed whole bytes and reloads it
+// with a single 8-byte load, clamped to the start of the stream: once
+// there the remaining bits drain from the register. Streams shorter than
+// 8 bytes keep ptr negative (see Init) and never reload. Small enough to
+// inline into the decode loops.
+func (r *ReverseReader64) Refill() {
+	if r.ptr < 0 {
+		return // whole stream already in acc
+	}
+	p := r.ptr - int(r.consumed>>3)
+	if p < 0 {
+		p = 0
+	}
+	r.consumed -= uint(r.ptr-p) << 3
+	r.ptr = p
+	r.acc = binary.LittleEndian.Uint64(r.data[p:])
+}
+
+// Overrun reports whether any read went past the start of the stream.
+func (r *ReverseReader64) Overrun() bool { return r.bitsLeft < 0 }
+
+// Finished reports whether all payload bits have been consumed exactly.
+func (r *ReverseReader64) Finished() bool { return r.bitsLeft == 0 }
+
+// BitsRemaining reports the number of unread payload bits.
+func (r *ReverseReader64) BitsRemaining() int { return r.bitsLeft }

@@ -182,15 +182,18 @@ type StagedEngine interface {
 	Stages() zstd.StageStats
 }
 
-// StageHooker is implemented by engines whose encoder reports stage
-// transitions (match finding, entropy coding, serialization) to a hook.
-// All three built-in codecs implement it; the telemetry instrumentation
-// uses the hook for per-stage cycle attribution.
+// StageHooker is implemented by engines whose encoder (and, for zstd,
+// decoder) reports stage transitions (match finding, entropy coding,
+// serialization) to a hook. All three built-in codecs implement it; the
+// telemetry instrumentation uses the hook for per-stage cycle attribution.
 type StageHooker interface {
 	SetStageHook(stage.Hook)
 }
 
-func (e *zstdEngine) SetStageHook(h stage.Hook) { e.enc.SetStageHook(h) }
+func (e *zstdEngine) SetStageHook(h stage.Hook) {
+	e.enc.SetStageHook(h)
+	e.dec.SetStageHook(h)
+}
 func (e *lz4Engine) SetStageHook(h stage.Hook)  { e.enc.SetStageHook(h) }
 func (e *zlibEngine) SetStageHook(h stage.Hook) { e.enc.SetStageHook(h) }
 

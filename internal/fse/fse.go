@@ -173,6 +173,19 @@ func (c *encState) flush(w *bits.Writer) {
 	w.WriteBits(uint64(c.value), c.t.tableLog)
 }
 
+// encode64 is encode writing through the branch-reduced 64-bit writer.
+// The caller batches a bounded group of encodes between Carry calls.
+func (c *encState) encode64(w *bits.Writer64, sym byte) {
+	tt := c.t.symbolTT[sym]
+	nbBitsOut := (c.value + tt.deltaNbBits) >> 16
+	w.Add(uint64(c.value), uint(nbBitsOut))
+	c.value = uint32(c.t.stateTable[int32(c.value>>nbBitsOut)+tt.deltaFindState])
+}
+
+func (c *encState) flush64(w *bits.Writer64) {
+	w.WriteBits(uint64(c.value), c.t.tableLog)
+}
+
 type decEntry struct {
 	newStateBase uint16
 	symbol       byte
@@ -282,6 +295,172 @@ func DecodeWith(dst []byte, d *DecTable, r *bits.ReverseReader, n int) ([]byte, 
 	return dst, nil
 }
 
+// EncodeWith2 encodes syms (len ≥ 2) with two interleaved tANS states —
+// state1 carries the even input positions, state2 the odd ones — so the
+// decoder can overlap the two dependent state-transition chains. Symbols
+// are processed back-to-front; state2 is flushed before state1, so the
+// decoder (reading in reverse write order) recovers state1 first. The raw
+// bit stream (no table header) is appended through w.
+func EncodeWith2(w *bits.Writer64, t *EncTable, syms []byte) error {
+	if len(syms) < 2 {
+		return errors.New("fse: two-state encoding needs at least 2 symbols")
+	}
+	for _, s := range syms {
+		if int(s) >= len(t.symbolTT) || t.norm[s] == 0 {
+			return fmt.Errorf("fse: symbol %d not in table", s)
+		}
+	}
+	i := len(syms)
+	var c1, c2 encState
+	if i&1 == 1 {
+		// Odd count: state1 ends up with one more symbol. Its extra encode
+		// step keeps the decoder's strict 1-2-1-2 alternation intact.
+		c1.init(t, syms[i-1])
+		c2.init(t, syms[i-2])
+		i -= 2
+		c1.encode64(w, syms[i-1])
+		i--
+		w.Carry()
+	} else {
+		c2.init(t, syms[i-1])
+		c1.init(t, syms[i-2])
+		i -= 2
+	}
+	for i > 0 {
+		// One pair per carry: ≤ 2×tableLog ≤ 24 bits accumulated.
+		c2.encode64(w, syms[i-1])
+		c1.encode64(w, syms[i-2])
+		w.Carry()
+		i -= 2
+	}
+	c2.flush64(w)
+	c1.flush64(w)
+	return nil
+}
+
+// DecodeWith2 decodes n symbols (n ≥ 2) produced by EncodeWith2,
+// appending to dst. Both states stay in registers; the reader is refilled
+// once per decoded pair.
+func DecodeWith2(dst []byte, d *DecTable, r *bits.ReverseReader64, n int) ([]byte, error) {
+	if n < 2 {
+		return nil, ErrCorrupt
+	}
+	base := len(dst)
+	dst = grow(dst, n)
+	out := dst[base:]
+	table := d.table
+	tlog := d.tableLog
+	st1 := r.ReadBits(tlog)
+	st2 := r.ReadBits(tlog)
+	i := 0
+	// Two pairs per refill: 4 transitions × tableLog ≤ 12 = 48 bits ≤ 56.
+	for ; i+4 <= n-2; i += 4 {
+		r.Refill()
+		e1 := table[st1]
+		out[i] = e1.symbol
+		st1 = uint64(e1.newStateBase) + r.ReadBits(uint(e1.nbBits))
+		e2 := table[st2]
+		out[i+1] = e2.symbol
+		st2 = uint64(e2.newStateBase) + r.ReadBits(uint(e2.nbBits))
+		e1 = table[st1]
+		out[i+2] = e1.symbol
+		st1 = uint64(e1.newStateBase) + r.ReadBits(uint(e1.nbBits))
+		e2 = table[st2]
+		out[i+3] = e2.symbol
+		st2 = uint64(e2.newStateBase) + r.ReadBits(uint(e2.nbBits))
+	}
+	for ; i+2 <= n-2; i += 2 {
+		r.Refill()
+		e1 := table[st1]
+		out[i] = e1.symbol
+		st1 = uint64(e1.newStateBase) + r.ReadBits(uint(e1.nbBits))
+		e2 := table[st2]
+		out[i+1] = e2.symbol
+		st2 = uint64(e2.newStateBase) + r.ReadBits(uint(e2.nbBits))
+	}
+	// The final symbol of each stream is carried entirely by its state.
+	// Odd n: state1 holds one extra symbol, and the stream ends odd-even,
+	// so the final pair comes state2-first.
+	if n-i == 3 {
+		r.Refill()
+		e1 := table[st1]
+		out[i] = e1.symbol
+		st1 = uint64(e1.newStateBase) + r.ReadBits(uint(e1.nbBits))
+		i++
+		out[i] = table[st2].symbol
+		out[i+1] = table[st1].symbol
+	} else {
+		out[i] = table[st1].symbol
+		out[i+1] = table[st2].symbol
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// decodeWith64 is the single-state decode loop over the branch-reduced
+// reverse reader, used by Scratch.Decompress (the serial dependent-load
+// chain remains, but each step loses its per-bit refill branches).
+func decodeWith64(dst []byte, d *DecTable, r *bits.ReverseReader64, n int) ([]byte, error) {
+	if n == 0 {
+		return dst, nil
+	}
+	base := len(dst)
+	dst = grow(dst, n)
+	out := dst[base:]
+	table := d.table
+	st := r.ReadBits(d.tableLog)
+	i := 0
+	// Four symbols per refill: 4 transitions × tableLog ≤ 12 = 48 bits ≤ 56.
+	for ; i+4 <= n-1; i += 4 {
+		r.Refill()
+		e := table[st]
+		out[i] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+		e = table[st]
+		out[i+1] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+		e = table[st]
+		out[i+2] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+		e = table[st]
+		out[i+3] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+	}
+	for ; i+2 <= n-1; i += 2 {
+		r.Refill()
+		e := table[st]
+		out[i] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+		e = table[st]
+		out[i+1] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+	}
+	if i < n-1 {
+		r.Refill()
+		e := table[st]
+		out[i] = e.symbol
+		st = uint64(e.newStateBase) + r.ReadBits(uint(e.nbBits))
+		i++
+	}
+	out[i] = table[st].symbol
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// grow extends b by n bytes without zero-filling, reusing capacity.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
 // writeNormHeader serializes tableLog and the normalized counts through w
 // (reset here). The counts are bit-packed with a shrinking width: each count
 // is written in Len(remaining) bits where remaining is the number of
@@ -343,7 +522,8 @@ type Scratch struct {
 	dec  DecTable
 	norm []uint16
 	w    bits.Writer
-	rr   bits.ReverseReader
+	w64  bits.Writer64
+	rr64 bits.ReverseReader64
 }
 
 // Compress is the scratch-reusing form of the package-level Compress.
@@ -387,10 +567,61 @@ func (s *Scratch) Decompress(dst, src []byte, n int) ([]byte, error) {
 	if err := s.dec.Init(norm, tableLog); err != nil {
 		return nil, err
 	}
-	if err := s.rr.Reset(src[consumed:]); err != nil {
+	if err := s.rr64.Init(src[consumed:]); err != nil {
 		return nil, ErrCorrupt
 	}
-	return DecodeWith(dst, &s.dec, &s.rr, n)
+	return decodeWith64(dst, &s.dec, &s.rr64, n)
+}
+
+// Compress2 entropy-codes syms with two interleaved tANS states into a
+// self-describing payload appended to dst. The header format matches
+// Compress (table log byte + bit-packed normalized counts); only the bit
+// stream differs, so the payload must be decoded with Decompress2.
+func (s *Scratch) Compress2(dst, syms []byte, maxTableLog uint) ([]byte, error) {
+	if len(syms) < 2 {
+		return nil, ErrIncompressible
+	}
+	h := hist.Count(syms)
+	if h.IsSingleSymbol() {
+		return nil, ErrIncompressible
+	}
+	tableLog := hist.OptimalTableLog(&h, maxTableLog)
+	norm, err := h.NormalizeInto(s.norm, tableLog)
+	if err != nil {
+		return nil, err
+	}
+	s.norm = norm
+	if err := s.enc.Init(norm, tableLog); err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	dst = writeNormHeader(dst, &s.w, norm, tableLog)
+	s.w64.ResetBuf(dst)
+	if err := EncodeWith2(&s.w64, &s.enc, syms); err != nil {
+		return nil, err
+	}
+	dst = s.w64.FlushMarker()
+	if len(dst)-start >= len(syms) {
+		return nil, ErrIncompressible
+	}
+	return dst, nil
+}
+
+// Decompress2 decodes a payload produced by Compress2 into exactly n
+// symbols appended to dst.
+func (s *Scratch) Decompress2(dst, src []byte, n int) ([]byte, error) {
+	norm, tableLog, consumed, err := readNormHeaderInto(s.norm, src)
+	if err != nil {
+		return nil, err
+	}
+	s.norm = norm
+	if err := s.dec.Init(norm, tableLog); err != nil {
+		return nil, err
+	}
+	if err := s.rr64.Init(src[consumed:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	return DecodeWith2(dst, &s.dec, &s.rr64, n)
 }
 
 // Compress entropy-codes syms into a self-describing payload appended to
@@ -406,4 +637,16 @@ func Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
 func Decompress(dst, src []byte, n int) ([]byte, error) {
 	var s Scratch
 	return s.Decompress(dst, src, n)
+}
+
+// Compress2 is the one-shot form of Scratch.Compress2.
+func Compress2(dst, syms []byte, maxTableLog uint) ([]byte, error) {
+	var s Scratch
+	return s.Compress2(dst, syms, maxTableLog)
+}
+
+// Decompress2 is the one-shot form of Scratch.Decompress2.
+func Decompress2(dst, src []byte, n int) ([]byte, error) {
+	var s Scratch
+	return s.Decompress2(dst, src, n)
 }

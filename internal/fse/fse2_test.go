@@ -1,0 +1,81 @@
+package fse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestCompress2Roundtrip sweeps the interleaved 2-state coder across every
+// length from 2 to 599 so both parities of the odd-tail handling and every
+// cleanup-loop phase get exercised.
+func TestCompress2Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n < 600; n++ {
+		syms := make([]byte, n)
+		for i := range syms {
+			syms[i] = byte(rng.Intn(8)) // compressible
+		}
+		enc, err := Compress2(nil, syms, 9)
+		if err == ErrIncompressible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("n=%d compress: %v", n, err)
+		}
+		dec, err := Decompress2(nil, enc, n)
+		if err != nil {
+			t.Fatalf("n=%d decompress: %v", n, err)
+		}
+		if !bytes.Equal(dec, syms) {
+			t.Fatalf("n=%d mismatch", n)
+		}
+	}
+}
+
+// TestCompress2Large pushes bigger skewed payloads through a reused Scratch,
+// the shape the zstd sequence stage uses.
+func TestCompress2Large(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Scratch
+	for trial := 0; trial < 12; trial++ {
+		n := 2000 + rng.Intn(50000)
+		syms := make([]byte, n)
+		for i := range syms {
+			syms[i] = byte(rng.Intn(4) * rng.Intn(10))
+		}
+		enc, err := s.Compress2(nil, syms, 11)
+		if err == ErrIncompressible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: compress: %v", trial, err)
+		}
+		dec, err := s.Decompress2(nil, enc, n)
+		if err != nil {
+			t.Fatalf("trial %d: decompress: %v", trial, err)
+		}
+		if !bytes.Equal(dec, syms) {
+			t.Fatalf("trial %d: mismatch (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestDecompress2Corrupt(t *testing.T) {
+	syms := bytes.Repeat([]byte{0, 1, 1, 2, 2, 2, 3}, 200)
+	enc, err := Compress2(nil, syms, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress2(nil, nil, 10); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := Decompress2(nil, enc[:len(enc)/2], len(syms)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Wrong declared length must error, not mis-decode silently past the
+	// stream or panic.
+	if dec, err := Decompress2(nil, enc, len(syms)*2); err == nil && bytes.Equal(dec[:len(syms)], syms) && len(dec) == len(syms)*2 {
+		t.Fatal("doubled length produced a 'valid' decode")
+	}
+}

@@ -228,19 +228,21 @@ func ReverseBits(v uint32, n uint8) uint32 {
 	return r
 }
 
-// decEntry packs a decoded symbol and its code length.
-type decEntry struct {
-	sym byte
-	len uint8
-}
+// Decode-table entries pack a symbol and its code length into one uint16
+// (sym<<4 | len), so the decode inner loop costs a single 16-bit load per
+// symbol. len occupies 4 bits (MaxCodeLen = 11 < 16); entry 0 marks an
+// unused slot: a valid entry always has len ≥ 1.
+const decEntryBits = 4
 
-// Table is a prepared coder for the byte alphabet: canonical codes limited to
-// MaxCodeLen bits plus a 2^MaxCodeLen lookup table for decoding.
+// Table is a prepared coder for the byte alphabet: canonical codes limited
+// to MaxCodeLen bits plus a single-level packed lookup table for decoding,
+// sized 1<<tableLog where tableLog is the longest code actually assigned.
 type Table struct {
-	lengths [256]uint8
-	codes   [256]uint32 // bit-reversed, ready for LSB-first emission
-	dec     []decEntry  // 1<<MaxCodeLen entries
-	maxSym  int
+	lengths  [256]uint8
+	codes    [256]uint32 // bit-reversed, ready for LSB-first emission
+	dec      []uint16    // 1<<tableLog packed entries, see decEntryBits
+	tableLog uint8       // longest assigned code length
+	maxSym   int
 }
 
 // BuildTable constructs a Table from symbol frequencies (length ≤ 256).
@@ -260,7 +262,10 @@ func tableFromLengths(lengths []uint8) (*Table, error) {
 	return t, nil
 }
 
-// init (re)builds the table in place, reusing the decode slab.
+// init (re)builds the table in place, reusing the decode slab. The decode
+// table is sized to the longest assigned code, not the MaxCodeLen ceiling:
+// shorter alphabets get a smaller, cache-friendlier table and a cheaper
+// rebuild per block.
 func (t *Table) init(lengths []uint8) error {
 	if len(lengths) > 256 {
 		return errors.New("huffman: alphabet exceeds 256 symbols")
@@ -269,12 +274,23 @@ func (t *Table) init(lengths []uint8) error {
 	if err := CanonicalCodesInto(codes[:len(lengths)], lengths); err != nil {
 		return err
 	}
-	if t.dec == nil {
-		t.dec = make([]decEntry, 1<<MaxCodeLen)
-	} else {
-		// Unused entries must read as len=0 so corrupt streams are detected.
-		clear(t.dec)
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
 	}
+	if maxLen > MaxCodeLen {
+		return fmt.Errorf("huffman: length %d exceeds limit", maxLen)
+	}
+	t.tableLog = maxLen
+	tableSize := 1 << maxLen
+	if cap(t.dec) < tableSize {
+		t.dec = make([]uint16, 1<<MaxCodeLen)
+	}
+	t.dec = t.dec[:tableSize]
+	// Unused entries must read as 0 so corrupt streams are detected.
+	clear(t.dec)
 	clear(t.lengths[:])
 	clear(t.codes[:])
 	t.maxSym = -1
@@ -282,16 +298,14 @@ func (t *Table) init(lengths []uint8) error {
 		if l == 0 {
 			continue
 		}
-		if l > MaxCodeLen {
-			return fmt.Errorf("huffman: length %d exceeds limit", l)
-		}
 		t.maxSym = s
 		rev := ReverseBits(codes[s], l)
 		t.lengths[s] = l
 		t.codes[s] = rev
 		step := uint32(1) << l
-		for idx := rev; idx < 1<<MaxCodeLen; idx += step {
-			t.dec[idx] = decEntry{sym: byte(s), len: l}
+		e := uint16(s)<<decEntryBits | uint16(l)
+		for idx := int(rev); idx < tableSize; idx += int(step) {
+			t.dec[idx] = e
 		}
 	}
 	return nil
@@ -342,8 +356,20 @@ type Scratch struct {
 	build   BuildScratch
 	table   Table
 	w       bits.Writer
+	w64     bits.Writer64
 	freqs   [256]uint32
 	lengths [256]uint8
+}
+
+// grow extends b by n bytes without zero-filling, reusing capacity. The
+// extension holds stale bytes until the caller overwrites all of them.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*len(b)+n)
+	copy(nb, b)
+	return nb
 }
 
 // readHeader parses a weight table into s.table, returning bytes consumed.
@@ -424,20 +450,265 @@ func (s *Scratch) Decompress(dst, src []byte, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var r bits.Reader
-	r.Reset(src[used:])
-	t := &s.table
-	for i := 0; i < n; i++ {
-		e := t.dec[r.Peek(MaxCodeLen)]
-		if e.len == 0 {
-			return nil, ErrCorrupt
-		}
-		if err := r.Skip(uint(e.len)); err != nil {
-			return nil, ErrCorrupt
-		}
-		dst = append(dst, e.sym)
+	base := len(dst)
+	dst = grow(dst, n)
+	if !decodeStream(dst[base:], &s.table, src[used:]) {
+		return nil, ErrCorrupt
 	}
 	return dst, nil
+}
+
+// decodeStream decodes len(out) symbols from one bitstream into out using
+// the branch-reduced reader: one 8-byte refill per 4 symbols, no per-bit
+// branches in the loop. Invalid table entries (packed value 0) set bit 15
+// of the running e-1 accumulator, so corruption is detected with a single
+// check per group instead of a branch per symbol; a stream that consumed
+// more bits than it holds is caught by the final overrun check.
+func decodeStream(out []byte, t *Table, stream []byte) bool {
+	var r bits.Reader64
+	r.Init(stream)
+	dec := t.dec
+	tlog := uint(t.tableLog)
+	bad := uint16(0)
+	i, n := 0, len(out)
+	for ; i+4 <= n; i += 4 {
+		r.Refill()
+		e := dec[r.Peek(tlog)]
+		r.Consume(uint(e & 0xf))
+		out[i] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r.Peek(tlog)]
+		r.Consume(uint(e & 0xf))
+		out[i+1] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r.Peek(tlog)]
+		r.Consume(uint(e & 0xf))
+		out[i+2] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r.Peek(tlog)]
+		r.Consume(uint(e & 0xf))
+		out[i+3] = byte(e >> decEntryBits)
+		bad |= e - 1
+	}
+	for ; i < n; i++ {
+		r.Refill()
+		e := dec[r.Peek(tlog)]
+		r.Consume(uint(e & 0xf))
+		out[i] = byte(e >> decEntryBits)
+		bad |= e - 1
+	}
+	return bad&0x8000 == 0 && !r.Overrun()
+}
+
+// encodeStream emits src's codes into w as one LSB-first bitstream,
+// grouping four codes (≤ 44 bits) per 8-byte carry.
+func encodeStream(w *bits.Writer64, t *Table, src []byte) {
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		w.Add(uint64(t.codes[src[i]]), uint(t.lengths[src[i]]))
+		w.Add(uint64(t.codes[src[i+1]]), uint(t.lengths[src[i+1]]))
+		w.Add(uint64(t.codes[src[i+2]]), uint(t.lengths[src[i+2]]))
+		w.Add(uint64(t.codes[src[i+3]]), uint(t.lengths[src[i+3]]))
+		w.Carry()
+	}
+	for ; i < len(src); i++ {
+		w.WriteBits(uint64(t.codes[src[i]]), uint(t.lengths[src[i]]))
+	}
+}
+
+// minCompress4 is the smallest input Compress4 accepts: each of the four
+// streams must hold at least one symbol and the 6-byte jump header has to
+// amortize.
+const minCompress4 = 16
+
+// Compress4 encodes src with a single shared table into four independent
+// bitstreams — one per quarter of the input — so the decoder can run four
+// symbol chains in parallel (instruction-level, not goroutines). Layout:
+//
+//	weight-table header · 3×uint16 LE stream sizes · stream1..stream4
+//
+// The last stream's size is implied by the payload length. Streams cover
+// ceil(n/4) symbols each except the fourth, which takes the remainder.
+// Returns ErrIncompressible under the same policy as Compress.
+func (s *Scratch) Compress4(dst, src []byte) ([]byte, error) {
+	if len(src) < minCompress4 {
+		return nil, ErrIncompressible
+	}
+	clear(s.freqs[:])
+	for _, b := range src {
+		s.freqs[b]++
+	}
+	distinct := 0
+	for _, f := range s.freqs {
+		if f > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		return nil, ErrIncompressible // RLE territory
+	}
+	if err := s.build.BuildLengths(s.lengths[:], s.freqs[:], MaxCodeLen); err != nil {
+		return nil, err
+	}
+	t := &s.table
+	if err := t.init(s.lengths[:]); err != nil {
+		return nil, err
+	}
+	payloadBits := t.EstimateSize(s.freqs[:])
+	estimate := headerSize(t.maxSym) + 6 + (payloadBits+7)/8 + 3
+	if estimate >= len(src) {
+		return nil, ErrIncompressible
+	}
+	start := len(dst)
+	dst = t.writeHeader(dst)
+	jump := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0)
+	q := (len(src) + 3) / 4
+	w := &s.w64
+	for k := 0; k < 4; k++ {
+		lo := k * q
+		hi := lo + q
+		if k == 3 {
+			hi = len(src)
+		}
+		prev := len(dst)
+		w.ResetBuf(dst)
+		encodeStream(w, t, src[lo:hi])
+		dst = w.Flush()
+		if k < 3 {
+			size := len(dst) - prev
+			if size > 0xffff {
+				return nil, fmt.Errorf("huffman: stream %d overflows jump table (%d bytes)", k, size)
+			}
+			dst[jump+2*k] = byte(size)
+			dst[jump+2*k+1] = byte(size >> 8)
+		}
+	}
+	if len(dst)-start >= len(src) {
+		return nil, ErrIncompressible
+	}
+	return dst, nil
+}
+
+// Decompress4 decodes a payload produced by Compress4 into exactly n
+// bytes appended to dst. The four streams are decoded in one interleaved
+// loop, two symbols per stream per refill, so the four dependent-load
+// chains overlap instead of serializing.
+func (s *Scratch) Decompress4(dst, src []byte, n int) ([]byte, error) {
+	used, err := s.readHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if n < 4 {
+		return nil, ErrCorrupt
+	}
+	q := (n + 3) / 4
+	n4 := n - 3*q
+	if n4 <= 0 {
+		return nil, ErrCorrupt
+	}
+	if len(src) < used+6 {
+		return nil, ErrCorrupt
+	}
+	sz1 := int(src[used]) | int(src[used+1])<<8
+	sz2 := int(src[used+2]) | int(src[used+3])<<8
+	sz3 := int(src[used+4]) | int(src[used+5])<<8
+	p := used + 6
+	if p+sz1+sz2+sz3 > len(src) {
+		return nil, ErrCorrupt
+	}
+	b1 := src[p : p+sz1]
+	b2 := src[p+sz1 : p+sz1+sz2]
+	b3 := src[p+sz1+sz2 : p+sz1+sz2+sz3]
+	b4 := src[p+sz1+sz2+sz3:]
+
+	base := len(dst)
+	dst = grow(dst, n)
+	out := dst[base:]
+	o1, o2, o3, o4 := out[:q], out[q:2*q], out[2*q:3*q], out[3*q:]
+
+	t := &s.table
+	dec := t.dec
+	tlog := uint(t.tableLog)
+	var r1, r2, r3, r4 bits.Reader64
+	r1.Init(b1)
+	r2.Init(b2)
+	r3.Init(b3)
+	r4.Init(b4)
+
+	// Interleaved main loop: bounded by the shortest stream (the fourth),
+	// two symbols per stream per refill — 8 independent table lookups in
+	// flight per iteration.
+	bad := uint16(0)
+	k := 0
+	for ; k+2 <= n4; k += 2 {
+		r1.Refill()
+		r2.Refill()
+		r3.Refill()
+		r4.Refill()
+		e := dec[r1.Peek(tlog)]
+		r1.Consume(uint(e & 0xf))
+		o1[k] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r2.Peek(tlog)]
+		r2.Consume(uint(e & 0xf))
+		o2[k] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r3.Peek(tlog)]
+		r3.Consume(uint(e & 0xf))
+		o3[k] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r4.Peek(tlog)]
+		r4.Consume(uint(e & 0xf))
+		o4[k] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r1.Peek(tlog)]
+		r1.Consume(uint(e & 0xf))
+		o1[k+1] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r2.Peek(tlog)]
+		r2.Consume(uint(e & 0xf))
+		o2[k+1] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r3.Peek(tlog)]
+		r3.Consume(uint(e & 0xf))
+		o3[k+1] = byte(e >> decEntryBits)
+		bad |= e - 1
+		e = dec[r4.Peek(tlog)]
+		r4.Consume(uint(e & 0xf))
+		o4[k+1] = byte(e >> decEntryBits)
+		bad |= e - 1
+	}
+	if bad&0x8000 != 0 {
+		return nil, ErrCorrupt
+	}
+	// Stream tails: at most 3 symbols each for streams 1-3 (their length
+	// exceeds the fourth's by at most 3) plus the odd symbol of stream 4.
+	if !finishStream(o1, k, &r1, dec, tlog) ||
+		!finishStream(o2, k, &r2, dec, tlog) ||
+		!finishStream(o3, k, &r3, dec, tlog) ||
+		!finishStream(o4, k, &r4, dec, tlog) {
+		return nil, ErrCorrupt
+	}
+	if r1.Overrun() || r2.Overrun() || r3.Overrun() || r4.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// finishStream drains the last few symbols of one stream after the
+// interleaved loop.
+func finishStream(out []byte, k int, r *bits.Reader64, dec []uint16, tlog uint) bool {
+	for ; k < len(out); k++ {
+		r.Refill()
+		e := dec[r.Peek(tlog)]
+		if e == 0 {
+			return false
+		}
+		r.Consume(uint(e & 0xf))
+		out[k] = byte(e >> decEntryBits)
+	}
+	return true
 }
 
 // Compress Huffman-codes src, appending the table header and payload to dst.
@@ -471,4 +742,16 @@ func CompressWithTable(dst, src []byte, t *Table) ([]byte, error) {
 func Decompress(dst, src []byte, n int) ([]byte, error) {
 	var s Scratch
 	return s.Decompress(dst, src, n)
+}
+
+// Compress4 is the one-shot form of Scratch.Compress4.
+func Compress4(dst, src []byte) ([]byte, error) {
+	var s Scratch
+	return s.Compress4(dst, src)
+}
+
+// Decompress4 is the one-shot form of Scratch.Decompress4.
+func Decompress4(dst, src []byte, n int) ([]byte, error) {
+	var s Scratch
+	return s.Decompress4(dst, src, n)
 }

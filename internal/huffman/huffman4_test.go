@@ -1,0 +1,89 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestCompress4Roundtrip sweeps the 4-stream coder across every length from
+// the minimum up to 799 so all four quarter sizes and tail phases are hit.
+func TestCompress4Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 16; n < 800; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(12))
+		}
+		enc, err := Compress4(nil, src)
+		if err == ErrIncompressible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("n=%d compress: %v", n, err)
+		}
+		dec, err := Decompress4(nil, enc, n)
+		if err != nil {
+			t.Fatalf("n=%d decompress: %v", n, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("n=%d mismatch", n)
+		}
+	}
+}
+
+// TestCompress4Large runs big skewed payloads through a reused Scratch — the
+// literal-stage shape in the zstd block encoder.
+func TestCompress4Large(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var s Scratch
+	for trial := 0; trial < 20; trial++ {
+		n := 1000 + rng.Intn(60000)
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(3) * rng.Intn(60))
+		}
+		enc, err := s.Compress4(nil, src)
+		if err == ErrIncompressible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: compress: %v", trial, err)
+		}
+		dec, err := s.Decompress4(nil, enc, n)
+		if err != nil {
+			t.Fatalf("trial %d: decompress: %v", trial, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("trial %d: mismatch (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestCompress4TooSmall(t *testing.T) {
+	if _, err := Compress4(nil, []byte("abc")); err != ErrIncompressible {
+		t.Fatalf("tiny input: got %v, want ErrIncompressible", err)
+	}
+}
+
+func TestDecompress4Corrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("compressible payload "), 100)
+	enc, err := Compress4(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress4(nil, nil, 10); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := Decompress4(nil, enc[:8], len(src)); err == nil {
+		t.Fatal("header-only payload accepted")
+	}
+	// Corrupting the jump header must not panic; the stream offsets it
+	// yields may point anywhere inside the payload.
+	mut := append([]byte{}, enc...)
+	for off := 1; off < 7 && off < len(mut); off++ {
+		mut[off] ^= 0xff
+		_, _ = Decompress4(nil, mut, len(src))
+		mut[off] ^= 0xff
+	}
+}

@@ -149,7 +149,7 @@ type Encoder struct {
 	distLens   [numDist]uint8
 	litCodes   [numLitLen]uint32
 	distCodes  [numDist]uint32
-	w          bits.Writer
+	w          bits.Writer64
 }
 
 // SetStageHook installs a hook fired at stage transitions inside Compress:
@@ -249,7 +249,7 @@ func (e *Encoder) compressBlock(dst, src []byte, start, end int, last bool) ([]b
 
 // writeTable serializes code lengths: 1-bit flag then either a 4-bit length
 // or a 6-bit zero-run (1..64).
-func writeTable(w *bits.Writer, lengths []uint8) {
+func writeTable(w *bits.Writer64, lengths []uint8) {
 	i := 0
 	for i < len(lengths) {
 		if lengths[i] == 0 {
@@ -269,29 +269,22 @@ func writeTable(w *bits.Writer, lengths []uint8) {
 }
 
 // readTable deserializes n code lengths into lengths (len(lengths) == n).
-func readTable(r *bits.Reader, lengths []uint8) error {
+func readTable(r *bits.Reader64, lengths []uint8) error {
 	i := 0
 	for i < len(lengths) {
-		flag, err := r.ReadBits(1)
-		if err != nil {
+		r.Refill() // ≤11 bits per iteration
+		if r.Overrun() {
 			return ErrCorrupt
 		}
-		if flag == 1 {
-			run, err := r.ReadBits(6)
-			if err != nil {
-				return ErrCorrupt
-			}
-			for k := 0; k <= int(run) && i < len(lengths); k++ {
+		if r.ReadBits(1) == 1 {
+			run := int(r.ReadBits(6))
+			for k := 0; k <= run && i < len(lengths); k++ {
 				lengths[i] = 0
 				i++
 			}
 			continue
 		}
-		v, err := r.ReadBits(4)
-		if err != nil {
-			return ErrCorrupt
-		}
-		lengths[i] = uint8(v)
+		lengths[i] = uint8(r.ReadBits(4))
 		i++
 	}
 	return nil
@@ -368,12 +361,17 @@ func (e *Encoder) encodeDynamic(content []byte, seqs []lz.Sequence) ([]byte, err
 		if s.MatchLen == 0 {
 			continue
 		}
+		// One match token is ≤42 bits (12+5+12+13); after a Carry the
+		// accumulator holds <8, so the whole group fits one carry cycle.
+		w.Carry()
 		lc := lengthCode(int(s.MatchLen))
-		emit(litCodes, litLens, firstLenSym+int(lc))
-		w.WriteBits(uint64(int(s.MatchLen)-int(lengthBase[lc])), uint(lengthExtra[lc]))
+		ls := firstLenSym + int(lc)
+		w.Add(uint64(huffman.ReverseBits(litCodes[ls], litLens[ls])), uint(litLens[ls]))
+		w.Add(uint64(int(s.MatchLen)-int(lengthBase[lc])), uint(lengthExtra[lc]))
 		dc := distCode(int(s.Offset))
-		emit(distCodes, distLens, int(dc))
-		w.WriteBits(uint64(int(s.Offset)-int(distBase[dc])), uint(distExtra[dc]))
+		w.Add(uint64(huffman.ReverseBits(distCodes[dc], distLens[dc])), uint(distLens[dc]))
+		w.Add(uint64(int(s.Offset)-int(distBase[dc])), uint(distExtra[dc]))
+		w.Carry()
 	}
 	emit(litCodes, litLens, eobSym)
 	return w.Flush(), nil
@@ -413,16 +411,14 @@ func (t *decTable) init(lengths []uint8, codes []uint32) error {
 	return nil
 }
 
-func (t *decTable) decode(r *bits.Reader) (int, error) {
+// decode reads one symbol with the branch-reduced peek/consume split; a
+// false second return marks an invalid code. The caller refills the
+// reader and checks Overrun once per token.
+func (t *decTable) decode(r *bits.Reader64) (int, bool) {
 	e := t.entries[r.Peek(maxCodeBits)]
 	l := e & 0xff
-	if l == 0 {
-		return 0, ErrCorrupt
-	}
-	if err := r.Skip(uint(l)); err != nil {
-		return 0, ErrCorrupt
-	}
-	return int(e >> 8), nil
+	r.Consume(uint(l))
+	return int(e >> 8), l != 0
 }
 
 // Decoder decompresses payloads, reusing its Huffman lookup tables and
@@ -504,8 +500,8 @@ func (d *Decoder) Decompress(dst, src []byte) ([]byte, error) {
 }
 
 func (d *Decoder) decodeDynamic(out []byte, base int, payload []byte) ([]byte, error) {
-	var rv bits.Reader
-	rv.Reset(payload)
+	var rv bits.Reader64
+	rv.Init(payload)
 	r := &rv
 	if err := readTable(r, d.litLens[:]); err != nil {
 		return nil, err
@@ -532,40 +528,39 @@ func (d *Decoder) decodeDynamic(out []byte, base int, payload []byte) ([]byte, e
 	}
 	litTab := &d.litTab
 	for {
-		sym, err := litTab.decode(r)
-		if err != nil {
-			return nil, err
+		// One refill covers a whole token: literal ≤12 bits, match ≤42
+		// (12+5+12+13). The per-iteration Overrun check terminates corrupt
+		// streams whose zero-extended tail keeps decoding as valid codes.
+		r.Refill()
+		if r.Overrun() {
+			return nil, ErrCorrupt
+		}
+		sym, ok := litTab.decode(r)
+		if !ok {
+			return nil, ErrCorrupt
 		}
 		switch {
 		case sym < 256:
 			out = append(out, byte(sym))
 		case sym == eobSym:
+			if r.Overrun() {
+				return nil, ErrCorrupt
+			}
 			return out, nil
 		default:
 			lc := sym - firstLenSym
 			if lc >= len(lengthBase) {
 				return nil, ErrCorrupt
 			}
-			ext, err := r.ReadBits(uint(lengthExtra[lc]))
-			if err != nil {
-				return nil, ErrCorrupt
-			}
-			matchLen := int(lengthBase[lc]) + int(ext)
+			matchLen := int(lengthBase[lc]) + int(r.ReadBits(uint(lengthExtra[lc])))
 			if distTab == nil {
 				return nil, ErrCorrupt
 			}
-			dc, err := distTab.decode(r)
-			if err != nil {
-				return nil, err
-			}
-			if dc >= len(distBase) {
+			dc, ok := distTab.decode(r)
+			if !ok {
 				return nil, ErrCorrupt
 			}
-			dext, err := r.ReadBits(uint(distExtra[dc]))
-			if err != nil {
-				return nil, ErrCorrupt
-			}
-			offset := int(distBase[dc]) + int(dext)
+			offset := int(distBase[dc]) + int(r.ReadBits(uint(distExtra[dc])))
 			if offset > len(out)-base {
 				return nil, ErrCorrupt
 			}

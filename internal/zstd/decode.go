@@ -8,6 +8,7 @@ import (
 	"github.com/datacomp/datacomp/internal/bits"
 	"github.com/datacomp/datacomp/internal/fse"
 	"github.com/datacomp/datacomp/internal/huffman"
+	"github.com/datacomp/datacomp/internal/stage"
 )
 
 // ErrCorrupt is returned for undecodable frames.
@@ -21,6 +22,7 @@ var ErrDictMismatch = errors.New("zstd: dictionary missing or mismatched")
 type frameHeader struct {
 	contentSize uint64
 	dictID      uint32
+	version     int
 	hasDict     bool
 	hasChecksum bool
 	headerLen   int
@@ -31,7 +33,15 @@ func parseHeader(src []byte) (frameHeader, error) {
 	if len(src) < 6 {
 		return h, ErrCorrupt
 	}
-	if src[0] != frameMagic[0] || src[1] != frameMagic[1] || src[2] != frameMagic[2] || src[3] != frameMagic[3] {
+	if src[0] != frameMagicV1[0] || src[1] != frameMagicV1[1] || src[2] != frameMagicV1[2] {
+		return h, ErrCorrupt
+	}
+	switch src[3] {
+	case frameMagicV1[3]:
+		h.version = 1
+	case frameMagicV2[3]:
+		h.version = 2
+	default:
 		return h, ErrCorrupt
 	}
 	flags := src[4]
@@ -90,6 +100,12 @@ type Decoder struct {
 	bd   blockDecoder
 }
 
+// SetStageHook installs a hook fired at stage transitions inside
+// Decompress (stage.Entropy before a block's entropy decode, stage.App
+// before its sequence execution). A nil hook disables notification. The
+// hook is called from the decompressing goroutine only.
+func (dec *Decoder) SetStageHook(h stage.Hook) { dec.bd.hook = h }
+
 // NewDecoder returns a Decoder for frames compressed with dict (nil for
 // dictionary-less frames).
 func NewDecoder(dict []byte) *Decoder {
@@ -137,6 +153,7 @@ func (dec *Decoder) Decompress(dst, src []byte) ([]byte, error) {
 	base := len(buf)
 
 	d := &dec.bd
+	d.v2 = h.version >= 2
 	for {
 		if pos+3 > len(src) {
 			return nil, ErrCorrupt
@@ -211,6 +228,14 @@ type blockDecoder struct {
 	mlc   []byte
 	huff  huffman.Scratch
 	fseSc fse.Scratch
+	hook  stage.Hook
+	v2    bool // frame version ≥2: multi-stream entropy modes allowed
+}
+
+func (d *blockDecoder) enterStage(s stage.ID) {
+	if d.hook != nil {
+		d.hook(s)
+	}
 }
 
 // decodeStream reads one sequence-code stream.
@@ -232,14 +257,21 @@ func (d *blockDecoder) decodeStream(dst []byte, mode byte, src []byte, pos, n in
 		}
 		dst = append(dst, src[pos:pos+n]...)
 		return dst, pos + n, nil
-	case seqFSE:
+	case seqFSE, seqFSE2:
+		if mode == seqFSE2 && !d.v2 {
+			return nil, 0, ErrCorrupt
+		}
 		length, k := binary.Uvarint(src[pos:])
 		if k <= 0 || pos+k+int(length) > len(src) {
 			return nil, 0, ErrCorrupt
 		}
 		pos += k
 		var err error
-		dst, err = d.fseSc.Decompress(dst, src[pos:pos+int(length)], n)
+		if mode == seqFSE2 {
+			dst, err = d.fseSc.Decompress2(dst, src[pos:pos+int(length)], n)
+		} else {
+			dst, err = d.fseSc.Decompress(dst, src[pos:pos+int(length)], n)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -256,6 +288,7 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 	if len(src) < 2 {
 		return nil, ErrCorrupt
 	}
+	d.enterStage(stage.Entropy)
 	litMode := src[pos]
 	pos++
 	litCount, n := binary.Uvarint(src[pos:])
@@ -280,14 +313,21 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		for i := 0; i < int(litCount); i++ {
 			d.lits = append(d.lits, b)
 		}
-	case litsHuff:
+	case litsHuff, litsHuff4:
+		if litMode == litsHuff4 && !d.v2 {
+			return nil, ErrCorrupt
+		}
 		compLen, k := binary.Uvarint(src[pos:])
 		if k <= 0 || pos+k+int(compLen) > len(src) {
 			return nil, ErrCorrupt
 		}
 		pos += k
 		var err error
-		d.lits, err = d.huff.Decompress(d.lits, src[pos:pos+int(compLen)], int(litCount))
+		if litMode == litsHuff4 {
+			d.lits, err = d.huff.Decompress4(d.lits, src[pos:pos+int(compLen)], int(litCount))
+		} else {
+			d.lits, err = d.huff.Decompress(d.lits, src[pos:pos+int(compLen)], int(litCount))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -306,6 +346,7 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		if pos != len(src) {
 			return nil, ErrCorrupt
 		}
+		d.enterStage(stage.App)
 		return append(buf, d.lits...), nil
 	}
 
@@ -333,9 +374,19 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	pos += k
-	var extras bits.Reader
-	extras.Reset(src[pos : pos+int(exLen)])
+	var extras bits.Reader64
+	extras.Init(src[pos : pos+int(exLen)])
 
+	d.enterStage(stage.App)
+	// 16 readable bytes past the literal buffer let the sequence loop copy
+	// short literal runs in unconditional 16-byte chunks.
+	litsLen := len(d.lits)
+	if cap(d.lits)-litsLen < 16 {
+		nl := make([]byte, litsLen, 2*cap(d.lits)+16)
+		copy(nl, d.lits)
+		d.lits = nl
+	}
+	litSrc := d.lits[:litsLen+16]
 	litPos := 0
 	reps := newRepState()
 	for i := 0; i < numSeqs; i++ {
@@ -343,18 +394,18 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		if lc > maxLLCode || oc > maxOFCode || mc > maxMLCode {
 			return nil, ErrCorrupt
 		}
-		llx, err := extras.ReadBits(uint(llExtraBits[lc]))
-		if err != nil {
-			return nil, ErrCorrupt
+		// All three extras fields almost always fit one refill window
+		// (≤56 bits); only huge-offset sequences (ll+of+ml extras up to
+		// 63 bits) need the second refill. Reads past the end zero-extend
+		// and are rejected by the Overrun check below.
+		lb, mb := uint(llExtraBits[lc]), uint(mlExtraBits[mc])
+		extras.Refill()
+		llx := extras.ReadBits(lb)
+		ofx := extras.ReadBits(uint(oc))
+		if lb+uint(oc)+mb > 56 {
+			extras.Refill()
 		}
-		ofx, err := extras.ReadBits(uint(oc))
-		if err != nil {
-			return nil, ErrCorrupt
-		}
-		mlx, err := extras.ReadBits(uint(mlExtraBits[mc]))
-		if err != nil {
-			return nil, ErrCorrupt
-		}
+		mlx := extras.ReadBits(mb)
 		litLen := int(llBaselines[lc]) + int(llx)
 		ofValue := uint32(uint64(1)<<oc + ofx)
 		offset := int(reps.decode(ofValue))
@@ -362,19 +413,61 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		if offset == 0 {
 			return nil, ErrCorrupt
 		}
-		if litPos+litLen > len(d.lits) {
+		if litPos+litLen > litsLen {
 			return nil, ErrCorrupt
 		}
-		buf = append(buf, d.lits[litPos:litPos+litLen]...)
+		// Reserve room for the whole sequence plus slack up front so both
+		// copies below can run in unconditional 16-byte chunks that spill
+		// only into reserved capacity.
+		if cap(buf)-len(buf) < litLen+matchLen+32 {
+			buf = growOut(buf, litLen+matchLen+32)
+		}
+		n := len(buf)
+		if litLen <= 16 {
+			ext := buf[:n+16]
+			binary.LittleEndian.PutUint64(ext[n:], binary.LittleEndian.Uint64(litSrc[litPos:]))
+			binary.LittleEndian.PutUint64(ext[n+8:], binary.LittleEndian.Uint64(litSrc[litPos+8:]))
+			buf = buf[:n+litLen]
+		} else {
+			buf = buf[:n+litLen]
+			copy(buf[n:], litSrc[litPos:litPos+litLen])
+		}
 		litPos += litLen
 		if offset > len(buf) {
 			return nil, ErrCorrupt
 		}
-		buf = appendMatch(buf, offset, matchLen)
+		if offset >= 16 {
+			// Non-overlapping wildcopy: the source chunk always trails the
+			// write position by ≥16 bytes, so every read is committed data.
+			m := len(buf)
+			ext := buf[:m+matchLen+16]
+			for c := 0; c < matchLen; c += 16 {
+				binary.LittleEndian.PutUint64(ext[m+c:], binary.LittleEndian.Uint64(ext[m-offset+c:]))
+				binary.LittleEndian.PutUint64(ext[m+c+8:], binary.LittleEndian.Uint64(ext[m-offset+c+8:]))
+			}
+			buf = buf[:m+matchLen]
+		} else {
+			buf = appendMatch(buf, offset, matchLen)
+		}
+	}
+	if extras.Overrun() {
+		return nil, ErrCorrupt
 	}
 	// Trailing literals not claimed by any sequence.
 	buf = append(buf, d.lits[litPos:]...)
 	return buf, nil
+}
+
+// growOut returns out with at least n spare bytes of capacity, growing
+// geometrically so repeated sequence decodes amortize to O(1) per byte.
+func growOut(out []byte, n int) []byte {
+	newCap := 2 * cap(out)
+	if newCap < len(out)+n {
+		newCap = len(out) + n
+	}
+	grown := make([]byte, len(out), newCap)
+	copy(grown, out)
+	return grown
 }
 
 // appendMatch extends out by length bytes copied from offset back,

@@ -14,8 +14,13 @@ import (
 	"github.com/datacomp/datacomp/internal/stage"
 )
 
-// Frame constants.
-var frameMagic = [4]byte{'Z', 'S', 'X', '1'}
+// Frame constants. Version 2 frames may carry the multi-stream entropy
+// sections (4-stream Huffman literals, 2-state FSE sequence streams);
+// version 1 frames are still decoded for backward compatibility.
+var (
+	frameMagicV1 = [4]byte{'Z', 'S', 'X', '1'}
+	frameMagicV2 = [4]byte{'Z', 'S', 'X', '2'}
+)
 
 const (
 	flagDict     = 1 << 0
@@ -29,22 +34,33 @@ const (
 	blockCompressed
 )
 
-// Literal-section modes.
+// Literal-section modes. litsHuff4 (4 independent bitstreams sharing one
+// table) only appears in version ≥2 frames.
 const (
 	litsRaw = iota
 	litsRLE
 	litsHuff
+	litsHuff4
 )
 
-// Sequence-stream modes.
+// Sequence-stream modes. seqFSE2 (two interleaved tANS states) only
+// appears in version ≥2 frames.
 const (
 	seqFSE = iota
 	seqRLE
 	seqRaw
+	seqFSE2
 )
 
 // seqTableLog is the FSE table size for sequence code streams.
 const seqTableLog = 9
+
+// Multi-stream thresholds: below these sizes the split/jump-header overhead
+// and the second-state flush outweigh the decode-ILP win.
+const (
+	huff4MinLits = 1024
+	fse2MinSeqs  = 16
+)
 
 // Options configure an Encoder.
 type Options struct {
@@ -165,7 +181,7 @@ func (e *Encoder) matcher(srcLen int) (*lz.Matcher, error) {
 
 // Compress appends a complete frame holding src to dst.
 func (e *Encoder) Compress(dst, src []byte) ([]byte, error) {
-	dst = append(dst, frameMagic[:]...)
+	dst = append(dst, frameMagicV2[:]...)
 	flags := byte(0)
 	if len(e.opts.Dict) > 0 {
 		flags |= flagDict
@@ -336,9 +352,18 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
 		payload = append(payload, e.lits[0])
 	default:
-		if enc, err := e.huff.Compress(e.litEnc[:0], e.lits); err == nil {
+		litMode := byte(litsHuff)
+		var enc []byte
+		var err error
+		if len(e.lits) >= huff4MinLits {
+			litMode = litsHuff4
+			enc, err = e.huff.Compress4(e.litEnc[:0], e.lits)
+		} else {
+			enc, err = e.huff.Compress(e.litEnc[:0], e.lits)
+		}
+		if err == nil {
 			e.litEnc = enc
-			payload = append(payload, litsHuff)
+			payload = append(payload, litMode)
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
 			payload = append(payload, enc...)
@@ -363,9 +388,18 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 				modes[i] = seqRLE
 				encoded[i] = s[:1]
 			default:
-				if enc, err := e.fseSc.Compress(e.seqEnc[i][:0], s, seqTableLog); err == nil {
+				seqMode := byte(seqFSE)
+				var enc []byte
+				var err error
+				if numSeqs >= fse2MinSeqs {
+					seqMode = seqFSE2
+					enc, err = e.fseSc.Compress2(e.seqEnc[i][:0], s, seqTableLog)
+				} else {
+					enc, err = e.fseSc.Compress(e.seqEnc[i][:0], s, seqTableLog)
+				}
+				if err == nil {
 					e.seqEnc[i] = enc
-					modes[i] = seqFSE
+					modes[i] = seqMode
 					encoded[i] = enc
 				} else if err == fse.ErrIncompressible {
 					modes[i] = seqRaw
@@ -382,7 +416,7 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 				payload = append(payload, enc[0])
 			case seqRaw: // length implied by numSeqs
 				payload = append(payload, enc...)
-			case seqFSE:
+			case seqFSE, seqFSE2:
 				payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
 				payload = append(payload, enc...)
 			}

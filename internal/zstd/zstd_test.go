@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/datacomp/datacomp/internal/corpus"
 )
 
 func compressible(seed int64, n int) []byte {
@@ -410,23 +412,32 @@ func itoa(v int) string {
 }
 
 func BenchmarkDecompress(b *testing.B) {
-	src := compressible(1, 1<<18)
-	e, err := NewEncoder(Options{Level: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
-	out, err := e.Compress(nil, src)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(len(src)))
-	b.ResetTimer()
-	var back []byte
-	for i := 0; i < b.N; i++ {
-		back, err = Decompress(back[:0], out, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
+	// Per-level decode benchmarks over log-like data: the shape the
+	// multi-stream entropy stage (4-stream literals, 2-state sequences) is
+	// tuned for, and the corpus the BENCH_codec.json regression gate tracks.
+	src := corpus.LogLines(7, 128<<10)
+	for _, level := range []int{1, 3, 9} {
+		b.Run("L"+itoa(level), func(b *testing.B) {
+			e, err := NewEncoder(Options{Level: level})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := e.Compress(nil, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := NewDecoder(nil)
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var back []byte
+			for i := 0; i < b.N; i++ {
+				back, err = dec.Decompress(back[:0], out)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
