@@ -8,22 +8,31 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
 )
 
 // Entry is one measured point of the snapshot.
 type Entry struct {
-	Codec       string  `json:"codec"`
-	Level       int     `json:"level"`
-	Payload     string  `json:"payload"`
-	Direction   string  `json:"direction"` // "compress" | "decompress"
+	Codec   string `json:"codec"`
+	Level   int    `json:"level"`
+	Payload string `json:"payload"`
+	// Direction is "compress" | "decompress" for engine rows, and
+	// "encode" | "decode-block" for container rows.
+	Direction string `json:"direction"`
+	// Workers is the pipeline width for container encode rows (0 for
+	// engine rows and the single-engine decode path).
+	Workers     int     `json:"workers,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s"`
 	BytesPerOp  int64   `json:"b_per_op"`
@@ -151,6 +160,10 @@ func main() {
 		}
 	}
 
+	centries, cdirty := measureContainer(*size)
+	snap.Entries = append(snap.Entries, centries...)
+	dirty = dirty || cdirty
+
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
@@ -171,6 +184,96 @@ func main() {
 	}
 }
 
+// measureContainer snapshots the container surfaces: streaming Encode at a
+// few pipeline widths (worker scaling over an 8 MiB corpus — absolute MB/s
+// and the shape of the scaling curve, which on multi-core CI should rise
+// with workers) plus the random-access DecodeBlock hot path, which is
+// steady-state allocation-free and therefore contributes to the -check gate.
+func measureContainer(blockSize int) ([]Entry, bool) {
+	data := corpus.LogLines(13, 8<<20)
+	var entries []Entry
+	dirty := false
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := container.Config{Codec: "zstd", Level: 3, BlockSize: blockSize, Workers: workers}
+		var benchErr error
+		var stats container.Stats
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if stats, benchErr = container.Encode(context.Background(), io.Discard, bytes.NewReader(data), cfg); benchErr != nil {
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: container encode w%d: %v\n", workers, benchErr)
+			os.Exit(1)
+		}
+		entries = append(entries, Entry{
+			Codec:     "container/zstd",
+			Level:     3,
+			Payload:   "logs8m",
+			Direction: "encode",
+			Workers:   workers,
+			NsPerOp:   res.NsPerOp(),
+			MBPerS:    float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+			Ratio:     float64(stats.RawBytes) / float64(stats.WrittenBytes),
+		})
+	}
+
+	// Random-access decode: one block per op through a warmed ReaderAt.
+	var blob bytes.Buffer
+	cfg := container.Config{Codec: "zstd", Level: 3, BlockSize: blockSize, Workers: 1}
+	stats, err := container.Encode(context.Background(), &blob, bytes.NewReader(data), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: container build: %v\n", err)
+		os.Exit(1)
+	}
+	ra, err := container.NewReaderAt(bytes.NewReader(blob.Bytes()), int64(blob.Len()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: container open: %v\n", err)
+		os.Exit(1)
+	}
+	var decErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		dst, err := ra.DecodeBlock(nil, 0)
+		if err != nil {
+			decErr = err
+			return
+		}
+		b.SetBytes(int64(blockSize))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dst, decErr = ra.DecodeBlock(dst[:0], i%ra.NumBlocks()); decErr != nil {
+				return
+			}
+		}
+	})
+	if decErr != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: container decode: %v\n", decErr)
+		os.Exit(1)
+	}
+	e := Entry{
+		Codec:       "container/zstd",
+		Level:       3,
+		Payload:     "logs8m",
+		Direction:   "decode-block",
+		NsPerOp:     res.NsPerOp(),
+		MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		Ratio:       float64(stats.RawBytes) / float64(stats.WrittenBytes),
+	}
+	if e.AllocsPerOp != 0 {
+		dirty = true
+		fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: container decode-block: %d allocs/op (%d B/op)\n",
+			e.AllocsPerOp, e.BytesPerOp)
+	}
+	entries = append(entries, e)
+	return entries, dirty
+}
+
 // compareBaseline regresses the fresh entries against a committed snapshot.
 // Allocations and compression ratio are machine-independent and checked
 // strictly; throughput is gated by the generous slowdown fraction so a
@@ -189,19 +292,22 @@ func compareBaseline(path string, entries []Entry, slowdown float64) bool {
 	}
 	type key struct {
 		codec, payload, dir string
-		level               int
+		level, workers      int
 	}
 	ref := make(map[key]Entry, len(base.Entries))
 	for _, e := range base.Entries {
-		ref[key{e.Codec, e.Payload, e.Direction, e.Level}] = e
+		ref[key{e.Codec, e.Payload, e.Direction, e.Level, e.Workers}] = e
 	}
 	ok := true
 	for _, e := range entries {
-		b, found := ref[key{e.Codec, e.Payload, e.Direction, e.Level}]
+		b, found := ref[key{e.Codec, e.Payload, e.Direction, e.Level, e.Workers}]
 		if !found {
 			continue // new configuration: nothing to regress against
 		}
 		id := fmt.Sprintf("%s L%d %s %s", e.Codec, e.Level, e.Payload, e.Direction)
+		if e.Workers > 0 {
+			id += fmt.Sprintf(" w%d", e.Workers)
+		}
 		if b.AllocsPerOp == 0 && e.AllocsPerOp > 0 {
 			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION: %s: %d allocs/op (baseline 0)\n", id, e.AllocsPerOp)
 			ok = false

@@ -6,10 +6,12 @@ package datacomp_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
 
+	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/fse"
 	"github.com/datacomp/datacomp/internal/huffman"
@@ -233,5 +235,57 @@ func FuzzORCDecodeStripe(f *testing.F) {
 	f.Add(mut)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = orc.DecodeStripe(data)
+	})
+}
+
+// FuzzContainer drives arbitrary bytes through both container read
+// surfaces. Seeds are real containers (several codecs and block sizes)
+// plus mutations; the invariant is error-not-panic, and every successful
+// ReaderAt open must serve DecodeBlock/ReadAt without panicking either.
+func FuzzContainer(f *testing.F) {
+	for i, cfg := range []container.Config{
+		{Codec: "zstd", Level: 1, BlockSize: 1 << 10, Workers: 1},
+		{Codec: "lz4", BlockSize: 512, Workers: 2},
+		{Codec: "zlib", Level: 1, BlockSize: 2 << 10, Workers: 1},
+	} {
+		var buf bytes.Buffer
+		src := corpus.LogLines(int64(i), 3<<10)
+		if _, err := container.Encode(context.Background(), &buf, bytes.NewReader(src), cfg); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		f.Add(frame)
+		if len(frame) > 8 {
+			mut := append([]byte{}, frame...)
+			mut[len(mut)/3] ^= 0x55
+			f.Add(mut)
+			mut2 := append([]byte{}, frame...)
+			mut2[len(mut2)-5] ^= 0x80 // inside the trailer
+			f.Add(mut2)
+			f.Add(frame[:len(frame)/2])
+		}
+	}
+	f.Add([]byte("ZSXS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Streaming surface.
+		if r, err := container.NewReader(bytes.NewReader(data), container.WithWorkers(2)); err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(r, 1<<22))
+			r.Close()
+		}
+		// Random-access surface.
+		ra, err := container.NewReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if ra.Size() > 1<<22 || ra.NumBlocks() > 1024 {
+			return // bound the work per input
+		}
+		for i := 0; i < ra.NumBlocks(); i++ {
+			_, _ = ra.DecodeBlock(nil, i)
+		}
+		p := make([]byte, 512)
+		_, _ = ra.ReadAt(p, 0)
+		_, _ = ra.ReadAt(p, ra.Size()/2)
 	})
 }

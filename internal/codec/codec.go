@@ -421,7 +421,10 @@ func DecompressBlocks(eng Engine, framed []byte) ([]byte, error) {
 	var out []byte
 	for i := uint64(0); i < count; i++ {
 		sz, k := binary.Uvarint(framed[pos:])
-		if k <= 0 || pos+k+int(sz) > len(framed) {
+		// Bound sz before converting to int: on 32-bit platforms a hostile
+		// 64-bit length would truncate (possibly negative) and slip past the
+		// span check below.
+		if k <= 0 || sz > uint64(len(framed)) || pos+k+int(sz) > len(framed) {
 			return nil, corrupt(errBlockFrame)
 		}
 		pos += k

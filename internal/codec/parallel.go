@@ -2,7 +2,6 @@ package codec
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -149,22 +148,24 @@ func (p *Parallel) Decompress(frame []byte) ([]byte, error) {
 	// Parse the block offsets first.
 	count, n := binary.Uvarint(frame)
 	if n <= 0 || count > 1<<28 {
-		return nil, errors.New("codec: corrupt block frame")
+		return nil, corrupt(errBlockFrame)
 	}
 	pos := n
 	type span struct{ start, end int }
 	spans := make([]span, 0, count)
 	for i := uint64(0); i < count; i++ {
 		sz, k := binary.Uvarint(frame[pos:])
-		if k <= 0 || pos+k+int(sz) > len(frame) {
-			return nil, errors.New("codec: corrupt block frame")
+		// sz is bounded before the int conversion so 32-bit truncation can't
+		// bypass the span check.
+		if k <= 0 || sz > uint64(len(frame)) || pos+k+int(sz) > len(frame) {
+			return nil, corrupt(errBlockFrame)
 		}
 		pos += k
 		spans = append(spans, span{pos, pos + int(sz)})
 		pos += int(sz)
 	}
 	if pos != len(frame) {
-		return nil, errors.New("codec: corrupt block frame")
+		return nil, corrupt(errBlockFrame)
 	}
 
 	outs := make([]*[]byte, len(spans))

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -178,5 +180,80 @@ func TestParallelConcurrentUse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestParallelWorkersExceedBlocks pins the degenerate fan-out: more workers
+// than chunks must neither deadlock nor duplicate work.
+func TestParallelWorkersExceedBlocks(t *testing.T) {
+	data := compressible(5, 100<<10) // 2 chunks at 64 KiB
+	p, err := NewParallel("zstd", Options{Level: 1}, 16, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		frame, err := p.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.Decompress(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("roundtrip mismatch with workers > blocks")
+		}
+	}
+	// Single-byte input: one chunk, 16 workers.
+	frame, err := p.Compress([]byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.Decompress(frame)
+	if err != nil || !bytes.Equal(back, []byte{42}) {
+		t.Fatalf("single-byte roundtrip: %v", err)
+	}
+}
+
+// TestParallelCorruptChunkHeaders drives hostile chunk headers through
+// Decompress: every path must fail with ErrCorrupt, allocate nothing huge,
+// and never panic.
+func TestParallelCorruptChunkHeaders(t *testing.T) {
+	p, err := NewParallel("zstd", Options{Level: 1}, 2, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := compressible(6, 100<<10)
+	good, err := p.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		// Chunk count claims 2^30 blocks.
+		"huge-count": binary.AppendUvarint(nil, 1<<30),
+		// First chunk declares a 2^62-byte payload: overflows int32, must be
+		// rejected before the int conversion.
+		"overflow-length": append(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 1<<62), 0xde, 0xad),
+		// Declared length runs past the frame end.
+		"length-past-end": append(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 1000), 1, 2, 3),
+		// Trailing garbage after the declared chunks.
+		"trailing-bytes": append(append([]byte{}, good...), 0xff),
+	}
+	for name, frame := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := p.Decompress(frame); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+	// A bit flip inside a chunk payload either fails the engine's frame
+	// parse or decodes to different bytes — it must never panic and never
+	// reproduce the original silently... which would mean the flip landed in
+	// dead framing space, also acceptable only if detected by the engines
+	// with checksums layered on (not this configuration).
+	mut := append([]byte{}, good...)
+	mut[len(mut)/2] ^= 0x01
+	if back, err := p.Decompress(mut); err == nil && bytes.Equal(back, data) {
+		t.Fatal("payload bit flip decoded to identical content")
 	}
 }

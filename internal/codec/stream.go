@@ -145,30 +145,32 @@ func (r *Reader) fillBlock() error {
 	if !r.readHdr {
 		var magic [4]byte
 		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
-			return fmt.Errorf("codec: stream header: %w", err)
+			return corrupt(fmt.Errorf("stream header: %w", err))
 		}
 		if magic != streamMagic {
-			return errors.New("codec: bad stream magic")
+			return corrupt(errors.New("bad stream magic"))
 		}
 		r.readHdr = true
 	}
 	n, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return fmt.Errorf("codec: stream block header: %w", err)
+		return corrupt(fmt.Errorf("stream block header: %w", err))
 	}
 	if n == 0 {
 		r.done = true
 		return io.EOF
 	}
+	// Clamp before any allocation: a hostile varint (up to 2^64-1, well past
+	// what int holds on 32-bit platforms) must be rejected here, and even an
+	// in-range length is only allocated incrementally below, so a truncated
+	// stream can't force a maxStreamBlock-sized buffer into existence.
 	if n > maxStreamBlock {
-		return errors.New("codec: stream block too large")
+		return corrupt(errors.New("stream block length exceeds limit"))
 	}
-	if uint64(cap(r.payload)) < n {
-		r.payload = make([]byte, n)
-	}
-	payload := r.payload[:n]
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return fmt.Errorf("codec: stream block body: %w", err)
+	payload, err := readStreamPayload(r.r, r.payload[:0], int(n))
+	r.payload = payload
+	if err != nil {
+		return corrupt(fmt.Errorf("stream block body: %w", err))
 	}
 	r.block, err = r.eng.Decompress(r.block[:0], payload)
 	if err != nil {
@@ -176,6 +178,25 @@ func (r *Reader) fillBlock() error {
 	}
 	r.pos = 0
 	return nil
+}
+
+// readStreamPayload fills exactly n bytes into dst, growing in bounded
+// steps so a declared length larger than the remaining stream never
+// allocates more than the stream actually delivers (plus one step).
+func readStreamPayload(src io.Reader, dst []byte, n int) ([]byte, error) {
+	const step = 1 << 20
+	for len(dst) < n {
+		chunk := n - len(dst)
+		if chunk > step {
+			chunk = step
+		}
+		start := len(dst)
+		dst = append(dst, make([]byte, chunk)...)
+		if _, err := io.ReadFull(src, dst[start:]); err != nil {
+			return dst[:start], err
+		}
+	}
+	return dst, nil
 }
 
 // Read implements io.Reader.

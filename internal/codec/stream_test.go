@@ -2,7 +2,10 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
+	"runtime"
 	"testing"
 )
 
@@ -102,4 +105,55 @@ func TestStreamReaderErrors(t *testing.T) {
 func TestStreamInterfaceCompliance(t *testing.T) {
 	var _ io.WriteCloser = (*Writer)(nil)
 	var _ io.Reader = (*Reader)(nil)
+}
+
+// TestStreamHostileLengths drives hostile declared block lengths through
+// the stream reader: each must fail with ErrCorrupt before any oversized
+// allocation.
+func TestStreamHostileLengths(t *testing.T) {
+	eng, _ := NewEngine("zstd", WithLevel(1))
+	mk := func(tail ...byte) []byte {
+		return append(append([]byte{}, streamMagic[:]...), tail...)
+	}
+	cases := map[string][]byte{
+		"bad-magic": []byte("NOPE...."),
+		// Declared block of maxStreamBlock+1 bytes.
+		"over-limit": mk(binary.AppendUvarint(nil, maxStreamBlock+1)...),
+		// 10-byte varint encoding a value past 2^64: ReadUvarint overflow.
+		"varint-overflow": mk(0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		// Declared 2^63 bytes: would truncate negative as a 32-bit int.
+		"int-overflow": mk(binary.AppendUvarint(nil, 1<<62)...),
+		// In-range declared length, almost no payload behind it: the reader
+		// must fail after reading what exists, not allocate 16 MiB up front.
+		"truncated-body": mk(append(binary.AppendUvarint(nil, 16<<20), 1, 2, 3)...),
+	}
+	for name, stream := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := NewStreamReader(bytes.NewReader(stream), eng)
+			if _, err := io.ReadAll(r); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestStreamTruncationAllocBounded pins the incremental-read hardening: a
+// declared 64 MiB block backed by a few bytes of stream must not allocate
+// the full declared size.
+func TestStreamTruncationAllocBounded(t *testing.T) {
+	eng, _ := NewEngine("zstd", WithLevel(1))
+	hostile := append(append([]byte{}, streamMagic[:]...),
+		binary.AppendUvarint(nil, maxStreamBlock)...)
+	hostile = append(hostile, make([]byte, 64)...)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r := NewStreamReader(bytes.NewReader(hostile), eng)
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("truncated 64 MiB claim allocated %d bytes, want ≤ 8 MiB", grew)
+	}
 }

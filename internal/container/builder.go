@@ -1,0 +1,124 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/xxhash"
+)
+
+// Builder writes a container one caller-delimited block at a time through a
+// single engine — the sequential producer the kvstore table writer and the
+// warehouse stripe writer use, where block boundaries are semantic (key
+// ranges, column chunks) rather than fixed-size. For fixed-size parallel
+// splitting of a stream, use Encode.
+//
+// A Builder is single-goroutine, like the engine it owns. After a warm-up
+// append, AppendBlock performs no heap allocations beyond index growth;
+// Reserve pre-sizes the index so steady-state appends stay at zero.
+type Builder struct {
+	w      io.Writer
+	eng    codec.Engine
+	comp   []byte // reused compressed-block scratch
+	hdr    []byte // reused header scratch
+	blocks []BlockInfo
+	off    int64
+	closed bool
+}
+
+// NewBuilder starts a container on w compressing with eng. codecName is
+// recorded in the header so readers can construct a matching engine; it
+// must name the engine's codec. eng == nil builds a default engine for
+// codecName. blockSize is recorded as the writer's nominal block size
+// (0 for caller-delimited blocks) and does not limit AppendBlock beyond
+// MaxBlockSize. The header is written immediately.
+func NewBuilder(w io.Writer, codecName string, eng codec.Engine, blockSize int) (*Builder, error) {
+	if eng == nil {
+		var err error
+		eng, err = codec.NewEngine(codecName, codec.WithLevel(defaultedLevel(codecName, 0)))
+		if err != nil {
+			return nil, fmt.Errorf("container: %w", err)
+		}
+	}
+	tm()
+	hdr, err := appendHeader(nil, codecName, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Builder{w: w, eng: eng, hdr: hdr[:0], off: int64(len(hdr))}, nil
+}
+
+// Reserve grows the index capacity for n further blocks, so a steady-state
+// append cycle performs zero allocations.
+func (b *Builder) Reserve(n int) {
+	if need := len(b.blocks) + n; need > cap(b.blocks) {
+		grown := make([]BlockInfo, len(b.blocks), need)
+		copy(grown, b.blocks)
+		b.blocks = grown
+	}
+}
+
+// AppendBlock compresses raw as the next independent block. Empty blocks
+// are rejected: every index entry must cover at least one byte so ReadAt's
+// range mapping stays unambiguous.
+func (b *Builder) AppendBlock(raw []byte) error {
+	if b.closed {
+		return errors.New("container: append on closed builder")
+	}
+	if len(raw) == 0 {
+		return errors.New("container: empty block")
+	}
+	if len(raw) > MaxBlockSize {
+		return fmt.Errorf("container: block of %d bytes exceeds MaxBlockSize", len(raw))
+	}
+	comp, err := b.eng.Compress(b.comp[:0], raw)
+	if err != nil {
+		return err
+	}
+	b.comp = comp
+	sum := xxhash.Sum64(comp)
+	b.hdr = appendBlockHeader(b.hdr[:0], len(comp), len(raw), sum)
+	if _, err := b.w.Write(b.hdr); err != nil {
+		return err
+	}
+	if _, err := b.w.Write(comp); err != nil {
+		return err
+	}
+	b.blocks = append(b.blocks, BlockInfo{
+		Off:     b.off + int64(len(b.hdr)),
+		CompLen: len(comp),
+		RawLen:  len(raw),
+		Sum:     sum,
+	})
+	b.off += int64(len(b.hdr)) + int64(len(comp))
+	tmBlocksEnc.Inc()
+	return nil
+}
+
+// NumBlocks reports the blocks appended so far.
+func (b *Builder) NumBlocks() int { return len(b.blocks) }
+
+// Offset reports the container bytes written so far (before the footer).
+func (b *Builder) Offset() int64 { return b.off }
+
+// Close writes the terminator, footer index, and trailer. It does not
+// close the underlying writer. Closing twice is a no-op.
+func (b *Builder) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	tail := append(b.hdr[:0], 0) // zero-length terminator
+	tail = appendFooter(tail, b.blocks)
+	b.hdr = tail[:0]
+	if _, err := b.w.Write(tail); err != nil {
+		return err
+	}
+	b.off += int64(len(tail))
+	return nil
+}

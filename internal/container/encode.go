@@ -1,0 +1,248 @@
+package container
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/xxhash"
+)
+
+// Config parameterizes Encode and is recorded (codec, block size) in the
+// container header.
+type Config struct {
+	// Codec names the registered compressor (default "zstd").
+	Codec string
+	// Level is the codec-specific compression level (0 = codec default).
+	Level int
+	// BlockSize is the uncompressed split granularity (default
+	// DefaultBlockSize, max MaxBlockSize).
+	BlockSize int
+	// Workers bounds the compression worker pool (≤ 0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c *Config) fill() {
+	if c.Codec == "" {
+		c.Codec = "zstd"
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Stats summarizes one Encode run.
+type Stats struct {
+	// Blocks is the number of independent blocks written.
+	Blocks int64
+	// RawBytes and CompressedBytes count block content before and after
+	// compression; WrittenBytes additionally includes header, per-block
+	// framing, and the footer index.
+	RawBytes        int64
+	CompressedBytes int64
+	WrittenBytes    int64
+}
+
+// encJob carries one block through the pipeline. done is closed once comp,
+// sum, and err are final.
+type encJob struct {
+	raw  []byte
+	comp *[]byte
+	sum  uint64
+	err  error
+	done chan struct{}
+}
+
+// firstError keeps the first error observed across pipeline stages.
+type firstError struct{ p atomic.Pointer[error] }
+
+func (f *firstError) set(err error) {
+	if err != nil {
+		f.p.CompareAndSwap(nil, &err)
+	}
+}
+func (f *firstError) get() error {
+	if e := f.p.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Encode splits src into cfg.BlockSize blocks, compresses them on a bounded
+// worker pool, and writes the container to dst with blocks in order — the
+// same pipelined shape as codec.Parallel, but streaming: memory is bounded
+// by O(Workers × BlockSize) regardless of input size, the first error
+// (reader, worker, writer, or ctx cancellation) stops the pipeline, and a
+// seekable footer index is appended so the output supports random access.
+func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stats, error) {
+	cfg.fill()
+	var st Stats
+	if cfg.BlockSize > MaxBlockSize {
+		return st, fmt.Errorf("container: block size %d exceeds MaxBlockSize", cfg.BlockSize)
+	}
+	pool, err := codec.SharedPool(cfg.Codec, codec.Options{Level: defaultedLevel(cfg.Codec, cfg.Level)})
+	if err != nil {
+		return st, fmt.Errorf("container: %w", err)
+	}
+	tm()
+
+	hdr, err := appendHeader(nil, cfg.Codec, cfg.BlockSize)
+	if err != nil {
+		return st, err
+	}
+	if _, err := dst.Write(hdr); err != nil {
+		return st, err
+	}
+	off := int64(len(hdr))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := cfg.Workers
+	jobs := make(chan *encJob, workers)
+	ordered := make(chan *encJob, workers)
+	var ferr firstError
+	rawBufs := sync.Pool{New: func() any {
+		b := make([]byte, cfg.BlockSize)
+		return &b
+	}}
+	compBufs := sync.Pool{New: func() any {
+		b := make([]byte, 0, cfg.BlockSize+cfg.BlockSize>>4+64)
+		return &b
+	}}
+
+	// Reader: cut src into blocks, handing each to the workers and to the
+	// in-order writer. ordered is filled before jobs so the writer always
+	// sees blocks in stream order; both sends respect cancellation.
+	go func() {
+		defer close(ordered)
+		defer close(jobs)
+		for ctx.Err() == nil {
+			bp := rawBufs.Get().(*[]byte)
+			n, err := io.ReadFull(src, (*bp)[:cfg.BlockSize])
+			if n == 0 {
+				rawBufs.Put(bp)
+				if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+					ferr.set(err)
+					cancel()
+				}
+				return
+			}
+			j := &encJob{raw: (*bp)[:n], done: make(chan struct{})}
+			select {
+			case ordered <- j:
+			case <-ctx.Done():
+				rawBufs.Put(bp)
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				// Already promised to the writer: resolve it as cancelled so
+				// the writer never blocks on done.
+				j.err = ctx.Err()
+				close(j.done)
+				return
+			}
+			if err != nil { // EOF after a short final block
+				if err != io.EOF && err != io.ErrUnexpectedEOF {
+					ferr.set(err)
+					cancel()
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := pool.Get()
+			defer pool.Put(eng)
+			for j := range jobs {
+				if ctx.Err() != nil {
+					j.err = ctx.Err()
+					close(j.done)
+					continue
+				}
+				tmEncInflight.Add(1)
+				bp := compBufs.Get().(*[]byte)
+				out, err := eng.Compress((*bp)[:0], j.raw)
+				*bp = out
+				j.comp = bp
+				j.err = err
+				if err == nil {
+					j.sum = xxhash.Sum64(out)
+					tmBlocksEnc.Inc()
+				} else {
+					ferr.set(err)
+					cancel()
+				}
+				tmEncInflight.Add(-1)
+				close(j.done)
+			}
+		}()
+	}
+
+	// In-order writer: this goroutine. Every job placed in ordered is
+	// awaited and its buffers recycled, error or not, so the pipeline
+	// drains cleanly on failure.
+	var blocks []BlockInfo
+	var hdrScratch [64]byte
+	for j := range ordered {
+		<-j.done
+		if j.err != nil {
+			ferr.set(j.err)
+		} else if ferr.get() == nil {
+			comp := *j.comp
+			bh := appendBlockHeader(hdrScratch[:0], len(comp), len(j.raw), j.sum)
+			if _, err := dst.Write(bh); err != nil {
+				ferr.set(err)
+				cancel()
+			} else if _, err := dst.Write(comp); err != nil {
+				ferr.set(err)
+				cancel()
+			} else {
+				blocks = append(blocks, BlockInfo{
+					Off:     off + int64(len(bh)),
+					CompLen: len(comp),
+					RawLen:  len(j.raw),
+					Sum:     j.sum,
+				})
+				off += int64(len(bh)) + int64(len(comp))
+				st.Blocks++
+				st.RawBytes += int64(len(j.raw))
+				st.CompressedBytes += int64(len(comp))
+			}
+		}
+		rb := j.raw[:cap(j.raw)]
+		rawBufs.Put(&rb)
+		if j.comp != nil {
+			compBufs.Put(j.comp)
+		}
+	}
+	wg.Wait()
+	if err := ferr.get(); err != nil {
+		return st, err
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+
+	tail := append(hdrScratch[:0], 0)
+	tail = appendFooter(tail, blocks)
+	if _, err := dst.Write(tail); err != nil {
+		return st, err
+	}
+	st.WrittenBytes = off + int64(len(tail))
+	return st, nil
+}

@@ -1,0 +1,341 @@
+package container
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/xxhash"
+)
+
+// readerConfig collects reader-side options shared by Reader and ReaderAt.
+type readerConfig struct {
+	eng     codec.Engine
+	workers int
+}
+
+// ReaderOption configures NewReader / NewReaderAt.
+type ReaderOption func(*readerConfig)
+
+// WithEngine supplies the decode engine instead of constructing one from
+// the header's codec name — required when the payloads were compressed
+// with a dictionary, and what the kvstore uses to share its warmed engine.
+// A streaming Reader given an engine decodes sequentially on that single
+// engine (engines are single-goroutine).
+func WithEngine(eng codec.Engine) ReaderOption {
+	return func(c *readerConfig) { c.eng = eng }
+}
+
+// WithWorkers bounds the streaming Reader's decode worker pool
+// (≤ 0 = GOMAXPROCS). Ignored when an engine is supplied.
+func WithWorkers(n int) ReaderOption {
+	return func(c *readerConfig) { c.workers = n }
+}
+
+// errReaderClosed reports reads after Close.
+var errReaderClosed = errors.New("container: reader closed")
+
+// decJob carries one block through the decode pipeline.
+type decJob struct {
+	comp   *[]byte
+	raw    *[]byte
+	rawLen int
+	sum    uint64
+	err    error
+	done   chan struct{}
+}
+
+// Reader streams a container's content in order, decompressing blocks on a
+// bounded worker pool while earlier blocks are being consumed — the decode
+// mirror of Encode's pipeline. Memory is bounded by O(workers × block
+// size). The footer index is not needed (and not read): the per-block
+// in-stream headers carry lengths and checksums, so a Reader works over
+// plain io.Reader transports. Not safe for concurrent use.
+type Reader struct {
+	br        *bufio.Reader
+	codecName string
+	blockSize int
+
+	ordered  chan *decJob
+	stop     chan struct{}
+	stopOnce sync.Once
+	compBufs sync.Pool
+	rawBufs  sync.Pool
+
+	cur *decJob
+	pos int
+	err error
+}
+
+// NewReader parses the header and starts the decode pipeline.
+func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
+	var cfg readerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tm()
+	br := bufio.NewReader(r)
+	name, blockSize, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var pool *codec.Pool
+	if cfg.eng != nil {
+		workers = 1 // a caller-owned engine is single-goroutine
+	} else {
+		if pool, err = codec.SharedPool(name, codec.Options{Level: defaultedLevel(name, 0)}); err != nil {
+			return nil, fmt.Errorf("container: %w", err)
+		}
+	}
+
+	rd := &Reader{
+		br:        br,
+		codecName: name,
+		blockSize: blockSize,
+		ordered:   make(chan *decJob, workers),
+		stop:      make(chan struct{}),
+		compBufs:  sync.Pool{New: func() any { b := []byte(nil); return &b }},
+		rawBufs:   sync.Pool{New: func() any { b := []byte(nil); return &b }},
+	}
+	jobs := make(chan *decJob, workers)
+	go rd.fetch(jobs)
+	for w := 0; w < workers; w++ {
+		go rd.work(jobs, pool, cfg.eng)
+	}
+	return rd, nil
+}
+
+// CodecName reports the codec recorded in the header.
+func (r *Reader) CodecName() string { return r.codecName }
+
+// BlockSize reports the writer's nominal block size (0 = caller-delimited).
+func (r *Reader) BlockSize() int { return r.blockSize }
+
+// readHeader parses the container header from a bufio.Reader.
+func readHeader(br *bufio.Reader) (name string, blockSize int, err error) {
+	var fixed [5]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return "", 0, errBadMagic
+	}
+	if [4]byte(fixed[:4]) != headerMagic {
+		return "", 0, errBadMagic
+	}
+	if fixed[4] != version {
+		return "", 0, errBadVersion
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen == 0 || nameLen > maxCodecName {
+		return "", 0, errBadMagic
+	}
+	nb := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nb); err != nil {
+		return "", 0, errBadMagic
+	}
+	bs, err := binary.ReadUvarint(br)
+	if err != nil || bs > MaxBlockSize {
+		return "", 0, errBadMagic
+	}
+	return string(nb), int(bs), nil
+}
+
+// fetch reads per-block headers and payloads, handing jobs to the workers
+// and to the in-order consumer. Declared lengths are clamped before any
+// allocation, and payloads are read through a growing buffer so a hostile
+// length cannot force a large up-front allocation.
+func (r *Reader) fetch(jobs chan<- *decJob) {
+	defer close(jobs)
+	defer close(r.ordered)
+	fail := func(err error) {
+		j := &decJob{err: err, done: make(chan struct{})}
+		close(j.done)
+		select {
+		case r.ordered <- j:
+		case <-r.stop:
+		}
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		compLen, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			fail(&corruptError{msg: "container: block header: " + err.Error()})
+			return
+		}
+		if compLen == 0 {
+			return // terminator: footer follows, streaming readers stop here
+		}
+		if compLen > maxCompBlock {
+			fail(errBlockTooLarge)
+			return
+		}
+		rawLen, err := binary.ReadUvarint(r.br)
+		if err != nil || rawLen == 0 || rawLen > MaxBlockSize {
+			fail(errBadBlockHdr)
+			return
+		}
+		var sumb [8]byte
+		if _, err := io.ReadFull(r.br, sumb[:]); err != nil {
+			fail(errBadBlockHdr)
+			return
+		}
+		bp := r.compBufs.Get().(*[]byte)
+		buf, err := readGrowing(r.br, (*bp)[:0], int(compLen))
+		*bp = buf
+		if err != nil {
+			r.compBufs.Put(bp)
+			fail(errTruncated)
+			return
+		}
+		j := &decJob{
+			comp:   bp,
+			rawLen: int(rawLen),
+			sum:    binary.LittleEndian.Uint64(sumb[:]),
+			done:   make(chan struct{}),
+		}
+		select {
+		case r.ordered <- j:
+		case <-r.stop:
+			r.compBufs.Put(bp)
+			return
+		}
+		select {
+		case jobs <- j:
+		case <-r.stop:
+			j.err = errReaderClosed
+			close(j.done)
+			return
+		}
+	}
+}
+
+// readGrowing fills exactly n bytes into dst, growing in bounded steps so
+// a corrupt declared length never allocates more than the stream delivers.
+func readGrowing(src io.Reader, dst []byte, n int) ([]byte, error) {
+	const step = 1 << 20
+	for len(dst) < n {
+		chunk := n - len(dst)
+		if chunk > step {
+			chunk = step
+		}
+		start := len(dst)
+		dst = append(dst, make([]byte, chunk)...)
+		if _, err := io.ReadFull(src, dst[start:]); err != nil {
+			return dst[:start], err
+		}
+	}
+	return dst, nil
+}
+
+// work decompresses jobs. eng is non-nil for single-engine readers; pooled
+// workers borrow an engine only when the first job arrives, so inputs that
+// fail header or block-frame validation never pay for engine construction.
+func (r *Reader) work(jobs <-chan *decJob, pool *codec.Pool, eng codec.Engine) {
+	borrowed := false
+	defer func() {
+		if borrowed {
+			pool.Put(eng)
+		}
+	}()
+	for j := range jobs {
+		if eng == nil {
+			eng = pool.Get()
+			borrowed = true
+		}
+		tmDecInflight.Add(1)
+		comp := *j.comp
+		if xxhash.Sum64(comp) != j.sum {
+			j.err = errChecksum
+		} else {
+			bp := r.rawBufs.Get().(*[]byte)
+			out, err := eng.Decompress((*bp)[:0], comp)
+			*bp = out
+			j.raw = bp
+			if err != nil {
+				j.err = err
+			} else if len(out) != j.rawLen {
+				j.err = errRawLen
+			} else {
+				tmBlocksDec.Inc()
+			}
+		}
+		tmDecInflight.Add(-1)
+		close(j.done)
+	}
+}
+
+// Read implements io.Reader over the decoded content.
+func (r *Reader) Read(p []byte) (int, error) {
+	for {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.cur != nil {
+			if r.pos < len(*r.cur.raw) {
+				n := copy(p, (*r.cur.raw)[r.pos:])
+				r.pos += n
+				return n, nil
+			}
+			r.recycle(r.cur)
+			r.cur = nil
+		}
+		j, ok := <-r.ordered
+		if !ok {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		<-j.done
+		if j.err != nil {
+			r.err = j.err
+			r.recycle(j)
+			r.shutdown()
+			return 0, r.err
+		}
+		r.cur = j
+		r.pos = 0
+	}
+}
+
+func (r *Reader) recycle(j *decJob) {
+	if j.comp != nil {
+		r.compBufs.Put(j.comp)
+	}
+	if j.raw != nil {
+		r.rawBufs.Put(j.raw)
+	}
+}
+
+// shutdown stops the pipeline and drains outstanding jobs so every
+// goroutine exits.
+func (r *Reader) shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.cur != nil {
+		r.recycle(r.cur)
+		r.cur = nil
+	}
+	for j := range r.ordered {
+		<-j.done
+		r.recycle(j)
+	}
+}
+
+// Close stops the decode pipeline. It does not close the underlying
+// reader. Reads after Close report an error.
+func (r *Reader) Close() error {
+	r.shutdown()
+	if r.err == nil {
+		r.err = errReaderClosed
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ var (
 	tmBlocksWritten, tmBlocksRead           *telemetry.Counter
 	tmBlocksDecompressed, tmBlockCacheHits  *telemetry.Counter
 	tmRawBytesWritten, tmStoredBytesWritten *telemetry.Counter
+	tmBytesDecompressed                     *telemetry.Counter
 )
 
 func tm() {
@@ -41,6 +42,7 @@ func tm() {
 		tmBlockCacheHits = r.Counter("kvstore_block_cache_hits_total", "decoded-block cache hits")
 		tmRawBytesWritten = r.Counter("kvstore_raw_bytes_written_total", "raw bytes entering block compression")
 		tmStoredBytesWritten = r.Counter("kvstore_stored_bytes_written_total", "stored bytes after block compression")
+		tmBytesDecompressed = r.Counter("kvstore_bytes_decompressed_total", "uncompressed bytes produced by block decodes")
 	})
 }
 
@@ -114,6 +116,11 @@ type Stats struct {
 	BlocksRead         int64
 	BlocksDecompressed int64
 	BlockCacheHits     int64
+
+	// BytesDecompressed counts uncompressed bytes produced by block
+	// decodes — the per-lookup decode cost the container's single-block
+	// point reads keep proportional to block size, not value count.
+	BytesDecompressed int64
 
 	RawBytesWritten    int64
 	StoredBytesWritten int64
@@ -240,7 +247,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 		if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
 			continue
 		}
-		v, tomb, found, err := t.get(db.eng, key, &db.stats, db.cache)
+		v, tomb, found, err := t.get(key, &db.stats, db.cache)
 		if err != nil {
 			return nil, false, err
 		}
@@ -260,7 +267,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 			if bytes.Compare(key, t.largest) > 0 {
 				continue
 			}
-			v, tomb, found, err := t.get(db.eng, key, &db.stats, db.cache)
+			v, tomb, found, err := t.get(key, &db.stats, db.cache)
 			if err != nil {
 				return nil, false, err
 			}
@@ -294,7 +301,7 @@ func (db *DB) flushLocked() error {
 	if db.mem.len() == 0 {
 		return nil
 	}
-	w := newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+	w := newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
 	db.nextID++
 	for it := db.mem.iterator(); it.valid(); it.next() {
 		var v []byte
@@ -455,9 +462,9 @@ func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable,
 		}
 	}
 
-	mi := newMergeIterator(inputs, db.eng, &db.stats, db.cache)
+	mi := newMergeIterator(inputs, &db.stats, db.cache)
 	var out []*sstable
-	w := newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+	w := newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
 	db.nextID++
 	rawInTable := 0
 	for mi.valid() {
@@ -481,7 +488,7 @@ func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable,
 				if t != nil {
 					out = append(out, t)
 				}
-				w = newTableWriter(db.nextID, db.eng, db.opts.BlockSize, &db.stats)
+				w = newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
 				db.nextID++
 				rawInTable = 0
 			}
@@ -541,10 +548,10 @@ func (h *mergeHeap) Pop() interface{} {
 	return x
 }
 
-func newMergeIterator(inputs []*sstable, eng codec.Engine, stats *Stats, cache *blockCache) *mergeIterator {
+func newMergeIterator(inputs []*sstable, stats *Stats, cache *blockCache) *mergeIterator {
 	mi := &mergeIterator{}
 	for i, t := range inputs {
-		it := t.iterator(eng, stats, cache)
+		it := t.iterator(stats, cache)
 		if it.err != nil {
 			mi.err = it.err
 			return mi
@@ -605,7 +612,7 @@ func (db *DB) Scan(fn func(key, value []byte) bool) error {
 	// Merge all tables (L0 newest-first, then deeper levels) plus the
 	// memtable overlaid manually: simplest correct approach is to collect
 	// memtable entries and treat them as the newest source.
-	w := newTableWriter(-1, db.eng, db.opts.BlockSize, nil)
+	w := newTableWriter(-1, db.opts.Codec, db.eng, db.opts.BlockSize, nil)
 	for it := db.mem.iterator(); it.valid(); it.next() {
 		var v []byte
 		if !it.tombstone() {
@@ -630,7 +637,7 @@ func (db *DB) Scan(fn func(key, value []byte) bool) error {
 	for lvl := 1; lvl < numLevels; lvl++ {
 		inputs = append(inputs, db.levels[lvl]...)
 	}
-	mi := newMergeIterator(inputs, db.eng, &db.stats, nil)
+	mi := newMergeIterator(inputs, &db.stats, nil)
 	for mi.valid() {
 		if !mi.tombstone() {
 			if !fn(mi.key(), mi.value()) {

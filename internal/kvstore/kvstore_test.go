@@ -405,3 +405,38 @@ func BenchmarkGet(b *testing.B) {
 		}
 	}
 }
+
+// TestPointLookupDecodesSingleBlock pins the container integration's point:
+// a Get decompresses exactly the one container block covering the key, so
+// bytes decompressed per lookup track the block size rather than the table
+// size — the selective-decode property the seekable container exists for.
+func TestPointLookupDecodesSingleBlock(t *testing.T) {
+	db := testDB(t, Options{BlockSize: 4 << 10, BlockCacheEntries: -1})
+	pairs := corpus.KVPairs(11, 4000)
+	for _, kv := range pairs {
+		if err := db.Put(kv.Key, kv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := db.Stats().RawBytesWritten
+	before := db.Stats()
+	if v, ok, err := db.Get(pairs[1234].Key); err != nil || !ok || !bytes.Equal(v, pairs[1234].Value) {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+	d := db.Stats()
+	blocks := d.BlocksDecompressed - before.BlocksDecompressed
+	bytesDec := d.BytesDecompressed - before.BytesDecompressed
+	if blocks != 1 {
+		t.Fatalf("point lookup decompressed %d blocks, want exactly 1", blocks)
+	}
+	// One block's worth (entries + restart array), far below the table.
+	if limit := int64(8 << 10); bytesDec > limit {
+		t.Fatalf("point lookup decompressed %d bytes, want ≤ %d", bytesDec, limit)
+	}
+	if bytesDec*4 > whole {
+		t.Fatalf("lookup decoded %d of %d raw table bytes — not selective", bytesDec, whole)
+	}
+}

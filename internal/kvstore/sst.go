@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/container"
 )
 
 // ErrCorrupt is returned for undecodable table blocks.
@@ -16,27 +17,16 @@ var ErrCorrupt = errors.New("kvstore: corrupt table block")
 
 const restartInterval = 16
 
-// Block payload flags.
-const (
-	blockStoredRaw = iota
-	blockCompressed
-)
-
-// blockIndexEntry locates one data block inside a table.
-type blockIndexEntry struct {
-	lastKey []byte // largest key in the block
-	offset  int
-	length  int
-	rawLen  int
-}
-
-// sstable is one immutable sorted table. Data blocks are individually
-// compressed; the index stays in memory (this store models files as
-// buffers — see DESIGN.md).
+// sstable is one immutable sorted table. Data blocks live in a seekable
+// container (one container block per data block), so a point lookup
+// decompresses exactly the block covering the key — container.ReaderAt is
+// the random-access surface. Only the per-block last keys stay outside the
+// container (this store models files as buffers — see DESIGN.md).
 type sstable struct {
 	id         int64
-	data       []byte
-	index      []blockIndexEntry
+	data       []byte // complete container bytes
+	ra         *container.ReaderAt
+	lastKeys   [][]byte // largest key per block, parallel to container blocks
 	smallest   []byte
 	largest    []byte
 	numEntries int
@@ -46,13 +36,19 @@ type sstable struct {
 // size returns the stored (compressed) size of the table.
 func (t *sstable) size() int { return len(t.data) }
 
-// tableWriter accumulates sorted entries into blocks.
+// numBlocks reports the table's data-block count.
+func (t *sstable) numBlocks() int { return len(t.lastKeys) }
+
+// tableWriter accumulates sorted entries into container blocks.
 type tableWriter struct {
 	eng       codec.Engine
 	blockSize int
 	stats     *Stats
 
 	table    *sstable
+	out      bytes.Buffer
+	bw       *container.Builder
+	bwErr    error
 	buf      []byte // current block, uncompressed
 	restarts []uint32
 	count    int
@@ -61,13 +57,15 @@ type tableWriter struct {
 	prevKey  []byte
 }
 
-func newTableWriter(id int64, eng codec.Engine, blockSize int, stats *Stats) *tableWriter {
-	return &tableWriter{
+func newTableWriter(id int64, codecName string, eng codec.Engine, blockSize int, stats *Stats) *tableWriter {
+	w := &tableWriter{
 		eng:       eng,
 		blockSize: blockSize,
 		stats:     stats,
 		table:     &sstable{id: id},
 	}
+	w.bw, w.bwErr = container.NewBuilder(&w.out, codecName, eng, blockSize)
+	return w
 }
 
 func sharedPrefixLen(a, b []byte) int {
@@ -113,6 +111,9 @@ func (w *tableWriter) add(key, value []byte) error {
 }
 
 func (w *tableWriter) flushBlock() error {
+	if w.bwErr != nil {
+		return w.bwErr
+	}
 	if len(w.buf) == 0 {
 		return nil
 	}
@@ -122,9 +123,9 @@ func (w *tableWriter) flushBlock() error {
 	}
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(w.restarts)))
 
-	offset := len(w.table.data)
+	before := w.bw.Offset()
 	t0 := time.Now()
-	comp, err := w.eng.Compress(nil, w.buf)
+	err := w.bw.AppendBlock(w.buf)
 	dt := time.Since(t0)
 	if err != nil {
 		return err
@@ -133,27 +134,13 @@ func (w *tableWriter) flushBlock() error {
 		w.stats.CompressTime += dt
 		w.stats.BlocksWritten++
 		w.stats.RawBytesWritten += int64(len(w.buf))
+		w.stats.StoredBytesWritten += w.bw.Offset() - before
 		tmCompNS.Add(dt.Nanoseconds())
 		tmBlocksWritten.Inc()
 		tmRawBytesWritten.Add(int64(len(w.buf)))
+		tmStoredBytesWritten.Add(w.bw.Offset() - before)
 	}
-	if len(comp) >= len(w.buf) {
-		w.table.data = append(w.table.data, blockStoredRaw)
-		w.table.data = append(w.table.data, w.buf...)
-	} else {
-		w.table.data = append(w.table.data, blockCompressed)
-		w.table.data = append(w.table.data, comp...)
-	}
-	if w.stats != nil {
-		w.stats.StoredBytesWritten += int64(len(w.table.data) - offset)
-		tmStoredBytesWritten.Add(int64(len(w.table.data) - offset))
-	}
-	w.table.index = append(w.table.index, blockIndexEntry{
-		lastKey: append([]byte{}, w.lastKey...),
-		offset:  offset,
-		length:  len(w.table.data) - offset,
-		rawLen:  len(w.buf),
-	})
+	w.table.lastKeys = append(w.table.lastKeys, append([]byte{}, w.lastKey...))
 	w.table.rawBytes += len(w.buf)
 	w.buf = w.buf[:0]
 	w.restarts = w.restarts[:0]
@@ -161,7 +148,9 @@ func (w *tableWriter) flushBlock() error {
 	return nil
 }
 
-// finish seals the table. Returns nil when no entries were added.
+// finish seals the table: the container gains its footer index and the
+// table opens a ReaderAt over it sharing the writer's engine. Returns nil
+// when no entries were added.
 func (w *tableWriter) finish() (*sstable, error) {
 	if err := w.flushBlock(); err != nil {
 		return nil, err
@@ -169,41 +158,42 @@ func (w *tableWriter) finish() (*sstable, error) {
 	if w.table.numEntries == 0 {
 		return nil, nil
 	}
+	if err := w.bw.Close(); err != nil {
+		return nil, err
+	}
+	w.table.data = w.out.Bytes()
+	ra, err := container.NewReaderAt(bytes.NewReader(w.table.data), int64(len(w.table.data)),
+		container.WithEngine(w.eng))
+	if err != nil {
+		return nil, err
+	}
+	if ra.NumBlocks() != len(w.table.lastKeys) {
+		return nil, ErrCorrupt
+	}
+	w.table.ra = ra
 	w.table.smallest = w.firstKey
 	w.table.largest = append([]byte{}, w.lastKey...)
 	return w.table, nil
 }
 
-// decodeBlock expands one data block and returns its entry region (the
-// restart array is validated and stripped).
-func decodeBlock(eng codec.Engine, t *sstable, e blockIndexEntry, stats *Stats) ([]byte, error) {
-	if e.offset+e.length > len(t.data) || e.length < 1 {
-		return nil, ErrCorrupt
-	}
-	payload := t.data[e.offset : e.offset+e.length]
-	var raw []byte
-	switch payload[0] {
-	case blockStoredRaw:
-		raw = payload[1:]
-	case blockCompressed:
-		t0 := time.Now()
-		var err error
-		raw, err = eng.Decompress(nil, payload[1:])
-		dt := time.Since(t0)
-		if err != nil {
-			return nil, err
-		}
-		if stats != nil {
-			stats.DecompressTime += dt
-			stats.BlocksDecompressed++
-			tmDecompNS.Add(dt.Nanoseconds())
-			tmBlocksDecompressed.Inc()
-		}
-	default:
-		return nil, ErrCorrupt
+// decodeBlock expands one data block — exactly one container block is read
+// and decompressed — and returns its entry region (the restart array is
+// validated and stripped).
+func decodeBlock(t *sstable, bi int, stats *Stats) ([]byte, error) {
+	t0 := time.Now()
+	raw, err := t.ra.DecodeBlock(nil, bi)
+	dt := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if stats != nil {
+		stats.DecompressTime += dt
+		stats.BlocksDecompressed++
+		stats.BytesDecompressed += int64(len(raw))
 		stats.BlocksRead++
+		tmDecompNS.Add(dt.Nanoseconds())
+		tmBlocksDecompressed.Inc()
+		tmBytesDecompressed.Add(int64(len(raw)))
 		tmBlocksRead.Inc()
 	}
 	if len(raw) < 4 {
@@ -272,22 +262,22 @@ func walkBlock(entries []byte, fn func(blockEntry) bool) error {
 // findBlock locates the block that may contain key (first block whose
 // lastKey ≥ key). Returns -1 when key is past the table.
 func (t *sstable) findBlock(key []byte) int {
-	i := sort.Search(len(t.index), func(i int) bool {
-		return bytes.Compare(t.index[i].lastKey, key) >= 0
+	i := sort.Search(len(t.lastKeys), func(i int) bool {
+		return bytes.Compare(t.lastKeys[i], key) >= 0
 	})
-	if i == len(t.index) {
+	if i == len(t.lastKeys) {
 		return -1
 	}
 	return i
 }
 
 // get searches the table. Returns (value, tombstone, found).
-func (t *sstable) get(eng codec.Engine, key []byte, stats *Stats, cache *blockCache) ([]byte, bool, bool, error) {
+func (t *sstable) get(key []byte, stats *Stats, cache *blockCache) ([]byte, bool, bool, error) {
 	bi := t.findBlock(key)
 	if bi < 0 || bytes.Compare(key, t.smallest) < 0 {
 		return nil, false, false, nil
 	}
-	entries, err := t.loadBlock(eng, bi, stats, cache)
+	entries, err := t.loadBlock(bi, stats, cache)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -309,7 +299,7 @@ func (t *sstable) get(eng codec.Engine, key []byte, stats *Stats, cache *blockCa
 	return out, tomb, found, nil
 }
 
-func (t *sstable) loadBlock(eng codec.Engine, bi int, stats *Stats, cache *blockCache) ([]byte, error) {
+func (t *sstable) loadBlock(bi int, stats *Stats, cache *blockCache) ([]byte, error) {
 	if cache != nil {
 		if b, ok := cache.get(t.id, bi); ok {
 			if stats != nil {
@@ -319,7 +309,7 @@ func (t *sstable) loadBlock(eng codec.Engine, bi int, stats *Stats, cache *block
 			return b, nil
 		}
 	}
-	entries, err := decodeBlock(eng, t, t.index[bi], stats)
+	entries, err := decodeBlock(t, bi, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +322,6 @@ func (t *sstable) loadBlock(eng codec.Engine, bi int, stats *Stats, cache *block
 // tableIterator walks a whole table in key order.
 type tableIterator struct {
 	t       *sstable
-	eng     codec.Engine
 	stats   *Stats
 	cache   *blockCache
 	block   int
@@ -341,8 +330,8 @@ type tableIterator struct {
 	err     error
 }
 
-func (t *sstable) iterator(eng codec.Engine, stats *Stats, cache *blockCache) *tableIterator {
-	it := &tableIterator{t: t, eng: eng, stats: stats, cache: cache, block: -1}
+func (t *sstable) iterator(stats *Stats, cache *blockCache) *tableIterator {
+	it := &tableIterator{t: t, stats: stats, cache: cache, block: -1}
 	it.nextBlock()
 	return it
 }
@@ -351,10 +340,10 @@ func (it *tableIterator) nextBlock() {
 	it.entries = it.entries[:0]
 	it.pos = 0
 	it.block++
-	if it.block >= len(it.t.index) {
+	if it.block >= it.t.numBlocks() {
 		return
 	}
-	raw, err := it.t.loadBlock(it.eng, it.block, it.stats, it.cache)
+	raw, err := it.t.loadBlock(it.block, it.stats, it.cache)
 	if err != nil {
 		it.err = err
 		return
@@ -373,7 +362,7 @@ func (it *tableIterator) nextBlock() {
 }
 
 func (it *tableIterator) valid() bool {
-	return it.err == nil && it.block < len(it.t.index) && it.pos < len(it.entries)
+	return it.err == nil && it.block < it.t.numBlocks() && it.pos < len(it.entries)
 }
 func (it *tableIterator) key() []byte     { return it.entries[it.pos].key }
 func (it *tableIterator) value() []byte   { return it.entries[it.pos].value }

@@ -17,6 +17,8 @@
 package warehouse
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/orc"
 	"github.com/datacomp/datacomp/internal/telemetry"
@@ -108,8 +111,10 @@ func (s *Stats) add(o Stats) {
 	s.ComputeTime += o.ComputeTime
 }
 
-// Dataset is stored warehouse data: per stripe, a block-framed compressed
-// buffer (blocks ≤ orc.MaxCompressionBlock).
+// Dataset is stored warehouse data: per stripe, a seekable container whose
+// block 0 is a column directory and whose remaining blocks hold each
+// column's ORC encoding in ≤ orc.MaxCompressionBlock chunks — so a reader
+// that needs two of six columns decompresses only those columns' blocks.
 type Dataset struct {
 	Stripes [][]byte
 	// Level records the compression level the data was written with.
@@ -168,48 +173,147 @@ func generateBatch(seed int64, rows int) []orc.Column {
 	}
 }
 
-// writeStripe ORC-encodes columns and compresses the stripe in ≤256 KiB
-// blocks.
+// errStripe reports a malformed stripe directory.
+var errStripe = errors.New("warehouse: corrupt stripe directory")
+
+// columnChunks is the ≤ orc.MaxCompressionBlock split count for one
+// column's encoding.
+func columnChunks(n int) int {
+	return (n + orc.MaxCompressionBlock - 1) / orc.MaxCompressionBlock
+}
+
+// writeStripe ORC-encodes each column separately and writes the stripe as
+// one seekable container: block 0 is the directory (column names and chunk
+// counts), then each column's encoding in ≤ orc.MaxCompressionBlock chunks.
+// Column-granular blocks are what let readStripeColumns prune.
 func writeStripe(cols []orc.Column, eng codec.Engine, cap *stageCapture, st *Stats) ([]byte, error) {
 	tm()
+	encoded := make([][]byte, len(cols))
+	var raw int64
 	t0 := time.Now()
-	encoded, err := orc.EncodeStripe(cols)
+	for i := range cols {
+		enc, err := orc.EncodeStripe(cols[i : i+1])
+		if err != nil {
+			return nil, err
+		}
+		encoded[i] = enc
+		raw += int64(len(enc))
+	}
 	st.EncodeTime += time.Since(t0)
+
+	dir := binary.AppendUvarint(nil, uint64(len(cols)))
+	for i, c := range cols {
+		dir = binary.AppendUvarint(dir, uint64(len(c.Name)))
+		dir = append(dir, c.Name...)
+		dir = binary.AppendUvarint(dir, uint64(columnChunks(len(encoded[i]))))
+	}
+	raw += int64(len(dir))
+
+	var out bytes.Buffer
+	t1 := time.Now()
+	bw, err := container.NewBuilder(&out, "zstd", eng, orc.MaxCompressionBlock)
 	if err != nil {
 		return nil, err
 	}
-	t1 := time.Now()
-	framed, err := codec.CompressBlocks(eng, encoded, orc.MaxCompressionBlock)
+	if err := bw.AppendBlock(dir); err != nil {
+		return nil, err
+	}
+	for _, enc := range encoded {
+		for off := 0; off < len(enc); off += orc.MaxCompressionBlock {
+			end := off + orc.MaxCompressionBlock
+			if end > len(enc) {
+				end = len(enc)
+			}
+			if err := bw.AppendBlock(enc[off:end]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
 	dt := time.Since(t1)
 	st.CompressTime += dt
-	if err != nil {
-		return nil, err
-	}
 	tmCompNS.Add(dt.Nanoseconds())
 	cap.fold(st)
-	st.RawBytes += int64(len(encoded))
+	framed := out.Bytes()
+	st.RawBytes += raw
 	st.StoredBytes += int64(len(framed))
-	tmRawBytes.Add(int64(len(encoded)))
+	tmRawBytes.Add(raw)
 	tmStoredByte.Add(int64(len(framed)))
-	tmStripeBytes.Observe(int64(len(encoded)))
+	tmStripeBytes.Observe(raw)
 	return framed, nil
 }
 
-// readStripe decompresses and decodes one stored stripe.
+// readStripe decompresses and decodes every column of one stored stripe.
 func readStripe(framed []byte, eng codec.Engine, st *Stats) ([]orc.Column, error) {
+	return readStripeColumns(framed, eng, st, nil)
+}
+
+// readStripeColumns decodes the stripe's directory and then only the
+// columns in want (nil = all), skipping the container blocks of pruned
+// columns entirely — their bytes are never decompressed.
+func readStripeColumns(framed []byte, eng codec.Engine, st *Stats, want map[string]bool) ([]orc.Column, error) {
 	tm()
-	t0 := time.Now()
-	encoded, err := codec.DecompressBlocks(eng, framed)
-	dt := time.Since(t0)
-	st.DecompressTime += dt
+	ra, err := container.NewReaderAt(bytes.NewReader(framed), int64(len(framed)),
+		container.WithEngine(eng))
 	if err != nil {
 		return nil, err
 	}
-	tmDecompNS.Add(dt.Nanoseconds())
-	t1 := time.Now()
-	cols, err := orc.DecodeStripe(encoded)
-	st.EncodeTime += time.Since(t1)
-	return cols, err
+	t0 := time.Now()
+	dir, err := ra.DecodeBlock(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	st.DecompressTime += time.Since(t0)
+
+	ncols, k := binary.Uvarint(dir)
+	if k <= 0 || ncols > uint64(len(dir)) {
+		return nil, errStripe
+	}
+	pos := k
+	var cols []orc.Column
+	next := 1 // first column chunk follows the directory block
+	for ci := uint64(0); ci < ncols; ci++ {
+		nameLen, k := binary.Uvarint(dir[pos:])
+		if k <= 0 || pos+k+int(nameLen) > len(dir) {
+			return nil, errStripe
+		}
+		pos += k
+		name := string(dir[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		chunks, k := binary.Uvarint(dir[pos:])
+		if k <= 0 || next+int(chunks) > ra.NumBlocks()+1 {
+			return nil, errStripe
+		}
+		pos += k
+		if want != nil && !want[name] {
+			next += int(chunks) // pruned: blocks skipped, not decompressed
+			continue
+		}
+		var enc []byte
+		t1 := time.Now()
+		for c := 0; c < int(chunks); c++ {
+			if enc, err = ra.DecodeBlock(enc, next+c); err != nil {
+				return nil, err
+			}
+		}
+		dt := time.Since(t1)
+		st.DecompressTime += dt
+		tmDecompNS.Add(dt.Nanoseconds())
+		next += int(chunks)
+		t2 := time.Now()
+		decoded, err := orc.DecodeStripe(enc)
+		st.EncodeTime += time.Since(t2)
+		if err != nil {
+			return nil, err
+		}
+		if len(decoded) != 1 {
+			return nil, errStripe
+		}
+		cols = append(cols, decoded[0])
+	}
+	return cols, nil
 }
 
 // IngestionLevel is the paper-reported compression level for DW1.
@@ -236,12 +340,11 @@ func Ingest(seed int64, stripes, rowsPerStripe int) (*Dataset, Stats, error) {
 	for i := 0; i < stripes; i++ {
 		cols := generateBatch(seed+int64(i)*100, rowsPerStripe)
 		// The upstream producer hands over level-1-compressed stripes; the
-		// ingestion service pays the decompression before re-encoding.
-		upstream, err := orc.EncodeStripe(cols)
-		if err != nil {
-			return nil, st, err
-		}
-		upstreamFramed, err := codec.CompressBlocks(upstreamEng, upstream, orc.MaxCompressionBlock)
+		// ingestion service pays the decompression before re-encoding. The
+		// producer's own encode/compress work is not this service's time,
+		// so it lands in a discarded Stats.
+		var producer Stats
+		upstreamFramed, err := writeStripe(cols, upstreamEng, &stageCapture{}, &producer)
 		if err != nil {
 			return nil, st, err
 		}
@@ -468,9 +571,14 @@ func partition(cols []orc.Column, workers int) [][]orc.Column {
 	return out
 }
 
+// mlWantCols are the only columns trainStep consumes; the ML scan prunes
+// the rest at the stripe directory, never decompressing their blocks.
+var mlWantCols = map[string]bool{"score": true, "actor_id": true}
+
 // MLJob runs DW4: scan the dataset epochs times (read-heavy), doing
 // feature-extraction compute per scan and writing one small level-1
-// checkpoint per epoch.
+// checkpoint per epoch. Scans read only the columns the training step
+// uses (column pruning via the stripe directory).
 func MLJob(ds *Dataset, epochs int) (Stats, error) {
 	var st Stats
 	readEng, _, err := engine(ds.Level)
@@ -487,7 +595,7 @@ func MLJob(ds *Dataset, epochs int) (Stats, error) {
 	weights := make([]float64, 1<<17)
 	for e := 0; e < epochs; e++ {
 		for _, framed := range ds.Stripes {
-			cols, err := readStripe(framed, readEng, &st)
+			cols, err := readStripeColumns(framed, readEng, &st, mlWantCols)
 			if err != nil {
 				return st, err
 			}

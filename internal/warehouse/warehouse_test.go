@@ -2,6 +2,8 @@ package warehouse
 
 import (
 	"testing"
+
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
 func TestIngest(t *testing.T) {
@@ -150,5 +152,83 @@ func TestStatsAggregation(t *testing.T) {
 	var zero Stats
 	if zero.CompressionRatio() != 0 || zero.ZstdCyclesFraction() != 0 || zero.MatchFindFraction() != 0 {
 		t.Fatal("zero stats should report zeros")
+	}
+}
+
+func TestReadStripeColumnsPrunes(t *testing.T) {
+	cols := generateBatch(77, 20000)
+	eng, staged, err := engine(ShuffleLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	framed, err := writeStripe(cols, eng, &stageCapture{staged: staged}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoded := telemetry.Default.Counter("container_blocks_decoded_total", "container blocks decompressed")
+
+	before := decoded.Value()
+	all, err := readStripe(framed, eng, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBlocks := decoded.Value() - before
+	if len(all) != len(cols) {
+		t.Fatalf("full read returned %d columns, want %d", len(all), len(cols))
+	}
+
+	before = decoded.Value()
+	pruned, err := readStripeColumns(framed, eng, &st, mlWantCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedBlocks := decoded.Value() - before
+	if len(pruned) != 2 {
+		t.Fatalf("pruned read returned %d columns, want 2", len(pruned))
+	}
+	for _, c := range pruned {
+		if !mlWantCols[c.Name] {
+			t.Fatalf("pruned read returned unwanted column %q", c.Name)
+		}
+	}
+	// The pruned scan must decompress strictly fewer container blocks than
+	// the full scan — the whole point of column-granular blocks.
+	if prunedBlocks >= fullBlocks {
+		t.Fatalf("pruned read decoded %d blocks, full read %d — no pruning", prunedBlocks, fullBlocks)
+	}
+	// Pruned columns match the full read's content.
+	for _, p := range pruned {
+		for _, f := range all {
+			if f.Name != p.Name {
+				continue
+			}
+			if len(f.Ints) != len(p.Ints) || len(f.Floats) != len(p.Floats) {
+				t.Fatalf("column %q length mismatch after pruning", p.Name)
+			}
+			for i := range f.Ints {
+				if f.Ints[i] != p.Ints[i] {
+					t.Fatalf("column %q diverges at row %d", p.Name, i)
+				}
+			}
+			for i := range f.Floats {
+				if f.Floats[i] != p.Floats[i] {
+					t.Fatalf("column %q diverges at row %d", p.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadStripeCorruptDirectory(t *testing.T) {
+	eng, _, err := engine(ShuffleLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	// Not a container at all.
+	if _, err := readStripe([]byte("garbage"), eng, &st); err == nil {
+		t.Fatal("garbage stripe accepted")
 	}
 }

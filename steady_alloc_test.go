@@ -8,10 +8,13 @@ package datacomp_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"testing"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/telemetry"
 )
@@ -141,6 +144,77 @@ func TestSteadyStateAllocsWithDict(t *testing.T) {
 	if !bytes.Equal(dbuf, payload) {
 		t.Fatal("steady-state dict roundtrip mismatch")
 	}
+}
+
+// TestContainerSteadyStateAllocs gates the container's per-block hot paths:
+// once scratch buffers are warm, random-access decode (DecodeBlock, ReadAt)
+// and sequential append (Builder.AppendBlock with a reserved index and a
+// pre-grown sink) must not allocate. This is what makes the kvstore point
+// lookup and the stripe writer allocation-free per block.
+func TestContainerSteadyStateAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	block := corpus.LogLines(11, 32<<10)
+
+	var blob bytes.Buffer
+	bw, err := container.NewBuilder(&blob, "zstd", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := bw.AppendBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := container.NewReaderAt(bytes.NewReader(blob.Bytes()), int64(blob.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := ra.DecodeBlock(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := 0
+	requireZeroAllocs(t, "DecodeBlock", func() {
+		var err error
+		dst, err = ra.DecodeBlock(dst[:0], bi%ra.NumBlocks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi++
+	})
+
+	// Stride past a block each op so ReadAt keeps decoding fresh blocks
+	// through its reused scratch rather than serving the cached one.
+	p := make([]byte, 1<<10)
+	off := int64(0)
+	requireZeroAllocs(t, "ReadAt", func() {
+		if _, err := ra.ReadAt(p, off%ra.Size()); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		off += int64(len(block)) + 1<<10
+	})
+
+	var out bytes.Buffer
+	out.Grow(1 << 20)
+	ab, err := container.NewBuilder(&out, "zstd", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab.Reserve(64)
+	if err := ab.AppendBlock(block); err != nil { // warm engine + scratch
+		t.Fatal(err)
+	}
+	requireZeroAllocs(t, "AppendBlock", func() {
+		if err := ab.AppendBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestInstrumentedAllocs(t *testing.T) {
