@@ -5,14 +5,18 @@
 // Usage:
 //
 //	compbench [-size N] [-seed N] [-levels 1,3,5,9] [-algos zstd,zlib,lz4] [-files dickens,xml]
-//	          [-telemetry addr] [-hold]
+//	          [-telemetry addr] [-trace out.json] [-hold]
 //
 // With -telemetry, every engine is instrumented and a telemetry endpoint
-// serves /metrics (Prometheus), /vars (JSON) and /profile (stage shares)
-// while the benchmark runs; a final snapshot is printed at exit.
+// serves /metrics (Prometheus), /vars (JSON), /profile (stage shares) and
+// /debug/traces while the benchmark runs; a final snapshot is printed at
+// exit. With -trace, each (file, codec, level) cell additionally records
+// one traced compression — span tree with per-stage children — and the
+// retained traces are dumped as Chrome trace-event JSON at exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ import (
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/telemetry/boot"
 )
 
 func main() {
@@ -33,27 +38,17 @@ func main() {
 	algosFlag := flag.String("algos", "zstd,zlib,lz4", "comma-separated codecs")
 	filesFlag := flag.String("files", "", "comma-separated corpus members (default all)")
 	repeats := flag.Int("repeats", 1, "measurement repeats")
-	telemetryAddr := flag.String("telemetry", "", "serve telemetry on this address (e.g. :8080 or :0) and instrument engines")
 	hold := flag.Bool("hold", false, "with -telemetry, keep serving after the run until interrupted")
-	profileHz := flag.Int("profile-hz", 997, "with -telemetry, stage-sampling frequency")
+	obs := boot.Register(flag.CommandLine)
 	flag.Parse()
 
-	var (
-		profiler *telemetry.Profiler
-		server   *telemetry.Server
-	)
-	if *telemetryAddr != "" {
-		profiler = telemetry.NewProfiler(*profileHz)
-		profiler.Start()
-		defer profiler.Stop()
-		var err error
-		server, err = telemetry.Serve(*telemetryAddr, telemetry.Default, profiler)
-		if err != nil {
-			fatal(err)
-		}
-		defer server.Close()
-		fmt.Fprintf(os.Stderr, "compbench: telemetry on http://%s (/metrics /vars /profile)\n", server.Addr)
+	rt, err := obs.Start("compbench")
+	if err != nil {
+		fatal(err)
 	}
+	defer rt.Close()
+	serveTelemetry := *obs.Telemetry != ""
+	instrument := serveTelemetry || rt.Tracing()
 
 	levels, err := parseInts(*levelsFlag)
 	if err != nil {
@@ -95,14 +90,24 @@ func main() {
 				if err != nil {
 					fatal(err)
 				}
-				if *telemetryAddr != "" {
-					eng = telemetry.Instrument(eng, telemetry.InstrumentOptions{
-						Codec: algo, Level: level, Profiler: profiler,
+				var ie *telemetry.Instrumented
+				if instrument {
+					ie = telemetry.Instrument(eng, telemetry.InstrumentOptions{
+						Codec: algo, Level: level, Profiler: rt.Profiler,
 					})
+					eng = ie
 				}
 				m, err := codec.Measure(eng, [][]byte{f.Data}, 0, *repeats)
 				if err != nil {
 					fatal(fmt.Errorf("%s %s L%d: %w", f.Name, algo, level, err))
+				}
+				if rt.Tracing() && ie != nil {
+					// One traced compression per cell: the flight recorder
+					// retains the slowest cells with per-stage span children.
+					ctx, root := rt.Tracer.StartRoot(context.Background(), "compbench.measure")
+					root.SetStr("file", f.Name).SetStr("codec", algo).SetInt("level", int64(level))
+					_, _ = ie.CompressCtx(ctx, nil, f.Data)
+					root.End()
 				}
 				fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.2f\t%.1f\t%.1f\n",
 					f.Name, f.Kind, algo, level, m.Ratio(), m.CompressMBps(), m.DecompressMBps())
@@ -111,17 +116,19 @@ func main() {
 	}
 	w.Flush()
 
-	if *telemetryAddr != "" {
+	if serveTelemetry {
 		fmt.Println()
 		fmt.Println("--- telemetry snapshot (/metrics) ---")
 		telemetry.WritePrometheus(os.Stdout, telemetry.Default)
-		if shares := profiler.Profile().StageShares(); len(shares) > 0 {
-			fmt.Println()
-			fmt.Println("--- cycle shares (/profile) ---")
-			fmt.Print(telemetry.FormatStageShares(shares))
+		if rt.Profiler != nil {
+			if shares := rt.Profiler.Profile().StageShares(); len(shares) > 0 {
+				fmt.Println()
+				fmt.Println("--- cycle shares (/profile) ---")
+				fmt.Print(telemetry.FormatStageShares(shares))
+			}
 		}
-		if *hold {
-			fmt.Fprintf(os.Stderr, "compbench: holding telemetry endpoint on http://%s; Ctrl-C to exit\n", server.Addr)
+		if *hold && rt.Server != nil {
+			fmt.Fprintf(os.Stderr, "compbench: holding telemetry endpoint on http://%s; Ctrl-C to exit\n", rt.Server.Addr)
 			select {}
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,32 +20,53 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/fleet"
 	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/telemetry/boot"
 )
 
 func main() {
 	samples := flag.Int("samples", 2_000_000, "profiler samples")
 	seed := flag.Int64("seed", 30, "profiling seed")
 	measureBytes := flag.Int("measure-bytes", 1<<20, "bytes per configuration measurement")
-	telemetryAddr := flag.String("telemetry", "", "serve telemetry (shared registry) on this address while running")
+	obs := boot.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, telemetry.Default, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fleetchar:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "fleetchar: telemetry on http://%s (/metrics /vars)\n", srv.Addr)
+	rt, err := obs.Start("fleetchar")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetchar:", err)
+		os.Exit(1)
 	}
+	defer rt.Close()
 
 	p := &fleet.Profiler{Samples: *samples, Seed: *seed, MeasureBytes: *measureBytes}
 	r, err := p.Profile(fleet.DefaultFleet())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetchar:", err)
 		os.Exit(1)
+	}
+
+	if rt.Tracing() {
+		// One traced compression per measured fleet configuration: the
+		// exported traces break each (codec, level, data kind) down into
+		// per-stage spans.
+		for _, m := range r.Measured {
+			data, err := fleet.GenerateKind(m.Kind, *seed, *measureBytes)
+			if err != nil {
+				continue
+			}
+			ie, err := telemetry.InstrumentedEngine(m.Algorithm,
+				codec.Options{Level: m.Level}, telemetry.InstrumentOptions{})
+			if err != nil {
+				continue
+			}
+			ctx, root := rt.Tracer.StartRoot(context.Background(), "fleetchar.measure")
+			root.SetStr("codec", m.Algorithm).SetInt("level", int64(m.Level)).
+				SetStr("data", string(m.Kind))
+			_, _ = ie.CompressCtx(ctx, nil, data)
+			root.End()
+		}
 	}
 
 	fmt.Printf("=== Fleet-level characterization (%d sampled stacks) ===\n\n", r.Samples)

@@ -14,6 +14,7 @@ import (
 	"github.com/datacomp/datacomp/internal/faultinject"
 	"github.com/datacomp/datacomp/internal/rpc"
 	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // runChaos drives the RPC serving path through the fault-injection
@@ -21,10 +22,16 @@ import (
 // randomly flips bits, and a retry/redial policy that survives it. The
 // invariant on display is the hardening contract — every corrupted
 // response is detected (ErrCorrupt), none is silently wrong.
-func runChaos() {
+//
+// tracer may be nil (tracing off). When on, every call records an
+// "rpc.call" root that propagates over the wire into a stitched
+// "rpc.serve" half, with retry and breaker events attached — the traces
+// retained by the flight recorder show exactly how the injected
+// corruption was absorbed.
+func runChaos(tracer *trace.Tracer) {
 	fmt.Println("=== chaos: bit-flip injection on the RPC serving path ===")
 	comp := rpc.Compression{Codec: "zstd", Level: 1, Checksum: true}
-	server := rpc.NewServer(comp, rpc.WithShedThreshold(64))
+	server := rpc.NewServer(comp, rpc.WithShedThreshold(64), rpc.WithServerTracer(tracer))
 	server.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
 
 	reg := telemetry.Default
@@ -48,6 +55,7 @@ func runChaos() {
 	conn, _ := dial(context.Background())
 	redials = 0 // the first dial is setup, not recovery
 	client, err := rpc.NewClient(conn, comp,
+		rpc.WithTracer(tracer),
 		rpc.WithRedial(dial),
 		rpc.WithRetry(rpc.RetryPolicy{
 			Max:        3,

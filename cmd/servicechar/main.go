@@ -28,7 +28,7 @@ import (
 	"github.com/datacomp/datacomp/internal/fleet"
 	"github.com/datacomp/datacomp/internal/kvstore"
 	"github.com/datacomp/datacomp/internal/stats"
-	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/telemetry/boot"
 	"github.com/datacomp/datacomp/internal/warehouse"
 )
 
@@ -45,20 +45,17 @@ func main() {
 	fig12 := flag.Bool("fig12", false, "print Fig 12")
 	fig13 := flag.Bool("fig13", false, "print Fig 13")
 	chaos := flag.Bool("chaos", false, "run the fault-injection harness against a loopback RPC server and report corruption handling")
-	telemetryAddr := flag.String("telemetry", "", "serve telemetry (shared registry) on this address while running")
+	obs := boot.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, telemetry.Default, nil)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "servicechar: telemetry on http://%s (/metrics /vars)\n", srv.Addr)
+	rt, err := obs.Start("servicechar")
+	if err != nil {
+		fatal(err)
 	}
+	defer rt.Close()
 
 	if *chaos {
-		runChaos()
+		runChaos(rt.Tracer)
 		return
 	}
 

@@ -18,6 +18,7 @@ import (
 	"github.com/datacomp/datacomp/internal/lz4"
 	"github.com/datacomp/datacomp/internal/orc"
 	"github.com/datacomp/datacomp/internal/rpc"
+	"github.com/datacomp/datacomp/internal/trace"
 	"github.com/datacomp/datacomp/internal/zlibx"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
@@ -287,5 +288,40 @@ func FuzzContainer(f *testing.F) {
 		p := make([]byte, 512)
 		_, _ = ra.ReadAt(p, 0)
 		_, _ = ra.ReadAt(p, ra.Size()/2)
+	})
+}
+
+func FuzzTraceWire(f *testing.F) {
+	wire := trace.AppendWire(nil, trace.SpanContext{
+		TraceID: 0x0123456789abcdef, SpanID: 0xfedcba9876543210, Sampled: true,
+	})
+	f.Add(wire)
+	f.Add(wire[:len(wire)/2])
+	for i := range wire {
+		mut := append([]byte{}, wire...)
+		mut[i] ^= 0x55
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, n, err := trace.ParseWire(data)
+		if err != nil {
+			// Every rejection must carry the one sentinel callers branch on.
+			if !errors.Is(err, trace.ErrWire) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if sc.Valid() || n != 0 {
+				t.Fatalf("rejection leaked state: sc=%+v n=%d", sc, n)
+			}
+			return
+		}
+		// Accepted contexts are exactly the ones the encoder emits: valid,
+		// sampled, and byte-identical under re-encode.
+		if n != trace.WireLen || !sc.Valid() || !sc.Sampled {
+			t.Fatalf("accepted context inconsistent: sc=%+v n=%d", sc, n)
+		}
+		if re := trace.AppendWire(nil, sc); !bytes.Equal(re, data[:trace.WireLen]) {
+			t.Fatalf("wire context did not round-trip: % x != % x", re, data[:trace.WireLen])
+		}
 	})
 }

@@ -1,9 +1,12 @@
 package codec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // Rung is one step of a degradation ladder: a (codec, level) pair. The
@@ -76,8 +79,9 @@ type Degrader struct {
 	ladder  []Rung
 	engines []Engine
 	cur     int
-	hot     int // consecutive ops over High
-	cold    int // consecutive ops under Low
+	hot     int              // consecutive ops over High
+	cold    int              // consecutive ops under Low
+	span    trace.SpanHandle // active request span during CompressCtx
 }
 
 // Static corrupt errors for the tagged-frame decode path.
@@ -155,6 +159,17 @@ func (d *Degrader) Compress(dst, src []byte) ([]byte, error) {
 	return out, nil
 }
 
+// CompressCtx is Compress under a traced request: a rung shift triggered by
+// this operation lands as a "degrader.rung" event on the context's active
+// span, attributing the quality degradation to the request that tipped it.
+// Untraced contexts behave exactly like Compress.
+func (d *Degrader) CompressCtx(ctx context.Context, dst, src []byte) ([]byte, error) {
+	d.span = trace.FromContext(ctx)
+	out, err := d.Compress(dst, src)
+	d.span = trace.SpanHandle{}
+	return out, err
+}
+
 // Decompress decodes a payload produced at any rung of this ladder,
 // dispatching on the rung tag.
 func (d *Degrader) Decompress(dst, src []byte) ([]byte, error) {
@@ -193,6 +208,12 @@ func (d *Degrader) shift(to int) {
 	from := d.cur
 	d.cur = to
 	d.hot, d.cold = 0, 0
+	if d.span.Valid() {
+		d.span.Event("degrader.rung").
+			SetInt("from", int64(from)).
+			SetInt("to", int64(to)).
+			SetStr("rung", d.ladder[to].String())
+	}
 	if d.cfg.Observer != nil {
 		d.cfg.Observer.RungChanged(from, to, d.ladder[to])
 	}

@@ -3,6 +3,7 @@ package codec
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -213,5 +214,110 @@ func TestDegraderValidation(t *testing.T) {
 	}
 	if _, err := NewDegrader(DegraderConfig{High: time.Second, Ladder: []Rung{{"bogus", 1}}}); err == nil {
 		t.Fatal("unknown rung codec accepted")
+	}
+}
+
+// lockedRungLog is a race-safe observer shared by several Degraders, the
+// deployment shape telemetry.DegraderMetrics has: one metrics sink, one
+// Degrader per serving goroutine.
+type lockedRungLog struct {
+	mu     sync.Mutex
+	events []struct{ id, from, to int }
+}
+
+// rungTap forwards one Degrader's transitions into the shared log under
+// its owner's identity.
+type rungTap struct {
+	id  int
+	log *lockedRungLog
+}
+
+func (t *rungTap) RungChanged(from, to int, _ Rung) {
+	t.log.mu.Lock()
+	t.log.events = append(t.log.events, struct{ id, from, to int }{t.id, from, to})
+	t.log.mu.Unlock()
+}
+
+// TestDegraderObserverConcurrentTransitions drives many Degraders through
+// scripted rung ladders from concurrent goroutines into one shared
+// observer and asserts no transition is dropped or duplicated and every
+// per-degrader from→to chain stays contiguous. Run under -race this also
+// proves the observer contract is the only synchronization the fan-in
+// needs.
+func TestDegraderObserverConcurrentTransitions(t *testing.T) {
+	const (
+		goroutines = 8
+		cycles     = 50
+		rungs      = 5 // passthrough ladder: engine cost is irrelevant, the clock is scripted
+	)
+	log := &lockedRungLog{}
+	payload := []byte("x")
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Scripted latency: op n is "hot" (over High) on descending
+			// half-cycles and "cold" (under Low) on ascending ones. Each
+			// Compress reads the clock twice.
+			var base time.Time
+			var op, calls int
+			hot := func(n int) bool { return (n/(rungs-1))%2 == 0 }
+			now := func() time.Time {
+				calls++
+				if calls%2 == 1 {
+					return base
+				}
+				dt := time.Duration(0)
+				if hot(op) {
+					dt = 2 * time.Millisecond
+				}
+				op++
+				return base.Add(dt)
+			}
+			d, err := NewDegrader(DegraderConfig{
+				Ladder:   make([]Rung, rungs), // all passthrough
+				High:     time.Millisecond,
+				Low:      time.Microsecond,
+				Window:   1,
+				Recover:  1,
+				Observer: &rungTap{id: g, log: log},
+				Now:      now,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for c := 0; c < cycles*2*(rungs-1); c++ {
+				if _, err := d.Compress(nil, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := goroutines * cycles * 2 * (rungs - 1)
+	if len(log.events) != want {
+		t.Fatalf("observed %d transitions, want exactly %d (dropped or duplicated events)", len(log.events), want)
+	}
+	// Each degrader's chain must be contiguous: every transition starts
+	// where the previous one ended, and the ladder walk ends back at rung 0.
+	last := map[int]int{}
+	for i, e := range log.events {
+		if e.to != e.from+1 && e.to != e.from-1 {
+			t.Fatalf("event %d: non-adjacent transition %d→%d", i, e.from, e.to)
+		}
+		if prev, ok := last[e.id]; ok && e.from != prev {
+			t.Fatalf("degrader %d: discontinuous chain: transition starts at %d, previous ended at %d", e.id, e.from, prev)
+		}
+		last[e.id] = e.to
+	}
+	for id, end := range last {
+		if end != 0 {
+			t.Fatalf("degrader %d: ladder walk ended at rung %d, want 0", id, end)
+		}
 	}
 }

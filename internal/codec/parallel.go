@@ -1,11 +1,14 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // Parallel compresses large buffers with a pool of engines, one chunk per
@@ -71,9 +74,9 @@ func (f *firstErr) get() error {
 }
 
 // runWorkers fans n work items out across the worker pool with an atomic
-// fetch-add counter; fn compresses or decompresses item i with the borrowed
-// engine. The first error stops all workers.
-func (p *Parallel) runWorkers(n int, fn func(eng Engine, i int) error) error {
+// fetch-add counter; fn compresses or decompresses item i on worker w with
+// the borrowed engine. The first error stops all workers.
+func (p *Parallel) runWorkers(n int, fn func(eng Engine, i, w int) error) error {
 	workers := p.workers
 	if workers > n {
 		workers = n
@@ -83,7 +86,7 @@ func (p *Parallel) runWorkers(n int, fn func(eng Engine, i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			eng := p.pool.Get()
 			defer p.pool.Put(eng)
@@ -92,12 +95,12 @@ func (p *Parallel) runWorkers(n int, fn func(eng Engine, i int) error) error {
 				if i >= n || ferr.get() != nil {
 					return
 				}
-				if err := fn(eng, i); err != nil {
+				if err := fn(eng, i, w); err != nil {
 					ferr.set(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ferr.get()
@@ -106,15 +109,32 @@ func (p *Parallel) runWorkers(n int, fn func(eng Engine, i int) error) error {
 // Compress compresses src into the block-frame format, fanning chunks out
 // across the engine pool.
 func (p *Parallel) Compress(src []byte) ([]byte, error) {
+	return p.compress(trace.SpanHandle{}, src)
+}
+
+// CompressCtx is Compress under a traced request: each chunk gets a
+// "codec.block" span with block and worker attribution, so a straggler
+// block (or an unlucky worker) is visible in the trace.
+func (p *Parallel) CompressCtx(ctx context.Context, src []byte) ([]byte, error) {
+	return p.compress(trace.FromContext(ctx), src)
+}
+
+func (p *Parallel) compress(h trace.SpanHandle, src []byte) ([]byte, error) {
 	blocks := SplitBlocks(src, p.chunk)
 	outs := make([]*[]byte, len(blocks))
-	err := p.runWorkers(len(blocks), func(eng Engine, i int) error {
+	err := p.runWorkers(len(blocks), func(eng Engine, i, w int) error {
+		var sp trace.SpanHandle
+		if h.Valid() {
+			sp = h.Child("codec.block").SetInt("block", int64(i)).SetInt("worker", int64(w))
+		}
 		bp := p.getBuf()
 		out, err := eng.Compress((*bp)[:0], blocks[i])
 		if err != nil {
+			sp.End()
 			p.bufs.Put(bp)
 			return err
 		}
+		sp.SetInt("raw", int64(len(blocks[i]))).SetInt("comp", int64(len(out))).End()
 		*bp = out
 		outs[i] = bp
 		return nil
@@ -145,6 +165,16 @@ func (p *Parallel) Compress(src []byte) ([]byte, error) {
 
 // Decompress reverses Compress, decoding chunks in parallel.
 func (p *Parallel) Decompress(frame []byte) ([]byte, error) {
+	return p.decompress(trace.SpanHandle{}, frame)
+}
+
+// DecompressCtx is Decompress with per-chunk "codec.block" spans under the
+// context's active span.
+func (p *Parallel) DecompressCtx(ctx context.Context, frame []byte) ([]byte, error) {
+	return p.decompress(trace.FromContext(ctx), frame)
+}
+
+func (p *Parallel) decompress(h trace.SpanHandle, frame []byte) ([]byte, error) {
 	// Parse the block offsets first.
 	count, n := binary.Uvarint(frame)
 	if n <= 0 || count > 1<<28 {
@@ -169,13 +199,19 @@ func (p *Parallel) Decompress(frame []byte) ([]byte, error) {
 	}
 
 	outs := make([]*[]byte, len(spans))
-	err := p.runWorkers(len(spans), func(eng Engine, i int) error {
+	err := p.runWorkers(len(spans), func(eng Engine, i, w int) error {
+		var sp trace.SpanHandle
+		if h.Valid() {
+			sp = h.Child("codec.block").SetInt("block", int64(i)).SetInt("worker", int64(w))
+		}
 		bp := p.getBuf()
 		out, err := eng.Decompress((*bp)[:0], frame[spans[i].start:spans[i].end])
 		if err != nil {
+			sp.End()
 			p.bufs.Put(bp)
 			return err
 		}
+		sp.SetInt("comp", int64(spans[i].end-spans[i].start)).SetInt("raw", int64(len(out))).End()
 		*bp = out
 		outs[i] = bp
 		return nil

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/trace"
 	"github.com/datacomp/datacomp/internal/xxhash"
 )
 
@@ -53,6 +54,7 @@ type Stats struct {
 // encJob carries one block through the pipeline. done is closed once comp,
 // sum, and err are final.
 type encJob struct {
+	idx  int64 // block index in stream order, for trace attribution
 	raw  []byte
 	comp *[]byte
 	sum  uint64
@@ -124,7 +126,7 @@ func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stat
 	go func() {
 		defer close(ordered)
 		defer close(jobs)
-		for ctx.Err() == nil {
+		for idx := int64(0); ctx.Err() == nil; idx++ {
 			bp := rawBufs.Get().(*[]byte)
 			n, err := io.ReadFull(src, (*bp)[:cfg.BlockSize])
 			if n == 0 {
@@ -135,7 +137,7 @@ func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stat
 				}
 				return
 			}
-			j := &encJob{raw: (*bp)[:n], done: make(chan struct{})}
+			j := &encJob{idx: idx, raw: (*bp)[:n], done: make(chan struct{})}
 			select {
 			case ordered <- j:
 			case <-ctx.Done():
@@ -161,10 +163,15 @@ func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stat
 		}
 	}()
 
+	// A traced caller gets a "container.block" span per block, attributed
+	// to the worker that compressed it — the straggler block that holds up
+	// the in-order writer is visible in the trace.
+	parent := trace.FromContext(ctx)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			eng := pool.Get()
 			defer pool.Put(eng)
@@ -175,6 +182,11 @@ func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stat
 					continue
 				}
 				tmEncInflight.Add(1)
+				var sp trace.SpanHandle
+				if parent.Valid() {
+					sp = parent.Child("container.block").
+						SetInt("block", j.idx).SetInt("worker", int64(w))
+				}
 				bp := compBufs.Get().(*[]byte)
 				out, err := eng.Compress((*bp)[:0], j.raw)
 				*bp = out
@@ -183,14 +195,16 @@ func Encode(ctx context.Context, dst io.Writer, src io.Reader, cfg Config) (Stat
 				if err == nil {
 					j.sum = xxhash.Sum64(out)
 					tmBlocksEnc.Inc()
+					sp.SetInt("raw", int64(len(j.raw))).SetInt("comp", int64(len(out)))
 				} else {
 					ferr.set(err)
 					cancel()
 				}
+				sp.End()
 				tmEncInflight.Add(-1)
 				close(j.done)
 			}
-		}()
+		}(w)
 	}
 
 	// In-order writer: this goroutine. Every job placed in ordered is

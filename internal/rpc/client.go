@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // RemoteError is a handler-side failure relayed to the caller. It proves
@@ -104,6 +106,14 @@ func WithRedial(dial func(ctx context.Context) (io.ReadWriter, error)) ClientOpt
 	return func(c *Client) { c.redial = dial }
 }
 
+// WithTracer enables request tracing: sampled calls get an "rpc.call" span
+// (a child of the context's active span, or a new root), the frame carries
+// the span context so the server's half stitches under it, and retries and
+// breaker rejections surface as span events. A nil tracer is a no-op.
+func WithTracer(tr *trace.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = tr }
+}
+
 // Client issues calls over one connection. Safe for concurrent use; calls
 // are serialized.
 type Client struct {
@@ -111,6 +121,7 @@ type Client struct {
 	retry   RetryPolicy
 	breaker BreakerPolicy
 	redial  func(ctx context.Context) (io.ReadWriter, error)
+	tracer  *trace.Tracer
 	now     func() time.Time // injectable for breaker tests
 
 	mu     sync.Mutex
@@ -127,14 +138,16 @@ type Client struct {
 // NewClient wraps an established connection. Both ends must use the same
 // Compression configuration.
 func NewClient(conn io.ReadWriter, comp Compression, opts ...ClientOption) (*Client, error) {
-	t, err := newTransport(conn, comp)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{comp: comp, t: t, conn: conn, now: time.Now}
+	c := &Client{comp: comp, conn: conn, now: time.Now}
 	for _, o := range opts {
 		o(c)
 	}
+	// Options first: the transport needs the tracer to install stage hooks.
+	t, err := newTransport(conn, comp, c.tracer)
+	if err != nil {
+		return nil, err
+	}
+	c.t = t
 	return c, nil
 }
 
@@ -176,7 +189,41 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 	if c.closed {
 		return nil, ErrClientClosed
 	}
+	ctx, span := c.traceCall(ctx, method)
+	t0 := time.Now()
+	resp, err := c.callLocked(ctx, method, req, span)
+	tmCallNS.ObserveTraced(time.Since(t0).Nanoseconds(), uint64(span.TraceID()))
+	if span.Valid() {
+		if err != nil {
+			span.SetStr("error", err.Error())
+		}
+		span.End()
+	}
+	return resp, err
+}
+
+// traceCall opens the call's span: a child of the context's active span
+// when the caller is already traced, else a fresh root if this client's
+// tracer samples the call. Untraced calls get a zero handle and zero cost.
+func (c *Client) traceCall(ctx context.Context, method string) (context.Context, trace.SpanHandle) {
+	parent := trace.FromContext(ctx)
+	var span trace.SpanHandle
+	if parent.Valid() {
+		span = parent.Child("rpc.call")
+	} else if c.tracer.Enabled() {
+		ctx, span = c.tracer.StartRoot(ctx, "rpc.call")
+	}
+	if !span.Valid() {
+		return ctx, span
+	}
+	span.SetStr("method", method)
+	return trace.ContextWith(ctx, span), span
+}
+
+// callLocked runs the breaker gate and the retry loop under c.mu.
+func (c *Client) callLocked(ctx context.Context, method string, req []byte, span trace.SpanHandle) ([]byte, error) {
 	if err := c.gate(); err != nil {
+		span.Event("rpc.breaker_fastfail")
 		return nil, err
 	}
 
@@ -189,6 +236,7 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 		}
 		if attempt > 0 {
 			tmRetries.Inc()
+			span.Event("rpc.retry").SetInt("attempt", int64(attempt))
 			if err := sleepCtx(ctx, c.retry.delay(attempt)); err != nil {
 				tmDeadline.Inc()
 				return nil, err
@@ -204,7 +252,7 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 				continue
 			}
 		}
-		resp, err := c.attempt(ctx, method, req)
+		resp, err := c.attempt(ctx, method, req, span)
 		if err == nil {
 			c.recordSuccess()
 			return resp, nil
@@ -216,6 +264,9 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 			return nil, err
 		}
 		c.recordFailure()
+		if c.fails == c.breaker.Threshold && c.breaker.Threshold > 0 {
+			span.Event("rpc.breaker_open")
+		}
 		lastErr = err
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, lastErr
@@ -272,7 +323,7 @@ func (c *Client) redialLocked(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	t, err := newTransport(conn, c.comp)
+	t, err := newTransport(conn, c.comp, c.tracer)
 	if err != nil {
 		return err
 	}
@@ -286,10 +337,22 @@ func (c *Client) redialLocked(ctx context.Context) error {
 
 // attempt performs one request/response exchange with ctx deadlines armed
 // on the connection, and marks the client broken when the error leaves the
-// stream position unknown.
-func (c *Client) attempt(ctx context.Context, method string, req []byte) ([]byte, error) {
+// stream position unknown. A traced attempt stages the span context onto
+// the request frame and parents the transport's codec spans.
+func (c *Client) attempt(ctx context.Context, method string, req []byte, span trace.SpanHandle) ([]byte, error) {
 	release := armDeadline(ctx, c.conn)
 	defer release()
+	if span.Valid() {
+		c.t.cur = span
+		c.t.wsc = span.Context()
+	}
+	resp, err := c.exchange(ctx, method, req)
+	c.t.cur = trace.SpanHandle{}
+	c.t.wsc = trace.SpanContext{}
+	return resp, err
+}
+
+func (c *Client) exchange(ctx context.Context, method string, req []byte) ([]byte, error) {
 	c.t.wmethod = append(c.t.wmethod[:0], method...)
 	if err := c.t.writeFrame(0, c.t.wmethod, req); err != nil {
 		c.broken = true

@@ -34,6 +34,7 @@ import (
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/telemetry"
+	"github.com/datacomp/datacomp/internal/trace"
 	"github.com/datacomp/datacomp/internal/xxhash"
 )
 
@@ -145,6 +146,7 @@ var (
 	tmCompNS          *telemetry.Counter
 	tmDecompNS        *telemetry.Counter
 	tmFrameBytes      *telemetry.Histogram
+	tmCallNS          *telemetry.Histogram
 	tmCorrupt         *telemetry.Counter
 	tmRetries         *telemetry.Counter
 	tmBreakerOpen     *telemetry.Counter
@@ -162,6 +164,9 @@ func tm() {
 		tmCompNS = r.Counter("rpc_compress_ns_total", "time compressing RPC payloads")
 		tmDecompNS = r.Counter("rpc_decompress_ns_total", "time decompressing RPC payloads")
 		tmFrameBytes = r.Histogram("rpc_wire_frame_bytes", "wire payload size per frame", "bytes")
+		tmCallNS = r.Histogram("rpc_call_ns", "client call latency end to end", "ns")
+		// Exemplars link a tail-latency bucket to the trace that landed there.
+		tmCallNS.EnableExemplars()
 		tmCorrupt = r.Counter("rpc_corrupt_frames_total", "frames failing integrity verification")
 		tmRetries = r.Counter("rpc_retries_total", "retried client calls")
 		tmBreakerOpen = r.Counter("rpc_breaker_open_total", "circuit breaker open transitions")
@@ -171,23 +176,35 @@ func tm() {
 	})
 }
 
-// Frame layout (v2):
+// Frame layout (v2, with the v2.1 trace extension):
 //
-//	flags   1 byte   (flagCompressed | flagError; anything else is corrupt)
+//	flags   1 byte   (flagCompressed | flagError | flagTrace; anything else
+//	                  is corrupt)
+//	trace   18 bytes trace span context (present iff flagTrace; see
+//	                  trace.AppendWire for the field's own layout)
 //	mlen    uvarint  method length (≤ maxMethod)
 //	method  mlen bytes
 //	plen    uvarint  wire payload length (≤ maxFrame)
-//	sum     8 bytes  little-endian XXH64 over method then wire payload
+//	sum     8 bytes  little-endian XXH64 over trace field (when present),
+//	                  then method, then wire payload
 //	payload plen bytes
 //
 // v1 frames had no checksum; the format changed because a transport that
 // sits on latency-critical service paths must detect bit flips and
 // truncation instead of delivering silently wrong bytes (see DESIGN.md).
+//
+// The trace field is version-gated by its flag bit: frames without
+// flagTrace are byte-identical to plain v2 (including their checksum), so
+// old frames decode unchanged here, while a pre-trace binary receiving a
+// flagTrace frame rejects it as unknown-flags corruption rather than
+// misparsing it — enabling tracing requires both ends at this version
+// (DESIGN.md §9).
 const (
 	flagCompressed = 1 << 0
 	flagError      = 1 << 1
+	flagTrace      = 1 << 2
 
-	flagsKnown = flagCompressed | flagError
+	flagsKnown = flagCompressed | flagError | flagTrace
 )
 
 const (
@@ -220,15 +237,28 @@ type transport struct {
 	rbuf    []byte // wire-payload scratch (read side)
 	dbuf    []byte // decompression scratch (read side, owned only)
 	wmethod []byte // method scratch (write side, avoids string→[]byte churn)
+
+	// Tracing state. cur is the span the owner (Client.Call attempt or
+	// server request loop) is inside of; the frame codecs hang their
+	// compress/decompress spans and per-stage children off it. wsc is the
+	// span context the next outbound frame should carry; rsc is what the
+	// last inbound frame carried. All single-goroutine, like the engine.
+	tracer *trace.Tracer
+	cur    trace.SpanHandle
+	stages trace.StageSpans
+	wsc    trace.SpanContext
+	rsc    trace.SpanContext
+	tbuf   [trace.WireLen]byte // wire trace-field scratch (both sides)
 }
 
-func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
+func newTransport(conn io.ReadWriter, comp Compression, tracer *trace.Tracer) (*transport, error) {
 	comp.fill()
 	tm()
 	t := &transport{
-		r:   bufio.NewReader(conn),
-		w:   bufio.NewWriter(conn),
-		min: comp.MinSize,
+		r:      bufio.NewReader(conn),
+		w:      bufio.NewWriter(conn),
+		min:    comp.MinSize,
+		tracer: tracer,
 	}
 	if comp.Codec != "" {
 		c, ok := codec.Lookup(comp.Codec)
@@ -245,6 +275,14 @@ func newTransport(conn io.ReadWriter, comp Compression) (*transport, error) {
 		}
 		t.pool = pool
 		t.eng = pool.Get()
+		if tracer.Enabled() {
+			// Per-stage child spans under whatever span is bound at
+			// compress/decompress time. Pool.Put clears the hook on release,
+			// so a recycled engine never fires into a dead transport.
+			if h, ok := t.eng.(codec.StageHooker); ok {
+				h.SetStageHook(t.stages.Hook)
+			}
+		}
 	}
 	return t, nil
 }
@@ -258,30 +296,39 @@ func (t *transport) release() {
 	}
 }
 
-// frameSum hashes what the checksum covers: method bytes, then the exact
-// bytes that ride the wire as payload.
-func frameSum(method, wire []byte) uint64 {
+// frameSum hashes what the checksum covers: the trace field when present,
+// then method bytes, then the exact bytes that ride the wire as payload. A
+// frame without a trace field hashes identically to the pre-trace format.
+func frameSum(trc, method, wire []byte) uint64 {
 	var d xxhash.Digest
 	d.Reset()
+	d.Write(trc)
 	d.Write(method)
 	d.Write(wire)
 	return d.Sum64()
 }
 
 // writeFrame sends flags, method and payload, compressing when worthwhile
-// and not shedding, and stamps the frame checksum.
+// and not shedding, and stamps the frame checksum. When a trace context is
+// staged (t.wsc), the frame carries it and flags it; the context is
+// consumed so response frames never echo it back.
 func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	wire := payload
 	if t.eng != nil && len(payload) >= t.min {
 		if t.shed != nil && t.shed() {
 			tmShed.Inc()
+			t.cur.Event("rpc.shed")
 		} else {
+			sp := t.cur.Child("rpc.compress") // zero handle when untraced
+			t.stages.Bind(sp)
 			t0 := time.Now()
 			out, err := t.eng.Compress(t.buf[:0], payload)
 			ns := time.Since(t0).Nanoseconds()
 			t.stats.compressNS.Add(ns)
 			tmCompNS.Add(ns)
+			t.stages.Finish()
 			if err != nil {
+				sp.End()
 				return err
 			}
 			t.buf = out
@@ -289,10 +336,20 @@ func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 				wire = out
 				flags |= flagCompressed
 			}
+			sp.SetInt("raw", int64(len(payload))).SetInt("wire", int64(len(wire))).End()
 		}
+	}
+	var trc []byte
+	if t.wsc.Valid() {
+		trc = trace.AppendWire(t.tbuf[:0], t.wsc)
+		flags |= flagTrace
+		t.wsc = trace.SpanContext{}
 	}
 	var hdr [binary.MaxVarintLen64]byte
 	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(trc); err != nil {
 		return err
 	}
 	if _, err := t.w.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(method)))]); err != nil {
@@ -305,7 +362,7 @@ func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 		return err
 	}
 	var sum [frameSumLen]byte
-	binary.LittleEndian.PutUint64(sum[:], frameSum(method, wire))
+	binary.LittleEndian.PutUint64(sum[:], frameSum(trc, method, wire))
 	if _, err := t.w.Write(sum[:]); err != nil {
 		return err
 	}
@@ -358,12 +415,27 @@ func (t *transport) readHeaderUvarint() (uint64, error) {
 // scratch buffers valid until the next readFrame; otherwise the payload is
 // freshly allocated for the caller.
 func (t *transport) readFrame() (flags byte, method, payload []byte, err error) {
+	t.rsc = trace.SpanContext{}
 	flags, err = t.r.ReadByte()
 	if err != nil {
 		return 0, nil, nil, err // clean EOF between frames is a close
 	}
 	if flags&^flagsKnown != 0 {
 		return 0, nil, nil, corruptFrame(errUnknownFlags)
+	}
+	var trc []byte
+	if flags&flagTrace != 0 {
+		trc = t.tbuf[:]
+		if _, err := io.ReadFull(t.r, trc); err != nil {
+			return 0, nil, nil, midFrame(err)
+		}
+		sc, _, err := trace.ParseWire(trc)
+		if err != nil {
+			// The rest of the frame is unread, so no aligned marker: the
+			// connection is abandoned rather than resynchronized.
+			return 0, nil, nil, corruptFrame(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		}
+		t.rsc = sc
 	}
 	mlen, err := t.readHeaderUvarint()
 	if err != nil {
@@ -405,7 +477,7 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 	if _, err := io.ReadFull(t.r, pbuf); err != nil {
 		return 0, nil, nil, midFrame(err)
 	}
-	if frameSum(mbuf, pbuf) != binary.LittleEndian.Uint64(sum[:]) {
+	if frameSum(trc, mbuf, pbuf) != binary.LittleEndian.Uint64(sum[:]) {
 		// The whole frame was consumed before verification failed, so the
 		// stream is still aligned.
 		return 0, nil, nil, aligned(corruptFrame(errSumMismatch))
@@ -420,16 +492,21 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 		if t.owned {
 			dst = t.dbuf[:0]
 		}
+		sp := t.cur.Child("rpc.decompress") // zero handle when untraced
+		t.stages.Bind(sp)
 		t0 := time.Now()
 		out, err := t.eng.Decompress(dst, pbuf)
 		ns := time.Since(t0).Nanoseconds()
 		t.stats.decompressNS.Add(ns)
 		tmDecompNS.Add(ns)
+		t.stages.Finish()
 		if err != nil {
+			sp.End()
 			// codec decode errors wrap codec.ErrCorrupt; the frame itself
 			// was consumed, so the connection stays aligned.
 			return 0, nil, nil, aligned(corruptFrame(err))
 		}
+		sp.SetInt("wire", int64(len(pbuf))).SetInt("raw", int64(len(out))).End()
 		if t.owned {
 			t.dbuf = out
 		}
@@ -454,11 +531,33 @@ func EncodeFrame(flags byte, method string, payload []byte) []byte {
 	return buf.Bytes()
 }
 
+// EncodeFrameWithTrace renders one uncompressed frame carrying a wire trace
+// context — the flagTrace variant of EncodeFrame, exposed for fuzz seeding
+// and frame-format tests. An invalid sc encodes a plain frame.
+func EncodeFrameWithTrace(flags byte, method string, payload []byte, sc trace.SpanContext) []byte {
+	tm()
+	var buf bytes.Buffer
+	t := &transport{w: bufio.NewWriter(&buf), min: int(^uint(0) >> 1)}
+	t.wsc = sc
+	if err := t.writeFrame(flags, []byte(method), payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // ParseFrame decodes one frame from data with no codec configured — the
 // parser half of the wire format, exposed for fuzzing and tests. Arbitrary
 // input must yield an error, never a panic.
 func ParseFrame(data []byte) (flags byte, method, payload []byte, err error) {
+	flags, method, payload, _, err = ParseFrameTrace(data)
+	return flags, method, payload, err
+}
+
+// ParseFrameTrace is ParseFrame plus the frame's wire trace context (the
+// zero SpanContext when the frame carried none).
+func ParseFrameTrace(data []byte) (flags byte, method, payload []byte, sc trace.SpanContext, err error) {
 	tm()
 	t := &transport{r: bufio.NewReader(bytes.NewReader(data))}
-	return t.readFrame()
+	flags, method, payload, err = t.readFrame()
+	return flags, method, payload, t.rsc, err
 }

@@ -9,11 +9,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // Handler serves one method: it receives the request payload and returns
 // the response payload.
 type Handler func(req []byte) ([]byte, error)
+
+// HandlerCtx is a Handler that also receives the request's context. When
+// the inbound frame carried a sampled trace context and the server has a
+// tracer, ctx carries the request's server-half span, so everything the
+// handler calls through context-aware codec paths lands in the trace.
+type HandlerCtx func(ctx context.Context, req []byte) ([]byte, error)
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -27,14 +35,23 @@ func WithShedThreshold(n int) ServerOption {
 	return func(s *Server) { s.shedAt = int64(n) }
 }
 
+// WithServerTracer enables server-side tracing: requests whose frame
+// carries a sampled trace context get an "rpc.serve" span recorded as the
+// local half of the caller's trace (stitched by trace ID at export). A nil
+// tracer is a no-op.
+func WithServerTracer(tr *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
+}
+
 // Server dispatches method handlers over any number of connections.
 type Server struct {
 	comp     Compression
 	shedAt   int64 // inflight threshold; 0 = never shed
+	tracer   *trace.Tracer
 	inflight atomic.Int64
 
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 	live     map[*transport]struct{}
 	closed   counters
 }
@@ -43,7 +60,7 @@ type Server struct {
 func NewServer(comp Compression, opts ...ServerOption) *Server {
 	s := &Server{
 		comp:     comp,
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]HandlerCtx),
 		live:     make(map[*transport]struct{}),
 	}
 	for _, o := range opts {
@@ -54,6 +71,13 @@ func NewServer(comp Compression, opts ...ServerOption) *Server {
 
 // Register installs a handler for method.
 func (s *Server) Register(method string, h Handler) {
+	s.RegisterCtx(method, func(_ context.Context, req []byte) ([]byte, error) {
+		return h(req)
+	})
+}
+
+// RegisterCtx installs a context-aware handler for method.
+func (s *Server) RegisterCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -90,7 +114,7 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	t, err := newTransport(conn, s.comp)
+	t, err := newTransport(conn, s.comp, s.tracer)
 	if err != nil {
 		return err
 	}
@@ -130,6 +154,16 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 			return err
 		}
 		s.inflight.Add(1)
+		// A sampled inbound trace context opens this request's server-half
+		// span; the handler sees it via ctx, and the response-compress span
+		// nests under it through t.cur.
+		hctx := ctx
+		var serve trace.SpanHandle
+		if t.rsc.Valid() {
+			hctx, serve = s.tracer.StartRemote(ctx, "rpc.serve", t.rsc)
+			serve.SetStr("method", string(method))
+			t.cur = serve
+		}
 		s.mu.RLock()
 		h, ok := s.handlers[string(method)] // map lookup does not allocate
 		s.mu.RUnlock()
@@ -138,13 +172,20 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 		if !ok {
 			flags = flagError
 			resp = []byte(fmt.Sprintf("rpc: unknown method %q", method))
-		} else if resp, err = h(req); err != nil {
+		} else if resp, err = h(hctx, req); err != nil {
 			flags = flagError
 			resp = []byte(err.Error())
 		}
 		t.stats.calls.Add(1)
 		tmCalls.Inc()
 		err = t.writeFrame(flags, method, resp)
+		if serve.Valid() {
+			if flags&flagError != 0 {
+				serve.SetStr("error", string(resp))
+			}
+			serve.End()
+			t.cur = trace.SpanHandle{}
+		}
 		s.inflight.Add(-1)
 		if err != nil {
 			return err

@@ -1,0 +1,71 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/trace"
+)
+
+func TestFrameTraceContextRoundTrip(t *testing.T) {
+	sc := trace.SpanContext{TraceID: 0xabcdef01, SpanID: 0x42, Sampled: true}
+	frame := EncodeFrameWithTrace(0, "kv.get", []byte("payload"), sc)
+	flags, method, payload, got, err := ParseFrameTrace(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags&flagTrace == 0 {
+		t.Fatal("flagTrace not set on traced frame")
+	}
+	if string(method) != "kv.get" || string(payload) != "payload" {
+		t.Fatalf("method/payload corrupted: %q %q", method, payload)
+	}
+	if got != sc {
+		t.Fatalf("trace context %+v, want %+v", got, sc)
+	}
+}
+
+func TestFrameWithoutTraceIsByteIdenticalToPreTraceFormat(t *testing.T) {
+	// An invalid span context must produce a frame indistinguishable from
+	// one encoded with no tracing at all — the version-gating guarantee.
+	plain := EncodeFrame(0, "m", []byte("data"))
+	viaTrace := EncodeFrameWithTrace(0, "m", []byte("data"), trace.SpanContext{})
+	if string(plain) != string(viaTrace) {
+		t.Fatal("untraced frames differ between encode paths")
+	}
+	flags, _, _, sc, err := ParseFrameTrace(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags&flagTrace != 0 || sc.Valid() {
+		t.Fatalf("plain frame decoded with trace state: flags=%x sc=%+v", flags, sc)
+	}
+}
+
+func TestFrameTraceChecksumCoversTraceField(t *testing.T) {
+	sc := trace.SpanContext{TraceID: 7, SpanID: 9, Sampled: true}
+	frame := EncodeFrameWithTrace(0, "m", []byte("data"), sc)
+	// Flip a bit inside the trace ID (bytes 3..10 of the frame: flags byte,
+	// then version, flags, traceID...).
+	frame[4] ^= 0x01
+	if _, _, _, err := ParseFrame(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted trace field parsed: err=%v", err)
+	}
+}
+
+func TestFrameTraceGarbageFieldIsCorrupt(t *testing.T) {
+	sc := trace.SpanContext{TraceID: 7, SpanID: 9, Sampled: true}
+	frame := EncodeFrameWithTrace(0, "m", []byte("data"), sc)
+	frame[1] = 99 // wire version byte
+	if _, _, _, err := ParseFrame(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage trace field parsed: err=%v", err)
+	}
+	// Zeroed trace ID (flag says sampled, ID says nothing): also corrupt.
+	frame = EncodeFrameWithTrace(0, "m", []byte("data"), sc)
+	for i := 3; i < 11; i++ {
+		frame[i] = 0
+	}
+	if _, _, _, err := ParseFrame(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-ID trace field parsed: err=%v", err)
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -94,12 +97,17 @@ func Vars(r *Registry) map[string]interface{} {
 	return out
 }
 
-// Handler serves the registry (and optionally a profiler's stage shares):
+// Handler serves the registry (and optionally a profiler's stage shares
+// and a trace flight recorder):
 //
-//	/metrics  Prometheus text format
-//	/vars     expvar-style JSON
-//	/profile  strobelight-style (stage × codec × level) cycle shares
-func Handler(r *Registry, p *Profiler) http.Handler {
+//	/metrics       Prometheus text format
+//	/vars          expvar-style JSON
+//	/profile       strobelight-style (stage × codec × level) cycle shares
+//	/debug/traces  flight-recorded traces: text trees by default,
+//	               ?format=json for Chrome trace-event JSON (Perfetto),
+//	               ?n=N to bound the count, ?order=recent for newest-first
+//	               (default is slowest-first)
+func Handler(r *Registry, p *Profiler, rec *trace.Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -137,12 +145,44 @@ func Handler(r *Registry, p *Profiler) http.Handler {
 		fmt.Fprintf(w, "samples: %d (at %d Hz)\n\n", p.Profile().Total(), p.Hz)
 		io.WriteString(w, FormatStageShares(p.Profile().StageShares()))
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		if rec == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		var traces []trace.TraceData
+		if req.URL.Query().Get("order") == "recent" {
+			traces = rec.Recent(n)
+		} else {
+			traces = rec.Slowest(n)
+		}
+		// Halves of one distributed trace retained together render as one
+		// stitched tree.
+		traces = trace.Stitch(traces)
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			trace.WriteChromeTrace(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%d retained traces (?format=json for Perfetto, ?order=recent, ?n=N)\n\n", len(traces))
+		for _, td := range traces {
+			trace.WriteTree(w, td)
+			fmt.Fprintln(w)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "datacomp telemetry: /metrics (Prometheus), /vars (JSON), /profile (stage shares)")
+		fmt.Fprintln(w, "datacomp telemetry: /metrics (Prometheus), /vars (JSON), /profile (stage shares), /debug/traces (flight recorder)")
 	})
 	return mux
 }
@@ -155,12 +195,13 @@ type Server struct {
 }
 
 // Serve starts an HTTP exposition server on addr (":0" picks a free port).
-func Serve(addr string, r *Registry, p *Profiler) (*Server, error) {
+// rec may be nil (no /debug/traces).
+func Serve(addr string, r *Registry, p *Profiler, rec *trace.Recorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r, p)}
+	srv := &http.Server{Handler: Handler(r, p, rec)}
 	go srv.Serve(ln)
 	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

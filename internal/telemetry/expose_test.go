@@ -1,12 +1,15 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 func TestWritePrometheus(t *testing.T) {
@@ -99,7 +102,13 @@ func TestServeEndpoints(t *testing.T) {
 	p := NewProfiler(997)
 	p.Profile().Add(SampleKey{Codec: "zstd", Level: 1, Dir: DirCompress}, 10)
 
-	srv, err := Serve(":0", r, p)
+	rec := trace.NewRecorder(4, 4)
+	tracer := trace.New(trace.Config{SampleEvery: 1, Recorder: rec})
+	_, span := tracer.StartRoot(context.Background(), "req")
+	span.Child("codec.compress").End()
+	span.End()
+
+	srv, err := Serve(":0", r, p, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,6 +147,13 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if out := get("/"); !strings.Contains(out, "/metrics") {
 		t.Fatalf("index missing endpoint list:\n%s", out)
+	}
+	if out := get("/debug/traces"); !strings.Contains(out, "req") || !strings.Contains(out, "codec.compress") {
+		t.Fatalf("/debug/traces missing recorded trace:\n%s", out)
+	}
+	jsonOut := get("/debug/traces?format=json")
+	if _, err := trace.ParseChromeTrace([]byte(jsonOut)); err != nil {
+		t.Fatalf("/debug/traces?format=json not loadable: %v\n%s", err, jsonOut)
 	}
 
 	resp, err := http.Get("http://" + srv.Addr + "/nope")

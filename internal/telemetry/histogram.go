@@ -60,6 +60,12 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64 // valid only when count > 0
 	max    atomic.Int64
+
+	// exemplars, when enabled, holds per-bucket the trace ID of the most
+	// recent traced observation that landed there — the link from a tail
+	// bucket to the flight-recorded trace that produced it. Lazy so
+	// histograms that never enable exemplars pay nothing but a nil check.
+	exemplars atomic.Pointer[[histBuckets]atomic.Uint64]
 }
 
 func newHistogram() *Histogram {
@@ -92,17 +98,51 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// EnableExemplars allocates the per-bucket exemplar table. Idempotent and
+// safe to race with observers; ObserveTraced before enablement records the
+// value but drops the exemplar.
+func (h *Histogram) EnableExemplars() {
+	if h.exemplars.Load() == nil {
+		h.exemplars.CompareAndSwap(nil, new([histBuckets]atomic.Uint64))
+	}
+}
+
+// ObserveTraced records one value and, when exemplars are enabled and
+// traceID is nonzero, stamps the bucket's exemplar with the trace that
+// produced the observation. With a zero traceID it is exactly Observe —
+// callers on unsampled requests need no branch.
+func (h *Histogram) ObserveTraced(v int64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	if ex := h.exemplars.Load(); ex != nil {
+		ex[bucketIndex(v)].Store(traceID)
+	}
+}
+
+// Exemplar returns the bucket exemplar recorded for value v's bucket (zero
+// when none, or exemplars are disabled).
+func (h *Histogram) Exemplar(v int64) uint64 {
+	if ex := h.exemplars.Load(); ex != nil {
+		return ex[bucketIndex(v)].Load()
+	}
+	return 0
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// BucketCount is one occupied histogram bucket.
+// BucketCount is one occupied histogram bucket. Exemplar, when nonzero, is
+// the trace ID of the most recent traced observation in the bucket.
 type BucketCount struct {
-	Lower int64 // inclusive
-	Upper int64 // exclusive
-	Count int64
+	Lower    int64 // inclusive
+	Upper    int64 // exclusive
+	Count    int64
+	Exemplar uint64
 }
 
 // Snapshot is a point-in-time copy of a histogram with derived summary
@@ -130,6 +170,7 @@ func (h *Histogram) Snapshot() Snapshot {
 		s.Min = h.min.Load()
 		s.Max = h.max.Load()
 	}
+	ex := h.exemplars.Load()
 	var w stats.Welford
 	for i := range h.counts {
 		c := h.counts[i].Load()
@@ -137,7 +178,11 @@ func (h *Histogram) Snapshot() Snapshot {
 			continue
 		}
 		lo, hi := bucketBounds(i)
-		s.Buckets = append(s.Buckets, BucketCount{Lower: lo, Upper: hi, Count: c})
+		b := BucketCount{Lower: lo, Upper: hi, Count: c}
+		if ex != nil {
+			b.Exemplar = ex[i].Load()
+		}
+		s.Buckets = append(s.Buckets, b)
 		w.ObserveN(float64(lo+hi)/2, c)
 	}
 	s.Mean = w.Mean()

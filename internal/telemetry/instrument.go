@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 // InstrumentOptions configure Instrument.
@@ -45,6 +47,12 @@ type Instrumented struct {
 	curStage  stage.ID
 	stageMark time.Time
 	opNanos   [stage.Count]int64
+
+	// tracing state for the CompressCtx/DecompressCtx paths: opSpan is the
+	// active operation's span (zero when untraced — every use no-ops) and
+	// stages mirrors the stage hook into per-stage child spans.
+	opSpan trace.SpanHandle
+	stages trace.StageSpans
 }
 
 // Instrument wraps eng with telemetry. The wrapper registers its metrics
@@ -71,6 +79,10 @@ func Instrument(eng codec.Engine, opts InstrumentOptions) *Instrumented {
 		inputSize:     reg.Histogram(lbl("codec_compress_input_bytes"), "compression input size", "bytes"),
 		slot:          &opSlot{codec: opts.Codec, level: opts.Level},
 	}
+	// Latency histograms carry exemplars so a tail bucket names the trace
+	// that landed there.
+	ie.compressNS.EnableExemplars()
+	ie.decompressNS.EnableExemplars()
 	for s := 0; s < stage.Count; s++ {
 		ie.stageNS[s] = reg.Counter(
 			lbl("codec_stage_ns_total", "stage", stage.ID(s).String()),
@@ -98,6 +110,7 @@ func (ie *Instrumented) onStage(s stage.ID) {
 	ie.curStage = s
 	ie.stageMark = now
 	ie.slot.setStage(s)
+	ie.stages.Hook(s)
 }
 
 // Compress implements codec.Engine.
@@ -122,7 +135,7 @@ func (ie *Instrumented) Compress(dst, src []byte) ([]byte, error) {
 	ie.compressOps.Inc()
 	ie.rawBytes.Add(int64(len(src)))
 	ie.compBytes.Add(int64(len(out) - len(dst)))
-	ie.compressNS.Observe(dur.Nanoseconds())
+	ie.compressNS.ObserveTraced(dur.Nanoseconds(), uint64(ie.opSpan.TraceID()))
 	ie.inputSize.Observe(int64(len(src)))
 	for s, ns := range ie.opNanos {
 		if ns > 0 {
@@ -144,7 +157,51 @@ func (ie *Instrumented) Decompress(dst, src []byte) ([]byte, error) {
 		return out, err
 	}
 	ie.decompressOps.Inc()
-	ie.decompressNS.Observe(dur.Nanoseconds())
+	ie.decompressNS.ObserveTraced(dur.Nanoseconds(), uint64(ie.opSpan.TraceID()))
+	return out, nil
+}
+
+// CompressCtx is Compress under a traced request: the operation gets a
+// "codec.compress" span with stage children (matchfind, entropy, ...), and
+// the latency histogram's exemplar names the trace. An untraced context —
+// including tracing enabled but this request unsampled — takes the exact
+// Compress path with zero allocations.
+func (ie *Instrumented) CompressCtx(ctx context.Context, dst, src []byte) ([]byte, error) {
+	h := trace.FromContext(ctx)
+	if !h.Valid() {
+		return ie.Compress(dst, src)
+	}
+	sp := h.Child("codec.compress")
+	ie.opSpan = sp
+	ie.stages.Bind(sp)
+	out, err := ie.Compress(dst, src)
+	ie.stages.Finish()
+	ie.opSpan = trace.SpanHandle{}
+	if err != nil {
+		sp.End()
+		return out, err
+	}
+	sp.SetInt("raw", int64(len(src))).SetInt("comp", int64(len(out)-len(dst))).End()
+	return out, nil
+}
+
+// DecompressCtx is Decompress under a traced request, as CompressCtx.
+func (ie *Instrumented) DecompressCtx(ctx context.Context, dst, src []byte) ([]byte, error) {
+	h := trace.FromContext(ctx)
+	if !h.Valid() {
+		return ie.Decompress(dst, src)
+	}
+	sp := h.Child("codec.decompress")
+	ie.opSpan = sp
+	ie.stages.Bind(sp)
+	out, err := ie.Decompress(dst, src)
+	ie.stages.Finish()
+	ie.opSpan = trace.SpanHandle{}
+	if err != nil {
+		sp.End()
+		return out, err
+	}
+	sp.SetInt("comp", int64(len(src))).SetInt("raw", int64(len(out)-len(dst))).End()
 	return out, nil
 }
 

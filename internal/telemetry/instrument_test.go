@@ -2,12 +2,14 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/trace"
 )
 
 func testPayload(t *testing.T) []byte {
@@ -192,4 +194,57 @@ func TestPoolClearsStageHook(t *testing.T) {
 		t.Fatal("stale stage hook fired after Put/Get")
 	}
 	pool.Put(eng2)
+}
+
+// TestInstrumentedSteadyStateAllocs asserts the instrumented hot path stays
+// allocation-free once warmed — including the context-taking paths when
+// tracing is enabled but the request is unsampled, which is the always-on
+// production configuration. Scratch reuse must propagate through the
+// telemetry wrapper; any alloc here is a regression in the wrapper, the
+// histogram observe path, or the unsampled tracing fast path.
+func TestInstrumentedSteadyStateAllocs(t *testing.T) {
+	reg := NewRegistry()
+	ie, err := InstrumentedEngine("zstd", codec.Options{Level: 3}, InstrumentOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := corpus.LogLines(42, 64<<10)
+	out := make([]byte, 0, 2*len(data))
+	comp, err := ie.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := make([]byte, 0, 2*len(data))
+
+	// Plain Engine interface path, warmed.
+	if allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		if out, err = ie.Compress(out[:0], data); err != nil {
+			t.Fatal(err)
+		}
+		if dec, err = ie.Decompress(dec[:0], comp); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("instrumented Compress/Decompress: %v allocs/op, want 0", allocs)
+	}
+
+	// Ctx path with tracing enabled but this request unsampled: the root
+	// start loses sampling, FromContext finds no span, and the whole
+	// operation must take the exact untraced path.
+	tracer := trace.New(trace.Config{SampleEvery: 1 << 30})
+	bg := context.Background()
+	if allocs := testing.AllocsPerRun(20, func() {
+		ctx, root := tracer.StartRoot(bg, "req")
+		var err error
+		if out, err = ie.CompressCtx(ctx, out[:0], data); err != nil {
+			t.Fatal(err)
+		}
+		if dec, err = ie.DecompressCtx(ctx, dec[:0], comp); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+	}); allocs != 0 {
+		t.Fatalf("enabled-but-unsampled CompressCtx/DecompressCtx: %v allocs/op, want 0", allocs)
+	}
 }

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the always-on flight recorder: a fixed set of trace buffers
+// retaining the N slowest and M most recent completed traces, dumpable at
+// any time. Completed traces enter the recent ring; when the ring evicts a
+// trace, it is promoted into the slowest set if it outranks the current
+// minimum. Buffers circulate — admitted traces displace others back to the
+// tracer's pool — so the steady state allocates nothing.
+//
+// The slowest view merges both sets at read time, so a slow trace is
+// visible as a slowest-N entry the moment it completes, not only after the
+// recent ring has cycled past it.
+type Recorder struct {
+	mu     sync.Mutex
+	slow   []*Trace // unordered; scanned for min on promotion (N is small)
+	slowN  int
+	recent []*Trace // ring of the M most recent completions
+	pos    int
+	admits int64
+}
+
+// NewRecorder builds a recorder keeping the slowN slowest and recentM most
+// recent traces. Non-positive sizes get modest defaults (16 slow, 64
+// recent).
+func NewRecorder(slowN, recentM int) *Recorder {
+	if slowN <= 0 {
+		slowN = 16
+	}
+	if recentM <= 0 {
+		recentM = 64
+	}
+	return &Recorder{slowN: slowN, recent: make([]*Trace, recentM)}
+}
+
+// admit takes ownership of a completed trace and returns a displaced trace
+// for the tracer to recycle (nil when a slot was free).
+func (r *Recorder) admit(tr *Trace) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.admits++
+	evicted := r.recent[r.pos]
+	r.recent[r.pos] = tr
+	r.pos = (r.pos + 1) % len(r.recent)
+	if evicted == nil {
+		return nil
+	}
+	// Promote the evictee into the slowest set if it outranks the minimum.
+	if len(r.slow) < r.slowN {
+		r.slow = append(r.slow, evicted)
+		return nil
+	}
+	minIdx := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].rootDur() < r.slow[minIdx].rootDur() {
+			minIdx = i
+		}
+	}
+	if evicted.rootDur() > r.slow[minIdx].rootDur() {
+		displaced := r.slow[minIdx]
+		r.slow[minIdx] = evicted
+		return displaced
+	}
+	return evicted
+}
+
+// Admits reports how many completed traces the recorder has accepted.
+func (r *Recorder) Admits() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admits
+}
+
+// Snapshot deep-copies every retained trace (slowest set then recent ring,
+// most recent first), deduplicating traces present in both views. Dumping
+// allocates; admission never does.
+func (r *Recorder) Snapshot() []TraceData {
+	r.mu.Lock()
+	seen := make(map[*Trace]bool, len(r.slow)+len(r.recent))
+	var list []*Trace
+	for _, tr := range r.slow {
+		if tr != nil && !seen[tr] {
+			seen[tr] = true
+			list = append(list, tr)
+		}
+	}
+	for i := 0; i < len(r.recent); i++ {
+		tr := r.recent[(r.pos-1-i+2*len(r.recent))%len(r.recent)]
+		if tr != nil && !seen[tr] {
+			seen[tr] = true
+			list = append(list, tr)
+		}
+	}
+	r.mu.Unlock()
+	out := make([]TraceData, 0, len(list))
+	for _, tr := range list {
+		out = append(out, tr.snapshotData())
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces ordered by root duration,
+// slowest first, considering both the slowest set and the recent ring.
+func (r *Recorder) Slowest(n int) []TraceData {
+	all := r.Snapshot()
+	sort.Slice(all, func(i, j int) bool { return rootDurData(all[i]) > rootDurData(all[j]) })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Recent returns up to n retained traces ordered most recent first.
+func (r *Recorder) Recent(n int) []TraceData {
+	all := r.Snapshot()
+	sort.Slice(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Contains reports whether any retained trace carries id.
+func (r *Recorder) Contains(id TraceID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tr := range r.slow {
+		if tr != nil && tr.id == id {
+			return true
+		}
+	}
+	for _, tr := range r.recent {
+		if tr != nil && tr.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func rootDurData(td TraceData) time.Duration {
+	if root := td.Root(); root != nil {
+		return root.Dur
+	}
+	return 0
+}

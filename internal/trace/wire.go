@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire encoding of a SpanContext — the trace-context field an RPC frame
+// header carries when its sender has tracing enabled (DESIGN.md §9):
+//
+//	version  1 byte   (wireVersion; anything else is undecodable)
+//	flags    1 byte   (bit 0 = sampled; other bits must be zero)
+//	traceID  8 bytes  little-endian, nonzero
+//	spanID   8 bytes  little-endian, nonzero
+//
+// The field is fixed-size so a frame parser always knows how many bytes to
+// consume before validating them, and it is covered by the frame checksum,
+// so a flipped bit surfaces as frame corruption rather than a misstitched
+// trace. Only sampled contexts are ever encoded: an unsampled request omits
+// the field entirely (and the frame flag announcing it), which is what
+// keeps the common path byte-identical to the pre-tracing format.
+const (
+	wireVersion = 1
+
+	// WireLen is the exact encoded size of a SpanContext.
+	WireLen = 18
+
+	wireFlagSampled = 1 << 0
+	wireFlagsKnown  = wireFlagSampled
+)
+
+// ErrWire reports a malformed wire trace context.
+var ErrWire = errors.New("trace: malformed wire span context")
+
+// Static detail errors, all wrapping ErrWire so callers branch on one
+// sentinel while logs keep the diagnosis.
+var (
+	errWireShort   = &wireError{msg: "trace: wire span context truncated"}
+	errWireVersion = &wireError{msg: "trace: unknown wire span context version"}
+	errWireFlags   = &wireError{msg: "trace: unknown wire span context flags"}
+	errWireZeroID  = &wireError{msg: "trace: wire span context has zero id"}
+)
+
+type wireError struct{ msg string }
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return ErrWire }
+
+// AppendWire encodes sc. Encoding an invalid (unsampled or zero-ID) context
+// is a programming error upstream; the decoder would reject it, so encode
+// nothing and let the caller's length check catch it.
+func AppendWire(dst []byte, sc SpanContext) []byte {
+	if !sc.Valid() {
+		return dst
+	}
+	dst = append(dst, wireVersion, wireFlagSampled)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sc.TraceID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sc.SpanID))
+	return dst
+}
+
+// ParseWire decodes a SpanContext from the front of b, returning it and the
+// number of bytes consumed. Hostile input yields an error wrapping ErrWire,
+// never a panic and never a silently wrong identity.
+func ParseWire(b []byte) (SpanContext, int, error) {
+	if len(b) < WireLen {
+		return SpanContext{}, 0, errWireShort
+	}
+	if b[0] != wireVersion {
+		return SpanContext{}, 0, errWireVersion
+	}
+	flags := b[1]
+	if flags&^wireFlagsKnown != 0 {
+		return SpanContext{}, 0, errWireFlags
+	}
+	sc := SpanContext{
+		TraceID: TraceID(binary.LittleEndian.Uint64(b[2:])),
+		SpanID:  SpanID(binary.LittleEndian.Uint64(b[10:])),
+		Sampled: flags&wireFlagSampled != 0,
+	}
+	// A present field must carry a real sampled identity: the encoder never
+	// emits anything else, so anything else is corruption.
+	if !sc.Valid() {
+		return SpanContext{}, 0, errWireZeroID
+	}
+	return sc, WireLen, nil
+}
