@@ -5,7 +5,9 @@
 package datacomp_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"github.com/datacomp/datacomp/internal/codec"
@@ -15,6 +17,66 @@ import (
 	"github.com/datacomp/datacomp/internal/lz"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
+
+// TestAblationRatioGuard pins every engine compress ratio to the committed
+// benchmark snapshot: a parser or entropy change may trade ratio for speed
+// by at most 0.5% on any (codec, level, payload) row without regenerating
+// BENCH_codec.json deliberately. The corpus generators and codecs are
+// deterministic, so this reproduces the snapshot's measurement exactly;
+// ratio improvements pass.
+func TestAblationRatioGuard(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_codec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Entries []struct {
+			Codec     string  `json:"codec"`
+			Level     int     `json:"level"`
+			Payload   string  `json:"payload"`
+			Direction string  `json:"direction"`
+			Ratio     float64 `json:"ratio"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[string][]byte{
+		"logs":    corpus.LogLines(7, 128<<10),
+		"source":  corpus.SourceCode(7, 128<<10),
+		"records": corpus.Records(7, 128<<10),
+	}
+	checked := 0
+	for _, e := range snap.Entries {
+		if e.Direction != "compress" || e.Ratio <= 0 {
+			continue
+		}
+		data, ok := payloads[e.Payload]
+		if !ok {
+			continue // small-payload, container, and trace rows
+		}
+		if _, ok := codec.Lookup(e.Codec); !ok {
+			continue
+		}
+		eng, err := codec.NewEngine(e.Codec, codec.WithLevel(e.Level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.Compress(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(data)) / float64(len(out))
+		if ratio < e.Ratio*0.995 {
+			t.Errorf("%s L%d %s: ratio %.4f fell more than 0.5%% below snapshot %.4f",
+				e.Codec, e.Level, e.Payload, ratio, e.Ratio)
+		}
+		checked++
+	}
+	if checked < 12 {
+		t.Fatalf("only %d rows checked; snapshot schema drifted?", checked)
+	}
+}
 
 // BenchmarkAblationStrategy sweeps the match-finder strategies at equal
 // depth, isolating the parsing algorithm's contribution to the

@@ -163,6 +163,10 @@ func main() {
 		}
 	}
 
+	sentries, sdirty := measureSmallPayloads()
+	snap.Entries = append(snap.Entries, sentries...)
+	dirty = dirty || sdirty
+
 	centries, cdirty := measureContainer(*size)
 	snap.Entries = append(snap.Entries, centries...)
 	dirty = dirty || cdirty
@@ -189,6 +193,212 @@ func main() {
 	if *check && dirty {
 		os.Exit(1)
 	}
+}
+
+// measureSmallPayloads prices the paper's dominant workload — cache-item-
+// sized payloads of a few hundred bytes to a few KiB — where dispatch
+// overhead rivals the codec work. Three row families per (codec, size):
+// plain compress/decompress rows reuse one warmed pooled engine and a
+// recycled output buffer (the best unbatched steady state; part of the
+// zero-alloc gate), "-percall" rows pay the full one-shot dispatch a
+// batchless caller pays per item (registry lookup, engine construction,
+// cold scratch, an escaping output buffer), and "-batch" rows push the same
+// items through Pool.CompressBatch/DecompressBatch with a warmed Batch (one
+// engine borrow per batch, reused output slots — also zero-alloc-gated).
+// The rows of one configuration are sampled interleaved, best-of-N, so the
+// batch-vs-percall comparison is two best rounds of the same noise
+// environment rather than whichever mode ran during a quiet slice.
+func measureSmallPayloads() ([]Entry, bool) {
+	const batchN = 64
+	sizes := []struct {
+		name  string
+		bytes int
+	}{
+		{"records-256B", 256},
+		{"records-1KiB", 1 << 10},
+		{"records-4KiB", 4 << 10},
+	}
+	smallCfgs := []struct {
+		codec string
+		level int
+	}{{"lz4", 1}, {"zstd", 1}, {"zlib", 1}}
+
+	var entries []Entry
+	dirty := false
+	fatal := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "benchsnap: small payloads: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	for _, cfg := range smallCfgs {
+		for _, sz := range sizes {
+			srcs := make([][]byte, batchN)
+			rawTotal := 0
+			for i := range srcs {
+				srcs[i] = corpus.Records(int64(31*i+7), sz.bytes)
+				rawTotal += len(srcs[i])
+			}
+			pool, err := codec.NewPool(cfg.codec, codec.Options{Level: cfg.level, Checksum: true})
+			if err != nil {
+				fatal("%s L%d: %v", cfg.codec, cfg.level, err)
+			}
+			var cb, db codec.Batch
+			if pool.CompressBatch(&cb, srcs) != 0 {
+				fatal("%s %s: %v", cfg.codec, sz.name, cb.FirstErr())
+			}
+			comps := make([][]byte, batchN)
+			compTotal := 0
+			for i, c := range cb.Out {
+				comps[i] = append([]byte{}, c...)
+				compTotal += len(c)
+			}
+			ratio := float64(rawTotal) / float64(compTotal)
+
+			var benchErr error
+			modes := []struct {
+				dir  string
+				runs int
+				gate bool // row joins the zero-alloc gate
+				fn   func(b *testing.B)
+			}{
+				{"compress", 1, true, func(b *testing.B) {
+					e := pool.Get()
+					defer pool.Put(e)
+					out, err := e.Compress(nil, srcs[0])
+					if err != nil {
+						benchErr = err
+						return
+					}
+					b.SetBytes(int64(rawTotal))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for _, s := range srcs {
+							if out, benchErr = e.Compress(out[:0], s); benchErr != nil {
+								return
+							}
+						}
+					}
+				}},
+				{"decompress", 1, true, func(b *testing.B) {
+					e := pool.Get()
+					defer pool.Put(e)
+					out, err := e.Decompress(nil, comps[0])
+					if err != nil {
+						benchErr = err
+						return
+					}
+					b.SetBytes(int64(rawTotal))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for _, c := range comps {
+							if out, benchErr = e.Decompress(out[:0], c); benchErr != nil {
+								return
+							}
+						}
+					}
+				}},
+				{"compress-percall", 3, false, func(b *testing.B) {
+					b.SetBytes(int64(rawTotal))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for _, s := range srcs {
+							e, err := codec.NewEngine(cfg.codec, codec.WithLevel(cfg.level), codec.WithChecksum(true))
+							if err != nil {
+								benchErr = err
+								return
+							}
+							if _, benchErr = e.Compress(nil, s); benchErr != nil {
+								return
+							}
+						}
+					}
+				}},
+				{"decompress-percall", 3, false, func(b *testing.B) {
+					b.SetBytes(int64(rawTotal))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for _, c := range comps {
+							e, err := codec.NewEngine(cfg.codec, codec.WithLevel(cfg.level), codec.WithChecksum(true))
+							if err != nil {
+								benchErr = err
+								return
+							}
+							if _, benchErr = e.Decompress(nil, c); benchErr != nil {
+								return
+							}
+						}
+					}
+				}},
+				{"compress-batch", 3, true, func(b *testing.B) {
+					b.SetBytes(int64(rawTotal))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if pool.CompressBatch(&cb, srcs) != 0 {
+							benchErr = cb.FirstErr()
+							return
+						}
+					}
+				}},
+				{"decompress-batch", 3, true, func(b *testing.B) {
+					if pool.DecompressBatch(&db, comps) != 0 {
+						benchErr = db.FirstErr()
+						return
+					}
+					b.SetBytes(int64(rawTotal))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if pool.DecompressBatch(&db, comps) != 0 {
+							benchErr = db.FirstErr()
+							return
+						}
+					}
+				}},
+			}
+			best := make([]testing.BenchmarkResult, len(modes))
+			maxRuns := 0
+			for _, m := range modes {
+				maxRuns = max(maxRuns, m.runs)
+			}
+			for r := 0; r < maxRuns; r++ {
+				for mi, m := range modes {
+					if r >= m.runs {
+						continue
+					}
+					res := testing.Benchmark(m.fn)
+					if benchErr != nil {
+						fatal("%s L%d %s %s: %v", cfg.codec, cfg.level, sz.name, m.dir, benchErr)
+					}
+					if best[mi].N == 0 || res.NsPerOp() < best[mi].NsPerOp() {
+						best[mi] = res
+					}
+				}
+			}
+			for mi, m := range modes {
+				res := best[mi]
+				e := Entry{
+					Codec:       cfg.codec,
+					Level:       cfg.level,
+					Payload:     sz.name,
+					Direction:   m.dir,
+					NsPerOp:     res.NsPerOp(),
+					MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					AllocsPerOp: res.AllocsPerOp(),
+					Ratio:       ratio,
+				}
+				if m.gate && e.AllocsPerOp != 0 {
+					dirty = true
+					fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: %s L%d %s %s: %d allocs/op (%d B/op)\n",
+						cfg.codec, cfg.level, sz.name, m.dir, e.AllocsPerOp, e.BytesPerOp)
+				}
+				entries = append(entries, e)
+			}
+		}
+	}
+	return entries, dirty
 }
 
 // measureContainer snapshots the container surfaces: streaming Encode at a

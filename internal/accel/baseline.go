@@ -1,0 +1,87 @@
+package accel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/datacomp/datacomp/internal/core"
+)
+
+// Baseline is one measured software operating point pulled from a benchsnap
+// snapshot (BENCH_codec.json). It grounds the offload model: instead of a
+// guessed CPU throughput, CompSim candidates are priced against the speed
+// the software engines actually sustain on this machine, so a modeled
+// speedup of 1.0 means "matches the measured software ceiling".
+type Baseline struct {
+	Codec   string
+	Level   int
+	Payload string
+	// MBps is the measured single-engine compress throughput.
+	MBps float64
+	// Ratio is original/compressed on the measured payload.
+	Ratio float64
+}
+
+// benchEntry mirrors the benchsnap Entry fields this package consumes; the
+// snapshot schema is owned by cmd/benchsnap.
+type benchEntry struct {
+	Codec     string  `json:"codec"`
+	Level     int     `json:"level"`
+	Payload   string  `json:"payload"`
+	Direction string  `json:"direction"`
+	Workers   int     `json:"workers,omitempty"`
+	MBPerS    float64 `json:"mb_per_s"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// MeasuredBaseline extracts the measured software compress baseline for
+// (codecName, level, payload) from a benchsnap JSON snapshot. An empty
+// payload selects the fastest matching payload — the software ceiling.
+// Container and decompress rows are ignored; only single-engine compress
+// rows qualify.
+func MeasuredBaseline(snapshotJSON []byte, codecName string, level int, payload string) (Baseline, error) {
+	var snap struct {
+		Entries []benchEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(snapshotJSON, &snap); err != nil {
+		return Baseline{}, fmt.Errorf("accel: parsing benchsnap snapshot: %w", err)
+	}
+	var best Baseline
+	found := false
+	for _, e := range snap.Entries {
+		if e.Direction != "compress" || e.Workers != 0 {
+			continue
+		}
+		if e.Codec != codecName || e.Level != level {
+			continue
+		}
+		if payload != "" && e.Payload != payload {
+			continue
+		}
+		if e.MBPerS <= 0 {
+			continue
+		}
+		if !found || e.MBPerS > best.MBps {
+			best = Baseline{Codec: e.Codec, Level: e.Level, Payload: e.Payload, MBps: e.MBPerS, Ratio: e.Ratio}
+			found = true
+		}
+	}
+	if !found {
+		return Baseline{}, fmt.Errorf("accel: no compress row for %s level %d payload %q in snapshot", codecName, level, payload)
+	}
+	return best, nil
+}
+
+// CompSim converts the device into a CompOpt accelerator candidate measured
+// against this baseline: the speedup is modeled relative to the machine's
+// real software throughput and ratio rather than assumed numbers.
+func (b Baseline) CompSim(d Device, blockSize int, alphaCompute float64) (*core.Accelerator, error) {
+	return d.CompSim(blockSize, b.MBps, b.Ratio, alphaCompute)
+}
+
+// Speedup reports the modeled single-request speedup of d over this
+// measured baseline at the given block size (values < 1 mean the offload
+// loses to the software it was measured against).
+func (b Baseline) Speedup(d Device, blockSize int) float64 {
+	return d.Speedup(blockSize, b.MBps, b.Ratio)
+}

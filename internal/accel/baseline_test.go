@@ -1,0 +1,97 @@
+package accel
+
+import (
+	"os"
+	"testing"
+)
+
+const sampleSnapshot = `{
+  "note": "test",
+  "entries": [
+    {"codec": "lz4", "level": 1, "payload": "logs", "direction": "compress", "mb_per_s": 220.5, "ratio": 3.4},
+    {"codec": "lz4", "level": 1, "payload": "logs", "direction": "decompress", "mb_per_s": 900.0, "ratio": 3.4},
+    {"codec": "lz4", "level": 1, "payload": "records", "direction": "compress", "mb_per_s": 130.0, "ratio": 2.1},
+    {"codec": "lz4", "level": 1, "payload": "source", "direction": "compress", "mb_per_s": 210.0, "ratio": 3.5},
+    {"codec": "zstd", "level": 3, "payload": "logs", "direction": "compress", "mb_per_s": 95.0, "ratio": 4.9},
+    {"codec": "zstd", "level": 3, "payload": "logs", "direction": "encode", "workers": 4, "mb_per_s": 350.0, "ratio": 4.8}
+  ]
+}`
+
+func TestMeasuredBaseline(t *testing.T) {
+	b, err := MeasuredBaseline([]byte(sampleSnapshot), "lz4", 1, "records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MBps != 130.0 || b.Ratio != 2.1 || b.Payload != "records" {
+		t.Fatalf("wrong row: %+v", b)
+	}
+
+	// Empty payload picks the fastest compress row — never the decompress
+	// or multi-worker container rows that post bigger numbers.
+	b, err = MeasuredBaseline([]byte(sampleSnapshot), "lz4", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Payload != "logs" || b.MBps != 220.5 {
+		t.Fatalf("ceiling row wrong: %+v", b)
+	}
+
+	b, err = MeasuredBaseline([]byte(sampleSnapshot), "zstd", 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MBps != 95.0 {
+		t.Fatalf("container encode row leaked into baseline: %+v", b)
+	}
+
+	if _, err := MeasuredBaseline([]byte(sampleSnapshot), "zlib", 6, ""); err == nil {
+		t.Fatal("missing codec accepted")
+	}
+	if _, err := MeasuredBaseline([]byte("{nope"), "lz4", 1, ""); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestBaselineCompSim(t *testing.T) {
+	b, err := MeasuredBaseline([]byte(sampleSnapshot), "zstd", 3, "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := b.CompSim(QATLike(), 1<<20, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.SpeedFactor <= 1 {
+		t.Fatalf("QAT-like device should beat a 95 MB/s software baseline on 1 MiB blocks: %+v", acc)
+	}
+	// Small blocks: the modeled offload overhead should erase the win
+	// against the same measured baseline.
+	if sp := b.Speedup(QATLike(), 512); sp >= 1 {
+		t.Fatalf("512B offload should lose to software: speedup %.2f", sp)
+	}
+	if sp := b.Speedup(OnChipLike(), 4096); sp <= 1 {
+		t.Fatalf("on-chip engine should win at 4KiB: speedup %.2f", sp)
+	}
+}
+
+// TestMeasuredBaselineAgainstRepoSnapshot validates the parser against the
+// committed snapshot, keeping the schema and this reader from drifting
+// apart.
+func TestMeasuredBaselineAgainstRepoSnapshot(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_codec.json")
+	if err != nil {
+		t.Skipf("no committed snapshot: %v", err)
+	}
+	for _, cfg := range []struct {
+		codec string
+		level int
+	}{{"lz4", 1}, {"zstd", 1}, {"zlib", 1}} {
+		b, err := MeasuredBaseline(data, cfg.codec, cfg.level, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.MBps <= 0 || b.Ratio <= 1 {
+			t.Fatalf("%s L%d: implausible baseline %+v", cfg.codec, cfg.level, b)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package cache
+
+import "time"
+
+// Batched cache operations. The paper's cache corpus (§IV-C) is dominated
+// by small typed items, and at a few hundred bytes per value the per-call
+// fixed costs — a shard lock round-trip, two clock reads, telemetry updates
+// — rival the codec work itself. SetBatch and GetBatch group items by shard
+// so each shard is locked once per call, the compression clock is read once
+// per shard group, and the per-type engine is resolved once per item without
+// re-taking the lock.
+
+// groupByShard buckets item indices by owning shard, preserving the input
+// order within each bucket.
+func (c *Cache) groupByShard(keys []string) [][]int {
+	groups := make([][]int, len(c.shards))
+	for i, k := range keys {
+		si := c.shardIndex(k)
+		groups[si] = append(groups[si], i)
+	}
+	return groups
+}
+
+// batchFail lazily materializes the error slice for a batch of n items and
+// records item i's error.
+func batchFail(errs []error, n, i int, err error) []error {
+	if errs == nil {
+		errs = make([]error, n)
+	}
+	errs[i] = err
+	return errs
+}
+
+// SetBatch stores items of one type, keys[i] mapping to values[i]. It
+// returns the number of failed items and, when failed > 0, a slice aligned
+// with keys holding each item's error (nil for successes). Items land in
+// shard-grouped order, so relative recency is preserved within a shard but
+// not across shards.
+func (c *Cache) SetBatch(typ string, keys []string, values [][]byte) (failed int, errs []error) {
+	n := len(keys)
+	if len(values) != n {
+		panic("cache: SetBatch keys/values length mismatch")
+	}
+	for si, idxs := range c.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		t0 := time.Now()
+		for _, i := range idxs {
+			if keys[i] == "" {
+				errs = batchFail(errs, n, i, ErrEmptyKey)
+				failed++
+				continue
+			}
+			payload, raw, err := s.compressLocked(typ, values[i])
+			if err != nil {
+				errs = batchFail(errs, n, i, err)
+				failed++
+				continue
+			}
+			s.storeLocked(keys[i], typ, payload, len(values[i]), raw)
+		}
+		dt := time.Since(t0)
+		s.stats.ServerCompressTime += dt
+		tmCompNS.Add(dt.Nanoseconds())
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+	return failed, errs
+}
+
+// GetBatch fetches every key in one pass per shard. values and hits are
+// aligned with keys; errs is nil unless some resident payload failed to
+// decode (a decode failure counts as a miss in hits but carries its error).
+func (c *Cache) GetBatch(keys []string) (values [][]byte, hits []bool, errs []error) {
+	n := len(keys)
+	values = make([][]byte, n)
+	hits = make([]bool, n)
+	for si, idxs := range c.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		t0 := time.Now()
+		for _, i := range idxs {
+			if keys[i] == "" {
+				errs = batchFail(errs, n, i, ErrEmptyKey)
+				continue
+			}
+			e, ok := s.items[keys[i]]
+			if !ok {
+				s.stats.Misses++
+				tmMisses.Inc()
+				continue
+			}
+			s.lru.MoveToFront(e.lruEntry)
+			s.stats.Hits++
+			tmHits.Inc()
+			s.stats.NetworkBytesCompressed += int64(len(e.payload))
+			s.stats.NetworkBytesRaw += int64(e.rawSize)
+			if e.stored {
+				values[i] = append([]byte{}, e.payload...)
+				hits[i] = true
+				continue
+			}
+			out, err := s.engine(e.typ).Decompress(nil, e.payload)
+			if err != nil {
+				errs = batchFail(errs, n, i, err)
+				continue
+			}
+			values[i] = out
+			hits[i] = true
+		}
+		dt := time.Since(t0)
+		s.stats.ClientDecompressTime += dt
+		tmDecompNS.Add(dt.Nanoseconds())
+		s.mu.Unlock()
+	}
+	return values, hits, errs
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func batchItems(n, size int) (keys []string, values [][]byte) {
+	keys = make([]string, n)
+	values = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("user:%d", i)
+		var buf bytes.Buffer
+		for buf.Len() < size {
+			fmt.Fprintf(&buf, "field%d=value%d;", i, buf.Len())
+		}
+		values[i] = buf.Bytes()[:size]
+	}
+	return keys, values
+}
+
+func TestSetGetBatch(t *testing.T) {
+	c, err := New(Config{Shards: 4, Codec: "zstd", Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := batchItems(64, 512)
+	if failed, errs := c.SetBatch("user", keys, values); failed != 0 {
+		t.Fatalf("SetBatch failed %d items: %v", failed, errs)
+	}
+	got, hits, errs := c.GetBatch(keys)
+	if errs != nil {
+		t.Fatalf("GetBatch errors: %v", errs)
+	}
+	for i := range keys {
+		if !hits[i] || !bytes.Equal(got[i], values[i]) {
+			t.Fatalf("item %d: hit=%v, mismatch", i, hits[i])
+		}
+	}
+	st := c.Stats()
+	if st.Sets != 64 || st.Hits != 64 || st.Misses != 0 {
+		t.Fatalf("stats off: %+v", st)
+	}
+	if st.CompressionRatio() <= 1 {
+		t.Fatalf("repetitive items should compress: ratio %.2f", st.CompressionRatio())
+	}
+}
+
+func TestGetBatchMissesAndSingles(t *testing.T) {
+	c, err := New(Config{Shards: 4, Codec: "lz4", Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := batchItems(8, 256)
+	if failed, _ := c.SetBatch("t", keys[:4], values[:4]); failed != 0 {
+		t.Fatal("set failed")
+	}
+	got, hits, errs := c.GetBatch(keys)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	for i := 0; i < 4; i++ {
+		if !hits[i] || !bytes.Equal(got[i], values[i]) {
+			t.Fatalf("resident item %d missing", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if hits[i] || got[i] != nil {
+			t.Fatalf("absent item %d reported as hit", i)
+		}
+	}
+	// Batched and unary paths share storage: Get sees SetBatch's items.
+	v, ok, err := c.Get(keys[0])
+	if err != nil || !ok || !bytes.Equal(v, values[0]) {
+		t.Fatal("unary Get cannot see batched Set")
+	}
+	st := c.Stats()
+	if st.Misses != 4 || st.Hits != 5 {
+		t.Fatalf("hit/miss accounting off: %+v", st)
+	}
+}
+
+func TestSetBatchPerItemErrors(t *testing.T) {
+	c, err := New(Config{Shards: 2, Codec: "zstd", Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := batchItems(4, 128)
+	keys[2] = ""
+	failed, errs := c.SetBatch("t", keys, values)
+	if failed != 1 || errs == nil || errs[2] != ErrEmptyKey {
+		t.Fatalf("failed=%d errs=%v", failed, errs)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if errs[i] != nil {
+			t.Fatalf("healthy item %d errored", i)
+		}
+		if _, ok, _ := c.Get(keys[i]); !ok {
+			t.Fatalf("healthy item %d not stored", i)
+		}
+	}
+}
+
+func TestSetBatchRespectsCapacity(t *testing.T) {
+	c, err := New(Config{Shards: 1, Codec: "lz4", Level: 1, CapacityBytes: 2048, MinCompressSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := batchItems(64, 256) // raw-stored: 16 KiB total, 8x capacity
+	if failed, _ := c.SetBatch("t", keys, values); failed != 0 {
+		t.Fatal("set failed")
+	}
+	st := c.Stats()
+	if st.ResidentCompressedBytes > 2048 {
+		t.Fatalf("capacity not enforced: resident %d", st.ResidentCompressedBytes)
+	}
+	if st.Evicts == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestSetBatchDictTypes(t *testing.T) {
+	_, samples := batchItems(64, 300)
+	dicts, err := TrainDictionaries(map[string][][]byte{"user": samples}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Shards: 4, Codec: "zstd", Level: 1, Dicts: dicts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := batchItems(32, 300)
+	if failed, errs := c.SetBatch("user", keys, values); failed != 0 {
+		t.Fatalf("dict-typed SetBatch failed: %v", errs)
+	}
+	got, hits, errs := c.GetBatch(keys)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+	for i := range keys {
+		if !hits[i] || !bytes.Equal(got[i], values[i]) {
+			t.Fatalf("dict item %d corrupt", i)
+		}
+	}
+}

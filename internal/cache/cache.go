@@ -171,10 +171,14 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-func (c *Cache) shard(key string) *shard {
+func (c *Cache) shardIndex(key string) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return c.shards[h.Sum32()%uint32(len(c.shards))]
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+func (c *Cache) shard(key string) *shard {
+	return c.shards[c.shardIndex(key)]
 }
 
 func (s *shard) engine(typ string) codec.Engine {
@@ -187,6 +191,65 @@ func (s *shard) engine(typ string) codec.Engine {
 // ErrEmptyKey is returned for operations with an empty key.
 var ErrEmptyKey = errors.New("cache: empty key")
 
+// compressLocked compresses value with typ's engine, falling back to a raw
+// copy for tiny or incompressible values. Timing is the caller's
+// responsibility so batched sets can read the clock once per group. Caller
+// holds s.mu.
+func (s *shard) compressLocked(typ string, value []byte) (payload []byte, raw bool, err error) {
+	if len(value) < s.cfg.MinCompressSize {
+		return append([]byte{}, value...), true, nil
+	}
+	out, err := s.engine(typ).Compress(nil, value)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(out) >= len(value) {
+		return append([]byte{}, value...), true, nil
+	}
+	return out, false, nil
+}
+
+// storeLocked inserts or replaces key's entry and updates resident
+// accounting. Caller holds s.mu.
+func (s *shard) storeLocked(key, typ string, payload []byte, rawSize int, raw bool) {
+	if old, ok := s.items[key]; ok {
+		s.bytes -= int64(len(old.payload))
+		s.stats.ResidentRawBytes -= int64(old.rawSize)
+		s.stats.ResidentCompressedBytes -= int64(len(old.payload))
+		tmResident.Add(-int64(len(old.payload)))
+		s.lru.Remove(old.lruEntry)
+		delete(s.items, key)
+	}
+	e := &entry{key: key, typ: typ, payload: payload, rawSize: rawSize, stored: raw}
+	e.lruEntry = s.lru.PushFront(e)
+	s.items[key] = e
+	s.bytes += int64(len(payload))
+	s.stats.Sets++
+	s.stats.ResidentRawBytes += int64(rawSize)
+	s.stats.ResidentCompressedBytes += int64(len(payload))
+	tmSets.Inc()
+	tmItemBytes.Observe(int64(rawSize))
+	tmResident.Add(int64(len(payload)))
+}
+
+// evictLocked enforces CapacityBytes with LRU eviction. Caller holds s.mu.
+func (s *shard) evictLocked() {
+	if s.cfg.CapacityBytes <= 0 {
+		return
+	}
+	for s.bytes > s.cfg.CapacityBytes && s.lru.Len() > 1 {
+		victim := s.lru.Back().Value.(*entry)
+		s.lru.Remove(victim.lruEntry)
+		delete(s.items, victim.key)
+		s.bytes -= int64(len(victim.payload))
+		s.stats.ResidentRawBytes -= int64(victim.rawSize)
+		s.stats.ResidentCompressedBytes -= int64(len(victim.payload))
+		s.stats.Evicts++
+		tmEvicts.Inc()
+		tmResident.Add(-int64(len(victim.payload)))
+	}
+}
+
 // Set stores value under key, compressing it with the type's engine.
 func (c *Cache) Set(key, typ string, value []byte) error {
 	if key == "" {
@@ -196,60 +259,22 @@ func (c *Cache) Set(key, typ string, value []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	var payload []byte
-	stored := false
 	if len(value) < s.cfg.MinCompressSize {
-		payload = append([]byte{}, value...)
-		stored = true
-	} else {
-		t0 := time.Now()
-		out, err := s.engine(typ).Compress(nil, value)
-		dt := time.Since(t0)
-		s.stats.ServerCompressTime += dt
-		tmCompNS.Add(dt.Nanoseconds())
-		if err != nil {
-			return err
-		}
-		if len(out) >= len(value) {
-			payload = append([]byte{}, value...)
-			stored = true
-		} else {
-			payload = out
-		}
+		// Tiny items skip the codec entirely — no compress time accrues.
+		s.storeLocked(key, typ, append([]byte{}, value...), len(value), true)
+		s.evictLocked()
+		return nil
 	}
-
-	if old, ok := s.items[key]; ok {
-		s.bytes -= int64(len(old.payload))
-		s.stats.ResidentRawBytes -= int64(old.rawSize)
-		s.stats.ResidentCompressedBytes -= int64(len(old.payload))
-		tmResident.Add(-int64(len(old.payload)))
-		s.lru.Remove(old.lruEntry)
-		delete(s.items, key)
+	t0 := time.Now()
+	payload, raw, err := s.compressLocked(typ, value)
+	dt := time.Since(t0)
+	s.stats.ServerCompressTime += dt
+	tmCompNS.Add(dt.Nanoseconds())
+	if err != nil {
+		return err
 	}
-	e := &entry{key: key, typ: typ, payload: payload, rawSize: len(value), stored: stored}
-	e.lruEntry = s.lru.PushFront(e)
-	s.items[key] = e
-	s.bytes += int64(len(payload))
-	s.stats.Sets++
-	s.stats.ResidentRawBytes += int64(len(value))
-	s.stats.ResidentCompressedBytes += int64(len(payload))
-	tmSets.Inc()
-	tmItemBytes.Observe(int64(len(value)))
-	tmResident.Add(int64(len(payload)))
-
-	if s.cfg.CapacityBytes > 0 {
-		for s.bytes > s.cfg.CapacityBytes && s.lru.Len() > 1 {
-			victim := s.lru.Back().Value.(*entry)
-			s.lru.Remove(victim.lruEntry)
-			delete(s.items, victim.key)
-			s.bytes -= int64(len(victim.payload))
-			s.stats.ResidentRawBytes -= int64(victim.rawSize)
-			s.stats.ResidentCompressedBytes -= int64(len(victim.payload))
-			s.stats.Evicts++
-			tmEvicts.Inc()
-			tmResident.Add(-int64(len(victim.payload)))
-		}
-	}
+	s.storeLocked(key, typ, payload, len(value), raw)
+	s.evictLocked()
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package codec
+
+// Batched small-payload API. The paper's §VI observation is that datacenter
+// compression cycles are dominated by many small items (cache values, RPC
+// bodies) where per-call overhead — pool round-trips, clock reads, telemetry
+// updates, scratch acquisition — rivals the compression work itself. The
+// batch API takes N payloads through one dispatch: one engine borrow, one
+// pair of timestamps, one telemetry update, with all per-item state held in
+// a reusable Batch so the steady state allocates nothing.
+//
+// Error semantics are per-item: a payload that fails to encode or decode
+// records its error in Batch.Errs[i] and yields an empty Batch.Out[i], and
+// the remaining items still run. Callers that want all-or-nothing check
+// Failed() == 0; callers that forward items independently (the RPC batch
+// endpoint, the cache's multi-set) consume Errs item-wise.
+
+// Batch holds the reusable per-item state for CompressBatch and
+// DecompressBatch. The zero value is ready to use; reusing one Batch across
+// calls reuses every output buffer and the slot slices themselves.
+type Batch struct {
+	// Out holds one output buffer per item. Slots keep their backing
+	// arrays across Reset, so a warmed Batch compresses into the same
+	// memory every time.
+	Out [][]byte
+	// Errs holds the per-item error, nil for items that succeeded.
+	Errs []error
+
+	failed int
+}
+
+// Reset sizes the batch for n items, reusing existing slots and buffers.
+func (b *Batch) Reset(n int) {
+	if cap(b.Out) < n {
+		out := make([][]byte, n)
+		copy(out, b.Out)
+		b.Out = out
+		b.Errs = make([]error, n)
+	}
+	b.Out = b.Out[:n]
+	b.Errs = b.Errs[:n]
+	for i := range b.Errs {
+		b.Errs[i] = nil
+	}
+	b.failed = 0
+}
+
+// Failed reports how many items of the last run recorded an error.
+func (b *Batch) Failed() int { return b.failed }
+
+// FirstErr returns the first per-item error of the last run, or nil.
+func (b *Batch) FirstErr() error {
+	if b.failed == 0 {
+		return nil
+	}
+	for _, err := range b.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fail records a per-item failure, leaving the slot's buffer reusable.
+func (b *Batch) fail(i int, buf []byte, err error) {
+	b.Out[i] = buf[:0]
+	b.Errs[i] = err
+	b.failed++
+}
+
+// CompressBatch compresses every payload in srcs with one engine, writing
+// item i's frame to b.Out[i]. It returns the number of failed items; their
+// errors are in b.Errs.
+func CompressBatch(eng Engine, b *Batch, srcs [][]byte) int {
+	b.Reset(len(srcs))
+	for i, src := range srcs {
+		buf := b.Out[i][:0]
+		out, err := eng.Compress(buf, src)
+		if err != nil {
+			b.fail(i, buf, err)
+			continue
+		}
+		b.Out[i] = out
+	}
+	return b.failed
+}
+
+// DecompressBatch decodes every payload in srcs with one engine, writing
+// item i's content to b.Out[i]. It returns the number of failed items;
+// their errors are in b.Errs.
+func DecompressBatch(eng Engine, b *Batch, srcs [][]byte) int {
+	b.Reset(len(srcs))
+	for i, src := range srcs {
+		buf := b.Out[i][:0]
+		out, err := eng.Decompress(buf, src)
+		if err != nil {
+			b.fail(i, buf, err)
+			continue
+		}
+		b.Out[i] = out
+	}
+	return b.failed
+}
+
+// CompressBatch borrows one pooled engine for the whole batch — one
+// Get/Put, one stage-hook clear — instead of a pool round-trip per payload.
+func (p *Pool) CompressBatch(b *Batch, srcs [][]byte) int {
+	e := p.Get()
+	defer p.Put(e)
+	return CompressBatch(e, b, srcs)
+}
+
+// DecompressBatch borrows one pooled engine for the whole batch.
+func (p *Pool) DecompressBatch(b *Batch, srcs [][]byte) int {
+	e := p.Get()
+	defer p.Put(e)
+	return DecompressBatch(e, b, srcs)
+}

@@ -1,0 +1,182 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func batchCorpus(n, size int) [][]byte {
+	rng := rand.New(rand.NewSource(int64(n*1000 + size)))
+	words := []string{"GET", "SET", "user", "session", "cart", "item", "price", "count"}
+	srcs := make([][]byte, n)
+	for i := range srcs {
+		var buf bytes.Buffer
+		for buf.Len() < size {
+			fmt.Fprintf(&buf, "%s:%d;", words[rng.Intn(len(words))], rng.Intn(1000))
+		}
+		srcs[i] = buf.Bytes()[:size]
+	}
+	return srcs
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	srcs := batchCorpus(32, 512)
+	for _, name := range Names() {
+		for _, checksum := range []bool{false, true} {
+			eng, err := NewEngine(name, WithLevel(1), WithChecksum(checksum))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cb, db Batch
+			if failed := CompressBatch(eng, &cb, srcs); failed != 0 {
+				t.Fatalf("%s: %d items failed: %v", name, failed, cb.FirstErr())
+			}
+			if failed := DecompressBatch(eng, &db, cb.Out); failed != 0 {
+				t.Fatalf("%s: decompress failed: %v", name, db.FirstErr())
+			}
+			for i := range srcs {
+				if !bytes.Equal(db.Out[i], srcs[i]) {
+					t.Fatalf("%s checksum=%v: item %d mismatch", name, checksum, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPerItemErrors(t *testing.T) {
+	eng, err := NewEngine("zstd", WithLevel(1), WithChecksum(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := batchCorpus(4, 256)
+	var cb Batch
+	if failed := CompressBatch(eng, &cb, srcs); failed != 0 {
+		t.Fatal("compress failed")
+	}
+	// Corrupt item 2 only; the other three must still decode.
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = append([]byte{}, cb.Out[i]...)
+	}
+	payloads[2][len(payloads[2])/2] ^= 0xFF
+	payloads[2][len(payloads[2])-1] ^= 0xFF
+	var db Batch
+	failed := DecompressBatch(eng, &db, payloads)
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if db.Errs[2] == nil || db.FirstErr() != db.Errs[2] {
+		t.Fatalf("item 2 error not recorded: %v", db.Errs)
+	}
+	if len(db.Out[2]) != 0 {
+		t.Fatal("failed item left partial output")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if db.Errs[i] != nil || !bytes.Equal(db.Out[i], srcs[i]) {
+			t.Fatalf("healthy item %d affected by failed neighbor", i)
+		}
+	}
+}
+
+// TestBatchSteadyStateAllocs pins the batch hot path at zero allocations
+// per op once the Batch and the pooled engine are warm, for every codec at
+// its small-payload level.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	// 256B items exercise the incompressible-entropy-stage paths, which
+	// historically leaked staging-buffer capacity and re-allocated per call.
+	for _, size := range []int{256, 1024} {
+		srcs := batchCorpus(16, size)
+		for _, name := range Names() {
+			p, err := NewPool(name, Options{Level: 1, Checksum: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cb, db Batch
+			// Warm: allocate slots, output buffers, engine scratch.
+			for i := 0; i < 3; i++ {
+				if p.CompressBatch(&cb, srcs) != 0 {
+					t.Fatalf("%s: compress failed: %v", name, cb.FirstErr())
+				}
+				if p.DecompressBatch(&db, cb.Out) != 0 {
+					t.Fatalf("%s: decompress failed: %v", name, db.FirstErr())
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				p.CompressBatch(&cb, srcs)
+				p.DecompressBatch(&db, cb.Out)
+			})
+			if allocs != 0 {
+				t.Errorf("%s/%dB: %v allocs/op on warmed batch path, want 0", name, size, allocs)
+			}
+		}
+	}
+}
+
+func TestBatchEmptyAndReuse(t *testing.T) {
+	eng, err := NewEngine("lz4", WithLevel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if failed := CompressBatch(eng, &b, nil); failed != 0 || len(b.Out) != 0 {
+		t.Fatal("empty batch misbehaved")
+	}
+	// Shrink then grow: slots must keep working.
+	for _, n := range []int{8, 2, 16, 1, 0, 5} {
+		srcs := batchCorpus(n, 128)
+		if failed := CompressBatch(eng, &b, srcs); failed != 0 {
+			t.Fatalf("n=%d: %v", n, b.FirstErr())
+		}
+		if len(b.Out) != n || len(b.Errs) != n {
+			t.Fatalf("n=%d: got %d slots", n, len(b.Out))
+		}
+		var d Batch
+		if DecompressBatch(eng, &d, b.Out) != 0 {
+			t.Fatalf("n=%d: decompress failed", n)
+		}
+		for i := range srcs {
+			if !bytes.Equal(d.Out[i], srcs[i]) {
+				t.Fatalf("n=%d item %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world hello world"), uint8(3), uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), uint8(9))
+	f.Add([]byte("x"), uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nItems, level uint8) {
+		n := int(nItems)%16 + 1
+		lvl := int(level)%9 + 1
+		// Slice data into n overlapping items so one fuzz input exercises
+		// varied item lengths, including empty ones.
+		srcs := make([][]byte, n)
+		for i := range srcs {
+			if len(data) > 0 {
+				start := (i * 7) % (len(data) + 1)
+				srcs[i] = data[start:]
+			}
+		}
+		for _, name := range Names() {
+			eng, err := NewEngine(name, WithLevel(lvl), WithChecksum(true))
+			if err != nil {
+				t.Skip() // level out of range for this codec
+			}
+			var cb, db Batch
+			if failed := CompressBatch(eng, &cb, srcs); failed != 0 {
+				t.Fatalf("%s: compress failed: %v", name, cb.FirstErr())
+			}
+			if failed := DecompressBatch(eng, &db, cb.Out); failed != 0 {
+				t.Fatalf("%s: decompress failed: %v", name, db.FirstErr())
+			}
+			for i := range srcs {
+				if !bytes.Equal(db.Out[i], srcs[i]) {
+					t.Fatalf("%s: item %d roundtrip mismatch", name, i)
+				}
+			}
+		}
+	})
+}

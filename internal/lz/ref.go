@@ -1,0 +1,30 @@
+package lz
+
+// Scalar reference kernels for the SWAR fast paths in lz.go. These are the
+// ground truth the differential tests in swar_test.go compare against: they
+// assemble words byte-at-a-time (no unaligned multi-byte loads) and count
+// match lengths with a plain byte loop, so any divergence in the SWAR
+// versions — endianness, prefix masking, tail handling, off-by-one at the
+// 8-byte boundary — shows up as a mismatch rather than silent corruption.
+
+// hashRef computes the same bucket as Matcher.hashAt from individual byte
+// loads: the minMatch-byte prefix at src[i:] is packed little-endian,
+// shifted to the top of the word, and run through the shared multiply-shift.
+func hashRef(src []byte, i, minMatch int, hashLog uint) uint32 {
+	var x uint64
+	for k := minMatch - 1; k >= 0; k-- {
+		x = x<<8 | uint64(src[i+k])
+	}
+	x <<= 64 - 8*uint(minMatch)
+	return uint32((x * hashMul64) >> (64 - hashLog))
+}
+
+// matchLenRef counts equal bytes between src[a:] and src[b:] up to limit,
+// one byte at a time.
+func matchLenRef(src []byte, a, b, limit int) int {
+	n := 0
+	for b+n < limit && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}

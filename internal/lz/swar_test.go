@@ -1,0 +1,265 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// adversarialInputs returns the input shapes most likely to expose SWAR
+// kernel bugs: lengths straddling the 8-byte word and 4 KiB page boundaries,
+// all-equal runs (maximal match lengths, every hash identical), and
+// alternating patterns (period-2 self-similarity at every even offset).
+func adversarialInputs(t testing.TB) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	inputs := map[string][]byte{}
+
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 4093, 4096, 4099, 8191} {
+		b := make([]byte, n)
+		rng.Read(b)
+		inputs["random-"+itoa(n)] = b
+	}
+	for _, n := range []int{7, 8, 9, 64, 4095, 4097} {
+		inputs["allequal-"+itoa(n)] = bytes.Repeat([]byte{0xAA}, n)
+	}
+	for _, n := range []int{16, 255, 4096} {
+		b := make([]byte, n)
+		for i := range b {
+			if i&1 == 0 {
+				b[i] = 0x55
+			} else {
+				b[i] = 0xAA
+			}
+		}
+		inputs["alternating-"+itoa(n)] = b
+	}
+	// Mostly-equal with a difference planted at every position relative to
+	// an 8-byte window: catches TrailingZeros byte-offset conversion bugs.
+	for d := 0; d < 9; d++ {
+		b := bytes.Repeat([]byte{0x33}, 64)
+		b[32+d] ^= 0xFF
+		inputs["diff-at-"+itoa(d)] = b
+	}
+	return inputs
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestHashSWARMatchesRef(t *testing.T) {
+	for name, src := range adversarialInputs(t) {
+		if len(src) < 8 {
+			continue
+		}
+		for minMatch := 3; minMatch <= 7; minMatch++ {
+			for _, hashLog := range []uint{6, 13, 17} {
+				m := &Matcher{
+					p:        Params{MinMatch: minMatch, HashLog: hashLog},
+					hashPre:  uint8(64 - 8*minMatch),
+					hashPost: uint8(64 - hashLog),
+				}
+				for i := 0; i+8 <= len(src); i++ {
+					got := m.hashAt(src, i)
+					want := hashRef(src, i, minMatch, hashLog)
+					if got != want {
+						t.Fatalf("%s: hashAt(src,%d) mm=%d hl=%d = %#x, ref %#x",
+							name, i, minMatch, hashLog, got, want)
+					}
+					if got>>hashLog != 0 {
+						t.Fatalf("%s: hash %#x exceeds %d bits", name, got, hashLog)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHashIgnoresBytesBeyondPrefix pins the preShift masking: bytes past the
+// minMatch prefix must not influence the bucket, or distinct prefixes would
+// alias and the quick-reject mask would diverge from the hash.
+func TestHashIgnoresBytesBeyondPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for minMatch := 3; minMatch <= 7; minMatch++ {
+		m := &Matcher{
+			p:        Params{MinMatch: minMatch, HashLog: 14},
+			hashPre:  uint8(64 - 8*minMatch),
+			hashPost: uint8(64 - 14),
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		for trial := 0; trial < 1000; trial++ {
+			rng.Read(a)
+			rng.Read(b)
+			copy(b, a[:minMatch])
+			if m.hashAt(a, 0) != m.hashAt(b, 0) {
+				t.Fatalf("mm=%d: equal %d-byte prefixes hash differently", minMatch, minMatch)
+			}
+		}
+	}
+}
+
+func TestMatchLenSWARMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for name, src := range adversarialInputs(t) {
+		if len(src) < 2 {
+			continue
+		}
+		// Exhaustive on small inputs, sampled on large ones.
+		trials := len(src) * 4
+		if trials > 4000 {
+			trials = 4000
+		}
+		for trial := 0; trial < trials; trial++ {
+			b := 1 + rng.Intn(len(src)-1)
+			a := rng.Intn(b)
+			limit := b + rng.Intn(len(src)-b+1)
+			got := matchLen(src, a, b, limit)
+			want := matchLenRef(src, a, b, limit)
+			if got != want {
+				t.Fatalf("%s: matchLen(a=%d,b=%d,limit=%d) = %d, ref %d", name, a, b, limit, got, want)
+			}
+		}
+	}
+}
+
+// TestParseRoundTripAdversarial runs every strategy over the adversarial
+// corpus and checks the sequences reconstruct the input exactly.
+func TestParseRoundTripAdversarial(t *testing.T) {
+	params := map[string]Params{
+		"fast-mm3":  {WindowLog: 15, HashLog: 12, MinMatch: 3, Strategy: Fast},
+		"fast-mm4":  {WindowLog: 16, HashLog: 13, MinMatch: 4, Strategy: Fast},
+		"fast-skip": {WindowLog: 16, HashLog: 13, MinMatch: 4, SkipStep: 3, Strategy: Fast},
+		"greedy":    {WindowLog: 16, HashLog: 13, ChainLog: 13, Depth: 16, MinMatch: 4, Strategy: Greedy},
+		"lazy-max":  {WindowLog: 16, HashLog: 13, ChainLog: 13, Depth: 16, MinMatch: 4, MaxMatch: 273, Strategy: Lazy},
+		"lazy2-mm3": {WindowLog: 15, HashLog: 12, ChainLog: 12, Depth: 8, MinMatch: 3, MaxMatch: 258, Strategy: Lazy2},
+		"optimal":   {WindowLog: 15, HashLog: 12, ChainLog: 12, Depth: 8, MinMatch: 4, Strategy: Optimal},
+	}
+	for pname, p := range params {
+		m, err := NewMatcher(p)
+		if err != nil {
+			t.Fatalf("%s: %v", pname, err)
+		}
+		for name, src := range adversarialInputs(t) {
+			seqs := m.Parse(nil, src, 0)
+			got, err := Apply(src, 0, seqs)
+			if err != nil {
+				t.Fatalf("%s/%s: apply: %v", pname, name, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s/%s: roundtrip mismatch (len %d vs %d)", pname, name, len(got), len(src))
+			}
+		}
+	}
+}
+
+// TestMatcherReuseAcrossPayloads exercises the epoch-based (clear-free)
+// tables: one matcher parses many unrelated payloads of varying sizes and
+// every parse must roundtrip — stale entries from earlier, longer payloads
+// must never surface as matches.
+func TestMatcherReuseAcrossPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []Params{
+		{WindowLog: 16, HashLog: 13, MinMatch: 4, Strategy: Fast},
+		{WindowLog: 16, HashLog: 13, ChainLog: 13, Depth: 16, MinMatch: 4, Strategy: Lazy},
+	} {
+		m, err := NewMatcher(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Long payload first so later short parses see a table full of
+		// out-of-range positions.
+		sizes := []int{1 << 16, 100, 4096, 1, 9, 1 << 15, 256, 0, 777}
+		for round := 0; round < 3; round++ {
+			for _, n := range sizes {
+				src := make([]byte, n)
+				if n > 0 && rng.Intn(2) == 0 {
+					// Compressible: repeat a small alphabet in chunks.
+					chunk := make([]byte, 17)
+					rng.Read(chunk)
+					for i := 0; i < n; i += len(chunk) {
+						copy(src[i:], chunk)
+					}
+				} else {
+					rng.Read(src)
+				}
+				seqs := m.Parse(nil, src, 0)
+				got, err := Apply(src, 0, seqs)
+				if err != nil {
+					t.Fatalf("strategy %v n=%d: %v", p.Strategy, n, err)
+				}
+				if !bytes.Equal(got, src) {
+					t.Fatalf("strategy %v n=%d: roundtrip mismatch", p.Strategy, n)
+				}
+			}
+		}
+	}
+}
+
+// TestEpochOverflowClears drives base near int32 overflow and checks the
+// wraparound path (the only remaining table clear) still roundtrips.
+func TestEpochOverflowClears(t *testing.T) {
+	m, err := NewMatcher(Params{WindowLog: 15, HashLog: 12, MinMatch: 4, Strategy: Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte("overflow epoch test payload "), 64)
+	seqs := m.Parse(nil, src, 0)
+	if _, err := Apply(src, 0, seqs); err != nil {
+		t.Fatal(err)
+	}
+	m.base = 1<<31 - 100 // force the overflow clear on the next parse
+	seqs = m.Parse(nil, src, 0)
+	got, err := Apply(src, 0, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("roundtrip mismatch after epoch overflow clear")
+	}
+	if m.base != 1+int32(len(src)) {
+		t.Fatalf("base = %d after overflow clear, want %d", m.base, 1+len(src))
+	}
+}
+
+// TestFastReseedFindsRepeatedRuns pins the re-seeding fix: a long match
+// must leave enough table entries behind that a later occurrence of its
+// interior is still found. Layout: A B A' B where A' repeats A so the
+// parser is mid-match when B first appears; B's second occurrence is only
+// findable if the matched span was seeded.
+func TestFastReseedFindsRepeatedRuns(t *testing.T) {
+	m, err := NewMatcher(Params{WindowLog: 18, HashLog: 14, MinMatch: 4, Strategy: Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := make([]byte, 512)
+	b := make([]byte, 512)
+	rng.Read(a)
+	rng.Read(b)
+	src := append(append(append(append([]byte{}, a...), b...), a...), b...)
+	seqs := m.Parse(nil, src, 0)
+	matched := 0
+	for _, s := range seqs {
+		matched += int(s.MatchLen)
+	}
+	// The second A+B half (1024 bytes) is a verbatim repeat; with interior
+	// seeding nearly all of it should be matched.
+	if matched < 900 {
+		t.Fatalf("matched only %d bytes of a 1024-byte repeat; interior seeding broken", matched)
+	}
+	if got, err := Apply(src, 0, seqs); err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}

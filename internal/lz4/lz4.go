@@ -21,6 +21,7 @@ import (
 
 	"github.com/datacomp/datacomp/internal/lz"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/wildcopy"
 )
 
 // Level bounds for this codec. Positive levels 1-12 mirror lz4/lz4hc;
@@ -260,7 +261,10 @@ func DecompressBlock(dst, src []byte, size int) ([]byte, error) {
 		return dst, nil
 	}
 	base := len(dst)
-	out := dst
+	// The content size is known up front, so one reservation covers the
+	// whole block plus wildcopy slack: every match below can run the
+	// unconditional 16-byte chunk path.
+	out := wildcopy.Reserve(dst, size+16)
 	i := 0
 	for {
 		if i >= len(src) {
@@ -317,48 +321,14 @@ func DecompressBlock(dst, src []byte, size int) ([]byte, error) {
 		if len(out)-base+ml > size {
 			return nil, ErrCorrupt
 		}
-		out = appendMatch(out, offset, ml)
+		if offset >= 16 {
+			out = wildcopy.MatchSlack(out, offset, ml)
+		} else {
+			out = wildcopy.Match(out, offset, ml)
+		}
 	}
 	if len(out)-base != size {
 		return nil, ErrCorrupt
 	}
 	return out, nil
-}
-
-// appendMatch extends out by length bytes copied from offset back,
-// handling overlap with doubling passes instead of per-byte writes.
-func appendMatch(out []byte, offset, length int) []byte {
-	n := len(out)
-	if offset >= length {
-		return append(out, out[n-offset:n-offset+length]...)
-	}
-	if length <= 16 {
-		// Short overlapping matches (the common case) stay on the cheap
-		// byte loop; the chunked path's setup costs more than it saves.
-		for j := 0; j < length; j++ {
-			out = append(out, out[len(out)-offset])
-		}
-		return out
-	}
-	// Extend by reslicing: grow capacity geometrically when needed rather
-	// than appending a throwaway zero-filled buffer per match.
-	total := n + length
-	if total > cap(out) {
-		newCap := 2 * cap(out)
-		if newCap < total {
-			newCap = total
-		}
-		grown := make([]byte, n, newCap)
-		copy(grown, out)
-		out = grown
-	}
-	out = out[:total]
-	pos := n
-	remaining := length
-	for remaining > 0 {
-		c := copy(out[pos:pos+remaining], out[n-offset:pos])
-		pos += c
-		remaining -= c
-	}
-	return out
 }

@@ -1,0 +1,138 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Batched method payloads. Small RPC bodies are the paper's dominant
+// compression workload, and they are exactly where per-frame overhead
+// (frame header + checksum, a compression dispatch, a syscall-sized write)
+// is largest relative to the work. A batch envelope packs N payloads into
+// one frame: the transport compresses the concatenation — small items that
+// would individually duck under Compression.MinSize now share one codec
+// dispatch and compress against each other — and the server unpacks,
+// serves every item with one handler lookup, and packs the responses.
+//
+// Envelope layout (request): uvarint item count, then per item a uvarint
+// length + body. Response items additionally lead with one status byte
+// (batchOK or batchErr); an error item's body is the handler's error text.
+// Per-item failures never fail the batch: CallBatch surfaces them in its
+// errs slice, positionally aligned with the requests.
+
+const (
+	batchOK  = 0
+	batchErr = 1
+	// maxBatchItems bounds the decoded item count before any allocation,
+	// so a hostile envelope can't size a huge slice from a tiny frame.
+	maxBatchItems = 1 << 20
+)
+
+var errBatchEnvelope = fmt.Errorf("%w: malformed batch envelope", ErrCorrupt)
+
+// PackBatch appends a batch envelope holding items to dst.
+func PackBatch(dst []byte, items [][]byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(items)))]...)
+	for _, it := range items {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(it)))]...)
+		dst = append(dst, it...)
+	}
+	return dst
+}
+
+// UnpackBatch splits a batch envelope, appending one subslice of data per
+// item to items (pass a reused slice to avoid allocation). The subslices
+// alias data.
+func UnpackBatch(data []byte, items [][]byte) ([][]byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > maxBatchItems {
+		return nil, errBatchEnvelope
+	}
+	pos := n
+	for i := uint64(0); i < count; i++ {
+		sz, k := binary.Uvarint(data[pos:])
+		if k <= 0 || sz > uint64(len(data)-pos-k) {
+			return nil, errBatchEnvelope
+		}
+		pos += k
+		items = append(items, data[pos:pos+int(sz)])
+		pos += int(sz)
+	}
+	if pos != len(data) {
+		return nil, errBatchEnvelope
+	}
+	return items, nil
+}
+
+// CallBatch sends every request in one frame to a method registered with
+// RegisterBatch and returns the per-item responses. resps and errs are
+// positionally aligned with reqs; errs[i] is non-nil when the server's
+// handler failed that item (the batch itself still succeeds). The returned
+// error covers transport-level failures only.
+func (c *Client) CallBatch(ctx context.Context, method string, reqs [][]byte) (resps [][]byte, errs []error, err error) {
+	payload := PackBatch(nil, reqs)
+	raw, err := c.Call(ctx, method, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	items, err := UnpackBatch(raw, make([][]byte, 0, len(reqs)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(items) != len(reqs) {
+		return nil, nil, fmt.Errorf("%w: batch response has %d items, want %d", ErrCorrupt, len(items), len(reqs))
+	}
+	resps = make([][]byte, len(items))
+	errs = make([]error, len(items))
+	failed := false
+	for i, it := range items {
+		if len(it) == 0 {
+			return nil, nil, errBatchEnvelope
+		}
+		switch it[0] {
+		case batchOK:
+			resps[i] = it[1:]
+		case batchErr:
+			errs[i] = errors.New(string(it[1:]))
+			failed = true
+		default:
+			return nil, nil, errBatchEnvelope
+		}
+	}
+	if !failed {
+		errs = nil
+	}
+	return resps, errs, nil
+}
+
+// RegisterBatch installs h as a batched method: requests arrive packed N to
+// a frame, h serves each item, and the per-item responses (or errors) ride
+// back in one frame. The per-item handler is the same shape as Register's,
+// so a service exposes the same logic under both a unary and a batched
+// method name.
+func (s *Server) RegisterBatch(method string, h HandlerCtx) {
+	s.RegisterCtx(method, func(ctx context.Context, req []byte) ([]byte, error) {
+		items, err := UnpackBatch(req, nil)
+		if err != nil {
+			return nil, err
+		}
+		var tmp [binary.MaxVarintLen64]byte
+		out := append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], uint64(len(items)))]...)
+		for _, it := range items {
+			resp, herr := h(ctx, it)
+			body := resp
+			status := byte(batchOK)
+			if herr != nil {
+				status = batchErr
+				body = []byte(herr.Error())
+			}
+			out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(1+len(body)))]...)
+			out = append(out, status)
+			out = append(out, body...)
+		}
+		return out, nil
+	})
+}

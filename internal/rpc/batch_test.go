@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPackUnpackBatch(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{[]byte("one")},
+		{[]byte(""), []byte("two"), []byte("")},
+		{bytes.Repeat([]byte{0xAB}, 1<<16), []byte("x")},
+	}
+	for _, items := range cases {
+		env := PackBatch(nil, items)
+		got, err := UnpackBatch(env, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("count %d, want %d", len(got), len(items))
+		}
+		for i := range items {
+			if !bytes.Equal(got[i], items[i]) {
+				t.Fatalf("item %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestUnpackBatchRejectsMalformed(t *testing.T) {
+	good := PackBatch(nil, [][]byte{[]byte("hello"), []byte("world")})
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated body":   good[:len(good)-2],
+		"trailing garbage": append(append([]byte{}, good...), 0xFF),
+		"huge count":       binary.AppendUvarint(nil, maxBatchItems+1),
+		"length past end":  append(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 1<<40), 'x'),
+	}
+	for name, env := range cases {
+		if _, err := UnpackBatch(env, nil); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func batchEchoServer(comp Compression) *Server {
+	s := NewServer(comp)
+	s.RegisterBatch("echo.batch", func(ctx context.Context, req []byte) ([]byte, error) {
+		if bytes.HasPrefix(req, []byte("poison")) {
+			return nil, fmt.Errorf("rejected %q", req)
+		}
+		return append([]byte("ok:"), req...), nil
+	})
+	return s
+}
+
+func TestCallBatchRoundTrip(t *testing.T) {
+	for _, comp := range []Compression{{}, {Codec: "zstd", Level: 1, MinSize: 64}} {
+		c := pipePair(t, batchEchoServer(comp), comp)
+		reqs := make([][]byte, 32)
+		for i := range reqs {
+			reqs[i] = []byte(fmt.Sprintf("user:%d;session:%d;cart:%d", i, i*7, i*13))
+		}
+		resps, errs, err := c.CallBatch(context.Background(), "echo.batch", reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs != nil {
+			t.Fatalf("unexpected item errors: %v", errs)
+		}
+		for i, r := range resps {
+			if want := append([]byte("ok:"), reqs[i]...); !bytes.Equal(r, want) {
+				t.Fatalf("item %d: got %q want %q", i, r, want)
+			}
+		}
+		// The whole batch must have ridden in one RPC exchange.
+		if st := c.Stats(); st.Calls != 1 {
+			t.Fatalf("batch of %d used %d calls, want 1", len(reqs), st.Calls)
+		}
+	}
+}
+
+func TestCallBatchPerItemErrors(t *testing.T) {
+	comp := Compression{Codec: "lz4", Level: 1, MinSize: 64}
+	c := pipePair(t, batchEchoServer(comp), comp)
+	reqs := [][]byte{
+		[]byte("fine one"),
+		[]byte("poison pill"),
+		[]byte("fine two"),
+	}
+	resps, errs, err := c.CallBatch(context.Background(), "echo.batch", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs == nil || errs[1] == nil || !strings.Contains(errs[1].Error(), "poison pill") {
+		t.Fatalf("item 1 error not surfaced: %v", errs)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy items errored: %v", errs)
+	}
+	for _, i := range []int{0, 2} {
+		if want := append([]byte("ok:"), reqs[i]...); !bytes.Equal(resps[i], want) {
+			t.Fatalf("item %d: got %q", i, resps[i])
+		}
+	}
+	if len(resps[1]) != 0 {
+		t.Fatalf("failed item carried a response: %q", resps[1])
+	}
+}
+
+// TestCallBatchCompressesSmallItems shows the envelope's point: items below
+// the transport's MinSize, which would travel raw frame-by-frame, compress
+// against each other once packed.
+func TestCallBatchCompressesSmallItems(t *testing.T) {
+	comp := Compression{Codec: "zstd", Level: 1, MinSize: 256}
+	c := pipePair(t, batchEchoServer(comp), comp)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		reqs[i] = []byte(fmt.Sprintf("GET user:%04d profile=full flags=abcdef", i))
+	}
+	if _, _, err := c.CallBatch(context.Background(), "echo.batch", reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WireBytes >= st.RawBytes {
+		t.Fatalf("batched small items did not compress: wire=%d raw=%d", st.WireBytes, st.RawBytes)
+	}
+}

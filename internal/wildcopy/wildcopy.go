@@ -1,0 +1,97 @@
+// Package wildcopy provides the overlapping/non-overlapping history-copy
+// kernels shared by the LZ4, Zstd-style and DEFLATE-style decoders.
+//
+// LZ decoders spend most of their cycles extending the output buffer by
+// "matches" — byte ranges copied from earlier in the same buffer. The fast
+// way to do that is a wildcopy: unconditional 16-byte chunks that may write
+// up to 15 bytes past the requested length. That is only safe when the
+// caller has reserved that slack in the buffer's capacity beforehand, so
+// the package splits its API along that contract:
+//
+//   - Reserve guarantees spare capacity (geometric growth, amortized O(1)
+//     per byte) and is the only function that reallocates.
+//   - Copy16 and MatchSlack are the wild kernels. They require the slack
+//     documented on each function and never check it themselves.
+//   - Match is the safe kernel: no slack requirement, handles any
+//     offset/length, grows the buffer as needed. Decoders without a known
+//     output bound (DEFLATE) use it directly; the others use it as the
+//     short-overlap fallback.
+//
+// The kernels are pure Go. All multi-byte loads and stores go through
+// encoding/binary so unaligned access is safe on every GOARCH (the 386 CI
+// job exists to keep it that way).
+package wildcopy
+
+import "encoding/binary"
+
+// Reserve returns out with at least n spare bytes of capacity beyond
+// len(out), growing geometrically so repeated per-sequence reservations
+// amortize to O(1) per output byte. The length is unchanged.
+func Reserve(out []byte, n int) []byte {
+	if cap(out)-len(out) >= n {
+		return out
+	}
+	newCap := 2 * cap(out)
+	if newCap < len(out)+n {
+		newCap = len(out) + n
+	}
+	grown := make([]byte, len(out), newCap)
+	copy(grown, out)
+	return grown
+}
+
+// Copy16 copies exactly 16 bytes from src to dst as two unconditional
+// 8-byte moves. Both slices must have at least 16 readable/writable bytes;
+// callers use it to copy a short run of n <= 16 live bytes in one step,
+// with the 16-n byte spill landing in reserved slack.
+func Copy16(dst, src []byte) {
+	binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(src))
+	binary.LittleEndian.PutUint64(dst[8:], binary.LittleEndian.Uint64(src[8:]))
+}
+
+// MatchSlack extends out by length bytes copied from offset back, using
+// unconditional 16-byte chunks.
+//
+// Contract: offset >= 16 (every chunk's source is fully committed data at
+// least one chunk behind the write position) and cap(out)-len(out) >=
+// length+16 (the final chunk may spill up to 15 bytes past the new
+// length). Violating either corrupts output or panics; callers reserve
+// via Reserve and route shorter offsets to Match.
+func MatchSlack(out []byte, offset, length int) []byte {
+	m := len(out)
+	ext := out[: m+length+16 : cap(out)]
+	for c := 0; c < length; c += 16 {
+		binary.LittleEndian.PutUint64(ext[m+c:], binary.LittleEndian.Uint64(ext[m-offset+c:]))
+		binary.LittleEndian.PutUint64(ext[m+c+8:], binary.LittleEndian.Uint64(ext[m-offset+c+8:]))
+	}
+	return out[: m+length : cap(out)]
+}
+
+// Match extends out by length bytes copied from offset back, handling any
+// offset >= 1 including self-overlap, with no slack requirement: it grows
+// the buffer itself when capacity runs out. Overlapping copies double the
+// replicated region per pass instead of writing per byte.
+func Match(out []byte, offset, length int) []byte {
+	n := len(out)
+	if offset >= length {
+		return append(out, out[n-offset:n-offset+length]...)
+	}
+	if length <= 16 {
+		// Short overlapping matches (the common case) stay on the cheap
+		// byte loop; the chunked path's setup costs more than it saves.
+		for j := 0; j < length; j++ {
+			out = append(out, out[len(out)-offset])
+		}
+		return out
+	}
+	out = Reserve(out, length)
+	out = out[:n+length]
+	pos := n
+	remaining := length
+	for remaining > 0 {
+		c := copy(out[pos:pos+remaining], out[n-offset:pos])
+		pos += c
+		remaining -= c
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package wildcopy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// matchRef is the byte-at-a-time reference all kernels must agree with.
+func matchRef(out []byte, offset, length int) []byte {
+	for j := 0; j < length; j++ {
+		out = append(out, out[len(out)-offset])
+	}
+	return out
+}
+
+func seedBuf(n int) []byte {
+	rng := rand.New(rand.NewSource(int64(n) + 1))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestMatchAgainstReference(t *testing.T) {
+	for _, histLen := range []int{1, 7, 16, 40, 257} {
+		hist := seedBuf(histLen)
+		for offset := 1; offset <= histLen; offset++ {
+			for _, length := range []int{0, 1, 2, 7, 8, 15, 16, 17, 31, 100} {
+				want := matchRef(append([]byte{}, hist...), offset, length)
+				got := Match(append([]byte{}, hist...), offset, length)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("Match(hist=%d, offset=%d, length=%d) diverges from reference",
+						histLen, offset, length)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchSlackAgainstReference(t *testing.T) {
+	for _, histLen := range []int{16, 17, 40, 257} {
+		hist := seedBuf(histLen)
+		for offset := 16; offset <= histLen; offset++ {
+			for _, length := range []int{0, 1, 15, 16, 17, 64, 100} {
+				want := matchRef(append([]byte{}, hist...), offset, length)
+				buf := Reserve(append([]byte{}, hist...), length+16)
+				got := MatchSlack(buf, offset, length)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MatchSlack(hist=%d, offset=%d, length=%d) diverges from reference",
+						histLen, offset, length)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchSlackPreservesPriorSpill checks a chunked copy never reads its
+// own uncommitted spill: back-to-back slack matches at the minimum legal
+// offset must still equal the reference.
+func TestMatchSlackPreservesPriorSpill(t *testing.T) {
+	hist := seedBuf(64)
+	want := append([]byte{}, hist...)
+	got := append([]byte{}, hist...)
+	for step := 0; step < 20; step++ {
+		offset := 16 + step%3
+		length := 5 + step*7%40
+		want = matchRef(want, offset, length)
+		got = Reserve(got, length+16)
+		got = MatchSlack(got, offset, length)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("chained MatchSlack calls diverge from reference")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	b := Reserve(nil, 10)
+	if cap(b)-len(b) < 10 || len(b) != 0 {
+		t.Fatalf("Reserve(nil, 10): len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, seedBuf(100)...)
+	before := append([]byte{}, b...)
+	b = Reserve(b, 1<<16)
+	if cap(b)-len(b) < 1<<16 {
+		t.Fatalf("spare = %d after Reserve", cap(b)-len(b))
+	}
+	if !bytes.Equal(b, before) {
+		t.Fatal("Reserve changed contents")
+	}
+	// Already-sufficient capacity must not reallocate.
+	c := Reserve(b, 1)
+	if &c[0] != &b[0] {
+		t.Fatal("Reserve reallocated despite sufficient capacity")
+	}
+}
+
+func TestCopy16(t *testing.T) {
+	src := seedBuf(32)
+	dst := make([]byte, 32)
+	Copy16(dst, src)
+	if !bytes.Equal(dst[:16], src[:16]) {
+		t.Fatal("Copy16 copied wrong bytes")
+	}
+	for _, b := range dst[16:] {
+		if b != 0 {
+			t.Fatal("Copy16 wrote past 16 bytes")
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/datacomp/datacomp/internal/huffman"
 	"github.com/datacomp/datacomp/internal/lz"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/wildcopy"
 )
 
 // Level bounds. Level 0 stores blocks uncompressed.
@@ -564,45 +565,9 @@ func (d *Decoder) decodeDynamic(out []byte, base int, payload []byte) ([]byte, e
 			if offset > len(out)-base {
 				return nil, ErrCorrupt
 			}
-			out = appendMatch(out, offset, matchLen)
+			// DEFLATE doesn't carry the decompressed size, so there is no
+			// one-shot slack reservation; wildcopy.Match grows as it goes.
+			out = wildcopy.Match(out, offset, matchLen)
 		}
 	}
-}
-
-// appendMatch extends out by length bytes copied from offset back,
-// handling overlap with doubling passes instead of per-byte writes.
-func appendMatch(out []byte, offset, length int) []byte {
-	n := len(out)
-	if offset >= length {
-		return append(out, out[n-offset:n-offset+length]...)
-	}
-	if length <= 16 {
-		// Short overlapping matches (the common case) stay on the cheap
-		// byte loop; the chunked path's setup costs more than it saves.
-		for j := 0; j < length; j++ {
-			out = append(out, out[len(out)-offset])
-		}
-		return out
-	}
-	// Extend by reslicing: grow capacity geometrically when needed rather
-	// than appending a throwaway zero-filled buffer per match.
-	total := n + length
-	if total > cap(out) {
-		newCap := 2 * cap(out)
-		if newCap < total {
-			newCap = total
-		}
-		grown := make([]byte, n, newCap)
-		copy(grown, out)
-		out = grown
-	}
-	out = out[:total]
-	pos := n
-	remaining := length
-	for remaining > 0 {
-		c := copy(out[pos:pos+remaining], out[n-offset:pos])
-		pos += c
-		remaining -= c
-	}
-	return out
 }

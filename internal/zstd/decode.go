@@ -9,6 +9,7 @@ import (
 	"github.com/datacomp/datacomp/internal/fse"
 	"github.com/datacomp/datacomp/internal/huffman"
 	"github.com/datacomp/datacomp/internal/stage"
+	"github.com/datacomp/datacomp/internal/wildcopy"
 )
 
 // ErrCorrupt is returned for undecodable frames.
@@ -419,14 +420,10 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 		// Reserve room for the whole sequence plus slack up front so both
 		// copies below can run in unconditional 16-byte chunks that spill
 		// only into reserved capacity.
-		if cap(buf)-len(buf) < litLen+matchLen+32 {
-			buf = growOut(buf, litLen+matchLen+32)
-		}
+		buf = wildcopy.Reserve(buf, litLen+matchLen+32)
 		n := len(buf)
 		if litLen <= 16 {
-			ext := buf[:n+16]
-			binary.LittleEndian.PutUint64(ext[n:], binary.LittleEndian.Uint64(litSrc[litPos:]))
-			binary.LittleEndian.PutUint64(ext[n+8:], binary.LittleEndian.Uint64(litSrc[litPos+8:]))
+			wildcopy.Copy16(buf[n:n+16:cap(buf)], litSrc[litPos:])
 			buf = buf[:n+litLen]
 		} else {
 			buf = buf[:n+litLen]
@@ -437,17 +434,9 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 			return nil, ErrCorrupt
 		}
 		if offset >= 16 {
-			// Non-overlapping wildcopy: the source chunk always trails the
-			// write position by ≥16 bytes, so every read is committed data.
-			m := len(buf)
-			ext := buf[:m+matchLen+16]
-			for c := 0; c < matchLen; c += 16 {
-				binary.LittleEndian.PutUint64(ext[m+c:], binary.LittleEndian.Uint64(ext[m-offset+c:]))
-				binary.LittleEndian.PutUint64(ext[m+c+8:], binary.LittleEndian.Uint64(ext[m-offset+c+8:]))
-			}
-			buf = buf[:m+matchLen]
+			buf = wildcopy.MatchSlack(buf, offset, matchLen)
 		} else {
-			buf = appendMatch(buf, offset, matchLen)
+			buf = wildcopy.Match(buf, offset, matchLen)
 		}
 	}
 	if extras.Overrun() {
@@ -456,54 +445,4 @@ func (d *blockDecoder) decode(buf, src []byte) ([]byte, error) {
 	// Trailing literals not claimed by any sequence.
 	buf = append(buf, d.lits[litPos:]...)
 	return buf, nil
-}
-
-// growOut returns out with at least n spare bytes of capacity, growing
-// geometrically so repeated sequence decodes amortize to O(1) per byte.
-func growOut(out []byte, n int) []byte {
-	newCap := 2 * cap(out)
-	if newCap < len(out)+n {
-		newCap = len(out) + n
-	}
-	grown := make([]byte, len(out), newCap)
-	copy(grown, out)
-	return grown
-}
-
-// appendMatch extends out by length bytes copied from offset back,
-// handling overlap with doubling passes instead of per-byte writes.
-func appendMatch(out []byte, offset, length int) []byte {
-	n := len(out)
-	if offset >= length {
-		return append(out, out[n-offset:n-offset+length]...)
-	}
-	if length <= 16 {
-		// Short overlapping matches (the common case) stay on the cheap
-		// byte loop; the chunked path's setup costs more than it saves.
-		for j := 0; j < length; j++ {
-			out = append(out, out[len(out)-offset])
-		}
-		return out
-	}
-	// Extend by reslicing: grow capacity geometrically when needed rather
-	// than appending a throwaway zero-filled buffer per match.
-	total := n + length
-	if total > cap(out) {
-		newCap := 2 * cap(out)
-		if newCap < total {
-			newCap = total
-		}
-		grown := make([]byte, n, newCap)
-		copy(grown, out)
-		out = grown
-	}
-	out = out[:total]
-	pos := n
-	remaining := length
-	for remaining > 0 {
-		c := copy(out[pos:pos+remaining], out[n-offset:pos])
-		pos += c
-		remaining -= c
-	}
-	return out
 }

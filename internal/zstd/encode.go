@@ -104,6 +104,8 @@ type Encoder struct {
 	base      levelParams
 	dictID    uint32
 	matchers  map[lz.Params]*lz.Matcher
+	lastP     lz.Params
+	lastM     *lz.Matcher
 	stats     StageStats
 	stageHook stage.Hook
 
@@ -168,14 +170,22 @@ func (e *Encoder) enterStage(s stage.ID) {
 
 func (e *Encoder) matcher(srcLen int) (*lz.Matcher, error) {
 	p := adaptParams(e.base, srcLen, e.opts.WindowLog)
-	if m, ok := e.matchers[p]; ok {
-		return m, nil
+	// Same-shape payloads (a batch of cache items, RPC bodies) resolve to
+	// the same adapted params; the one-entry cache skips the map hash on
+	// that path, which is measurable at small payload sizes.
+	if p == e.lastP && e.lastM != nil {
+		return e.lastM, nil
 	}
-	m, err := lz.NewMatcher(p)
-	if err != nil {
-		return nil, err
+	m, ok := e.matchers[p]
+	if !ok {
+		var err error
+		m, err = lz.NewMatcher(p)
+		if err != nil {
+			return nil, err
+		}
+		e.matchers[p] = m
 	}
-	e.matchers[p] = m
+	e.lastP, e.lastM = p, m
 	return m, nil
 }
 
@@ -368,6 +378,9 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(enc)))]...)
 			payload = append(payload, enc...)
 		} else if err == huffman.ErrIncompressible {
+			if enc != nil {
+				e.litEnc = enc // empty, but keeps the grown capacity
+			}
 			payload = append(payload, litsRaw)
 			payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.lits)))]...)
 			payload = append(payload, e.lits...)
@@ -402,6 +415,9 @@ func (e *Encoder) encodeBlockPayload(content []byte) ([]byte, error) {
 					modes[i] = seqMode
 					encoded[i] = enc
 				} else if err == fse.ErrIncompressible {
+					if enc != nil {
+						e.seqEnc[i] = enc // empty, but keeps the grown capacity
+					}
 					modes[i] = seqRaw
 					encoded[i] = s
 				} else {
