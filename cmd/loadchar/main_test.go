@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// logWriter routes loadchar's progress lines into the test log.
+type logWriter struct{ t *testing.T }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func baseConfig() config {
+	return config{
+		nodes:      3,
+		replicas:   3,
+		duration:   1500 * time.Millisecond,
+		workers:    4,
+		readFrac:   0.7,
+		keys:       2000,
+		zipfS:      1.1,
+		valueBytes: 128,
+		seed:       42,
+	}
+}
+
+func TestLoadcharClosedLoopCrash(t *testing.T) {
+	cfg := baseConfig()
+	cfg.crash = true
+	s, err := run(context.Background(), cfg, logWriter{t})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s.Ops == 0 || s.Writes.Count == 0 || s.Reads.Count == 0 {
+		t.Fatalf("no traffic: %+v", s)
+	}
+	if s.Crashed == "" {
+		t.Fatal("crash requested but no node crashed")
+	}
+	if s.AckedKeys == 0 {
+		t.Fatal("no acked writes recorded")
+	}
+	if s.LostAcked != 0 {
+		t.Fatalf("%d acked writes lost across crash+restart", s.LostAcked)
+	}
+}
+
+func TestLoadcharOpenLoopDiurnal(t *testing.T) {
+	cfg := baseConfig()
+	cfg.duration = time.Second
+	cfg.rate = 400
+	cfg.diurnalPeriod = 500 * time.Millisecond
+	cfg.diurnalDepth = 0.6
+	s, err := run(context.Background(), cfg, logWriter{t})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s.Ops == 0 {
+		t.Fatal("open loop issued no ops")
+	}
+	// The wave caps the offered rate below the flat target.
+	if float64(s.Ops) > cfg.rate*cfg.duration.Seconds()*1.5 {
+		t.Fatalf("open loop overshot: %d ops at target %.0f/s", s.Ops, cfg.rate)
+	}
+	if s.LostAcked != 0 {
+		t.Fatalf("%d acked writes lost", s.LostAcked)
+	}
+}
+
+func TestWaveBounds(t *testing.T) {
+	cfg := config{diurnalPeriod: time.Second, diurnalDepth: 0.5}
+	for _, at := range []time.Duration{0, 250 * time.Millisecond, 500 * time.Millisecond, time.Second} {
+		m := wave(at, cfg)
+		if m < 0.5-1e-9 || m > 1+1e-9 {
+			t.Fatalf("wave(%v) = %v out of [0.5,1]", at, m)
+		}
+	}
+	if wave(123*time.Millisecond, config{}) != 1 {
+		t.Fatal("wave without period must be flat")
+	}
+	if w := wave(500*time.Millisecond, cfg); w > 0.51 {
+		t.Fatalf("trough should bottom near depth: %v", w)
+	}
+}

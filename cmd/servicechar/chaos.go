@@ -32,7 +32,7 @@ func runChaos(tracer *trace.Tracer) {
 	fmt.Println("=== chaos: bit-flip injection on the RPC serving path ===")
 	comp := rpc.Compression{Codec: "zstd", Level: 1, Checksum: true}
 	server := rpc.NewServer(comp, rpc.WithShedThreshold(64), rpc.WithServerTracer(tracer))
-	server.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	server.Register("echo", rpc.Func(func(req []byte) ([]byte, error) { return req, nil }))
 
 	reg := telemetry.Default
 	corruptC := reg.Counter("rpc_corrupt_frames_total", "frames failing integrity verification")

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -301,22 +302,25 @@ func printFig13() {
 	fmt.Println("(paper: larger blocks raise ratio and per-block decompression time; small blocks show non-monotonic speed)")
 
 	// End-to-end flavour: load the LSM store and report its read path.
-	db, err := kvstore.Open(kvstore.Options{BlockSize: 16 << 10, Seed: *seed})
+	// Characterization measures block compression alone, so the WAL is off.
+	ctx := context.Background()
+	db, err := kvstore.Open(ctx, "",
+		kvstore.WithBlockSize(16<<10), kvstore.WithSeed(*seed), kvstore.WithoutWAL())
 	if err != nil {
 		fatal(err)
 	}
 	pairs := corpus.KVPairs(*seed, 30000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(ctx, kv.Key, kv.Value); err != nil {
 			fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(ctx); err != nil {
 		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	for i := 0; i < 500; i++ {
-		if _, _, err := db.Get(pairs[rng.Intn(len(pairs))].Key); err != nil {
+		if _, _, err := db.Get(ctx, pairs[rng.Intn(len(pairs))].Key); err != nil {
 			fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -52,29 +53,32 @@ func main() {
 	}
 	fmt.Printf("\nCompOpt picks %s\n\n", best.Config)
 
-	// 3. Run the actual store with the chosen configuration.
-	db, err := kvstore.Open(kvstore.Options{
-		Codec:     best.Config.Algorithm,
-		Level:     best.Config.Level,
-		BlockSize: best.Config.BlockSize,
-		Seed:      7,
-	})
+	// 3. Run the actual store with the chosen configuration. The study
+	//    isolates block compression, so the WAL stays off.
+	ctx := context.Background()
+	db, err := kvstore.Open(ctx, "",
+		kvstore.WithCodec(best.Config.Algorithm),
+		kvstore.WithLevel(best.Config.Level),
+		kvstore.WithBlockSize(best.Config.BlockSize),
+		kvstore.WithSeed(7),
+		kvstore.WithoutWAL(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pairs := corpus.KVPairs(7, 50000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(ctx, kv.Key, kv.Value); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 2000; i++ {
 		kv := pairs[rng.Intn(len(pairs))]
-		v, ok, err := db.Get(kv.Key)
+		v, ok, err := db.Get(ctx, kv.Key)
 		if err != nil || !ok {
 			log.Fatalf("read %q: ok=%v err=%v", kv.Key, ok, err)
 		}

@@ -22,13 +22,13 @@ func runWorkload(comp rpc.Compression) (rpc.Stats, time.Duration) {
 	// Backend: a "ranker" that consumes feature payloads and returns a
 	// small prediction vector.
 	server := rpc.NewServer(comp)
-	server.Register("rank", func(req []byte) ([]byte, error) {
+	server.Register("rank", rpc.Func(func(req []byte) ([]byte, error) {
 		sum := byte(0)
 		for _, b := range req {
 			sum += b
 		}
 		return []byte{sum, byte(len(req) >> 8)}, nil
-	})
+	}))
 	ctx := context.Background()
 	cc, sc := net.Pipe()
 	go func() {

@@ -5,6 +5,7 @@ package datacomp_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -176,24 +177,31 @@ func TestCompOptPickIsActuallyFeasible(t *testing.T) {
 // TestKVStoreUnderAllCodecLevels loads the LSM store with each codec at its
 // extremes and verifies reads after heavy compaction churn.
 func TestKVStoreUnderAllCodecLevels(t *testing.T) {
-	configs := []kvstore.Options{
-		{Codec: "zstd", Level: -5},
-		{Codec: "zstd", Level: 12},
-		{Codec: "lz4", Level: 12},
-		{Codec: "zlib", Level: 9},
+	configs := []struct {
+		codec string
+		level int
+	}{
+		{"zstd", -5},
+		{"zstd", 12},
+		{"lz4", 12},
+		{"zlib", 9},
 	}
+	ctx := context.Background()
 	pairs := corpus.KVPairs(3, 4000)
-	for _, opts := range configs {
-		opts.MemtableBytes = 16 << 10
-		opts.L0CompactionTrigger = 2
-		opts.BaseLevelBytes = 32 << 10
-		opts.MaxTableBytes = 32 << 10
-		db, err := kvstore.Open(opts)
+	for _, cfg := range configs {
+		db, err := kvstore.Open(ctx, "",
+			kvstore.WithCodec(cfg.codec),
+			kvstore.WithLevel(cfg.level),
+			kvstore.WithMemtableBytes(16<<10),
+			kvstore.WithL0CompactionTrigger(2),
+			kvstore.WithBaseLevelBytes(32<<10),
+			kvstore.WithMaxTableBytes(32<<10),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, kv := range pairs {
-			if err := db.Put(kv.Key, kv.Value); err != nil {
+			if err := db.Put(ctx, kv.Key, kv.Value); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -203,16 +211,19 @@ func TestKVStoreUnderAllCodecLevels(t *testing.T) {
 		}
 		checked := 0
 		for k, v := range want {
-			got, ok, err := db.Get([]byte(k))
+			got, ok, err := db.Get(ctx, []byte(k))
 			if err != nil || !ok || !bytes.Equal(got, v) {
-				t.Fatalf("%s L%d: key %q ok=%v err=%v", opts.Codec, opts.Level, k, ok, err)
+				t.Fatalf("%s L%d: key %q ok=%v err=%v", cfg.codec, cfg.level, k, ok, err)
 			}
 			if checked++; checked >= 500 {
 				break
 			}
 		}
 		if db.Stats().Compactions == 0 {
-			t.Errorf("%s L%d: no compactions", opts.Codec, opts.Level)
+			t.Errorf("%s L%d: no compactions", cfg.codec, cfg.level)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

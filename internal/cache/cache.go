@@ -49,7 +49,10 @@ func tm() {
 	})
 }
 
-// Config configures a Cache.
+// Config configures a Cache. Field names follow the option vocabulary of
+// kvstore.Open and codec.NewEngine (Codec/Level/…, a WithX option each,
+// were this an options API); the struct form stays because cache configs
+// are written as literals in service manifests.
 type Config struct {
 	// Shards is the number of independent shards (concurrency domains).
 	Shards int

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/kvstore"
+	"github.com/datacomp/datacomp/internal/rpc"
+	"github.com/datacomp/datacomp/internal/xxhash"
+)
+
+// RPC method names a node serves. Exported as constants so clients and
+// servers can never drift on the string.
+const (
+	// MethodPut stores a versioned record: uvarint klen | key | record.
+	// The node applies it only if the version exceeds the stored one, so
+	// replays and retries are idempotent.
+	MethodPut = "kv.put"
+	// MethodGet fetches the record for a key: request is the raw key,
+	// response is 0x00 (none) or 0x01 followed by the record.
+	MethodGet = "kv.get"
+	// MethodDelete writes a versioned tombstone: uvarint klen | key |
+	// 8-byte version.
+	MethodDelete = "kv.delete"
+	// MethodDump streams every live record: uvarint klen | key |
+	// uvarint reclen | record, repeated. Rebalancing reads it.
+	MethodDump = "kv.dump"
+)
+
+// Versioned record layout, built by the cluster and stored opaquely in the
+// node's kvstore:
+//
+//	8B LE version | 1B flags | 8B LE xxhash(payload) | payload
+//
+// The version orders concurrent writers (last-write-wins) and makes
+// replication idempotent; the checksum lets a reader detect a replica
+// whose payload rotted beneath the store's own block checksums (or was
+// corrupted before they were computed). Deletes are tombstone records
+// (flag bit 0) so replicas can order a delete against a racing put.
+const (
+	recHeaderLen  = 8 + 1 + 8
+	flagTombstone = 0x01
+)
+
+var errBadRecord = errors.New("cluster: malformed record")
+
+// appendRecord frames payload as a versioned record.
+func appendRecord(dst []byte, version uint64, tombstone bool, payload []byte) []byte {
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], version)
+	if tombstone {
+		hdr[8] = flagTombstone
+	}
+	binary.LittleEndian.PutUint64(hdr[9:17], xxhash.Sum64(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// record is a parsed versioned record. payload aliases the input.
+type record struct {
+	version   uint64
+	tombstone bool
+	payload   []byte
+}
+
+func parseRecord(b []byte) (record, error) {
+	if len(b) < recHeaderLen {
+		return record{}, errBadRecord
+	}
+	return record{
+		version:   binary.LittleEndian.Uint64(b[0:8]),
+		tombstone: b[8]&flagTombstone != 0,
+		payload:   b[recHeaderLen:],
+	}, nil
+}
+
+// sumOK verifies the embedded payload checksum.
+func (r record) sumOK(raw []byte) bool {
+	return binary.LittleEndian.Uint64(raw[9:17]) == xxhash.Sum64(r.payload)
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	comp          rpc.Compression
+	shedAt        int
+	degradeHigh   time.Duration
+	storeOpts     []kvstore.Option
+	persister     kvstore.Persister
+	storeDir      string
+	syncPolicy    kvstore.SyncPolicy
+	syncPolicySet bool
+}
+
+// WithNodeCompression sets the node's RPC transport compression (default
+// lz4-1 with checksums — cheap enough for the serving path, verified
+// end to end).
+func WithNodeCompression(comp rpc.Compression) NodeOption {
+	return func(c *nodeConfig) { c.comp = comp }
+}
+
+// WithNodeShedThreshold arms the rpc server's load shedding: past n
+// in-flight requests, responses skip compression (default 0: off).
+func WithNodeShedThreshold(n int) NodeOption {
+	return func(c *nodeConfig) { c.shedAt = n }
+}
+
+// WithNodeDegrader wraps the store's block engine in a codec.Degrader with
+// the given high-latency threshold, so a node under compression pressure
+// steps down its ladder instead of queueing (default: no degrader).
+func WithNodeDegrader(high time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.degradeHigh = high }
+}
+
+// WithNodeStoreOptions appends options to the node's kvstore.Open call.
+func WithNodeStoreOptions(opts ...kvstore.Option) NodeOption {
+	return func(c *nodeConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+// WithNodePersister pins the node's durability backend (default: a
+// MemPersister that survives Stop/Crash/Restart in memory).
+func WithNodePersister(p kvstore.Persister) NodeOption {
+	return func(c *nodeConfig) { c.persister = p }
+}
+
+// WithNodeDir stores the node's WAL and snapshots under dir instead of the
+// in-memory persister.
+func WithNodeDir(dir string) NodeOption {
+	return func(c *nodeConfig) { c.storeDir = dir }
+}
+
+// WithNodeSyncPolicy sets the node store's WAL fsync policy (default
+// SyncAlways: an acked replica write must survive that replica crashing,
+// because the quorum already counted it).
+func WithNodeSyncPolicy(p kvstore.SyncPolicy) NodeOption {
+	return func(c *nodeConfig) { c.syncPolicy = p; c.syncPolicySet = true }
+}
+
+// Node is one in-process cluster member: a durable kvstore served over
+// real rpc frames. Stop/Restart cycle the process; Crash models the
+// machine dying (unsynced WAL bytes lost).
+type Node struct {
+	name string
+	cfg  nodeConfig
+
+	mu      sync.RWMutex
+	db      *kvstore.DB
+	server  *rpc.Server
+	ctx     context.Context
+	cancel  context.CancelFunc
+	stopped bool
+	wg      sync.WaitGroup
+
+	// putMu serializes the version-compare-and-put in handlePut so a
+	// concurrent older write can never clobber a newer record.
+	putMu sync.Mutex
+
+	// lifeMu serializes Stop/Crash/Restart so two lifecycle transitions
+	// can never interleave (e.g. concurrent Restarts double-opening the
+	// store over one persister).
+	lifeMu sync.Mutex
+}
+
+// ErrNodeDown is returned when dialing or serving on a stopped node.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// NewNode starts a node. The store opens immediately (recovering whatever
+// the persister holds, which for a fresh MemPersister is nothing).
+func NewNode(ctx context.Context, name string, opts ...NodeOption) (*Node, error) {
+	cfg := nodeConfig{
+		comp: rpc.Compression{Codec: "lz4", Level: 1, Checksum: true},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.persister == nil && cfg.storeDir == "" {
+		cfg.persister = kvstore.NewMemPersister()
+	}
+	if !cfg.syncPolicySet {
+		cfg.syncPolicy = kvstore.SyncAlways
+	}
+	n := &Node{name: name, cfg: cfg}
+	if err := n.start(ctx); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// start opens the store (recovering from the persister) and builds a fresh
+// rpc server. Callers hold no locks.
+func (n *Node) start(ctx context.Context) error {
+	storeOpts := []kvstore.Option{kvstore.WithWAL(n.cfg.syncPolicy)}
+	if n.cfg.persister != nil {
+		storeOpts = append(storeOpts, kvstore.WithPersister(n.cfg.persister))
+	}
+	if n.cfg.degradeHigh > 0 {
+		deg, err := codec.NewDegrader(codec.DegraderConfig{
+			High:     n.cfg.degradeHigh,
+			Checksum: true,
+		})
+		if err != nil {
+			return err
+		}
+		storeOpts = append(storeOpts, kvstore.WithEngine(deg))
+	}
+	storeOpts = append(storeOpts, n.cfg.storeOpts...)
+	db, err := kvstore.Open(ctx, n.cfg.storeDir, storeOpts...)
+	if err != nil {
+		return err
+	}
+	var srvOpts []rpc.ServerOption
+	if n.cfg.shedAt > 0 {
+		srvOpts = append(srvOpts, rpc.WithShedThreshold(n.cfg.shedAt))
+	}
+	srv := rpc.NewServer(n.cfg.comp, srvOpts...)
+	srv.Register(MethodPut, n.handlePut)
+	srv.Register(MethodGet, n.handleGet)
+	srv.Register(MethodDelete, n.handleDelete)
+	srv.Register(MethodDump, n.handleDump)
+
+	nctx, cancel := context.WithCancel(context.Background())
+	n.mu.Lock()
+	n.db = db
+	n.server = srv
+	n.ctx = nctx
+	n.cancel = cancel
+	n.stopped = false
+	n.mu.Unlock()
+	return nil
+}
+
+// Name reports the node's ring identity.
+func (n *Node) Name() string { return n.name }
+
+// Dial opens an in-process connection to the node's rpc server: a
+// net.Pipe whose server end is served until the node stops. The returned
+// end is what rpc.NewClient (or a faultinject wrapper) consumes.
+func (n *Node) Dial(ctx context.Context) (io.ReadWriter, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.stopped {
+		return nil, fmt.Errorf("dial %s: %w", n.name, ErrNodeDown)
+	}
+	cc, sc := net.Pipe()
+	srv, nctx := n.server, n.ctx
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = srv.ServeConn(nctx, sc)
+		sc.Close()
+		cc.Close()
+	}()
+	return cc, nil
+}
+
+// Stop gracefully halts the node: connections drop, and the store closes
+// with a final WAL sync. The persisted state remains for Restart.
+func (n *Node) Stop() error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil
+	}
+	n.stopped = true
+	n.cancel()
+	db := n.db
+	n.mu.Unlock()
+	n.wg.Wait()
+	return db.Close()
+}
+
+// Crash kills the node without any sync: connections drop and every WAL
+// byte not already fsynced is lost, exactly like the machine dying.
+func (n *Node) Crash() {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.cancel()
+	n.mu.Unlock()
+	n.wg.Wait()
+	if mp, ok := n.cfg.persister.(*kvstore.MemPersister); ok {
+		mp.Crash()
+	}
+	// The old DB is abandoned un-Closed, as a killed process would leave it.
+}
+
+// Restart brings a stopped or crashed node back: the store reopens from
+// the persister, replaying the snapshot and WAL.
+func (n *Node) Restart(ctx context.Context) error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	n.mu.RLock()
+	stopped := n.stopped
+	n.mu.RUnlock()
+	if !stopped {
+		return fmt.Errorf("cluster: restart of running node %s", n.name)
+	}
+	return n.start(ctx)
+}
+
+// Running reports whether the node currently serves.
+func (n *Node) Running() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.stopped
+}
+
+// Store exposes the node's live kvstore (nil when the node is down).
+// Chaos tests use it to corrupt a replica in place; treat it as
+// read-mostly in real harnesses.
+func (n *Node) Store() *kvstore.DB {
+	db, err := n.store()
+	if err != nil {
+		return nil
+	}
+	return db
+}
+
+// store returns the live DB or ErrNodeDown.
+func (n *Node) store() (*kvstore.DB, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.stopped {
+		return nil, ErrNodeDown
+	}
+	return n.db, nil
+}
+
+// handlePut applies a versioned record if it is newer than the stored one.
+func (n *Node) handlePut(ctx context.Context, req []byte) ([]byte, error) {
+	key, rest, err := splitKey(req)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := parseRecord(rest)
+	if err != nil {
+		return nil, err
+	}
+	db, err := n.store()
+	if err != nil {
+		return nil, err
+	}
+	n.putMu.Lock()
+	defer n.putMu.Unlock()
+	cur, ok, err := db.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		// Only a checksum-valid stored record can veto the write; a
+		// corrupt one must be replaceable by read-repair regardless of
+		// the version its damaged header claims.
+		if curRec, err := parseRecord(cur); err == nil && curRec.sumOK(cur) && curRec.version >= rec.version {
+			return nil, nil // stale or duplicate: idempotent no-op
+		}
+	}
+	return nil, db.Put(ctx, key, rest)
+}
+
+// handleGet returns the stored record (tombstones included — the caller
+// needs their versions for repair ordering).
+func (n *Node) handleGet(ctx context.Context, req []byte) ([]byte, error) {
+	if len(req) == 0 {
+		return nil, errBadRecord
+	}
+	db, err := n.store()
+	if err != nil {
+		return nil, err
+	}
+	v, ok, err := db.Get(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return []byte{0x00}, nil
+	}
+	return append([]byte{0x01}, v...), nil
+}
+
+// handleDelete stores a versioned tombstone via the same newer-wins rule.
+func (n *Node) handleDelete(ctx context.Context, req []byte) ([]byte, error) {
+	key, rest, err := splitKey(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 8 {
+		return nil, errBadRecord
+	}
+	version := binary.LittleEndian.Uint64(rest)
+	rec := appendRecord(nil, version, true, nil)
+	put := make([]byte, 0, len(req)+recHeaderLen)
+	put = binary.AppendUvarint(put, uint64(len(key)))
+	put = append(put, key...)
+	put = append(put, rec...)
+	return n.handlePut(ctx, put)
+}
+
+// handleDump streams every stored record, tombstones included.
+func (n *Node) handleDump(ctx context.Context, req []byte) ([]byte, error) {
+	db, err := n.store()
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	err = db.Scan(ctx, func(k, v []byte) bool {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitKey parses "uvarint klen | key | rest".
+func splitKey(b []byte) (key, rest []byte, err error) {
+	klen, n := binary.Uvarint(b)
+	if n <= 0 || klen == 0 || klen > uint64(len(b)-n) {
+		return nil, nil, errBadRecord
+	}
+	return b[n : n+int(klen)], b[n+int(klen):], nil
+}
+
+// appendKeyRecord frames "uvarint klen | key | record" for MethodPut.
+func appendKeyRecord(dst, key, rec []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	return append(dst, rec...)
+}
+
+// walkDump iterates a MethodDump response.
+func walkDump(b []byte, fn func(key, rec []byte) error) error {
+	for len(b) > 0 {
+		klen, n := binary.Uvarint(b)
+		if n <= 0 || klen == 0 || klen > uint64(len(b)-n) {
+			return errBadRecord
+		}
+		b = b[n:]
+		key := b[:klen]
+		b = b[klen:]
+		rlen, n := binary.Uvarint(b)
+		if n <= 0 || rlen > uint64(len(b)-n) {
+			return errBadRecord
+		}
+		b = b[n:]
+		if err := fn(key, b[:rlen]); err != nil {
+			return err
+		}
+		b = b[rlen:]
+	}
+	return nil
+}

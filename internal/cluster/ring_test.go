@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	key := []byte("user:12345")
+	owners := r.Owners(key, 3)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v, want 3 distinct", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	for i := 0; i < 10; i++ {
+		again := r.Owners(key, 3)
+		for j := range owners {
+			if again[j] != owners[j] {
+				t.Fatalf("owners not stable: %v vs %v", again, owners)
+			}
+		}
+	}
+}
+
+func TestRingOwnersFewerNodesThanReplicas(t *testing.T) {
+	r := NewRing(8)
+	r.Add("only")
+	r.Add("other")
+	owners := r.Owners([]byte("k"), 3)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want both nodes", owners)
+	}
+	if r.Owners([]byte("k"), 0) != nil {
+		t.Fatal("n=0 should own nothing")
+	}
+	if NewRing(4).Owners([]byte("k"), 2) != nil {
+		t.Fatal("empty ring should own nothing")
+	}
+}
+
+func TestRingLoadSpread(t *testing.T) {
+	r := NewRing(64)
+	const nodes = 8
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners([]byte(fmt.Sprintf("key-%d", i)), 1)[0]]++
+	}
+	want := keys / nodes
+	for n, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Errorf("node %s owns %d keys, want within [%d,%d]", n, got, want/2, want*2)
+		}
+	}
+}
+
+func TestRingJoinMovesMinority(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	const keys = 10000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owners([]byte(fmt.Sprintf("key-%d", i)), 1)[0]
+	}
+	r.Add("n4")
+	moved := 0
+	for i := range before {
+		if r.Owners([]byte(fmt.Sprintf("key-%d", i)), 1)[0] != before[i] {
+			moved++
+		}
+	}
+	// Ideal is keys/5 = 2000; allow generous slack but far below a full
+	// reshuffle (hash-mod would move ~80%).
+	if moved > keys*2/5 {
+		t.Fatalf("join moved %d/%d keys; consistent hashing should move ~1/5", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; new node owns nothing")
+	}
+
+	// Removing the node restores the exact prior assignment.
+	r.Remove("n4")
+	for i := range before {
+		if got := r.Owners([]byte(fmt.Sprintf("key-%d", i)), 1)[0]; got != before[i] {
+			t.Fatalf("key-%d moved from %s to %s after remove", i, before[i], got)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 || len(r.points) != 16 {
+		t.Fatalf("double add: len=%d points=%d", r.Len(), len(r.points))
+	}
+	r.Remove("b") // absent
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("remove: len=%d points=%d", r.Len(), len(r.points))
+	}
+}

@@ -1,0 +1,110 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/codec"
+)
+
+func recordEngine(t *testing.T) codec.Engine {
+	t.Helper()
+	eng, err := codec.NewEngine("lz4", codec.WithLevel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	eng := recordEngine(t)
+	payloads := [][]byte{
+		[]byte("x"),
+		bytes.Repeat([]byte("abcdefgh"), 500),
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	var log, comp []byte
+	var err error
+	for _, p := range payloads {
+		log, comp, err = AppendRecord(log, comp, eng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := log
+	for i, p := range payloads {
+		raw, n, err := DecodeRecord(nil, eng, rest)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(raw, p) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(raw), len(p))
+		}
+		rest = rest[n:]
+	}
+	if _, err := RecordBounds(rest); err != io.EOF {
+		t.Fatalf("end of log: got %v, want io.EOF", err)
+	}
+}
+
+func TestRecordTornTail(t *testing.T) {
+	eng := recordEngine(t)
+	full, _, err := AppendRecord(nil, nil, eng, bytes.Repeat([]byte("hello world "), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must classify as torn, never as a valid record.
+	for cut := 1; cut < len(full); cut++ {
+		_, err := RecordBounds(full[:cut])
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrTruncatedRecord", cut, len(full), err)
+		}
+	}
+	if n, err := RecordBounds(full); err != nil || n != len(full) {
+		t.Fatalf("full record: n=%d err=%v, want n=%d", n, err, len(full))
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	eng := recordEngine(t)
+	full, _, err := AppendRecord(nil, nil, eng, bytes.Repeat([]byte("payload-"), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flipped payload bit fails the checksum, not the bounds.
+	bad := append([]byte{}, full...)
+	bad[len(bad)-1] ^= 0x40
+	if n, err := RecordBounds(bad); err != nil || n != len(bad) {
+		t.Fatalf("bounds on bit-flipped record: n=%d err=%v", n, err)
+	}
+	if _, _, err := DecodeRecord(nil, eng, bad); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("decode of bit-flipped record: got %v, want ErrCorrupt", err)
+	}
+	// A zero first byte (the container terminator) is garbage in a log.
+	if _, err := RecordBounds([]byte{0, 1, 2}); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("zero compLen: got %v, want ErrCorrupt", err)
+	}
+	// An absurd declared length is corruption, not a torn tail.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := RecordBounds(huge); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("oversized compLen: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordScratchReuse(t *testing.T) {
+	eng := recordEngine(t)
+	raw := bytes.Repeat([]byte("scratch reuse "), 200)
+	log1, comp, err := AppendRecord(nil, nil, eng, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, _, err := AppendRecord(nil, comp, eng, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(log1, log2) {
+		t.Fatal("scratch reuse changed the framed bytes")
+	}
+}

@@ -3,12 +3,14 @@ package kvstore
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
+	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/telemetry"
 )
 
@@ -23,6 +25,9 @@ var (
 	tmBlocksDecompressed, tmBlockCacheHits  *telemetry.Counter
 	tmRawBytesWritten, tmStoredBytesWritten *telemetry.Counter
 	tmBytesDecompressed                     *telemetry.Counter
+	tmWALAppends, tmWALBytes, tmWALSyncs    *telemetry.Counter
+	tmSnapshots, tmSnapshotBytes            *telemetry.Counter
+	tmReplayedBatches, tmRecoveries         *telemetry.Counter
 )
 
 func tm() {
@@ -43,60 +48,14 @@ func tm() {
 		tmRawBytesWritten = r.Counter("kvstore_raw_bytes_written_total", "raw bytes entering block compression")
 		tmStoredBytesWritten = r.Counter("kvstore_stored_bytes_written_total", "stored bytes after block compression")
 		tmBytesDecompressed = r.Counter("kvstore_bytes_decompressed_total", "uncompressed bytes produced by block decodes")
+		tmWALAppends = r.Counter("kvstore_wal_appends_total", "WAL record batches appended")
+		tmWALBytes = r.Counter("kvstore_wal_bytes_total", "framed WAL bytes appended")
+		tmWALSyncs = r.Counter("kvstore_wal_syncs_total", "WAL fsyncs")
+		tmSnapshots = r.Counter("kvstore_snapshots_total", "snapshot checkpoints written")
+		tmSnapshotBytes = r.Counter("kvstore_snapshot_bytes_total", "snapshot container bytes written")
+		tmReplayedBatches = r.Counter("kvstore_wal_replayed_batches_total", "WAL batches applied during recovery")
+		tmRecoveries = r.Counter("kvstore_recoveries_total", "DB opens that recovered prior state")
 	})
-}
-
-// Options configure a DB. The compression triple (Codec, Level, BlockSize)
-// is the configuration surface the paper's KVSTORE1 study optimizes.
-type Options struct {
-	// Codec and Level select the block compressor (default zstd level 1,
-	// the common choice the paper reports for compaction-heavy stores).
-	Codec string
-	Level int
-	// BlockSize is the uncompressed data-block granularity (default 16 KiB;
-	// RocksDB commonly uses 16-64 KiB per the paper).
-	BlockSize int
-	// MemtableBytes triggers a flush when the memtable reaches this size.
-	MemtableBytes int
-	// MaxTableBytes bounds the raw bytes per output table during flush and
-	// compaction.
-	MaxTableBytes int
-	// L0CompactionTrigger compacts L0 when it accumulates this many tables.
-	L0CompactionTrigger int
-	// BaseLevelBytes is the stored-size budget of L1; each deeper level
-	// gets 10x more.
-	BaseLevelBytes int64
-	// BlockCacheEntries bounds the decoded-block cache (0 disables).
-	BlockCacheEntries int
-	// Seed makes skiplist heights deterministic.
-	Seed int64
-}
-
-func (o *Options) fill() {
-	if o.Codec == "" {
-		o.Codec = "zstd"
-	}
-	if o.Level == 0 {
-		o.Level = 1
-	}
-	if o.BlockSize == 0 {
-		o.BlockSize = 16 << 10
-	}
-	if o.MemtableBytes == 0 {
-		o.MemtableBytes = 1 << 20
-	}
-	if o.MaxTableBytes == 0 {
-		o.MaxTableBytes = 2 << 20
-	}
-	if o.L0CompactionTrigger == 0 {
-		o.L0CompactionTrigger = 4
-	}
-	if o.BaseLevelBytes == 0 {
-		o.BaseLevelBytes = 8 << 20
-	}
-	if o.BlockCacheEntries == 0 {
-		o.BlockCacheEntries = 256
-	}
 }
 
 const numLevels = 7
@@ -124,6 +83,13 @@ type Stats struct {
 
 	RawBytesWritten    int64
 	StoredBytesWritten int64
+
+	// Durability-side accounting.
+	WALAppends      int64 // record batches appended
+	WALBytes        int64 // framed bytes appended
+	WALSyncs        int64
+	Snapshots       int64
+	ReplayedBatches int64 // WAL batches applied during recovery
 }
 
 // WriteAmplification is stored bytes written per raw byte ingested.
@@ -151,82 +117,301 @@ func (s Stats) DecompressPerBlock() time.Duration {
 	return s.DecompressTime / time.Duration(s.BlocksDecompressed)
 }
 
-// DB is an embedded LSM key-value store. Safe for concurrent use (a single
-// mutex serializes operations; the paper's experiments measure compression
-// work, not lock scalability).
+// DB is an embedded LSM key-value store with a compressed write-ahead log
+// and snapshot checkpoints. Safe for concurrent use (a single mutex
+// serializes operations; the paper's experiments measure compression work,
+// not lock scalability).
 type DB struct {
 	mu     sync.Mutex
-	opts   Options
+	cfg    config
 	eng    codec.Engine
 	mem    *memtable
 	levels [numLevels][]*sstable // levels[0] newest-first; deeper levels sorted, disjoint
 	cache  *blockCache
 	nextID int64
 	stats  Stats
+	closed bool
+
+	// Durability state (nil persister / nil walEng when WithoutWAL).
+	persister Persister
+	walEng    codec.Engine
+	seq       uint64 // last acknowledged batch sequence
+	walBytes  int64  // framed bytes in the current WAL generation
+	oneOp     Batch  // scratch batch for Put/Delete
+	walBuf    []byte // batch payload scratch
+	walFrame  []byte // framed record scratch
+	walComp   []byte // compressed payload scratch
 }
 
-// Open creates an empty DB with the given options.
-func Open(opts Options) (*DB, error) {
-	opts.fill()
+// Open opens a DB, recovering any state its persister holds: snapshot
+// first, then WAL batches past the snapshot's sequence. path names the
+// directory of a DirPersister; an empty path without WithPersister runs on
+// an in-memory MemPersister (diskless, but still crash-modelable).
+func Open(ctx context.Context, path string, opts ...Option) (*DB, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := buildConfig(opts)
 	tm()
-	eng, err := codec.NewEngine(opts.Codec, codec.WithLevel(opts.Level))
-	if err != nil {
-		return nil, err
+	eng := cfg.engine
+	if eng == nil {
+		var err error
+		eng, err = codec.NewEngine(cfg.codecName, codec.WithLevel(cfg.level))
+		if err != nil {
+			return nil, err
+		}
 	}
 	db := &DB{
-		opts: opts,
-		eng:  eng,
-		mem:  newMemtable(opts.Seed),
+		cfg: cfg,
+		eng: eng,
+		mem: newMemtable(cfg.seed),
 	}
-	if opts.BlockCacheEntries > 0 {
-		db.cache = newBlockCache(opts.BlockCacheEntries)
+	if cfg.blockCacheEntries > 0 {
+		db.cache = newBlockCache(cfg.blockCacheEntries)
+	}
+	if !cfg.walDisabled {
+		var err error
+		db.walEng, err = codec.NewEngine(cfg.walCodec, codec.WithLevel(1))
+		if err != nil {
+			return nil, err
+		}
+		db.persister = cfg.persister
+		if db.persister == nil {
+			if path == "" {
+				db.persister = NewMemPersister()
+			} else {
+				db.persister, err = NewDirPersister(path)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := db.recover(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return db, nil
 }
 
-// Options returns the DB configuration.
-func (db *DB) Options() Options { return db.opts }
+// OpenLegacy opens a purely in-memory DB from the v1 Options struct.
+//
+// Deprecated: use Open with a context and functional options; this shim
+// maps Options onto them (plus WithoutWAL, matching the v1 store's lack of
+// durability) and will be removed next release.
+func OpenLegacy(opts Options) (*DB, error) {
+	return Open(context.Background(), "", append(opts.opts(), WithoutWAL())...)
+}
+
+// recover loads the persisted snapshot and replays the WAL tail.
+func (db *DB) recover(ctx context.Context) error {
+	snap, err := db.persister.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	var snapSeq uint64
+	recovered := false
+	if len(snap) > 0 {
+		snapSeq, err = db.loadSnapshotLocked(snap)
+		if err != nil {
+			return err
+		}
+		db.seq = snapSeq
+		recovered = true
+	}
+	replayed := 0
+	err = db.persister.ReplayWAL(func(rec []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		raw, _, err := container.DecodeRecord(db.walBuf[:0], db.walEng, rec)
+		if err != nil {
+			// An undecodable record is the crash tail: drop it and stop.
+			return ErrStopReplay
+		}
+		db.walBuf = raw[:0]
+		seq, err := decodeBatchPayload(raw, func(key, value []byte, del bool) error {
+			return nil // validate the whole batch before applying any of it
+		})
+		if err != nil {
+			return ErrStopReplay
+		}
+		if seq <= snapSeq {
+			// Stale batch already covered by the snapshot (crash landed
+			// between snapshot rename and WAL truncate).
+			db.walBytes += int64(len(rec))
+			return nil
+		}
+		_, err = decodeBatchPayload(raw, func(key, value []byte, del bool) error {
+			if del {
+				db.mem.set(append([]byte{}, key...), nil)
+			} else {
+				v := append([]byte{}, value...)
+				if v == nil {
+					v = []byte{}
+				}
+				db.mem.set(append([]byte{}, key...), v)
+			}
+			return nil
+		})
+		if err != nil {
+			return ErrStopReplay
+		}
+		db.seq = seq
+		db.walBytes += int64(len(rec))
+		replayed++
+		if err := db.maybeFlushLocked(ctx); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if replayed > 0 {
+		recovered = true
+	}
+	db.stats.ReplayedBatches += int64(replayed)
+	tmReplayedBatches.Add(int64(replayed))
+	if recovered {
+		tmRecoveries.Inc()
+	}
+	return nil
+}
 
 // ErrEmptyKey is returned for operations with an empty key.
 var ErrEmptyKey = errors.New("kvstore: empty key")
 
-// Put stores value under key.
-func (db *DB) Put(key, value []byte) error {
+// ErrClosed is returned for operations on a closed DB.
+var ErrClosed = errors.New("kvstore: closed")
+
+// Put stores value under key, durably per the WAL sync policy.
+func (db *DB) Put(ctx context.Context, key, value []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	v := append([]byte{}, value...)
-	if v == nil {
-		v = []byte{}
-	}
-	db.mem.set(append([]byte{}, key...), v)
-	db.stats.Puts++
-	tmPuts.Inc()
-	return db.maybeFlushLocked()
+	db.oneOp.Reset()
+	db.oneOp.Put(key, value)
+	return db.applyLocked(ctx, &db.oneOp)
 }
 
 // Delete records a tombstone for key.
-func (db *DB) Delete(key []byte) error {
+func (db *DB) Delete(ctx context.Context, key []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.mem.set(append([]byte{}, key...), nil)
-	db.stats.Deletes++
-	tmDeletes.Inc()
-	return db.maybeFlushLocked()
+	db.oneOp.Reset()
+	db.oneOp.Delete(key)
+	return db.applyLocked(ctx, &db.oneOp)
+}
+
+// Apply commits every op in b atomically: one WAL record, one fsync under
+// SyncAlways, then the memtable mutation. Either the whole batch is
+// acknowledged or none of it is applied.
+func (db *DB) Apply(ctx context.Context, b *Batch) error {
+	for _, op := range b.ops {
+		if len(op.key) == 0 {
+			return ErrEmptyKey
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.applyLocked(ctx, b)
+}
+
+func (db *DB) applyLocked(ctx context.Context, b *Batch) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+
+	// Write-ahead: the batch must be in the log (and synced, under
+	// SyncAlways) before any in-memory state changes. A failed append is a
+	// failed ack with no state change anywhere. A failed sync is also a
+	// failed ack and mutates nothing in memory, but the record may already
+	// sit in the log, so a later recovery can surface the batch — the same
+	// indeterminate window as a commit that errors after transport.
+	if db.persister != nil {
+		db.walBuf = appendBatchPayload(db.walBuf[:0], db.seq+1, b)
+		var err error
+		db.walFrame, db.walComp, err = container.AppendRecord(db.walFrame[:0], db.walComp, db.walEng, db.walBuf)
+		if err != nil {
+			return err
+		}
+		if err := db.persister.AppendWAL(db.walFrame); err != nil {
+			return err
+		}
+		if db.cfg.sync == SyncAlways {
+			if err := db.persister.Sync(); err != nil {
+				return err
+			}
+			db.stats.WALSyncs++
+			tmWALSyncs.Inc()
+		}
+		db.walBytes += int64(len(db.walFrame))
+		db.stats.WALAppends++
+		db.stats.WALBytes += int64(len(db.walFrame))
+		tmWALAppends.Inc()
+		tmWALBytes.Add(int64(len(db.walFrame)))
+	}
+	db.seq++
+
+	for _, op := range b.ops {
+		if op.del {
+			db.mem.set(append([]byte{}, op.key...), nil)
+			db.stats.Deletes++
+			tmDeletes.Inc()
+		} else {
+			v := append([]byte{}, op.value...)
+			if v == nil {
+				v = []byte{}
+			}
+			db.mem.set(append([]byte{}, op.key...), v)
+			db.stats.Puts++
+			tmPuts.Inc()
+		}
+	}
+	if err := db.maybeFlushLocked(ctx); err != nil {
+		return err
+	}
+	return db.maybeCheckpointLocked(ctx)
+}
+
+// maybeCheckpointLocked rotates the WAL into a snapshot once it outgrows
+// the configured budget.
+func (db *DB) maybeCheckpointLocked(ctx context.Context) error {
+	if db.persister == nil || db.cfg.walRotateBytes < 0 || db.walBytes < db.cfg.walRotateBytes {
+		return nil
+	}
+	return db.checkpointLocked(ctx)
 }
 
 // Get fetches the value for key.
-func (db *DB) Get(key []byte) ([]byte, bool, error) {
+func (db *DB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if len(key) == 0 {
 		return nil, false, ErrEmptyKey
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
 	t0 := time.Now()
 	defer func() {
 		dt := time.Since(t0)
@@ -283,25 +468,33 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-func (db *DB) maybeFlushLocked() error {
-	if db.mem.approximateBytes() < db.opts.MemtableBytes {
+func (db *DB) maybeFlushLocked(ctx context.Context) error {
+	if db.mem.approximateBytes() < db.cfg.memtableBytes {
 		return nil
 	}
-	return db.flushLocked()
+	return db.flushLocked(ctx)
 }
 
 // Flush forces the memtable into L0.
-func (db *DB) Flush() error {
+func (db *DB) Flush(ctx context.Context) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.flushLocked()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked(ctx)
 }
 
-func (db *DB) flushLocked() error {
+func (db *DB) flushLocked(ctx context.Context) error {
 	if db.mem.len() == 0 {
 		return nil
 	}
-	w := newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	w := newTableWriter(db.nextID, db.cfg.codecName, db.eng, db.cfg.blockSize, &db.stats)
 	db.nextID++
 	for it := db.mem.iterator(); it.valid(); it.next() {
 		var v []byte
@@ -322,10 +515,63 @@ func (db *DB) flushLocked() error {
 	if t != nil {
 		db.levels[0] = append([]*sstable{t}, db.levels[0]...)
 	}
-	db.mem = newMemtable(db.opts.Seed + db.nextID)
+	db.mem = newMemtable(db.cfg.seed + db.nextID)
 	db.stats.Flushes++
 	tmFlushes.Inc()
-	return db.maybeCompactLocked()
+	return db.maybeCompactLocked(ctx)
+}
+
+// Checkpoint writes a snapshot of the full live state and resets the WAL —
+// the log-compaction step that bounds recovery time. It runs automatically
+// when the WAL exceeds WithWALRotateBytes.
+func (db *DB) Checkpoint(ctx context.Context) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return db.checkpointLocked(ctx)
+}
+
+func (db *DB) checkpointLocked(ctx context.Context) error {
+	if db.persister == nil {
+		return nil
+	}
+	snap, err := db.buildSnapshotLocked(ctx)
+	if err != nil {
+		return err
+	}
+	if err := db.persister.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	db.walBytes = 0
+	db.stats.Snapshots++
+	tmSnapshots.Inc()
+	tmSnapshotBytes.Add(int64(len(snap)))
+	return nil
+}
+
+// Close syncs the WAL and closes the persister. The DB rejects operations
+// afterwards. Close is not a checkpoint: reopening replays the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.persister == nil {
+		return nil
+	}
+	if err := db.persister.Sync(); err != nil {
+		return err
+	}
+	db.stats.WALSyncs++
+	tmWALSyncs.Inc()
+	return db.persister.Close()
 }
 
 func levelBytes(tables []*sstable) int64 {
@@ -337,25 +583,25 @@ func levelBytes(tables []*sstable) int64 {
 }
 
 func (db *DB) levelLimit(lvl int) int64 {
-	limit := db.opts.BaseLevelBytes
+	limit := db.cfg.baseLevelBytes
 	for i := 1; i < lvl; i++ {
 		limit *= 10
 	}
 	return limit
 }
 
-func (db *DB) maybeCompactLocked() error {
+func (db *DB) maybeCompactLocked(ctx context.Context) error {
 	for {
 		progressed := false
-		if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
-			if err := db.compactL0Locked(); err != nil {
+		if len(db.levels[0]) >= db.cfg.l0Trigger {
+			if err := db.compactL0Locked(ctx); err != nil {
 				return err
 			}
 			progressed = true
 		}
 		for lvl := 1; lvl < numLevels-1; lvl++ {
 			if levelBytes(db.levels[lvl]) > db.levelLimit(lvl) {
-				if err := db.compactLevelLocked(lvl); err != nil {
+				if err := db.compactLevelLocked(ctx, lvl); err != nil {
 					return err
 				}
 				progressed = true
@@ -372,7 +618,7 @@ func overlaps(t *sstable, lo, hi []byte) bool {
 	return bytes.Compare(t.largest, lo) >= 0 && bytes.Compare(t.smallest, hi) <= 0
 }
 
-func (db *DB) compactL0Locked() error {
+func (db *DB) compactL0Locked(ctx context.Context) error {
 	sources := db.levels[0]
 	lo := sources[0].smallest
 	hi := sources[0].largest
@@ -394,7 +640,7 @@ func (db *DB) compactL0Locked() error {
 	}
 	// Priority: L0 newest first, then L1.
 	inputs := append(append([]*sstable{}, sources...), merge...)
-	out, err := db.mergeTablesLocked(inputs, 1)
+	out, err := db.mergeTablesLocked(ctx, inputs, 1)
 	if err != nil {
 		return err
 	}
@@ -410,7 +656,7 @@ func (db *DB) compactL0Locked() error {
 	return nil
 }
 
-func (db *DB) compactLevelLocked(lvl int) error {
+func (db *DB) compactLevelLocked(ctx context.Context, lvl int) error {
 	if len(db.levels[lvl]) == 0 {
 		return nil
 	}
@@ -424,7 +670,7 @@ func (db *DB) compactLevelLocked(lvl int) error {
 		}
 	}
 	inputs := append([]*sstable{src}, merge...)
-	out, err := db.mergeTablesLocked(inputs, lvl+1)
+	out, err := db.mergeTablesLocked(ctx, inputs, lvl+1)
 	if err != nil {
 		return err
 	}
@@ -451,8 +697,9 @@ func sortTables(ts []*sstable) []*sstable {
 
 // mergeTablesLocked k-way merges input tables (earlier inputs shadow later
 // ones) into new tables for targetLevel. Tombstones are dropped when the
-// target is the bottom level.
-func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable, error) {
+// target is the bottom level. ctx cancellation is honored between merged
+// entries, so a deadline propagates into compaction work.
+func (db *DB) mergeTablesLocked(ctx context.Context, inputs []*sstable, targetLevel int) ([]*sstable, error) {
 	// Tombstones can be dropped only when no deeper level holds data they
 	// might still be shadowing.
 	bottom := true
@@ -464,10 +711,17 @@ func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable,
 
 	mi := newMergeIterator(inputs, &db.stats, db.cache)
 	var out []*sstable
-	w := newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
+	w := newTableWriter(db.nextID, db.cfg.codecName, db.eng, db.cfg.blockSize, &db.stats)
 	db.nextID++
 	rawInTable := 0
+	entries := 0
 	for mi.valid() {
+		if ctx != nil && entries&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		entries++
 		if !(mi.tombstone() && bottom) {
 			var v []byte
 			if !mi.tombstone() {
@@ -480,7 +734,7 @@ func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable,
 				return nil, err
 			}
 			rawInTable += len(mi.key()) + len(mi.value())
-			if rawInTable >= db.opts.MaxTableBytes {
+			if rawInTable >= db.cfg.maxTableBytes {
 				t, err := w.finish()
 				if err != nil {
 					return nil, err
@@ -488,7 +742,7 @@ func (db *DB) mergeTablesLocked(inputs []*sstable, targetLevel int) ([]*sstable,
 				if t != nil {
 					out = append(out, t)
 				}
-				w = newTableWriter(db.nextID, db.opts.Codec, db.eng, db.opts.BlockSize, &db.stats)
+				w = newTableWriter(db.nextID, db.cfg.codecName, db.eng, db.cfg.blockSize, &db.stats)
 				db.nextID++
 				rawInTable = 0
 			}
@@ -605,40 +859,26 @@ func (mi *mergeIterator) next() error {
 	}
 }
 
-// Scan walks every live key in order, stopping when fn returns false.
-func (db *DB) Scan(fn func(key, value []byte) bool) error {
+// Scan walks every live key in order, stopping when fn returns false. ctx
+// cancellation is honored between entries.
+func (db *DB) Scan(ctx context.Context, fn func(key, value []byte) bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	// Merge all tables (L0 newest-first, then deeper levels) plus the
-	// memtable overlaid manually: simplest correct approach is to collect
-	// memtable entries and treat them as the newest source.
-	w := newTableWriter(-1, db.opts.Codec, db.eng, db.opts.BlockSize, nil)
-	for it := db.mem.iterator(); it.valid(); it.next() {
-		var v []byte
-		if !it.tombstone() {
-			v = it.value()
-			if v == nil {
-				v = []byte{}
-			}
-		}
-		if err := w.add(it.key(), v); err != nil {
-			return err
-		}
+	if db.closed {
+		return ErrClosed
 	}
-	memTable, err := w.finish()
+	mi, err := db.fullMergeIteratorLocked()
 	if err != nil {
 		return err
 	}
-	var inputs []*sstable
-	if memTable != nil {
-		inputs = append(inputs, memTable)
-	}
-	inputs = append(inputs, db.levels[0]...)
-	for lvl := 1; lvl < numLevels; lvl++ {
-		inputs = append(inputs, db.levels[lvl]...)
-	}
-	mi := newMergeIterator(inputs, &db.stats, nil)
+	entries := 0
 	for mi.valid() {
+		if ctx != nil && entries&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		entries++
 		if !mi.tombstone() {
 			if !fn(mi.key(), mi.value()) {
 				return nil
@@ -656,6 +896,20 @@ func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.stats
+}
+
+// Seq reports the last acknowledged batch sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.seq
+}
+
+// WALSize reports the framed bytes in the current WAL generation.
+func (db *DB) WALSize() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.walBytes
 }
 
 // TableCounts reports the number of tables per level (diagnostics).
@@ -683,6 +937,13 @@ func (db *DB) DiskBytes() int64 {
 // String summarizes the DB state.
 func (db *DB) String() string {
 	counts := db.TableCounts()
-	return fmt.Sprintf("kvstore{codec=%s level=%d block=%d tables=%v}",
-		db.opts.Codec, db.opts.Level, db.opts.BlockSize, counts)
+	return fmt.Sprintf("kvstore{codec=%s level=%d block=%d wal=%s tables=%v}",
+		db.cfg.codecName, db.cfg.level, db.cfg.blockSize, db.walMode(), counts)
+}
+
+func (db *DB) walMode() string {
+	if db.cfg.walDisabled {
+		return "off"
+	}
+	return db.cfg.sync.String()
 }

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,27 +11,30 @@ import (
 	"github.com/datacomp/datacomp/internal/corpus"
 )
 
-func testDB(t *testing.T, opts Options) *DB {
+var tctx = context.Background()
+
+func testDB(t testing.TB, opts ...Option) *DB {
 	t.Helper()
-	db, err := Open(opts)
+	db, err := Open(tctx, "", opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { db.Close() })
 	return db
 }
 
 func TestPutGetSmall(t *testing.T) {
-	db := testDB(t, Options{})
+	db := testDB(t)
 	for i := 0; i < 100; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", i))
 		v := []byte(fmt.Sprintf("value-%d", i*7))
-		if err := db.Put(k, v); err != nil {
+		if err := db.Put(tctx, k, v); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 100; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", i))
-		v, ok, err := db.Get(k)
+		v, ok, err := db.Get(tctx, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,54 +42,149 @@ func TestPutGetSmall(t *testing.T) {
 			t.Fatalf("key %s: ok=%v v=%q", k, ok, v)
 		}
 	}
-	if _, ok, _ := db.Get([]byte("absent")); ok {
+	if _, ok, _ := db.Get(tctx, []byte("absent")); ok {
 		t.Fatal("phantom key")
 	}
 }
 
 func TestEmptyKeyAndValue(t *testing.T) {
-	db := testDB(t, Options{})
-	if err := db.Put(nil, []byte("v")); err != ErrEmptyKey {
+	db := testDB(t)
+	if err := db.Put(tctx, nil, []byte("v")); err != ErrEmptyKey {
 		t.Fatalf("got %v", err)
 	}
-	if _, _, err := db.Get(nil); err != ErrEmptyKey {
+	if _, _, err := db.Get(tctx, nil); err != ErrEmptyKey {
 		t.Fatalf("got %v", err)
 	}
-	if err := db.Delete(nil); err != ErrEmptyKey {
+	if err := db.Delete(tctx, nil); err != ErrEmptyKey {
 		t.Fatalf("got %v", err)
 	}
-	if err := db.Put([]byte("k"), nil); err != nil {
+	if err := db.Put(tctx, []byte("k"), nil); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := db.Get([]byte("k"))
+	v, ok, err := db.Get(tctx, []byte("k"))
 	if err != nil || !ok || len(v) != 0 {
 		t.Fatalf("empty value: v=%v ok=%v err=%v", v, ok, err)
 	}
 }
 
+func TestOpenLegacyShim(t *testing.T) {
+	db, err := OpenLegacy(Options{Codec: "lz4", BlockSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put(tctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get(tctx, []byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("legacy shim lookup: ok=%v err=%v", ok, err)
+	}
+	// The shim preserves v1 semantics: no WAL, nothing persisted.
+	if db.persister != nil {
+		t.Fatal("legacy shim should not create a persister")
+	}
+	if db.Stats().WALAppends != 0 {
+		t.Fatal("legacy shim wrote WAL records")
+	}
+}
+
+func TestApplyBatchAtomic(t *testing.T) {
+	db := testDB(t)
+	var b Batch
+	for i := 0; i < 64; i++ {
+		b.Put([]byte(fmt.Sprintf("b-%03d", i)), []byte(fmt.Sprintf("v-%d", i)))
+	}
+	b.Delete([]byte("b-007"))
+	if b.Len() != 65 || b.Size() == 0 {
+		t.Fatalf("batch accounting: len=%d size=%d", b.Len(), b.Size())
+	}
+	if err := db.Apply(tctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	// One WAL record for the whole batch.
+	if got := db.Stats().WALAppends; got != 1 {
+		t.Fatalf("batch produced %d WAL appends, want 1", got)
+	}
+	if _, ok, _ := db.Get(tctx, []byte("b-007")); ok {
+		t.Fatal("later delete in batch did not win over earlier put")
+	}
+	v, ok, err := db.Get(tctx, []byte("b-042"))
+	if err != nil || !ok || string(v) != "v-42" {
+		t.Fatalf("batch member lost: ok=%v err=%v", ok, err)
+	}
+	// An empty-key op rejects the whole batch before any state changes.
+	var bad Batch
+	bad.Put([]byte("good"), []byte("x"))
+	bad.Put(nil, []byte("y"))
+	if err := db.Apply(tctx, &bad); err != ErrEmptyKey {
+		t.Fatalf("got %v, want ErrEmptyKey", err)
+	}
+	if _, ok, _ := db.Get(tctx, []byte("good")); ok {
+		t.Fatal("rejected batch partially applied")
+	}
+}
+
+func TestClosedDB(t *testing.T) {
+	db := testDB(t)
+	if err := db.Put(tctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := db.Put(tctx, []byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, _, err := db.Get(tctx, []byte("k")); err != ErrClosed {
+		t.Fatalf("get after close: %v", err)
+	}
+	if err := db.Scan(tctx, func(k, v []byte) bool { return true }); err != ErrClosed {
+		t.Fatalf("scan after close: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.Put(ctx, []byte("k"), []byte("v")); err != context.Canceled {
+		t.Fatalf("put on canceled ctx: %v", err)
+	}
+	if _, _, err := db.Get(ctx, []byte("k")); err != context.Canceled {
+		t.Fatalf("get on canceled ctx: %v", err)
+	}
+	if _, ok, err := db.Get(tctx, []byte("k")); ok || err != nil {
+		t.Fatalf("canceled put leaked state: ok=%v err=%v", ok, err)
+	}
+}
+
 func TestDeleteAndTombstones(t *testing.T) {
-	db := testDB(t, Options{MemtableBytes: 4 << 10}) // force flushes
+	db := testDB(t, WithMemtableBytes(4<<10)) // force flushes
 	for i := 0; i < 500; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", i))
-		if err := db.Put(k, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+		if err := db.Put(tctx, k, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	// Delete the odd keys after they are on disk.
 	for i := 1; i < 500; i += 2 {
-		if err := db.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+		if err := db.Delete(tctx, []byte(fmt.Sprintf("key-%04d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", i))
-		_, ok, err := db.Get(k)
+		_, ok, err := db.Get(tctx, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,21 +195,21 @@ func TestDeleteAndTombstones(t *testing.T) {
 }
 
 func TestOverwriteLatestWins(t *testing.T) {
-	db := testDB(t, Options{MemtableBytes: 2 << 10})
+	db := testDB(t, WithMemtableBytes(2<<10))
 	k := []byte("hot-key")
 	for gen := 0; gen < 50; gen++ {
-		if err := db.Put(k, []byte(fmt.Sprintf("gen-%d", gen))); err != nil {
+		if err := db.Put(tctx, k, []byte(fmt.Sprintf("gen-%d", gen))); err != nil {
 			t.Fatal(err)
 		}
 		// Interleave enough other writes to force flushes between
 		// generations.
 		for j := 0; j < 40; j++ {
-			if err := db.Put([]byte(fmt.Sprintf("filler-%d-%d", gen, j)), bytes.Repeat([]byte{'f'}, 50)); err != nil {
+			if err := db.Put(tctx, []byte(fmt.Sprintf("filler-%d-%d", gen, j)), bytes.Repeat([]byte{'f'}, 50)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	v, ok, err := db.Get(k)
+	v, ok, err := db.Get(tctx, k)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
@@ -120,16 +219,16 @@ func TestOverwriteLatestWins(t *testing.T) {
 }
 
 func TestFlushAndCompactionHappen(t *testing.T) {
-	db := testDB(t, Options{
-		MemtableBytes:       8 << 10,
-		MaxTableBytes:       16 << 10,
-		BaseLevelBytes:      32 << 10,
-		L0CompactionTrigger: 2,
-		BlockSize:           4 << 10,
-	})
+	db := testDB(t,
+		WithMemtableBytes(8<<10),
+		WithMaxTableBytes(16<<10),
+		WithBaseLevelBytes(32<<10),
+		WithL0CompactionTrigger(2),
+		WithBlockSize(4<<10),
+	)
 	pairs := corpus.KVPairs(1, 8000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -150,7 +249,7 @@ func TestFlushAndCompactionHappen(t *testing.T) {
 	}
 	checked := 0
 	for k, v := range want {
-		got, ok, err := db.Get([]byte(k))
+		got, ok, err := db.Get(tctx, []byte(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,26 +272,26 @@ func TestFlushAndCompactionHappen(t *testing.T) {
 }
 
 func TestScan(t *testing.T) {
-	db := testDB(t, Options{MemtableBytes: 4 << 10})
+	db := testDB(t, WithMemtableBytes(4<<10))
 	want := map[string]string{}
 	for i := 0; i < 1000; i++ {
 		k := fmt.Sprintf("key-%05d", i)
 		v := fmt.Sprintf("val-%d", i)
 		want[k] = v
-		if err := db.Put([]byte(k), []byte(v)); err != nil {
+		if err := db.Put(tctx, []byte(k), []byte(v)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 1000; i += 3 {
 		k := fmt.Sprintf("key-%05d", i)
 		delete(want, k)
-		if err := db.Delete([]byte(k)); err != nil {
+		if err := db.Delete(tctx, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	got := map[string]string{}
 	var prev []byte
-	err := db.Scan(func(k, v []byte) bool {
+	err := db.Scan(tctx, func(k, v []byte) bool {
 		if prev != nil && bytes.Compare(k, prev) <= 0 {
 			t.Fatalf("scan out of order: %q after %q", k, prev)
 		}
@@ -215,14 +314,14 @@ func TestScan(t *testing.T) {
 
 func TestBlockSizeAffectsRatioAndLatency(t *testing.T) {
 	load := func(blockSize int) Stats {
-		db := testDB(t, Options{BlockSize: blockSize, MemtableBytes: 256 << 10})
+		db := testDB(t, WithBlockSize(blockSize), WithMemtableBytes(256<<10))
 		pairs := corpus.KVPairs(7, 20000)
 		for _, kv := range pairs {
-			if err := db.Put(kv.Key, kv.Value); err != nil {
+			if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := db.Flush(); err != nil {
+		if err := db.Flush(tctx); err != nil {
 			t.Fatal(err)
 		}
 		// Random reads to exercise block decompression (cache disabled by
@@ -230,7 +329,7 @@ func TestBlockSizeAffectsRatioAndLatency(t *testing.T) {
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < 300; i++ {
 			kv := pairs[rng.Intn(len(pairs))]
-			if _, _, err := db.Get(kv.Key); err != nil {
+			if _, _, err := db.Get(tctx, kv.Key); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -249,19 +348,19 @@ func TestBlockSizeAffectsRatioAndLatency(t *testing.T) {
 }
 
 func TestBlockCacheHits(t *testing.T) {
-	db := testDB(t, Options{BlockCacheEntries: 64})
+	db := testDB(t, WithBlockCacheEntries(64))
 	pairs := corpus.KVPairs(3, 2000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	// Repeated reads of the same key hit the decoded-block cache.
 	for i := 0; i < 10; i++ {
-		if _, _, err := db.Get(pairs[42].Key); err != nil {
+		if _, _, err := db.Get(tctx, pairs[42].Key); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -283,42 +382,47 @@ func TestStatsRatios(t *testing.T) {
 
 func TestCodecOptions(t *testing.T) {
 	for _, name := range []string{"zstd", "lz4", "zlib"} {
-		db, err := Open(Options{Codec: name, Level: 1})
+		db, err := Open(tctx, "", WithCodec(name), WithLevel(1))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for i := 0; i < 200; i++ {
-			if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("data "), 20)); err != nil {
+			if err := db.Put(tctx, []byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("data "), 20)); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := db.Flush(); err != nil {
+		if err := db.Flush(tctx); err != nil {
 			t.Fatal(err)
 		}
-		v, ok, err := db.Get([]byte("k0100"))
+		v, ok, err := db.Get(tctx, []byte("k0100"))
 		if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte("data "), 20)) {
 			t.Fatalf("%s: ok=%v err=%v", name, ok, err)
 		}
+		db.Close()
 	}
-	if _, err := Open(Options{Codec: "bogus"}); err == nil {
+	if _, err := Open(tctx, "", WithCodec("bogus")); err == nil {
 		t.Fatal("bogus codec accepted")
+	}
+	if _, err := Open(tctx, "", WithWALCodec("bogus")); err == nil {
+		t.Fatal("bogus WAL codec accepted")
 	}
 }
 
 func TestQuickRandomOpsMatchModel(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		db, err := Open(Options{
-			MemtableBytes:       2 << 10,
-			L0CompactionTrigger: 2,
-			BaseLevelBytes:      8 << 10,
-			MaxTableBytes:       8 << 10,
-			BlockSize:           1 << 10,
-			Seed:                seed,
-		})
+		db, err := Open(tctx, "",
+			WithMemtableBytes(2<<10),
+			WithL0CompactionTrigger(2),
+			WithBaseLevelBytes(8<<10),
+			WithMaxTableBytes(8<<10),
+			WithBlockSize(1<<10),
+			WithSeed(seed),
+		)
 		if err != nil {
 			return false
 		}
+		defer db.Close()
 		model := map[string][]byte{}
 		keys := make([]string, 0, 64)
 		for op := 0; op < 600; op++ {
@@ -327,20 +431,20 @@ func TestQuickRandomOpsMatchModel(t *testing.T) {
 				k := fmt.Sprintf("k%03d", rng.Intn(200))
 				v := make([]byte, rng.Intn(100))
 				rng.Read(v)
-				if err := db.Put([]byte(k), v); err != nil {
+				if err := db.Put(tctx, []byte(k), v); err != nil {
 					return false
 				}
 				model[k] = v
 				keys = append(keys, k)
 			case 2: // delete
 				k := fmt.Sprintf("k%03d", rng.Intn(200))
-				if err := db.Delete([]byte(k)); err != nil {
+				if err := db.Delete(tctx, []byte(k)); err != nil {
 					return false
 				}
 				delete(model, k)
 			default: // get
 				k := fmt.Sprintf("k%03d", rng.Intn(200))
-				v, ok, err := db.Get([]byte(k))
+				v, ok, err := db.Get(tctx, []byte(k))
 				if err != nil {
 					return false
 				}
@@ -355,7 +459,7 @@ func TestQuickRandomOpsMatchModel(t *testing.T) {
 		}
 		// Final full verification.
 		for k, want := range model {
-			v, ok, err := db.Get([]byte(k))
+			v, ok, err := db.Get(tctx, []byte(k))
 			if err != nil || !ok || !bytes.Equal(v, want) {
 				return false
 			}
@@ -368,39 +472,41 @@ func TestQuickRandomOpsMatchModel(t *testing.T) {
 }
 
 func BenchmarkPut(b *testing.B) {
-	db, err := Open(Options{})
+	db, err := Open(tctx, "")
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer db.Close()
 	pairs := corpus.KVPairs(1, 100000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kv := pairs[i%len(pairs)]
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkGet(b *testing.B) {
-	db, err := Open(Options{})
+	db, err := Open(tctx, "")
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer db.Close()
 	pairs := corpus.KVPairs(1, 50000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(tctx); err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kv := pairs[rng.Intn(len(pairs))]
-		if _, _, err := db.Get(kv.Key); err != nil {
+		if _, _, err := db.Get(tctx, kv.Key); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -411,19 +517,19 @@ func BenchmarkGet(b *testing.B) {
 // bytes decompressed per lookup track the block size rather than the table
 // size — the selective-decode property the seekable container exists for.
 func TestPointLookupDecodesSingleBlock(t *testing.T) {
-	db := testDB(t, Options{BlockSize: 4 << 10, BlockCacheEntries: -1})
+	db := testDB(t, WithBlockSize(4<<10), WithBlockCacheEntries(-1))
 	pairs := corpus.KVPairs(11, 4000)
 	for _, kv := range pairs {
-		if err := db.Put(kv.Key, kv.Value); err != nil {
+		if err := db.Put(tctx, kv.Key, kv.Value); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db.Flush(); err != nil {
+	if err := db.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	whole := db.Stats().RawBytesWritten
 	before := db.Stats()
-	if v, ok, err := db.Get(pairs[1234].Key); err != nil || !ok || !bytes.Equal(v, pairs[1234].Value) {
+	if v, ok, err := db.Get(tctx, pairs[1234].Key); err != nil || !ok || !bytes.Equal(v, pairs[1234].Value) {
 		t.Fatalf("lookup: ok=%v err=%v", ok, err)
 	}
 	d := db.Stats()

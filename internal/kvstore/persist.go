@@ -1,0 +1,377 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/datacomp/datacomp/internal/container"
+)
+
+// Persister is the DB's durability backend: an append-only write-ahead log
+// of opaque framed records plus one atomic snapshot slot. The DB owns the
+// record format (container record framing, compressed batches); the
+// persister owns bytes, boundaries, and fsync. Implementations must make
+// ReplayWAL discard the torn or corrupt tail it stops at, so subsequent
+// appends extend a clean log.
+type Persister interface {
+	// AppendWAL appends one framed record. Durability follows Sync, not
+	// AppendWAL.
+	AppendWAL(rec []byte) error
+	// Sync makes every appended record durable.
+	Sync() error
+	// ReplayWAL invokes fn for each complete framed record in append
+	// order. A torn or unparsable tail ends the walk silently and is
+	// discarded. fn returning ErrStopReplay discards that record and the
+	// remainder of the log; any other fn error aborts the replay.
+	ReplayWAL(fn func(rec []byte) error) error
+	// WriteSnapshot atomically replaces the snapshot and resets the WAL
+	// to empty. The old snapshot or the new one survives a crash, never a
+	// mix; the seq embedded in the snapshot makes a stale WAL harmless.
+	WriteSnapshot(snap []byte) error
+	// LoadSnapshot returns the current snapshot, or (nil, nil) when none
+	// was ever written.
+	LoadSnapshot() ([]byte, error)
+	// Close releases resources. The persister may be reopened or reused
+	// afterwards by a recovering DB where the implementation allows it.
+	Close() error
+}
+
+// ErrStopReplay is returned by a ReplayWAL callback to declare the current
+// record undecodable: replay stops, and the record plus everything after
+// it is discarded as the crash tail.
+var ErrStopReplay = errors.New("kvstore: stop WAL replay")
+
+// walkWAL walks the framed records of log, invoking fn per record. It
+// returns the byte length of the prefix to keep: the log up to (not
+// including) the first torn record, unparsable header, or record on which
+// fn returned ErrStopReplay. Other fn errors abort the walk.
+func walkWAL(log []byte, fn func(rec []byte) error) (keep int, err error) {
+	pos := 0
+	for {
+		n, err := container.RecordBounds(log[pos:])
+		if err != nil {
+			// io.EOF: clean end. Torn or corrupt: the crash tail starts
+			// here; everything before it is intact.
+			return pos, nil
+		}
+		if ferr := fn(log[pos : pos+n]); ferr != nil {
+			if errors.Is(ferr, ErrStopReplay) {
+				return pos, nil
+			}
+			return pos, ferr
+		}
+		pos += n
+	}
+}
+
+// MemPersister is the diskless Persister: the WAL is a byte slice, the
+// snapshot a buffer. It distinguishes synced from merely appended bytes so
+// tests (and the cluster's chaos harness) can model a machine crash —
+// Crash drops everything not yet fsynced — without touching a filesystem.
+type MemPersister struct {
+	mu     sync.Mutex
+	wal    []byte
+	synced int
+	snap   []byte
+}
+
+// NewMemPersister returns an empty in-memory persister.
+func NewMemPersister() *MemPersister { return &MemPersister{} }
+
+// AppendWAL implements Persister.
+func (p *MemPersister) AppendWAL(rec []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = append(p.wal, rec...)
+	return nil
+}
+
+// Sync implements Persister: appended bytes become crash-durable.
+func (p *MemPersister) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.synced = len(p.wal)
+	return nil
+}
+
+// ReplayWAL implements Persister.
+func (p *MemPersister) ReplayWAL(fn func(rec []byte) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keep, err := walkWAL(p.wal, fn)
+	if err != nil {
+		return err
+	}
+	p.wal = p.wal[:keep]
+	if p.synced > keep {
+		p.synced = keep
+	}
+	return nil
+}
+
+// WriteSnapshot implements Persister.
+func (p *MemPersister) WriteSnapshot(snap []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.snap = append(p.snap[:0], snap...)
+	p.wal = p.wal[:0]
+	p.synced = 0
+	return nil
+}
+
+// LoadSnapshot implements Persister.
+func (p *MemPersister) LoadSnapshot() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snap == nil {
+		return nil, nil
+	}
+	return append([]byte{}, p.snap...), nil
+}
+
+// Close implements Persister; a MemPersister stays reusable after Close,
+// which is what lets a "crashed" node reopen its state.
+func (p *MemPersister) Close() error { return nil }
+
+// Crash models the machine dying: every WAL byte not covered by a Sync is
+// lost. The snapshot (always written atomically) survives.
+func (p *MemPersister) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = p.wal[:p.synced]
+}
+
+// TruncateWAL cuts the log to n bytes — at an arbitrary offset, so tests
+// can tear the final record mid-frame.
+func (p *MemPersister) TruncateWAL(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if int(n) < len(p.wal) {
+		p.wal = p.wal[:n]
+	}
+	if p.synced > len(p.wal) {
+		p.synced = len(p.wal)
+	}
+}
+
+// WALBytes reports the current WAL length, so tests can enumerate every
+// crash offset.
+func (p *MemPersister) WALBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.wal))
+}
+
+// Directory layout of DirPersister.
+const (
+	walFileName  = "wal.log"
+	snapFileName = "snapshot.zsxs"
+	snapTempName = "snapshot.tmp"
+)
+
+// DirPersister stores the WAL and snapshot as files in one directory:
+//
+//	<dir>/wal.log        append-only framed records
+//	<dir>/snapshot.zsxs  container snapshot, replaced via rename
+//
+// WriteSnapshot writes a temp file, fsyncs, renames it over the snapshot,
+// then truncates the WAL — if the crash lands between rename and truncate,
+// replay skips the stale batches by sequence number.
+type DirPersister struct {
+	dir string
+	mu  sync.Mutex
+	wal *os.File
+}
+
+// NewDirPersister opens (creating if needed) a directory-backed persister.
+func NewDirPersister(dir string) (*DirPersister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: persister dir: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: wal: %w", err)
+	}
+	return &DirPersister{dir: dir, wal: wal}, nil
+}
+
+// Dir reports the backing directory.
+func (p *DirPersister) Dir() string { return p.dir }
+
+// AppendWAL implements Persister.
+func (p *DirPersister) AppendWAL(rec []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.wal.Write(rec)
+	return err
+}
+
+// Sync implements Persister.
+func (p *DirPersister) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wal.Sync()
+}
+
+// ReplayWAL implements Persister, truncating the file past the last intact
+// record so new appends extend a clean log.
+func (p *DirPersister) ReplayWAL(fn func(rec []byte) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	log, err := os.ReadFile(filepath.Join(p.dir, walFileName))
+	if err != nil {
+		return err
+	}
+	keep, err := walkWAL(log, fn)
+	if err != nil {
+		return err
+	}
+	if keep < len(log) {
+		if err := p.wal.Truncate(int64(keep)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot implements Persister.
+func (p *DirPersister) WriteSnapshot(snap []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tmp := filepath.Join(p.dir, snapTempName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, snapFileName)); err != nil {
+		return err
+	}
+	if err := p.wal.Truncate(0); err != nil {
+		return err
+	}
+	return p.wal.Sync()
+}
+
+// LoadSnapshot implements Persister.
+func (p *DirPersister) LoadSnapshot() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap, err := os.ReadFile(filepath.Join(p.dir, snapFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return snap, err
+}
+
+// Close implements Persister.
+func (p *DirPersister) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wal.Close()
+}
+
+// FaultPersister wraps a Persister with deterministic failure injection on
+// the durability path — the storage-side sibling of faultinject.Conn. It
+// is how tests prove a failed append is a failed ack, never a silent hole.
+type FaultPersister struct {
+	P Persister
+
+	mu           sync.Mutex
+	appendBudget int64 // bytes accepted before appends fail; <0 = unlimited
+	appended     int64
+	failSync     bool
+	failSnapshot bool
+}
+
+// NewFaultPersister wraps p with no faults armed.
+func NewFaultPersister(p Persister) *FaultPersister {
+	return &FaultPersister{P: p, appendBudget: -1}
+}
+
+// FailAppendsAfter arms append failure once n more bytes have been
+// accepted; n = 0 fails the next append.
+func (p *FaultPersister) FailAppendsAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.appendBudget = n
+	p.appended = 0
+}
+
+// FailSync makes Sync fail while on is true.
+func (p *FaultPersister) FailSync(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failSync = on
+}
+
+// FailSnapshot makes WriteSnapshot fail while on is true.
+func (p *FaultPersister) FailSnapshot(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failSnapshot = on
+}
+
+// ErrInjected is the failure FaultPersister injects.
+var ErrInjected = errors.New("kvstore: injected persister fault")
+
+// AppendWAL implements Persister.
+func (p *FaultPersister) AppendWAL(rec []byte) error {
+	p.mu.Lock()
+	if p.appendBudget >= 0 {
+		if p.appended+int64(len(rec)) > p.appendBudget {
+			p.mu.Unlock()
+			return fmt.Errorf("append past budget: %w", ErrInjected)
+		}
+		p.appended += int64(len(rec))
+	}
+	p.mu.Unlock()
+	return p.P.AppendWAL(rec)
+}
+
+// Sync implements Persister.
+func (p *FaultPersister) Sync() error {
+	p.mu.Lock()
+	fail := p.failSync
+	p.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	return p.P.Sync()
+}
+
+// ReplayWAL implements Persister.
+func (p *FaultPersister) ReplayWAL(fn func(rec []byte) error) error { return p.P.ReplayWAL(fn) }
+
+// WriteSnapshot implements Persister.
+func (p *FaultPersister) WriteSnapshot(snap []byte) error {
+	p.mu.Lock()
+	fail := p.failSnapshot
+	p.mu.Unlock()
+	if fail {
+		return fmt.Errorf("snapshot: %w", ErrInjected)
+	}
+	return p.P.WriteSnapshot(snap)
+}
+
+// LoadSnapshot implements Persister.
+func (p *FaultPersister) LoadSnapshot() ([]byte, error) { return p.P.LoadSnapshot() }
+
+// Close implements Persister.
+func (p *FaultPersister) Close() error { return p.P.Close() }

@@ -113,8 +113,8 @@ func (c *Client) CallBatch(ctx context.Context, method string, reqs [][]byte) (r
 // back in one frame. The per-item handler is the same shape as Register's,
 // so a service exposes the same logic under both a unary and a batched
 // method name.
-func (s *Server) RegisterBatch(method string, h HandlerCtx) {
-	s.RegisterCtx(method, func(ctx context.Context, req []byte) ([]byte, error) {
+func (s *Server) RegisterBatch(method string, h HandlerFunc) {
+	s.Register(method, func(ctx context.Context, req []byte) ([]byte, error) {
 		items, err := UnpackBatch(req, nil)
 		if err != nil {
 			return nil, err

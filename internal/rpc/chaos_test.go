@@ -231,10 +231,10 @@ func TestRemoteErrorNotRetried(t *testing.T) {
 	comp := Compression{}
 	s := NewServer(comp)
 	calls := 0
-	s.Register("flaky", func(req []byte) ([]byte, error) {
+	s.Register("flaky", Func(func(req []byte) ([]byte, error) {
 		calls++
 		return nil, errors.New("handler failure")
-	})
+	}))
 	cc, sc := net.Pipe()
 	go func() {
 		_ = s.ServeConn(context.Background(), sc)
@@ -307,10 +307,10 @@ func TestCircuitBreaker(t *testing.T) {
 func TestDeadlinePropagates(t *testing.T) {
 	comp := Compression{}
 	s := NewServer(comp)
-	s.Register("slow", func(req []byte) ([]byte, error) {
+	s.Register("slow", Func(func(req []byte) ([]byte, error) {
 		time.Sleep(2 * time.Second)
 		return req, nil
-	})
+	}))
 	cc, sc := net.Pipe()
 	go func() {
 		_ = s.ServeConn(context.Background(), sc)
@@ -338,10 +338,10 @@ func TestCancelPropagates(t *testing.T) {
 	comp := Compression{}
 	s := NewServer(comp)
 	release := make(chan struct{})
-	s.Register("hang", func(req []byte) ([]byte, error) {
+	s.Register("hang", Func(func(req []byte) ([]byte, error) {
 		<-release
 		return req, nil
-	})
+	}))
 	defer close(release)
 	cc, sc := net.Pipe()
 	go func() {
@@ -375,7 +375,7 @@ func TestServerShedsCompressionUnderLoad(t *testing.T) {
 	big := corpus.LogLines(9, 32<<10)
 	run := func(overload bool) Stats {
 		s := NewServer(comp, WithShedThreshold(4))
-		s.Register("fetch", func(req []byte) ([]byte, error) { return big, nil })
+		s.Register("fetch", Func(func(req []byte) ([]byte, error) { return big, nil }))
 		if overload {
 			// Synthetic pressure: pretend other connections hold requests in
 			// flight past the shed threshold.

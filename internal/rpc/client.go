@@ -407,14 +407,20 @@ func armDeadline(ctx context.Context, conn io.ReadWriter) func() {
 		nc.SetDeadline(d)
 	}
 	var stop func() bool
+	var fired chan struct{}
 	if ctx.Done() != nil {
+		fired = make(chan struct{})
 		stop = context.AfterFunc(ctx, func() {
+			defer close(fired)
 			nc.SetDeadline(time.Unix(1, 0))
 		})
 	}
 	return func() {
-		if stop != nil {
-			stop()
+		if stop != nil && !stop() {
+			// The cancel callback already started; wait for it so its
+			// past-deadline write can't land after our clear and poison
+			// the connection for the next caller.
+			<-fired
 		}
 		nc.SetDeadline(time.Time{})
 	}

@@ -30,12 +30,12 @@ func pipePair(t *testing.T, s *Server, comp Compression) *Client {
 
 func echoServer(comp Compression) *Server {
 	s := NewServer(comp)
-	s.Register("echo", func(req []byte) ([]byte, error) {
+	s.Register("echo", Func(func(req []byte) ([]byte, error) {
 		return req, nil
-	})
-	s.Register("fail", func(req []byte) ([]byte, error) {
+	}))
+	s.Register("fail", Func(func(req []byte) ([]byte, error) {
 		return nil, errors.New("handler exploded")
-	})
+	}))
 	return s
 }
 

@@ -13,15 +13,29 @@ import (
 	"github.com/datacomp/datacomp/internal/trace"
 )
 
-// Handler serves one method: it receives the request payload and returns
-// the response payload.
-type Handler func(req []byte) ([]byte, error)
+// HandlerFunc serves one method: it receives the request's context and
+// payload and returns the response payload. When the inbound frame carried
+// a sampled trace context and the server has a tracer, ctx carries the
+// request's server-half span, so everything the handler calls through
+// context-aware codec paths lands in the trace. Handlers that ignore the
+// context can wrap a plain func with Func.
+type HandlerFunc func(ctx context.Context, req []byte) ([]byte, error)
 
-// HandlerCtx is a Handler that also receives the request's context. When
-// the inbound frame carried a sampled trace context and the server has a
-// tracer, ctx carries the request's server-half span, so everything the
-// handler calls through context-aware codec paths lands in the trace.
-type HandlerCtx func(ctx context.Context, req []byte) ([]byte, error)
+// Func adapts a context-free function to a HandlerFunc, for handlers whose
+// work has no cancelable or traceable substeps.
+func Func(h func(req []byte) ([]byte, error)) HandlerFunc {
+	return func(_ context.Context, req []byte) ([]byte, error) { return h(req) }
+}
+
+// Handler is the v1 context-free handler form.
+//
+// Deprecated: use HandlerFunc (wrap existing functions with Func).
+type Handler = func(req []byte) ([]byte, error)
+
+// HandlerCtx is the v1 name for the context-aware handler form.
+//
+// Deprecated: use HandlerFunc; the two are identical.
+type HandlerCtx = HandlerFunc
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -51,7 +65,7 @@ type Server struct {
 	inflight atomic.Int64
 
 	mu       sync.RWMutex
-	handlers map[string]HandlerCtx
+	handlers map[string]HandlerFunc
 	live     map[*transport]struct{}
 	closed   counters
 }
@@ -60,7 +74,7 @@ type Server struct {
 func NewServer(comp Compression, opts ...ServerOption) *Server {
 	s := &Server{
 		comp:     comp,
-		handlers: make(map[string]HandlerCtx),
+		handlers: make(map[string]HandlerFunc),
 		live:     make(map[*transport]struct{}),
 	}
 	for _, o := range opts {
@@ -69,19 +83,18 @@ func NewServer(comp Compression, opts ...ServerOption) *Server {
 	return s
 }
 
-// Register installs a handler for method.
-func (s *Server) Register(method string, h Handler) {
-	s.RegisterCtx(method, func(_ context.Context, req []byte) ([]byte, error) {
-		return h(req)
-	})
-}
-
-// RegisterCtx installs a context-aware handler for method.
-func (s *Server) RegisterCtx(method string, h HandlerCtx) {
+// Register installs the handler for method. Every handler is ctx-first;
+// wrap context-free functions with Func.
+func (s *Server) Register(method string, h HandlerFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
 }
+
+// RegisterCtx installs a context-aware handler for method.
+//
+// Deprecated: Register now takes the ctx-first HandlerFunc directly.
+func (s *Server) RegisterCtx(method string, h HandlerFunc) { s.Register(method, h) }
 
 // shedding reports whether response compression should be skipped right
 // now. Called by the transport on every response write.
@@ -131,11 +144,13 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 		t.release()
 	}()
 	if ctx.Done() != nil {
-		// Unblock the read loop when ctx ends: force a past read deadline on
-		// net conns, or close anything closable (e.g. a pipe).
+		// Unblock the serve loop when ctx ends: force past read AND write
+		// deadlines on net conns (a response flush can be mid-write into a
+		// pipe whose client already gave up), or close anything closable.
 		stop := context.AfterFunc(ctx, func() {
 			if nc, ok := conn.(net.Conn); ok {
 				nc.SetReadDeadline(time.Unix(1, 0))
+				nc.SetWriteDeadline(time.Unix(1, 0))
 			} else if cl, ok := conn.(io.Closer); ok {
 				cl.Close()
 			}

@@ -46,7 +46,7 @@ func TestTraceEndToEnd(t *testing.T) {
 
 	comp := rpc.Compression{Codec: "zstd", Level: 1}
 	server := rpc.NewServer(comp, rpc.WithServerTracer(tracer))
-	server.RegisterCtx("store", func(ctx context.Context, req []byte) ([]byte, error) {
+	server.Register("store", func(ctx context.Context, req []byte) ([]byte, error) {
 		if _, err := deg.CompressCtx(ctx, nil, req); err != nil {
 			return nil, err
 		}
@@ -183,7 +183,7 @@ func attrInt(attrs []trace.Attr, key string) int64 {
 func TestTraceUnsampledRPCStaysUntraced(t *testing.T) {
 	comp := rpc.Compression{Codec: "", Level: 0}
 	server := rpc.NewServer(comp)
-	server.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	server.Register("echo", rpc.Func(func(req []byte) ([]byte, error) { return req, nil }))
 	cc, sc := net.Pipe()
 	go func() { _ = server.ServeConn(context.Background(), sc) }()
 	defer cc.Close()
