@@ -17,6 +17,7 @@ import (
 	"os"
 	"testing"
 
+	"github.com/datacomp/datacomp/internal/adaptive"
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
@@ -117,6 +118,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed snapshot to regress against (with -check)")
 	slowdown := flag.Float64("slowdown", 0.5, "fail -baseline when MB/s falls below this fraction of the baseline")
 	traceGate := flag.Float64("trace-gate", 0, "fail when tracing enabled-but-unsampled costs more than this fraction over tracing disabled (0 = report only)")
+	adaptiveGate := flag.Float64("adaptive-gate", 0, "fail when the adaptive handle compress path costs more than this fraction over a plain pooled engine (0 = report only)")
 	flag.Parse()
 	if *benchtime > 0 {
 		// testing.Benchmark honours the -test.benchtime flag.
@@ -174,6 +176,10 @@ func main() {
 	tentries, tdirty := measureTraceOverhead(*size, *traceGate)
 	snap.Entries = append(snap.Entries, tentries...)
 	dirty = dirty || tdirty
+
+	aentries, adirty := measureAdaptiveOverhead(*adaptiveGate)
+	snap.Entries = append(snap.Entries, aentries...)
+	dirty = dirty || adirty
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -596,6 +602,145 @@ func measureTraceOverhead(size int, gate float64) ([]Entry, bool) {
 			dirty = true
 			fmt.Fprintf(os.Stderr, "benchsnap: TRACE OVERHEAD REGRESSION: unsampled %dns/op exceeds disabled %dns/op by %dns (allowed %dns)\n",
 				nsPerOp["unsampled"], nsPerOp["disabled"], over, allowed)
+		}
+	}
+	return entries, dirty
+}
+
+// measureAdaptiveOverhead prices the adaptive serving handle against a
+// plain pooled engine on the same payload and config (zstd-3,
+// cache-item-sized records): the handle adds a generation load, a
+// three-byte self-describing header, and a 1-in-SampleEvery reservoir
+// offer per op. Both rows join the zero-alloc gate — the reservoir
+// recycles its slot buffers, so a warmed handle must not allocate — and
+// when gate > 0 the handle row may exceed the static row by at most that
+// fraction (plus a small floor for timer noise). The controller worker is
+// never started: this prices the hot-path tax alone, the one every
+// request pays whether or not a trial is running.
+func measureAdaptiveOverhead(gate float64) ([]Entry, bool) {
+	const size = 4 << 10
+	data := corpus.Records(7, size)
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchsnap: adaptive overhead: %v\n", err)
+		os.Exit(1)
+	}
+	pool, err := codec.NewPool("zstd", codec.Options{Level: 3})
+	if err != nil {
+		fatal(err)
+	}
+	ctrl, err := adaptive.New(adaptive.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer ctrl.Close()
+	h, err := ctrl.Handle("bench")
+	if err != nil {
+		fatal(err)
+	}
+	// Reservoir steady state: every slot filled and at capacity, so offers
+	// recycle instead of allocating. 64 slots at 1-in-32 sampling.
+	warm := func() error {
+		var out []byte
+		var err error
+		for i := 0; i < 64*32+64; i++ {
+			if out, err = h.Compress(out[:0], data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := warm(); err != nil {
+		fatal(err)
+	}
+
+	var benchErr error
+	modes := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"static", func(b *testing.B) {
+			e := pool.Get()
+			out, err := e.Compress(nil, data)
+			pool.Put(e)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := pool.Get()
+				out, benchErr = e.Compress(out[:0], data)
+				pool.Put(e)
+				if benchErr != nil {
+					return
+				}
+			}
+		}},
+		{"handle", func(b *testing.B) {
+			out, err := h.Compress(nil, data)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out, benchErr = h.Compress(out[:0], data); benchErr != nil {
+					return
+				}
+			}
+		}},
+	}
+	const runs = 3
+	best := make([]testing.BenchmarkResult, len(modes))
+	for r := 0; r < runs; r++ {
+		for mi, m := range modes {
+			res := testing.Benchmark(m.fn)
+			if benchErr != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: adaptive overhead %s: %v\n", m.name, benchErr)
+				os.Exit(1)
+			}
+			if best[mi].N == 0 || res.NsPerOp() < best[mi].NsPerOp() {
+				best[mi] = res
+			}
+		}
+	}
+
+	var entries []Entry
+	dirty := false
+	nsPerOp := map[string]int64{}
+	for mi, m := range modes {
+		res := best[mi]
+		e := Entry{
+			Codec:       "adaptive/zstd",
+			Level:       3,
+			Payload:     "records-4KiB/" + m.name,
+			Direction:   "compress",
+			NsPerOp:     res.NsPerOp(),
+			MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		nsPerOp[m.name] = e.NsPerOp
+		if e.AllocsPerOp != 0 {
+			dirty = true
+			fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: adaptive %s: %d allocs/op (%d B/op)\n",
+				m.name, e.AllocsPerOp, e.BytesPerOp)
+		}
+		entries = append(entries, e)
+	}
+	over := nsPerOp["handle"] - nsPerOp["static"]
+	fmt.Fprintf(os.Stderr, "benchsnap: adaptive overhead: static %dns handle %dns (+%dns)\n",
+		nsPerOp["static"], nsPerOp["handle"], over)
+	if gate > 0 {
+		allowed := int64(gate*float64(nsPerOp["static"])) + 500
+		if over > allowed {
+			dirty = true
+			fmt.Fprintf(os.Stderr, "benchsnap: ADAPTIVE OVERHEAD REGRESSION: handle %dns/op exceeds static %dns/op by %dns (allowed %dns)\n",
+				nsPerOp["handle"], nsPerOp["static"], over, allowed)
 		}
 	}
 	return entries, dirty

@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"text/tabwriter"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/accel"
+	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/core"
 	"github.com/datacomp/datacomp/internal/corpus"
 )
@@ -38,7 +40,13 @@ func main() {
 	gamma := flag.Float64("gamma", 10, "study 3: accelerator speed factor γ")
 	computeScale := flag.Float64("compute-scale", 1, "study 2: multiplier on the compute price (model a fleet where CPU carries opportunity cost)")
 	repeats := flag.Int("repeats", 2, "measurement repeats")
+	benchJSON := flag.String("bench-json", "", "price committed benchsnap rows (e.g. BENCH_codec.json) through the CompOpt cost model instead of measuring in-process")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		studyMeasured(*benchJSON, *minCompMBps)
+		return
+	}
 
 	if *study == 0 || *study == 1 {
 		study1(*seed, *minCompMBps, *repeats)
@@ -90,6 +98,73 @@ func study4(seed int64, repeats int) {
 		fmt.Printf("%s (%s): break-even block size %d B\n", d.Name, d.Placement, be)
 	}
 	fmt.Println("(paper §VI-B: offload overhead is significant for small blocks/data unless the accelerator is on-chip)")
+}
+
+// studyMeasured prices configurations from a committed benchsnap snapshot
+// instead of fresh in-process measurements: each compress row becomes a
+// Baseline via accel.MeasuredBaseline, is lifted to codec.Metrics over a
+// nominal traffic volume, and flows through the same PriceMeasured pricing
+// the online adaptive controller uses — one cost model for the offline
+// figure, the committed benchmark, and the live serving path.
+func studyMeasured(path string, minMBps float64) {
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== CompOpt priced from committed measurements (%s) ===\n", path)
+	fmt.Printf("compute+network pricing under a %.0f MB/s compression-speed SLO;\n", minMBps)
+	fmt.Println("decompression is not in the snapshot's compress rows, so its cost term is zero here")
+	params := core.DefaultCostParams()
+	params.AlphaStorage = 0
+	e := &core.CompEngine{
+		Params:      params,
+		Constraints: core.Constraints{MinCompressMBps: minMBps},
+	}
+	type cand struct {
+		codec string
+		level int
+	}
+	cands := []cand{
+		{"zstd", 1}, {"zstd", 3}, {"zstd", 9},
+		{"lz4", 1}, {"lz4", 9},
+		{"zlib", 1}, {"zlib", 6},
+	}
+	// Nominal volume the row's speed and ratio are lifted over; the cost
+	// model is linear in it, so the ranking is volume-independent.
+	const vol = int64(64 << 20)
+	for _, payload := range []string{"logs", "records", "source"} {
+		var all []core.Result
+		for _, c := range cands {
+			b, err := accel.MeasuredBaseline(snap, c.codec, c.level, payload)
+			if err != nil {
+				continue // row not in the snapshot
+			}
+			m := codec.Metrics{
+				InputBytes:      vol,
+				CompressedBytes: int64(float64(vol) / b.Ratio),
+				Blocks:          1,
+				CompressTime:    time.Duration(float64(vol) / (b.MBps * 1e6) * float64(time.Second)),
+			}
+			r, err := e.PriceMeasured(core.Config{Algorithm: c.codec, Level: c.level}, m)
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, r)
+		}
+		if len(all) == 0 {
+			fmt.Printf("\n-- payload %s: no compress rows in snapshot --\n", payload)
+			continue
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].TotalCost() < all[j].TotalCost() })
+		fmt.Printf("\n-- payload %s --\n", payload)
+		printResults(all, true)
+		for _, r := range all {
+			if r.Feasible {
+				fmt.Printf("best feasible: %s (total cost %.3g)\n", r.Config, r.TotalCost())
+				break
+			}
+		}
+	}
 }
 
 func fatal(err error) {

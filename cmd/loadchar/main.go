@@ -27,7 +27,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/datacomp/datacomp/internal/adaptive"
 	"github.com/datacomp/datacomp/internal/cluster"
+	"github.com/datacomp/datacomp/internal/core"
+	"github.com/datacomp/datacomp/internal/rpc"
 	"github.com/datacomp/datacomp/internal/stats"
 	"github.com/datacomp/datacomp/internal/telemetry"
 	"github.com/datacomp/datacomp/internal/telemetry/boot"
@@ -48,6 +51,7 @@ type config struct {
 	crash         bool
 	shed          int
 	degrade       time.Duration
+	adaptive      bool
 	seed          int64
 	jsonOut       bool
 }
@@ -59,23 +63,40 @@ type latencySummary struct {
 	P999us int64 `json:"p999_us"`
 }
 
+type adaptiveClassSummary struct {
+	Class         string  `json:"class"`
+	Config        string  `json:"config"`
+	Generation    uint64  `json:"generation"`
+	Swaps         uint64  `json:"swaps"`
+	Feasible      bool    `json:"feasible"`
+	Margin        float64 `json:"margin_vs_default"`
+	DecodeRetired uint64  `json:"decode_retired"`
+}
+
+type adaptiveSummary struct {
+	Swaps      uint64                 `json:"swaps"`
+	Infeasible int                    `json:"infeasible_classes"`
+	Classes    []adaptiveClassSummary `json:"classes"`
+}
+
 type summary struct {
-	Nodes          int            `json:"nodes"`
-	Replicas       int            `json:"replicas"`
-	Workers        int            `json:"workers"`
-	RateTarget     float64        `json:"rate_target_ops_s"`
-	DurationSec    float64        `json:"duration_s"`
-	Ops            int64          `json:"ops"`
-	Throughput     float64        `json:"throughput_ops_s"`
-	Reads          latencySummary `json:"reads"`
-	Writes         latencySummary `json:"writes"`
-	Errors         int64          `json:"errors"`
-	QuorumFailures int64          `json:"quorum_failures"`
-	Crashed        string         `json:"crashed_node,omitempty"`
-	AckedKeys      int            `json:"acked_keys"`
-	LostAcked      int            `json:"lost_acked_writes"`
-	ReadRepairs    int64          `json:"read_repairs"`
-	Rebalanced     int64          `json:"rebalanced_records"`
+	Nodes          int              `json:"nodes"`
+	Replicas       int              `json:"replicas"`
+	Workers        int              `json:"workers"`
+	RateTarget     float64          `json:"rate_target_ops_s"`
+	DurationSec    float64          `json:"duration_s"`
+	Ops            int64            `json:"ops"`
+	Throughput     float64          `json:"throughput_ops_s"`
+	Reads          latencySummary   `json:"reads"`
+	Writes         latencySummary   `json:"writes"`
+	Errors         int64            `json:"errors"`
+	QuorumFailures int64            `json:"quorum_failures"`
+	Crashed        string           `json:"crashed_node,omitempty"`
+	AckedKeys      int              `json:"acked_keys"`
+	LostAcked      int              `json:"lost_acked_writes"`
+	ReadRepairs    int64            `json:"read_repairs"`
+	Rebalanced     int64            `json:"rebalanced_records"`
+	Adaptive       *adaptiveSummary `json:"adaptive,omitempty"`
 }
 
 // wave is the instantaneous offered-rate multiplier in [1-depth, 1]: a
@@ -136,10 +157,33 @@ func (a *ackedWrites) check(idx int, got []byte, found bool) bool {
 }
 
 func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
-	c := cluster.New(
+	opts := []cluster.Option{
 		cluster.WithReplication(cfg.replicas),
-		cluster.WithNodeDefaults(nodeOpts(cfg)...),
-	)
+	}
+	// Adaptive mode: every RPC link (client->node and node->node) rides
+	// per-method adaptive classes off one shared controller. The static
+	// default is deliberately the fleet's conservative zlib-1 so the run
+	// demonstrates the controller discovering a better config online.
+	var actrl *adaptive.Controller
+	nopts := nodeOpts(cfg)
+	if cfg.adaptive {
+		var err error
+		actrl, err = adaptive.New(adaptive.Config{
+			Default:    core.Config{Algorithm: "zlib", Level: 1},
+			Interval:   250 * time.Millisecond,
+			MinSamples: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer actrl.Close()
+		actrl.Start()
+		comp := rpc.Compression{Adaptive: actrl}
+		opts = append(opts, cluster.WithCompression(comp))
+		nopts = append(nopts, cluster.WithNodeCompression(comp))
+	}
+	opts = append(opts, cluster.WithNodeDefaults(nopts...))
+	c := cluster.New(opts...)
 	defer c.Close()
 	for i := 0; i < cfg.nodes; i++ {
 		if _, err := c.AddNode(ctx, fmt.Sprintf("node-%d", i)); err != nil {
@@ -208,7 +252,8 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		}()
 	}
 
-	filler := bytes.Repeat([]byte("the quick brown datacenter compresses every block it serves "), 1+cfg.valueBytes/61)
+	phrase := []byte("the quick brown datacenter compresses every block it serves ")
+	filler := bytes.Repeat(phrase, 1+cfg.valueBytes/len(phrase))
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
@@ -309,6 +354,29 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		}
 	}
 
+	var asum *adaptiveSummary
+	if actrl != nil {
+		asum = &adaptiveSummary{}
+		for _, s := range actrl.Status() {
+			cs := adaptiveClassSummary{
+				Class:         s.Class,
+				Config:        s.Config,
+				Generation:    s.Generation,
+				Swaps:         s.Swaps,
+				Feasible:      s.Feasible,
+				DecodeRetired: s.DecodeRetired,
+			}
+			if s.HasDecision {
+				cs.Margin = s.Decision.MarginVsDefault()
+			}
+			asum.Swaps += s.Swaps
+			if !s.Feasible {
+				asum.Infeasible++
+			}
+			asum.Classes = append(asum.Classes, cs)
+		}
+	}
+
 	rs, ws := readLat.Snapshot(), writeLat.Snapshot()
 	st := c.Stats()
 	return &summary{
@@ -332,6 +400,7 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		LostAcked:      lost,
 		ReadRepairs:    st.ReadRepairs,
 		Rebalanced:     st.RebalancedRecords,
+		Adaptive:       asum,
 	}, nil
 }
 
@@ -393,6 +462,14 @@ func printHuman(w io.Writer, s *summary) {
 		fmt.Fprintf(w, "verify: %d acked keys, %d lost\n", s.AckedKeys, s.LostAcked)
 	}
 	fmt.Fprintf(w, "repair: %d read-repairs   rebalanced: %d records\n", s.ReadRepairs, s.Rebalanced)
+	if s.Adaptive != nil {
+		fmt.Fprintf(w, "adapt : %d swaps across %d classes (%d infeasible)\n",
+			s.Adaptive.Swaps, len(s.Adaptive.Classes), s.Adaptive.Infeasible)
+		for _, cs := range s.Adaptive.Classes {
+			fmt.Fprintf(w, "  %-16s gen=%-3d swaps=%-2d %-24s margin_vs_default=%+.1f%%\n",
+				cs.Class, cs.Generation, cs.Swaps, cs.Config, cs.Margin*100)
+		}
+	}
 }
 
 func main() {
@@ -411,6 +488,7 @@ func main() {
 	flag.BoolVar(&cfg.crash, "crash", false, "crash and restart a node mid-run, then verify zero lost acked writes")
 	flag.IntVar(&cfg.shed, "shed", 0, "per-node shed threshold (0 = off)")
 	flag.DurationVar(&cfg.degrade, "degrade", 0, "per-node degrader high watermark (0 = off)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "serve all RPC links through the online adaptive codec controller and gate on it converging")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON on stdout")
 	obs := boot.Register(flag.CommandLine)
@@ -441,5 +519,18 @@ func main() {
 	if s.LostAcked > 0 {
 		fmt.Fprintf(os.Stderr, "loadchar: FAIL: %d acked writes lost\n", s.LostAcked)
 		os.Exit(1)
+	}
+	// Adaptive gates: the controller must have found at least one better
+	// config (a converging closed loop swaps off the deliberately weak
+	// default), and must never be serving an SLO-violating config.
+	if s.Adaptive != nil {
+		if s.Adaptive.Infeasible > 0 {
+			fmt.Fprintf(os.Stderr, "loadchar: FAIL: %d adaptive classes serve SLO-infeasible configs\n", s.Adaptive.Infeasible)
+			os.Exit(1)
+		}
+		if s.Adaptive.Swaps == 0 {
+			fmt.Fprintln(os.Stderr, "loadchar: FAIL: adaptive controller never swapped off the static default")
+			os.Exit(1)
+		}
 	}
 }

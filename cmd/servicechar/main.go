@@ -46,6 +46,7 @@ func main() {
 	fig12 := flag.Bool("fig12", false, "print Fig 12")
 	fig13 := flag.Bool("fig13", false, "print Fig 13")
 	chaos := flag.Bool("chaos", false, "run the fault-injection harness against a loopback RPC server and report corruption handling")
+	adaptiveF := flag.Bool("adaptive", false, "run the online adaptive codec controller demo on a shifting traffic mix")
 	obs := boot.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -57,6 +58,10 @@ func main() {
 
 	if *chaos {
 		runChaos(rt.Tracer)
+		return
+	}
+	if *adaptiveF {
+		runAdaptive(rt.Tracer)
 		return
 	}
 

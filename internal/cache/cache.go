@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/datacomp/datacomp/internal/adaptive"
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/dict"
 	"github.com/datacomp/datacomp/internal/telemetry"
@@ -69,6 +70,17 @@ type Config struct {
 	// Dicts maps item type to a trained dictionary. Types without an entry
 	// are compressed without a dictionary.
 	Dicts map[string][]byte
+	// Adaptive compresses items through a live-reoptimizing controller
+	// instead of the static Codec/Level engines: each item type becomes
+	// its own traffic class (AdaptiveClassPrefix + type) whose config the
+	// controller retunes from reservoir samples of actual Set traffic —
+	// including dict-trained candidates, replacing static Dicts. Resident
+	// payloads written under retired generations stay readable because
+	// adaptive frames are self-describing. Codec, Level, and Dicts are
+	// ignored when set.
+	Adaptive *adaptive.Controller
+	// AdaptiveClassPrefix namespaces per-type classes (default "cache:").
+	AdaptiveClassPrefix string
 }
 
 func (c *Config) fill() {
@@ -83,6 +95,9 @@ func (c *Config) fill() {
 	}
 	if c.MinCompressSize == 0 {
 		c.MinCompressSize = 64
+	}
+	if c.AdaptiveClassPrefix == "" {
+		c.AdaptiveClassPrefix = "cache:"
 	}
 }
 
@@ -151,23 +166,34 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c := &Cache{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
-		raw, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
-		if err != nil {
-			return nil, err
-		}
 		sh := &shard{
 			items:   make(map[string]*entry),
 			lru:     list.New(),
 			engines: make(map[string]codec.Engine),
-			raw:     raw,
 			cfg:     &c.cfg,
 		}
-		for typ, d := range cfg.Dicts {
-			eng, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level), codec.WithDict(d))
+		if cfg.Adaptive != nil {
+			// One controller-managed handle per item type, shared by every
+			// shard (handles are concurrent-safe, unlike raw engines). The
+			// untyped class doubles as the fallback.
+			h, err := cfg.Adaptive.Handle(cfg.AdaptiveClassPrefix + "default")
 			if err != nil {
-				return nil, fmt.Errorf("cache: dictionary for type %q: %w", typ, err)
+				return nil, fmt.Errorf("cache: adaptive default class: %w", err)
 			}
-			sh.engines[typ] = eng
+			sh.raw = h
+		} else {
+			raw, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
+			if err != nil {
+				return nil, err
+			}
+			sh.raw = raw
+			for typ, d := range cfg.Dicts {
+				eng, err := codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level), codec.WithDict(d))
+				if err != nil {
+					return nil, fmt.Errorf("cache: dictionary for type %q: %w", typ, err)
+				}
+				sh.engines[typ] = eng
+			}
 		}
 		c.shards = append(c.shards, sh)
 	}
@@ -187,6 +213,16 @@ func (c *Cache) shard(key string) *shard {
 func (s *shard) engine(typ string) codec.Engine {
 	if e, ok := s.engines[typ]; ok {
 		return e
+	}
+	if s.cfg.Adaptive != nil && typ != "" {
+		// Materialize the per-type adaptive class on first touch (caller
+		// holds s.mu, so the per-shard cache write is safe). A controller
+		// failure falls back to the default class rather than failing the
+		// operation.
+		if h, err := s.cfg.Adaptive.Handle(s.cfg.AdaptiveClassPrefix + typ); err == nil {
+			s.engines[typ] = h
+			return h
+		}
 	}
 	return s.raw
 }

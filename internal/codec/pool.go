@@ -16,6 +16,14 @@ type Pool struct {
 	codec Codec
 	opts  Options
 	pool  sync.Pool
+
+	// Shared-registry identity. A pool handed out by SharedPool or
+	// AcquireShared remembers its key so ReleaseShared can retire it from
+	// the process-wide map once no acquirer references it. All three fields
+	// are guarded by sharedMu; private pools from NewPool leave them zero.
+	key    poolKey
+	refs   int
+	pinned bool
 }
 
 // NewPool validates the configuration by building one engine eagerly and
@@ -89,19 +97,18 @@ var (
 	sharedPools = map[poolKey]*Pool{}
 )
 
-// SharedPool returns a process-wide pool for the configuration, creating
-// it on first use. Repeated calls with an equal configuration return the
-// same pool, so independent subsystems (RPC transports, instrumented
-// benchmark runs) share recycled engines.
-func SharedPool(name string, opts Options) (*Pool, error) {
+func sharedKey(name string, opts Options) poolKey {
 	k := poolKey{name: name, level: opts.Level, window: opts.WindowLog, dictLen: len(opts.Dict), checksum: opts.Checksum}
 	if len(opts.Dict) > 0 {
 		h := fnv.New64a()
 		h.Write(opts.Dict)
 		k.dictHash = h.Sum64()
 	}
-	sharedMu.Lock()
-	defer sharedMu.Unlock()
+	return k
+}
+
+func sharedLocked(name string, opts Options) (*Pool, error) {
+	k := sharedKey(name, opts)
 	if p, ok := sharedPools[k]; ok {
 		return p, nil
 	}
@@ -109,6 +116,69 @@ func SharedPool(name string, opts Options) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.key = k
 	sharedPools[k] = p
 	return p, nil
+}
+
+// SharedPool returns a process-wide pool for the configuration, creating
+// it on first use. Repeated calls with an equal configuration return the
+// same pool, so independent subsystems (RPC transports, instrumented
+// benchmark runs) share recycled engines. Pools obtained this way are
+// pinned for the life of the process; callers whose configurations come
+// and go (the adaptive controller cycling generations) must use
+// AcquireShared/ReleaseShared instead so retired configurations can be
+// evicted.
+func SharedPool(name string, opts Options) (*Pool, error) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p, err := sharedLocked(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.pinned = true
+	return p, nil
+}
+
+// AcquireShared returns the process-wide pool for the configuration with
+// its reference count raised. Pair every acquire with exactly one
+// ReleaseShared: when the last reference drops, the pool — and the
+// megabytes of matcher state its idle engines hold — leaves the shared
+// registry and becomes garbage. A configuration also pinned by SharedPool
+// is never evicted.
+func AcquireShared(name string, opts Options) (*Pool, error) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p, err := sharedLocked(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.refs++
+	return p, nil
+}
+
+// ReleaseShared drops one AcquireShared reference. Releasing a nil,
+// private, or pinned pool is a no-op, so callers can release
+// unconditionally on teardown.
+func ReleaseShared(p *Pool) {
+	if p == nil {
+		return
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p.pinned || p.refs == 0 {
+		return
+	}
+	p.refs--
+	if p.refs == 0 && sharedPools[p.key] == p {
+		delete(sharedPools, p.key)
+	}
+}
+
+// SharedPoolCount reports how many configurations the shared registry
+// currently holds — the bound the adaptive swap tests assert on.
+func SharedPoolCount() int {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	return len(sharedPools)
 }

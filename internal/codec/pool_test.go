@@ -139,3 +139,95 @@ func TestSharedPool(t *testing.T) {
 		t.Fatal("dictionary pool must differ from plain pool")
 	}
 }
+
+func TestAcquireReleaseShared(t *testing.T) {
+	base := SharedPoolCount()
+	p1, err := AcquireShared("zstd", Options{Level: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := AcquireShared("zstd", Options{Level: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("equal configurations must share one pool")
+	}
+	if got := SharedPoolCount(); got != base+1 {
+		t.Fatalf("registry grew by %d, want 1", got-base)
+	}
+	ReleaseShared(p1)
+	if got := SharedPoolCount(); got != base+1 {
+		t.Fatal("pool evicted while still referenced")
+	}
+	ReleaseShared(p2)
+	if got := SharedPoolCount(); got != base {
+		t.Fatalf("registry holds %d pools after last release, want %d", got, base)
+	}
+	// Releasing beyond zero and releasing nil are no-ops.
+	ReleaseShared(p2)
+	ReleaseShared(nil)
+	if got := SharedPoolCount(); got != base {
+		t.Fatal("over-release corrupted the registry")
+	}
+}
+
+// TestSharedPoolBounded cycles many distinct configurations through
+// acquire/release — the adaptive controller's swap pattern — and asserts
+// the registry never grows beyond the live-reference window. Before
+// refcounting, every configuration ever used stayed resident forever.
+func TestSharedPoolBounded(t *testing.T) {
+	base := SharedPoolCount()
+	const retain = 3
+	var live []*Pool
+	for lvl := 1; lvl <= 12; lvl++ {
+		for _, w := range []uint{0, 16, 18} {
+			p, err := AcquireShared("zstd", Options{Level: lvl, WindowLog: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+			if len(live) > retain {
+				ReleaseShared(live[0])
+				live = live[1:]
+			}
+			if got := SharedPoolCount(); got > base+retain {
+				t.Fatalf("registry grew to %d pools (base %d, retain %d)", got, base, retain)
+			}
+		}
+	}
+	for _, p := range live {
+		ReleaseShared(p)
+	}
+	if got := SharedPoolCount(); got != base {
+		t.Fatalf("registry holds %d pools after teardown, want %d", got, base)
+	}
+}
+
+func TestSharedPoolPinned(t *testing.T) {
+	// A configuration pinned by SharedPool survives acquire/release churn.
+	p, err := SharedPool("lz4", Options{Level: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := AcquireShared("lz4", Options{Level: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q {
+		t.Fatal("pinned and acquired pools must be one")
+	}
+	base := SharedPoolCount()
+	ReleaseShared(q)
+	ReleaseShared(q)
+	r, err := AcquireShared("lz4", Options{Level: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != p {
+		t.Fatal("pinned pool was evicted")
+	}
+	if got := SharedPoolCount(); got != base {
+		t.Fatalf("registry count changed from %d to %d around a pinned pool", base, got)
+	}
+}

@@ -3,7 +3,30 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+
+	"github.com/datacomp/datacomp/internal/telemetry"
 )
+
+// Package-level telemetry on the shared registry, registered at first
+// Retune. The tuner used to be invisible at runtime; now every retune
+// attempt, configuration switch, and the incumbent config are scrapeable
+// next to the serving-path metrics they explain.
+var (
+	atOnce     sync.Once
+	atRetunes  *telemetry.Counter
+	atSwitches *telemetry.Counter
+	atFailed   *telemetry.Counter
+)
+
+func at() {
+	atOnce.Do(func() {
+		r := telemetry.Default
+		atRetunes = r.Counter("autotuner_retunes_total", "AutoTuner optimization runs")
+		atSwitches = r.Counter("autotuner_switches_total", "AutoTuner configuration changes")
+		atFailed = r.Counter("autotuner_retune_errors_total", "AutoTuner runs that found no feasible configuration or failed to measure")
+	})
+}
 
 // AutoTuner implements the paper's §VI-C proposal: a cost/SLO-aware tuner
 // that re-optimizes a service's compression configuration as its data
@@ -14,7 +37,9 @@ import (
 // threshold (configuration flaps are themselves an operational cost).
 type AutoTuner struct {
 	// Engine prices and constrains candidates (its Samples field is
-	// managed by the tuner).
+	// managed by the tuner). The engine's scratch codec engines are cached
+	// per configuration, so repeated Retunes measure with warm matchers
+	// instead of reconstructing megabytes of tables each run.
 	Engine *CompEngine
 	// Candidates is the search space.
 	Candidates []Config
@@ -31,6 +56,8 @@ type AutoTuner struct {
 	Switches int
 	// Retunes counts optimization runs.
 	Retunes int
+
+	curGauge *telemetry.Gauge // autotuner_current{config=...}, 1 while incumbent
 }
 
 // NewAutoTuner wires a tuner around a configured CompEngine.
@@ -66,6 +93,17 @@ func (t *AutoTuner) WindowLen() int { return len(t.window) }
 // Current returns the incumbent configuration, if any.
 func (t *AutoTuner) Current() (Result, bool) { return t.current, t.haveCur }
 
+// publish flips the labeled current-config gauge to the new incumbent.
+func (t *AutoTuner) publish(cfg Config) {
+	if t.curGauge != nil {
+		t.curGauge.Set(0)
+	}
+	t.curGauge = telemetry.Default.Gauge(
+		telemetry.Label("autotuner_current", "config", cfg.String()),
+		"1 while this configuration is the AutoTuner incumbent")
+	t.curGauge.Set(1)
+}
+
 // ErrNoSamples is returned when Retune runs before any Observe.
 var ErrNoSamples = errors.New("core: no observed samples")
 
@@ -75,22 +113,28 @@ func (t *AutoTuner) Retune() (Result, bool, error) {
 	if len(t.window) == 0 {
 		return Result{}, false, ErrNoSamples
 	}
+	at()
 	t.Engine.Samples = t.window
 	t.Retunes++
+	atRetunes.Inc()
 	best, _, err := t.Engine.Search(t.Candidates)
 	if err != nil {
+		atFailed.Inc()
 		return Result{}, false, fmt.Errorf("core: retune: %w", err)
 	}
 	if !t.haveCur {
 		t.current = best
 		t.haveCur = true
 		t.Switches++
+		atSwitches.Inc()
+		t.publish(best.Config)
 		return best, true, nil
 	}
 	// Re-price the incumbent on current data; switch when it went
 	// infeasible or the challenger clears the hysteresis bar.
 	incumbent, err := t.Engine.Evaluate(t.current.Config)
 	if err != nil {
+		atFailed.Inc()
 		return Result{}, false, err
 	}
 	mustSwitch := !incumbent.Feasible
@@ -98,6 +142,8 @@ func (t *AutoTuner) Retune() (Result, bool, error) {
 	if (mustSwitch || better) && best.Config.String() != t.current.Config.String() {
 		t.current = best
 		t.Switches++
+		atSwitches.Inc()
+		t.publish(best.Config)
 		return best, true, nil
 	}
 	t.current = incumbent // refresh the incumbent's metrics

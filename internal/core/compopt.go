@@ -156,6 +156,47 @@ type CompEngine struct {
 	Constraints Constraints
 	// Repeats stabilizes timing measurements (default 1).
 	Repeats int
+
+	// engines caches one constructed engine per configuration signature.
+	// Matcher tables run to megabytes at high levels, so re-evaluating the
+	// same candidate list every AutoTuner.Retune or adaptive shadow round
+	// must not rebuild them; the cache makes Evaluate's steady state
+	// measurement-only.
+	engines map[string]codec.Engine
+}
+
+// engineKey identifies a cached scratch engine. Config.String omits the
+// dictionary, which changes the engine, so key on its length and first
+// bytes too (dict candidates within one CompEngine are retrain outputs
+// that differ in content and length).
+func engineKey(cfg Config) string {
+	k := cfg.Algorithm + "|" + fmt.Sprint(cfg.Level) + "|" + fmt.Sprint(cfg.WindowLog)
+	if len(cfg.Dict) > 0 {
+		n := min(len(cfg.Dict), 16)
+		k += fmt.Sprintf("|d%d:%x", len(cfg.Dict), cfg.Dict[:n])
+	}
+	return k
+}
+
+// engine returns the cached scratch engine for cfg, constructing it once.
+func (e *CompEngine) engine(cfg Config) (codec.Engine, error) {
+	k := engineKey(cfg)
+	if eng, ok := e.engines[k]; ok {
+		return eng, nil
+	}
+	eng, err := codec.NewEngine(cfg.Algorithm,
+		codec.WithLevel(cfg.Level),
+		codec.WithWindowLog(cfg.WindowLog),
+		codec.WithDict(cfg.Dict),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if e.engines == nil {
+		e.engines = make(map[string]codec.Engine)
+	}
+	e.engines[k] = eng
+	return eng, nil
 }
 
 // Evaluate measures one configuration and prices it.
@@ -166,11 +207,7 @@ func (e *CompEngine) Evaluate(cfg Config) (Result, error) {
 	if len(e.Samples) == 0 {
 		return Result{}, errors.New("core: no sample data")
 	}
-	eng, err := codec.NewEngine(cfg.Algorithm,
-		codec.WithLevel(cfg.Level),
-		codec.WithWindowLog(cfg.WindowLog),
-		codec.WithDict(cfg.Dict),
-	)
+	eng, err := e.engine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -181,6 +218,18 @@ func (e *CompEngine) Evaluate(cfg Config) (Result, error) {
 	m, err := codec.Measure(eng, e.Samples, cfg.BlockSize, repeats)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: measuring %s: %w", cfg, err)
+	}
+	return e.PriceMeasured(cfg, m)
+}
+
+// PriceMeasured prices a configuration from externally measured metrics —
+// equations (1)-(4) applied to a BENCH_codec.json row or an adaptive
+// shadow trial instead of a fresh in-process measurement. This is the
+// pricing half of Evaluate, so offline and online CompOpt score with the
+// same model.
+func (e *CompEngine) PriceMeasured(cfg Config, m codec.Metrics) (Result, error) {
+	if err := e.Params.Validate(); err != nil {
+		return Result{}, err
 	}
 	if cfg.Accel != nil {
 		if cfg.Accel.SpeedFactor <= 0 {

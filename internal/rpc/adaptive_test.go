@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datacomp/datacomp/internal/adaptive"
+	"github.com/datacomp/datacomp/internal/core"
+	"github.com/datacomp/datacomp/internal/corpus"
+)
+
+func adaptiveController(t *testing.T, cfg adaptive.Config) *adaptive.Controller {
+	t.Helper()
+	ctrl, err := adaptive.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	return ctrl
+}
+
+func TestAdaptiveCallRoundtrip(t *testing.T) {
+	ctrl := adaptiveController(t, adaptive.Config{})
+	comp := Compression{Adaptive: ctrl}
+	c := pipePair(t, echoServer(comp), comp)
+	payload := corpus.LogLines(3, 8<<10)
+	resp, err := c.Call(context.Background(), "echo", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, payload) {
+		t.Fatal("echo mismatch through adaptive transport")
+	}
+	// Compressible payloads over MinSize must actually shrink on the wire.
+	st := c.Stats()
+	if st.WireBytes >= st.RawBytes {
+		t.Fatalf("no wire savings: raw %d wire %d", st.RawBytes, st.WireBytes)
+	}
+	// Both directions created per-method classes under the rpc: prefix.
+	classes := map[string]bool{}
+	for _, s := range ctrl.Status() {
+		classes[s.Class] = true
+	}
+	if !classes["rpc:echo"] {
+		t.Fatalf("no rpc:echo class registered; classes: %v", classes)
+	}
+}
+
+func TestAdaptiveSmallMessagesSkipCodec(t *testing.T) {
+	ctrl := adaptiveController(t, adaptive.Config{})
+	comp := Compression{Adaptive: ctrl, MinSize: 1 << 20}
+	c := pipePair(t, echoServer(comp), comp)
+	payload := corpus.LogLines(4, 4<<10)
+	resp, err := c.Call(context.Background(), "echo", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, payload) {
+		t.Fatal("echo mismatch")
+	}
+	if st := c.Stats(); st.WireBytes != st.RawBytes {
+		t.Fatalf("sub-MinSize payload was compressed: raw %d wire %d", st.RawBytes, st.WireBytes)
+	}
+}
+
+// TestAdaptiveRPCSwapHammer is the RPC half of the satellite race gate:
+// concurrent clients call through adaptive transports while generations
+// swap every few milliseconds on both the request and response classes.
+// Every call must round-trip exactly; a decode under the wrong generation
+// surfaces as a corrupt frame or content mismatch.
+func TestAdaptiveRPCSwapHammer(t *testing.T) {
+	ctrl := adaptiveController(t, adaptive.Config{RetainGenerations: 2})
+	comp := Compression{Adaptive: ctrl}
+	s := echoServer(comp)
+
+	// Pre-create the class so the swapper can churn it from the start.
+	h, err := ctrl.Handle("rpc:echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []core.Config{
+		{Algorithm: "zstd", Level: 1},
+		{Algorithm: "lz4", Level: 1},
+		{Algorithm: "zstd", Level: 6},
+		{Algorithm: "zlib", Level: 1},
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			if err := h.Adopt(configs[i%len(configs)]); err != nil {
+				t.Errorf("adopt: %v", err)
+				return
+			}
+		}
+	}()
+
+	payloads := [][]byte{
+		corpus.LogLines(21, 4<<10),
+		corpus.Records(22, 4<<10),
+		corpus.SourceCode(23, 4<<10),
+	}
+	const clients = 4
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc, sc := net.Pipe()
+			defer cc.Close()
+			go func() {
+				_ = s.ServeConn(context.Background(), sc)
+				sc.Close()
+			}()
+			c, err := NewClient(cc, comp)
+			if err != nil {
+				t.Errorf("client %d: %v", w, err)
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				want := payloads[(w+i)%len(payloads)]
+				got, err := c.Call(context.Background(), "echo", want)
+				if err != nil {
+					t.Errorf("client %d call %d: %v", w, i, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("client %d call %d: payload mismatch", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if h.Generation() < 5 {
+		t.Fatalf("only %d generations churned during the hammer", h.Generation())
+	}
+}

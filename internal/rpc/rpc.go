@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/datacomp/datacomp/internal/adaptive"
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/telemetry"
 	"github.com/datacomp/datacomp/internal/trace"
@@ -50,11 +51,24 @@ type Compression struct {
 	// (codec.WithChecksum), verifying decompressed bytes end to end on top
 	// of the always-on wire-frame checksum.
 	Checksum bool
+	// Adaptive routes payloads through a live-reoptimizing controller
+	// instead of the static Codec/Level engine: each RPC method becomes
+	// its own traffic class (AdaptiveClassPrefix + method) whose config
+	// the controller retunes from reservoir samples. Frames are
+	// self-describing, so both connection ends must use the same
+	// controller (in-process) or controllers sharing dictionary state.
+	// Codec and Level are ignored when set; MinSize still applies.
+	Adaptive *adaptive.Controller
+	// AdaptiveClassPrefix namespaces per-method classes (default "rpc:").
+	AdaptiveClassPrefix string
 }
 
 func (c *Compression) fill() {
 	if c.MinSize == 0 {
 		c.MinSize = 256
+	}
+	if c.AdaptiveClassPrefix == "" {
+		c.AdaptiveClassPrefix = "rpc:"
 	}
 }
 
@@ -226,8 +240,11 @@ const (
 type transport struct {
 	r       *bufio.Reader
 	w       *bufio.Writer
-	eng     codec.Engine // nil = no compression
-	pool    *codec.Pool  // where eng came from, for release()
+	eng     codec.Engine         // nil = no compression
+	pool    *codec.Pool          // where eng came from, for release()
+	actrl   *adaptive.Controller // non-nil = per-method adaptive compression
+	aprefix string
+	ahnd    map[string]*adaptive.Handle // method → class handle cache
 	min     int
 	owned   bool
 	shed    func() bool // when non-nil and true, skip compression (overload)
@@ -259,6 +276,12 @@ func newTransport(conn io.ReadWriter, comp Compression, tracer *trace.Tracer) (*
 		w:      bufio.NewWriter(conn),
 		min:    comp.MinSize,
 		tracer: tracer,
+	}
+	if comp.Adaptive != nil {
+		t.actrl = comp.Adaptive
+		t.aprefix = comp.AdaptiveClassPrefix
+		t.ahnd = make(map[string]*adaptive.Handle, 4)
+		return t, nil
 	}
 	if comp.Codec != "" {
 		c, ok := codec.Lookup(comp.Codec)
@@ -296,6 +319,23 @@ func (t *transport) release() {
 	}
 }
 
+// adaptiveHandle resolves the class handle for a method, caching per
+// transport so steady-state frames pay one map lookup (alloc-free: Go map
+// reads with a string([]byte) key do not copy). Like eng, the cache is
+// touched only by the transport's owning goroutine.
+func (t *transport) adaptiveHandle(method []byte) (*adaptive.Handle, error) {
+	if h, ok := t.ahnd[string(method)]; ok {
+		return h, nil
+	}
+	class := t.aprefix + string(method)
+	h, err := t.actrl.Handle(class)
+	if err != nil {
+		return nil, err
+	}
+	t.ahnd[string(method)] = h
+	return h, nil
+}
+
 // frameSum hashes what the checksum covers: the trace field when present,
 // then method bytes, then the exact bytes that ride the wire as payload. A
 // frame without a trace field hashes identically to the pre-trace format.
@@ -314,7 +354,7 @@ func frameSum(trc, method, wire []byte) uint64 {
 // consumed so response frames never echo it back.
 func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 	wire := payload
-	if t.eng != nil && len(payload) >= t.min {
+	if (t.eng != nil || t.actrl != nil) && len(payload) >= t.min {
 		if t.shed != nil && t.shed() {
 			tmShed.Inc()
 			t.cur.Event("rpc.shed")
@@ -322,7 +362,16 @@ func (t *transport) writeFrame(flags byte, method, payload []byte) error {
 			sp := t.cur.Child("rpc.compress") // zero handle when untraced
 			t.stages.Bind(sp)
 			t0 := time.Now()
-			out, err := t.eng.Compress(t.buf[:0], payload)
+			var out []byte
+			var err error
+			if t.actrl != nil {
+				var h *adaptive.Handle
+				if h, err = t.adaptiveHandle(method); err == nil {
+					out, err = h.Compress(t.buf[:0], payload)
+				}
+			} else {
+				out, err = t.eng.Compress(t.buf[:0], payload)
+			}
 			ns := time.Since(t0).Nanoseconds()
 			t.stats.compressNS.Add(ns)
 			tmCompNS.Add(ns)
@@ -485,7 +534,7 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 	t.stats.wireBytes.Add(int64(len(pbuf)))
 	tmWireBytes.Add(int64(len(pbuf)))
 	if compressed {
-		if t.eng == nil {
+		if t.eng == nil && t.actrl == nil {
 			return 0, nil, nil, aligned(corruptFrame(fmt.Errorf("%w: compressed frame on uncompressed transport", ErrCorrupt)))
 		}
 		dst := []byte(nil)
@@ -495,7 +544,16 @@ func (t *transport) readFrame() (flags byte, method, payload []byte, err error) 
 		sp := t.cur.Child("rpc.decompress") // zero handle when untraced
 		t.stages.Bind(sp)
 		t0 := time.Now()
-		out, err := t.eng.Decompress(dst, pbuf)
+		var out []byte
+		var err error
+		if t.actrl != nil {
+			var h *adaptive.Handle
+			if h, err = t.adaptiveHandle(mbuf); err == nil {
+				out, err = h.Decompress(dst, pbuf)
+			}
+		} else {
+			out, err = t.eng.Decompress(dst, pbuf)
+		}
 		ns := time.Since(t0).Nanoseconds()
 		t.stats.decompressNS.Add(ns)
 		tmDecompNS.Add(ns)

@@ -119,6 +119,11 @@ type Dataset struct {
 	Stripes [][]byte
 	// Level records the compression level the data was written with.
 	Level int
+	// Engine, when non-nil, is the engine the stripes were written through
+	// (e.g. an adaptive serving handle); readers must decode with it because
+	// its frames are self-describing in a format a plain zstd engine does
+	// not speak. Nil means stripes are plain zstd at Level.
+	Engine codec.Engine
 }
 
 // StoredBytes is the on-disk size of the dataset.
@@ -138,6 +143,17 @@ func engine(level int) (codec.Engine, codec.StagedEngine, error) {
 	}
 	staged, _ := eng.(codec.StagedEngine)
 	return eng, staged, nil
+}
+
+// readEngine returns the engine ds's stripes decode with: the engine the
+// dataset was written through when one was recorded, else zstd at the
+// recorded level.
+func readEngine(ds *Dataset) (codec.Engine, error) {
+	if ds.Engine != nil {
+		return ds.Engine, nil
+	}
+	eng, _, err := engine(ds.Level)
+	return eng, err
 }
 
 // captureStages folds the engine's stage counters into st and resets the
@@ -326,17 +342,38 @@ const ShuffleLevel = 1
 // level by the producing service), decompress it, ORC-encode and re-compress
 // at IngestionLevel for long-term storage.
 func Ingest(seed int64, stripes, rowsPerStripe int) (*Dataset, Stats, error) {
-	var st Stats
 	eng, staged, err := engine(IngestionLevel)
 	if err != nil {
-		return nil, st, err
+		return nil, Stats{}, err
 	}
+	return ingest(seed, stripes, rowsPerStripe, eng, staged, nil)
+}
+
+// IngestEngine runs DW1 writing stored stripes through the supplied engine
+// instead of the fixed IngestionLevel zstd engine. An *adaptive.Handle
+// satisfies codec.Engine, so the serving-path controller can steer the
+// warehouse storage format online; the returned Dataset remembers the
+// engine and downstream stages (SparkWorker, Shuffle, MLJob) read back
+// through it, so stripes written under since-retired generations keep
+// decoding.
+func IngestEngine(seed int64, stripes, rowsPerStripe int, eng codec.Engine) (*Dataset, Stats, error) {
+	if eng == nil {
+		return nil, Stats{}, errors.New("warehouse: nil engine")
+	}
+	staged, _ := eng.(codec.StagedEngine)
+	return ingest(seed, stripes, rowsPerStripe, eng, staged, eng)
+}
+
+// ingest is the shared DW1 body; keep is recorded on the Dataset so readers
+// reuse the write engine (nil for the plain zstd path).
+func ingest(seed int64, stripes, rowsPerStripe int, eng codec.Engine, staged codec.StagedEngine, keep codec.Engine) (*Dataset, Stats, error) {
+	var st Stats
 	upstreamEng, _, err := engine(ShuffleLevel)
 	if err != nil {
 		return nil, st, err
 	}
 	cap := &stageCapture{staged: staged}
-	ds := &Dataset{Level: IngestionLevel}
+	ds := &Dataset{Level: IngestionLevel, Engine: keep}
 	for i := 0; i < stripes; i++ {
 		cols := generateBatch(seed+int64(i)*100, rowsPerStripe)
 		// The upstream producer hands over level-1-compressed stripes; the
@@ -391,7 +428,7 @@ func validateBatch(cols []orc.Column) int {
 // at ShuffleLevel.
 func SparkWorker(ds *Dataset, computePasses int) (*Dataset, Stats, error) {
 	var st Stats
-	readEng, _, err := engine(ds.Level)
+	readEng, err := readEngine(ds)
 	if err != nil {
 		return nil, st, err
 	}
@@ -480,7 +517,7 @@ func Shuffle(ds *Dataset, workers int) ([]*Dataset, Stats, error) {
 		return nil, Stats{}, errors.New("warehouse: workers must be positive")
 	}
 	var st Stats
-	readEng, _, err := engine(ds.Level)
+	readEng, err := readEngine(ds)
 	if err != nil {
 		return nil, st, err
 	}
@@ -581,7 +618,7 @@ var mlWantCols = map[string]bool{"score": true, "actor_id": true}
 // uses (column pruning via the stripe directory).
 func MLJob(ds *Dataset, epochs int) (Stats, error) {
 	var st Stats
-	readEng, _, err := engine(ds.Level)
+	readEng, err := readEngine(ds)
 	if err != nil {
 		return st, err
 	}
