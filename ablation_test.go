@@ -14,6 +14,7 @@ import (
 	"github.com/datacomp/datacomp/internal/corpus"
 	"github.com/datacomp/datacomp/internal/dict"
 	"github.com/datacomp/datacomp/internal/fse"
+	"github.com/datacomp/datacomp/internal/graph"
 	"github.com/datacomp/datacomp/internal/lz"
 	"github.com/datacomp/datacomp/internal/zstd"
 )
@@ -45,8 +46,17 @@ func TestAblationRatioGuard(t *testing.T) {
 		"logs":    corpus.LogLines(7, 128<<10),
 		"source":  corpus.SourceCode(7, 128<<10),
 		"records": corpus.Records(7, 128<<10),
+		// The typed corpora benchsnap's graph rows measure.
+		"wh-int64":    corpus.Int64LE(corpus.TimestampColumn(7, 32768)),
+		"wh-float64":  corpus.Float64LE(corpus.MetricColumn(7, 32768)),
+		"ads-embed-a": corpus.ModelA.Requests(7, 1)[0],
+		"ads-embed-b": corpus.ModelB.Requests(7, 1)[0],
 	}
-	checked := 0
+	hints := map[string]graph.Hint{
+		"wh-int64":   graph.HintInt64,
+		"wh-float64": graph.HintFloat64,
+	}
+	checked, graphChecked := 0, 0
 	for _, e := range snap.Entries {
 		if e.Direction != "compress" || e.Ratio <= 0 {
 			continue
@@ -55,12 +65,38 @@ func TestAblationRatioGuard(t *testing.T) {
 		if !ok {
 			continue // small-payload, container, and trace rows
 		}
-		if _, ok := codec.Lookup(e.Codec); !ok {
-			continue
-		}
-		eng, err := codec.NewEngine(e.Codec, codec.WithLevel(e.Level))
-		if err != nil {
-			t.Fatal(err)
+		var eng codec.Engine
+		switch e.Codec {
+		case "graph":
+			// Reproduce benchsnap's pinned-graph methodology: plan once
+			// over the payload, pin the result.
+			g, err := graph.Plan(data, hints[e.Payload], 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ge, err := graph.NewEngine(graph.WithLevel(e.Level), graph.WithGraph(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng = ge
+			graphChecked++
+		case "graph-search":
+			ge, err := graph.NewEngine(graph.WithLevel(e.Level))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ge.SetHint(hints[e.Payload])
+			eng = ge
+			graphChecked++
+		default:
+			if _, ok := codec.Lookup(e.Codec); !ok {
+				continue
+			}
+			var err error
+			eng, err = codec.NewEngine(e.Codec, codec.WithLevel(e.Level))
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
 		out, err := eng.Compress(nil, data)
 		if err != nil {
@@ -75,6 +111,9 @@ func TestAblationRatioGuard(t *testing.T) {
 	}
 	if checked < 12 {
 		t.Fatalf("only %d rows checked; snapshot schema drifted?", checked)
+	}
+	if graphChecked < 8 {
+		t.Fatalf("only %d graph rows checked; graph snapshot rows missing?", graphChecked)
 	}
 }
 

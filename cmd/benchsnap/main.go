@@ -21,6 +21,7 @@ import (
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/graph"
 	"github.com/datacomp/datacomp/internal/telemetry"
 	"github.com/datacomp/datacomp/internal/trace"
 )
@@ -169,6 +170,10 @@ func main() {
 	snap.Entries = append(snap.Entries, sentries...)
 	dirty = dirty || sdirty
 
+	gentries, gdirty := measureGraph()
+	snap.Entries = append(snap.Entries, gentries...)
+	dirty = dirty || gdirty
+
 	centries, cdirty := measureContainer(*size)
 	snap.Entries = append(snap.Entries, centries...)
 	dirty = dirty || cdirty
@@ -199,6 +204,88 @@ func main() {
 	if *check && dirty {
 		os.Exit(1)
 	}
+}
+
+// measureGraph prices the typed transform-graph engine on the corpora its
+// search grammar targets: warehouse Int64/Float64 columns as raw
+// little-endian words, and ads embedding requests. The "graph" rows run
+// engines pinned the way deployments run them — graph.Plan once over the
+// corpus sample, pinned via WithGraph — so compress and decompress stay on
+// the zero-allocation steady-state path and join the alloc gate. The
+// "graph-search" rows price the per-payload search tier instead; its
+// candidate graphs and trial buffers are per-call state, so those rows
+// carry allocations by design and stay out of the gate.
+func measureGraph() ([]Entry, bool) {
+	pays := []struct {
+		name string
+		hint graph.Hint
+		data []byte
+	}{
+		{"wh-int64", graph.HintInt64, corpus.Int64LE(corpus.TimestampColumn(7, 32768))},
+		{"wh-float64", graph.HintFloat64, corpus.Float64LE(corpus.MetricColumn(7, 32768))},
+		{"ads-embed-a", graph.HintNone, corpus.ModelA.Requests(7, 1)[0]},
+		{"ads-embed-b", graph.HintNone, corpus.ModelB.Requests(7, 1)[0]},
+	}
+	fatal := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "benchsnap: graph: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	var entries []Entry
+	dirty := false
+	for _, p := range pays {
+		g, err := graph.Plan(p.data, p.hint, 9)
+		if err != nil {
+			fatal("%s: plan: %v", p.name, err)
+		}
+		eng, err := graph.NewEngine(graph.WithLevel(1), graph.WithGraph(g))
+		if err != nil {
+			fatal("%s: %v", p.name, err)
+		}
+		for _, dir := range []string{"compress", "decompress"} {
+			res, ratio, err := measure(eng, p.data, dir == "decompress")
+			if err != nil {
+				fatal("%s %s: %v", p.name, dir, err)
+			}
+			e := Entry{
+				Codec:       "graph",
+				Level:       1,
+				Payload:     p.name,
+				Direction:   dir,
+				NsPerOp:     res.NsPerOp(),
+				MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				Ratio:       ratio,
+			}
+			if e.AllocsPerOp != 0 {
+				dirty = true
+				fmt.Fprintf(os.Stderr, "benchsnap: ALLOC REGRESSION: graph L1 %s %s: %d allocs/op (%d B/op)\n",
+					p.name, dir, e.AllocsPerOp, e.BytesPerOp)
+			}
+			entries = append(entries, e)
+		}
+		seng, err := graph.NewEngine(graph.WithLevel(5))
+		if err != nil {
+			fatal("%s: %v", p.name, err)
+		}
+		seng.SetHint(p.hint)
+		res, ratio, err := measure(seng, p.data, false)
+		if err != nil {
+			fatal("%s search: %v", p.name, err)
+		}
+		entries = append(entries, Entry{
+			Codec:       "graph-search",
+			Level:       5,
+			Payload:     p.name,
+			Direction:   "compress",
+			NsPerOp:     res.NsPerOp(),
+			MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Ratio:       ratio,
+		})
+	}
+	return entries, dirty
 }
 
 // measureSmallPayloads prices the paper's dominant workload — cache-item-

@@ -191,6 +191,10 @@ func DefaultOnlineCandidates() []core.Config {
 		{Algorithm: "zstd", Level: 9},
 		{Algorithm: "lz4", Level: 1},
 		{Algorithm: "zlib", Level: 1},
+		// Typed-transform graph compression at heuristic search effort:
+		// wins big on structured payloads (columns, embeddings), loses
+		// rounds cheaply on byte-stream classes.
+		{Algorithm: "graph", Level: 1},
 	}
 }
 

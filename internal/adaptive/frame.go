@@ -33,9 +33,10 @@ const (
 	codecZstd
 	codecLZ4
 	codecZlib
+	codecGraph
 )
 
-var codecNames = [...]string{codecZstd: "zstd", codecLZ4: "lz4", codecZlib: "zlib"}
+var codecNames = [...]string{codecZstd: "zstd", codecLZ4: "lz4", codecZlib: "zlib", codecGraph: "graph"}
 
 func codecIDOf(name string) byte {
 	for id, n := range codecNames {

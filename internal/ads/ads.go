@@ -15,6 +15,7 @@ import (
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/graph"
 	"github.com/datacomp/datacomp/internal/stats"
 )
 
@@ -105,12 +106,38 @@ type Pipeline struct {
 	buf    []byte
 }
 
-// New builds a pipeline.
+// planLevel is the one-time search effort New spends pinning a graph to
+// the model's request corpus: full-payload trials with every entropy
+// terminal enabled. It is paid once per pipeline, never per request.
+const planLevel = 9
+
+// New builds a pipeline. The "graph" codec gets per-corpus treatment: the
+// request shape is fixed per model, so New searches for the best transform
+// graph over one sample request at full effort and pins it on the client —
+// per-request compression then pays no search. The server decodes with a
+// plain graph engine, since frames carry their own graph.
 func New(cfg Config) (*Pipeline, error) {
 	cfg.fill()
 	p := &Pipeline{cfg: cfg}
 	if cfg.Compress {
 		var err error
+		if cfg.Codec == "graph" {
+			sample := cfg.Model.Request(rand.New(rand.NewSource(0)))
+			g, err := graph.Plan(sample, graph.HintNone, planLevel)
+			if err != nil {
+				return nil, err
+			}
+			client, err := graph.NewEngine(graph.WithLevel(cfg.Level), graph.WithGraph(g))
+			if err != nil {
+				return nil, err
+			}
+			server, err := graph.NewEngine(graph.WithLevel(cfg.Level))
+			if err != nil {
+				return nil, err
+			}
+			p.client, p.server = client, server
+			return p, nil
+		}
 		p.client, err = codec.NewEngine(cfg.Codec, codec.WithLevel(cfg.Level))
 		if err != nil {
 			return nil, err

@@ -20,7 +20,7 @@ func compressible(seed int64, n int) []byte {
 
 func TestRegistryHasAllThree(t *testing.T) {
 	names := Names()
-	want := []string{"lz4", "zlib", "zstd"}
+	want := []string{"graph", "lz4", "zlib", "zstd"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

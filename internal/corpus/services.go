@@ -285,6 +285,26 @@ func MetricColumn(seed int64, n int) []float64 {
 	return out
 }
 
+// Int64LE serializes a column as little-endian int64 words — the layout
+// warehouse stripes, the graph engine's typed hints, and the graph ratio
+// gates all share.
+func Int64LE(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// Float64LE serializes a column as little-endian IEEE float64 words.
+func Float64LE(vals []float64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
 // CategoryColumn generates low-cardinality strings (RLE/dictionary
 // friendly).
 func CategoryColumn(seed int64, n int) []string {

@@ -1,0 +1,84 @@
+// Backward-compatibility gate for the graph frame format. The fixtures
+// under testdata/compat are v1 ('ZG' 0x01) frames committed when the
+// format was released; the decoder must keep decoding them
+// byte-identically forever, whatever the search or encoder learn later.
+package graph_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/graph"
+)
+
+func decodeFixture(t *testing.T, name string) ([]byte, []byte) {
+	t.Helper()
+	frame, err := os.ReadFile("testdata/compat/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := graph.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decompress(nil, frame)
+	if err != nil {
+		t.Fatalf("decode committed frame %s: %v", name, err)
+	}
+	return frame, got
+}
+
+func TestGraphV1FrameCompat(t *testing.T) {
+	// The corpus generators are deterministic, so the original payloads
+	// are regenerated rather than stored.
+	cases := []struct {
+		fixture string
+		want    []byte
+	}{
+		{"graph_v1_int64_ts.bin", corpus.Int64LE(corpus.TimestampColumn(7, 4096))},
+		{"graph_v1_float64_metric.bin", corpus.Float64LE(corpus.MetricColumn(7, 4096))},
+		{"graph_v1_ads_b.bin", corpus.ModelB.Requests(1, 1)[0]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			_, got := decodeFixture(t, tc.fixture)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("committed frame decoded to wrong payload (%d bytes, want %d)", len(got), len(tc.want))
+			}
+		})
+	}
+}
+
+// TestGraphV1FrameRejection corrupts the committed frames in the two
+// forward-compatibility-critical ways — an unknown node kind in the
+// graph region and a truncated header — and requires typed rejection.
+func TestGraphV1FrameRejection(t *testing.T) {
+	frame, _ := decodeFixture(t, "graph_v1_int64_ts.bin")
+	e, err := graph.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte 3 is the graph-length uvarint (graph < 128 bytes in every
+	// fixture), byte 4 the root op of the serialized graph.
+	if frame[3] >= 0x80 {
+		t.Fatal("fixture graph unexpectedly large")
+	}
+	mut := bytes.Clone(frame)
+	mut[4] = 0x7e // op ID no released decoder implements
+	if _, err := e.Decompress(nil, mut); !errors.Is(err, graph.ErrUnknownNode) {
+		t.Errorf("unknown node kind: got %v, want ErrUnknownNode", err)
+	}
+	if _, err := e.Decompress(nil, mut); !errors.Is(err, graph.ErrCorrupt) {
+		t.Errorf("unknown node kind: got %v, want ErrCorrupt via wrapping", err)
+	}
+
+	for _, cut := range []int{1, 2, 3, 4, len(frame) / 2, len(frame) - 1} {
+		if _, err := e.Decompress(nil, frame[:cut]); !errors.Is(err, graph.ErrCorrupt) {
+			t.Errorf("truncated at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package graph
+
+import "fmt"
+
+// Engine compresses typed payloads through a transform graph. It has the
+// same Compress/Decompress shape as codec.Engine, so callers can use it
+// directly or through the "graph" codec registration.
+//
+// An Engine is not safe for concurrent use; wrap it in a pool (as
+// codec.NewPool does) when sharing across goroutines.
+type Engine struct {
+	level  int
+	pinned *Graph // fixed graph from WithGraph; nil = search per payload
+	hint   Hint
+	c      coders
+	s      searcher
+}
+
+// Hint narrows the per-payload search when the caller knows the payload
+// type, e.g. the warehouse stripe writer encoding one typed column.
+type Hint byte
+
+const (
+	// HintNone searches the full candidate grammar.
+	HintNone Hint = iota
+	// HintInt64 treats the payload as little-endian int64 values.
+	HintInt64
+	// HintFloat64 treats the payload as little-endian float64 values.
+	HintFloat64
+)
+
+// DefaultLevel is the effort used when WithLevel is absent or zero.
+const DefaultLevel = 3
+
+// An Option configures an Engine.
+type Option func(*Engine)
+
+// WithLevel sets search effort, 1..9. Level 1 picks graphs by structural
+// probes alone (cheap enough for a per-request hot path), the default 3
+// trial-compresses candidates on capped samples, and 9 trials on the
+// full payload with the per-stream entropy terminals enabled.
+func WithLevel(level int) Option {
+	return func(e *Engine) { e.level = level }
+}
+
+// WithGraph pins a fixed graph (e.g. one found by Plan over a sample
+// corpus) instead of searching per payload. Encoding still falls back to
+// a generic graph for payloads the pinned graph cannot shape.
+func WithGraph(g *Graph) Option {
+	return func(e *Engine) { e.pinned = g }
+}
+
+// Plan runs the graph search over a sample payload and returns the chosen
+// graph for pinning via WithGraph. Searching once over a representative
+// sample is the per-corpus deployment mode: the per-payload cost drops to
+// plain frame encoding while the graph stays tuned to the corpus's record
+// shape. Payloads the pinned graph cannot shape still encode — the engine
+// falls back to the generic graph.
+func Plan(sample []byte, hint Hint, level int) (*Graph, error) {
+	if level < 1 || level > 9 {
+		return nil, fmt.Errorf("graph: level %d out of range [1,9]", level)
+	}
+	var c coders
+	var s searcher
+	return s.choose(sample, hint, level, &c), nil
+}
+
+// NewEngine builds a graph engine.
+func NewEngine(opts ...Option) (*Engine, error) {
+	e := &Engine{level: DefaultLevel}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.level < 1 || e.level > 9 {
+		return nil, fmt.Errorf("graph: level %d out of range [1,9]", e.level)
+	}
+	if e.pinned != nil {
+		if err := e.pinned.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// SetHint tells the engine how to interpret subsequent payloads. The
+// hint only steers encoding; decode is self-describing.
+func (e *Engine) SetHint(h Hint) { e.hint = h }
+
+// Hinter is implemented by engines (and engine adapters) that accept
+// payload-type hints. Typed writers — e.g. the warehouse stripe encoder
+// emitting one column at a time — assert for it so hints survive codec
+// registry indirection.
+type Hinter interface{ SetHint(Hint) }
+
+// Compress appends a self-describing graph frame to dst.
+func (e *Engine) Compress(dst, src []byte) ([]byte, error) {
+	g := e.pinned
+	if g == nil {
+		g = e.s.choose(src, e.hint, e.level, &e.c)
+	}
+	out, err := encodeFrame(dst, g, src, &e.c)
+	if err == nil {
+		return out, nil
+	}
+	if e.pinned != nil {
+		// The pinned graph did not fit this payload's shape — e.g. a
+		// content-derived split boundary that landed elsewhere in this
+		// request. Re-search for this payload before giving up on typed
+		// transforms entirely.
+		g = e.s.choose(src, e.hint, e.level, &e.c)
+		if out, rerr := encodeFrame(dst, g, src, &e.c); rerr == nil {
+			return out, nil
+		}
+	}
+	// Last resort: the generic graph accepts any byte stream.
+	out, ferr := encodeFrame(dst, genericGraph(e.level), src, &e.c)
+	if ferr != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decompress appends the decoded payload to dst. All failures wrap
+// ErrCorrupt; frames using node kinds this build does not implement
+// additionally wrap ErrUnknownNode.
+func (e *Engine) Decompress(dst, src []byte) ([]byte, error) {
+	return decodeFrame(dst, src, &e.c)
+}
+
+// zstdLevelFor maps search effort to the zstd terminal level.
+func zstdLevelFor(level int) int {
+	switch {
+	case level <= 2:
+		return 1
+	case level <= 6:
+		return 3
+	default:
+		return 6
+	}
+}
+
+// genericGraph is the universal fallback: a single zstd leaf. Any
+// payload encodes through it, at generic-codec ratios plus a few header
+// bytes.
+func genericGraph(level int) *Graph {
+	return &Graph{Root: &Node{Op: OpZstd, Arg: zstdLevelFor(level)}}
+}

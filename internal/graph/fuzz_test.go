@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzGraphRoundTrip drives arbitrary payloads through engines at every
+// hint/level combination the byte budget allows: Compress must either
+// fail cleanly or produce a frame that decodes byte-exact.
+func FuzzGraphRoundTrip(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte("hello graph"), byte(1))
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 65), byte(2))
+	f.Add(bytes.Repeat([]byte{0xff}, 24), byte(5))
+	f.Fuzz(func(t *testing.T, payload []byte, knobs byte) {
+		if len(payload) > 1<<12 {
+			payload = payload[:1<<12] // keep per-exec cost bounded
+		}
+		// Levels 1..3 cover the heuristic and trial search paths; the
+		// slow high-effort zstd tiers add no new correctness surface.
+		level := 1 + int(knobs%3)
+		hint := Hint(knobs / 3 % 3)
+		e, err := NewEngine(WithLevel(level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetHint(hint)
+		comp, err := e.Compress(nil, payload)
+		if err != nil {
+			t.Fatalf("Compress(%d bytes, hint %d, level %d): %v", len(payload), hint, level, err)
+		}
+		got, err := e.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("Decompress own frame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(payload), len(got))
+		}
+	})
+}
+
+// FuzzGraphDecode throws arbitrary bytes at the decoder: it must never
+// panic, and every failure must wrap ErrCorrupt.
+func FuzzGraphDecode(f *testing.F) {
+	e, err := NewEngine(WithLevel(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedEngine, err := NewEngine(WithLevel(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range [][]byte{
+		{},
+		[]byte("seed payload for a valid frame"),
+		bytes.Repeat([]byte{1, 0, 0, 0, 0, 0, 0, 0}, 64),
+	} {
+		frame, err := seedEngine.Compress(nil, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{'Z', 'G', 0x01})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		got, err := e.Decompress(nil, frame)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// A successful decode must be reproducible (the decoder holds no
+		// hidden state poisoned by earlier corrupt inputs).
+		again, err := e.Decompress(nil, frame)
+		if err != nil || !bytes.Equal(again, got) {
+			t.Fatalf("unstable decode: %v", err)
+		}
+	})
+}

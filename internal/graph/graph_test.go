@@ -1,0 +1,408 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func int64Column(t *testing.T, seed int64, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 0, n*8)
+	v := int64(1680000000000)
+	for i := 0; i < n; i++ {
+		v += int64(rng.Intn(2000))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func float64Column(t *testing.T, seed int64, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 0, n*8)
+	v := 100.0
+	for i := 0; i < n; i++ {
+		v += rng.NormFloat64()
+		q := math.Floor(v*100) / 100
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q))
+	}
+	return buf
+}
+
+func roundTrip(t *testing.T, e *Engine, payload []byte) []byte {
+	t.Helper()
+	comp, err := e.Compress(nil, payload)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := e.Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(payload))
+	}
+	return comp
+}
+
+func TestEngineRoundTrip(t *testing.T) {
+	payloads := map[string][]byte{
+		"empty":        {},
+		"one-byte":     {0x42},
+		"text":         []byte("the quick brown fox jumps over the lazy dog, repeatedly, for compression's sake"),
+		"int64-column": int64Column(t, 1, 4096),
+		"float64-col":  float64Column(t, 2, 4096),
+		"ragged":       bytes.Repeat([]byte{1, 2, 3}, 1001),
+	}
+	for _, level := range []int{1, 3, 9} {
+		e, err := NewEngine(WithLevel(level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, p := range payloads {
+			comp := roundTrip(t, e, p)
+			t.Logf("level %d %-12s %6d -> %6d", level, name, len(p), len(comp))
+		}
+	}
+}
+
+func TestEngineHints(t *testing.T) {
+	e, err := NewEngine(WithLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints := int64Column(t, 3, 8192)
+	floats := float64Column(t, 4, 8192)
+
+	e.SetHint(HintInt64)
+	ci := roundTrip(t, e, ints)
+	e.SetHint(HintFloat64)
+	cf := roundTrip(t, e, floats)
+	e.SetHint(HintNone)
+	gi := roundTrip(t, e, ints)
+
+	if len(ci) >= len(ints) {
+		t.Errorf("hinted int64 column did not compress: %d -> %d", len(ints), len(ci))
+	}
+	if len(cf) >= len(floats) {
+		t.Errorf("hinted float64 column did not compress: %d -> %d", len(floats), len(cf))
+	}
+	// The unhinted search should land on a typed chain too, since the
+	// column is 8-aligned and the typed candidates are in the beam.
+	if len(gi) > len(ci)*11/10 {
+		t.Errorf("unhinted search much worse than hinted: %d vs %d", len(gi), len(ci))
+	}
+
+	// A hinted engine handed a ragged payload must fall back, not fail.
+	e.SetHint(HintInt64)
+	roundTrip(t, e, []byte{1, 2, 3, 4, 5})
+}
+
+func TestPinnedGraphFallback(t *testing.T) {
+	// Pin a graph requiring 8-byte alignment, then feed a payload that
+	// cannot satisfy it: Compress must fall back to a generic graph.
+	g := &Graph{Root: &Node{Op: OpDelta, Arg: 8, Children: []*Node{
+		{Op: OpZstd, Arg: 3},
+	}}}
+	e, err := NewEngine(WithGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, e, []byte("not a multiple of eight!"))
+	roundTrip(t, e, int64Column(t, 5, 512))
+}
+
+func TestAdversarialColumns(t *testing.T) {
+	nan := math.Float64bits(math.NaN())
+	inf := math.Float64bits(math.Inf(1))
+	ninf := math.Float64bits(math.Inf(-1))
+	specials := make([]byte, 0, 8*1024)
+	for i := 0; i < 1024; i++ {
+		var u uint64
+		switch i % 4 {
+		case 0:
+			u = nan
+		case 1:
+			u = inf
+		case 2:
+			u = ninf
+		default:
+			u = math.Float64bits(-0.0)
+		}
+		specials = binary.LittleEndian.AppendUint64(specials, u)
+	}
+	monotone := make([]byte, 0, 8*1024)
+	for i := 0; i < 1024; i++ {
+		monotone = binary.LittleEndian.AppendUint64(monotone, uint64(i)*1000)
+	}
+	constant := bytes.Repeat([]byte{0x7f, 0, 0, 0, 0, 0, 0, 0}, 1024)
+	extremes := make([]byte, 0, 8*8)
+	for _, v := range []int64{math.MaxInt64, math.MinInt64, -1, 0, 1, math.MaxInt64 - 1, math.MinInt64 + 1, 42} {
+		extremes = binary.LittleEndian.AppendUint64(extremes, uint64(v))
+	}
+	cases := map[string][]byte{
+		"float-specials": specials,
+		"monotone-ints":  monotone,
+		"constant-ints":  constant,
+		"extreme-ints":   extremes,
+		"single-row":     extremes[:8],
+		"empty":          {},
+	}
+	for _, hint := range []Hint{HintNone, HintInt64, HintFloat64} {
+		for _, level := range []int{1, 3, 9} {
+			e, err := NewEngine(WithLevel(level))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetHint(hint)
+			for name, p := range cases {
+				comp := roundTrip(t, e, p)
+				if name == "constant-ints" && level >= 3 && len(comp) > 256 {
+					t.Errorf("hint %d level %d: constant column compressed to %d bytes", hint, level, len(comp))
+				}
+			}
+		}
+	}
+}
+
+// TestTransformDifferential checks every apply/invert pair against the
+// identity on adversarial inputs, independently of the frame machinery.
+func TestTransformDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inputs := [][]byte{
+		{},
+		{0x00},
+		{0xff},
+		bytes.Repeat([]byte{0xab}, 64),
+		int64Column(t, 8, 300),
+		float64Column(t, 9, 300),
+	}
+	random := make([]byte, 8*257)
+	rng.Read(random)
+	inputs = append(inputs, random)
+
+	type pair struct {
+		name   string
+		apply  func(dst, src []byte, w int) ([]byte, error)
+		invert func(dst, src []byte, w int) ([]byte, error)
+	}
+	pairs := []pair{
+		{"delta", applyDelta, invertDelta},
+		{"xordelta", applyXorDelta, invertXorDelta},
+		{"zigzag", applyZigzag, invertZigzag},
+		{"varint", applyVarint, invertVarint},
+		{"bitpack", applyBitpack, invertBitpack},
+		{"transpose", applyTranspose, invertTranspose},
+	}
+	for _, p := range pairs {
+		for _, w := range []int{1, 2, 4, 8} {
+			if p.name == "transpose" && w == 1 {
+				continue // stride 1 is outside the grammar
+			}
+			for _, in := range inputs {
+				if len(in)%w != 0 {
+					if _, err := p.apply(nil, in, w); !errors.Is(err, errShape) {
+						t.Errorf("%s%d(%d bytes): want errShape, got %v", p.name, w, len(in), err)
+					}
+					continue
+				}
+				fwd, err := p.apply(nil, in, w)
+				if p.name == "bitpack" && errors.Is(err, errShape) {
+					continue // values wider than 56 bits: legitimate encode-side fallback
+				}
+				if err != nil {
+					t.Fatalf("%s%d apply: %v", p.name, w, err)
+				}
+				back, err := p.invert(nil, fwd, w)
+				if err != nil {
+					t.Fatalf("%s%d invert: %v", p.name, w, err)
+				}
+				if !bytes.Equal(back, in) {
+					t.Fatalf("%s%d not a bijection on %d bytes", p.name, w, len(in))
+				}
+			}
+		}
+	}
+
+	// Float plane and struct split have different shapes; exercise them
+	// directly.
+	for _, w := range []int{4, 8} {
+		for _, in := range inputs {
+			if len(in)%w != 0 {
+				continue
+			}
+			outs := make([][]byte, 3)
+			for i := range outs {
+				outs[i] = []byte{}
+			}
+			outs, err := applyFloatPlane(in, w, outs)
+			if err != nil {
+				t.Fatalf("floatplane%d apply: %v", w, err)
+			}
+			back, err := invertFloatPlane(nil, w, outs)
+			if err != nil {
+				t.Fatalf("floatplane%d invert: %v", w, err)
+			}
+			if !bytes.Equal(back, in) {
+				t.Fatalf("floatplane%d not a bijection on %d bytes", w, len(in))
+			}
+		}
+	}
+	// Decimal: exact on quantized columns, errShape on full-entropy and
+	// special values, bijective where it applies.
+	quant := float64Column(t, 11, 500)
+	for _, scale := range []int{2, 3} {
+		fwd, err := applyDecimal(nil, quant, 8, scale)
+		if scale == 2 {
+			if err != nil {
+				t.Fatalf("decimal8e2 apply on quantized column: %v", err)
+			}
+			back, err := invertDecimal(nil, fwd, 8, scale)
+			if err != nil {
+				t.Fatalf("decimal8e2 invert: %v", err)
+			}
+			if !bytes.Equal(back, quant) {
+				t.Fatal("decimal8e2 not a bijection on quantized column")
+			}
+		}
+	}
+	nanCol := binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN()))
+	if _, err := applyDecimal(nil, nanCol, 8, 2); !errors.Is(err, errShape) {
+		t.Errorf("decimal on NaN: want errShape, got %v", err)
+	}
+	if _, err := applyDecimal(nil, random, 8, 2); !errors.Is(err, errShape) {
+		t.Errorf("decimal on random bytes: want errShape, got %v", err)
+	}
+
+	widths := []int{8, 4, 2, 2}
+	for _, in := range inputs {
+		if len(in)%16 != 0 {
+			continue
+		}
+		outs := make([][]byte, len(widths))
+		for i := range outs {
+			outs[i] = []byte{}
+		}
+		outs, err := applyStructSplit(in, widths, outs)
+		if err != nil {
+			t.Fatalf("structsplit apply: %v", err)
+		}
+		back, err := invertStructSplit(nil, widths, outs)
+		if err != nil {
+			t.Fatalf("structsplit invert: %v", err)
+		}
+		if !bytes.Equal(back, in) {
+			t.Fatalf("structsplit not a bijection on %d bytes", len(in))
+		}
+	}
+}
+
+func TestGraphSerializationRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		{Root: &Node{Op: OpZstd, Arg: 3}},
+		{Root: &Node{Op: OpDelta, Arg: 8, Children: []*Node{
+			{Op: OpZigzag, Arg: 8, Children: []*Node{
+				{Op: OpVarint, Arg: 8, Children: []*Node{{Op: OpZstd, Arg: 3}}},
+			}},
+		}}},
+		{Root: &Node{Op: OpSplitAt, Arg: 33, Children: []*Node{
+			{Op: OpHuff},
+			{Op: OpFloatPlane, Arg: 4, Children: []*Node{
+				{Op: OpRaw}, {Op: OpFSE}, {Op: OpZstd, Arg: 1},
+			}},
+		}}},
+		{Root: &Node{Op: OpStructSplit, Widths: []int{8, 4, 4}, Children: []*Node{
+			{Op: OpZstd, Arg: 3}, {Op: OpZstd, Arg: 3}, {Op: OpZstd, Arg: 3},
+		}}},
+		{Root: &Node{Op: OpDecimal, Arg: 8, Scale: 2, Children: []*Node{
+			{Op: OpDelta, Arg: 8, Children: []*Node{
+				{Op: OpZigzag, Arg: 8, Children: []*Node{
+					{Op: OpBitpack, Arg: 8, Children: []*Node{{Op: OpZstd, Arg: 3}}},
+				}},
+			}},
+		}}},
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		b := appendGraph(nil, g.Root)
+		count := 0
+		back, used, err := parseGraph(b, 0, &count)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", g, err)
+		}
+		if used != len(b) {
+			t.Fatalf("%s: parsed %d of %d bytes", g, used, len(b))
+		}
+		if got := (&Graph{Root: back}).String(); got != g.String() {
+			t.Fatalf("serialization round trip: got %s, want %s", got, g)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	e, err := NewEngine(WithLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := int64Column(t, 10, 1024)
+	frame, err := e.Compress(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, frame []byte, want error) {
+		t.Helper()
+		_, err := e.Decompress(nil, frame)
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	check("empty", nil, ErrCorrupt)
+	check("bad magic", []byte{'X', 'G', 0x01, 0}, ErrCorrupt)
+	check("bad version", []byte{'Z', 'G', 0x7f, 0}, ErrCorrupt)
+	for cut := 1; cut < min(len(frame), 32); cut++ {
+		check("truncated", frame[:len(frame)-cut], ErrCorrupt)
+	}
+
+	// An unknown node kind in the graph region must surface
+	// ErrUnknownNode (and ErrCorrupt via wrapping).
+	glen, k := binary.Uvarint(frame[3:])
+	if k <= 0 || glen == 0 {
+		t.Fatal("cannot locate graph region")
+	}
+	mut := bytes.Clone(frame)
+	mut[3+k] = 0x7b // unreleased op ID
+	check("unknown node", mut, ErrUnknownNode)
+	check("unknown node is corrupt", mut, ErrCorrupt)
+
+	// Flipping payload bytes must never panic. (Content integrity is the
+	// codec layer's Checksum wrapper's job, as for every other engine —
+	// e.g. a flipped varint boundary shifts content without a structural
+	// violation for the frame layer to catch.)
+	for i := 3 + k + int(glen); i < len(frame); i += 7 {
+		mut := bytes.Clone(frame)
+		mut[i] ^= 0x55
+		_, _ = e.Decompress(nil, mut)
+	}
+}
+
+func TestNewEngineRejectsBadConfig(t *testing.T) {
+	if _, err := NewEngine(WithLevel(0)); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := NewEngine(WithLevel(10)); err == nil {
+		t.Error("level 10 accepted")
+	}
+	bad := &Graph{Root: &Node{Op: OpDelta, Arg: 3, Children: []*Node{{Op: OpRaw}}}}
+	if _, err := NewEngine(WithGraph(bad)); err == nil {
+		t.Error("invalid pinned graph accepted")
+	}
+}

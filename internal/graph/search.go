@@ -1,0 +1,250 @@
+package graph
+
+import "bytes"
+
+// Graph selection is a bounded greedy/beam search over the transform
+// grammar. Cheap structural probes (header newline, float/int region
+// changepoint, word-width divisibility) propose a small beam of
+// skeletons; each stream inside a skeleton then picks its transform
+// chain and entropy terminal greedily, by trial-compressing a capped
+// sample and keeping the smallest. A plain zstd leaf is always in the
+// candidate set, so the chosen graph never does materially worse than
+// the generic codec.
+
+const (
+	// sampleCap bounds trial-encode input below level 7. 64 KiB is a
+	// multiple of every word width, so samples keep the payload's shape.
+	sampleCap = 64 << 10
+	// probeHeaderWindow bounds the scan for a textual header delimiter.
+	probeHeaderWindow = 80
+	// probeMinRegion is the minimum bytes a probed region must span
+	// before it earns its own subtree.
+	probeMinRegion = 64
+)
+
+// searcher holds trial-encode scratch state for one engine, plus the
+// cached generic fallback graph so the level-1 hot path (the adaptive
+// controller's per-request serving configuration) allocates nothing in
+// steady state.
+type searcher struct {
+	trial        []byte
+	generic      *Graph
+	genericLevel int
+}
+
+func (s *searcher) genericFor(level int) *Graph {
+	if s.generic == nil || s.genericLevel != level {
+		s.generic = genericGraph(level)
+		s.genericLevel = level
+	}
+	return s.generic
+}
+
+// choose returns the graph to encode src with. Level 1 trusts the
+// probes alone (no trial encodes — cheap enough for a per-request hot
+// path); higher levels trial-compress the beam.
+func (s *searcher) choose(src []byte, hint Hint, level int, c *coders) *Graph {
+	if len(src) == 0 {
+		return s.genericFor(level)
+	}
+	zl := zstdLevelFor(level)
+	switch hint {
+	case HintInt64:
+		if len(src)%8 != 0 {
+			return s.genericFor(level)
+		}
+		return s.pick(src, level, intChains(zl, 8), c)
+	case HintFloat64:
+		if len(src)%8 != 0 {
+			return s.genericFor(level)
+		}
+		return s.pick(src, level, floatChains(zl, 8, decimalScale(src, 8)), c)
+	}
+	if g := s.probeRecord(src, level, c); g != nil {
+		return g
+	}
+	if level <= 1 {
+		// Heuristic tier: no trials, no candidate construction — the
+		// zero-allocation path the batch gate pins.
+		return s.genericFor(level)
+	}
+	cands := []*Graph{s.genericFor(level)}
+	switch {
+	case len(src)%8 == 0:
+		cands = append(cands, intChains(zl, 8)...)
+		cands = append(cands, floatChains(zl, 8, decimalScale(src, 8))...)
+	case len(src)%4 == 0:
+		cands = append(cands, floatChains(zl, 4, decimalScale(src, 4))...)
+		cands = append(cands, uintChains(zl, 4)...)
+	case len(src)%2 == 0:
+		cands = append(cands, chain(zl, node(OpTranspose, 2)))
+	}
+	if level >= 7 {
+		cands = append(cands, &Graph{Root: node(OpHuff, 0)}, &Graph{Root: node(OpFSE, 0)})
+	}
+	return s.pick(src, level, cands, c)
+}
+
+// pick trial-compresses the candidates and returns the smallest.
+// cands[0] must be the probe-preferred candidate: it is returned
+// outright at level 1, and wins ties above.
+func (s *searcher) pick(src []byte, level int, cands []*Graph, c *coders) *Graph {
+	if level <= 1 || len(cands) == 1 {
+		return cands[0]
+	}
+	sample := src
+	if level <= 6 && len(sample) > sampleCap {
+		sample = sample[:sampleCap]
+	}
+	best, bestSize := cands[0], int(^uint(0)>>1)
+	for i, g := range cands {
+		out, err := encodeFrame(s.trial[:0], g, sample, c)
+		if err != nil {
+			continue // candidate does not fit this payload's shape
+		}
+		if len(out) < bestSize || (i == 0 && len(out) == bestSize) {
+			best, bestSize = g, len(out)
+		}
+		s.trial = out[:0:cap(out)]
+	}
+	return best
+}
+
+// node builds a childless node; chain threads nodes into a linear
+// pipeline ending in a zstd terminal.
+func node(op Op, arg int, widths ...int) *Node {
+	return &Node{Op: op, Arg: arg, Widths: widths}
+}
+
+func chain(zstdLevel int, nodes ...*Node) *Graph {
+	root := node(OpZstd, zstdLevel)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		nodes[i].Children = []*Node{root}
+		root = nodes[i]
+	}
+	return &Graph{Root: root}
+}
+
+// intChains are the candidate pipelines for w-byte signed integer
+// columns. First entry is the level-1 heuristic choice.
+func intChains(zl, w int) []*Graph {
+	return []*Graph{
+		chain(zl, node(OpDelta, w), node(OpZigzag, w), node(OpVarint, w)),
+		chain(zl, node(OpDelta, w), node(OpZigzag, w), node(OpBitpack, w)),
+		chain(zl, node(OpDelta, w), node(OpTranspose, w)),
+		chain(zl, node(OpTranspose, w)),
+		chain(zl),
+	}
+}
+
+// uintChains are the candidates for w-byte unsigned columns (sparse
+// indices, counters) where zigzag would only waste a bit.
+func uintChains(zl, w int) []*Graph {
+	return []*Graph{
+		chain(zl, node(OpVarint, w)),
+		chain(zl, node(OpDelta, w), node(OpZigzag, w), node(OpVarint, w)),
+		chain(zl, node(OpTranspose, w)),
+		chain(zl),
+	}
+}
+
+// floatChains are the candidates for w-byte float columns. When the
+// decimal probe found an exact scale, the decimal chains lead (and the
+// first entry is the level-1 heuristic choice): quantized measurement
+// columns become small integers, worth far more than any bit-plane
+// scheme. Byte-plane split and transpose remain for full-entropy floats.
+func floatChains(zl, w, scale int) []*Graph {
+	var cands []*Graph
+	if scale > 0 {
+		dec := func() *Node { return &Node{Op: OpDecimal, Arg: w, Scale: scale} }
+		cands = append(cands,
+			chain(zl, dec(), node(OpDelta, w), node(OpZigzag, w), node(OpVarint, w)),
+			chain(zl, dec(), node(OpZigzag, w), node(OpVarint, w)),
+			chain(zl, dec(), node(OpDelta, w), node(OpZigzag, w), node(OpBitpack, w)),
+		)
+	}
+	plane := &Node{Op: OpFloatPlane, Arg: w, Children: []*Node{
+		node(OpZstd, zl),
+		node(OpZstd, zl),
+		node(OpZstd, zl),
+	}}
+	return append(cands,
+		&Graph{Root: plane},
+		chain(zl, node(OpXorDelta, w), node(OpTranspose, w)),
+		chain(zl, node(OpTranspose, w)),
+		chain(zl),
+	)
+}
+
+// decimalScale probes for the smallest decimal exponent that exactly
+// round-trips every sampled value, or 0 when none does. The scan is
+// capped like the trial sample; the encoder still verifies the full
+// payload and falls back on a mismatch.
+func decimalScale(src []byte, w int) int {
+	if len(src) > sampleCap {
+		src = src[:sampleCap]
+	}
+	if len(src) == 0 || len(src)%w != 0 {
+		return 0
+	}
+	for scale := 1; scale <= 6; scale++ {
+		if _, err := applyDecimal(nil, src, w, scale); err == nil {
+			return scale
+		}
+	}
+	return 0
+}
+
+// probeRecord detects the serialized-record shape the ads corpus ships:
+// a short textual header ending in '\n', a dense float32 region, then a
+// sparse uint32 region. It returns a split skeleton with per-region
+// chains chosen greedily, or nil when the shape does not match.
+func (s *searcher) probeRecord(src []byte, level int, c *coders) *Graph {
+	win := min(probeHeaderWindow, len(src))
+	idx := bytes.IndexByte(src[:win], '\n')
+	if idx < 0 {
+		return nil
+	}
+	body := src[idx+1:]
+	if len(body) < probeMinRegion || len(body)%4 != 0 {
+		return nil
+	}
+	zl := zstdLevelFor(level)
+	cut := float32Changepoint(body)
+	if cut < probeMinRegion {
+		return nil
+	}
+	floats := body[:cut]
+	fbest := s.pick(floats, level, floatChains(zl, 4, decimalScale(floats, 4)), c)
+	var bodyRoot *Node
+	if cut == len(body) {
+		bodyRoot = fbest.Root
+	} else {
+		ints := body[cut:]
+		ibest := s.pick(ints, level, uintChains(zl, 4), c)
+		bodyRoot = &Node{Op: OpSplitAt, Arg: cut, Children: []*Node{fbest.Root, ibest.Root}}
+	}
+	return &Graph{Root: &Node{Op: OpSplitAt, Arg: idx + 1, Children: []*Node{
+		node(OpZstd, zl),
+		bodyRoot,
+	}}}
+}
+
+// float32Changepoint returns the byte offset (a multiple of 4) where a
+// leading dense-float32 region ends, or 0 when the payload does not
+// start with one. A word looks like a dense float when it is exactly
+// zero or its exponent sits in the range real-valued data occupies
+// (roughly 1e-5 .. 1e4).
+func float32Changepoint(b []byte) int {
+	n := len(b) / 4
+	for i := 0; i < n; i++ {
+		u := uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+		if u == 0 {
+			continue
+		}
+		if exp := (u >> 23) & 0xFF; exp < 112 || exp > 142 {
+			return i * 4
+		}
+	}
+	return n * 4
+}

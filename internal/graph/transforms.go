@@ -1,0 +1,517 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
+
+// Transforms come in apply/invert pairs. Apply runs at encode time and
+// may fail with errShape when the payload does not satisfy the op's
+// structural precondition (the engine then falls back to a generic
+// graph); invert runs at decode time and reports any inconsistency as
+// ErrCorrupt. Every pair is a bijection on payloads that satisfy the
+// precondition, which the differential tests assert per op.
+
+// readWord reads a w-byte little-endian word.
+func readWord(b []byte, w int) uint64 {
+	switch w {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// putWord appends a w-byte little-endian word.
+func putWord(dst []byte, v uint64, w int) []byte {
+	switch w {
+	case 1:
+		return append(dst, byte(v))
+	case 2:
+		return binary.LittleEndian.AppendUint16(dst, uint16(v))
+	case 4:
+		return binary.LittleEndian.AppendUint32(dst, uint32(v))
+	default:
+		return binary.LittleEndian.AppendUint64(dst, v)
+	}
+}
+
+// signExtend interprets the low w bytes of v as a signed integer.
+func signExtend(v uint64, w int) int64 {
+	shift := 64 - 8*w
+	return int64(v<<shift) >> shift
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// wordMask is the value mask for w-byte words.
+func wordMask(w int) uint64 {
+	if w == 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*w) - 1
+}
+
+// applyDelta rewrites w-byte LE words as first-value-then-differences
+// (mod 2^8w). Sorted or slowly-drifting columns collapse toward zero.
+func applyDelta(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	prev := uint64(0)
+	for i := 0; i < len(src); i += w {
+		v := readWord(src[i:], w)
+		dst = putWord(dst, (v-prev)&wordMask(w), w)
+		prev = v
+	}
+	return dst, nil
+}
+
+func invertDelta(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, corruptf("delta%d stream length %d", w, len(src))
+	}
+	acc := uint64(0)
+	for i := 0; i < len(src); i += w {
+		acc = (acc + readWord(src[i:], w)) & wordMask(w)
+		dst = putWord(dst, acc, w)
+	}
+	return dst, nil
+}
+
+// applyXorDelta XORs each w-byte word with its predecessor — the
+// float-friendly delta (Gorilla-style): nearby floats share sign,
+// exponent and high mantissa bits, so XOR zeroes the high bytes.
+func applyXorDelta(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	prev := uint64(0)
+	for i := 0; i < len(src); i += w {
+		v := readWord(src[i:], w)
+		dst = putWord(dst, v^prev, w)
+		prev = v
+	}
+	return dst, nil
+}
+
+func invertXorDelta(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, corruptf("xordelta%d stream length %d", w, len(src))
+	}
+	acc := uint64(0)
+	for i := 0; i < len(src); i += w {
+		acc ^= readWord(src[i:], w)
+		dst = putWord(dst, acc, w)
+	}
+	return dst, nil
+}
+
+// applyZigzag maps w-byte LE signed words onto unsigned words with small
+// magnitudes near zero, the shape varint and bitpack exploit.
+func applyZigzag(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	for i := 0; i < len(src); i += w {
+		v := signExtend(readWord(src[i:], w), w)
+		dst = putWord(dst, zigzag(v)&wordMask(w), w)
+	}
+	return dst, nil
+}
+
+func invertZigzag(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, corruptf("zigzag%d stream length %d", w, len(src))
+	}
+	for i := 0; i < len(src); i += w {
+		u := readWord(src[i:], w)
+		dst = putWord(dst, uint64(unzigzag(u))&wordMask(w), w)
+	}
+	return dst, nil
+}
+
+// applyVarint re-encodes w-byte LE unsigned words as uvarints: small
+// values (zigzagged deltas, sparse embeddings) shrink to one byte.
+func applyVarint(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	for i := 0; i < len(src); i += w {
+		dst = binary.AppendUvarint(dst, readWord(src[i:], w))
+	}
+	return dst, nil
+}
+
+func invertVarint(dst, src []byte, w int) ([]byte, error) {
+	base := len(dst)
+	for pos := 0; pos < len(src); {
+		v, k := binary.Uvarint(src[pos:])
+		if k <= 0 {
+			return nil, corruptf("varint%d stream", w)
+		}
+		if w < 8 && v > wordMask(w) {
+			return nil, corruptf("varint%d value overflow", w)
+		}
+		pos += k
+		if len(dst)-base+w > maxStreamLen {
+			return nil, corruptf("varint%d output too large", w)
+		}
+		dst = putWord(dst, v, w)
+	}
+	return dst, nil
+}
+
+// bitpackBlock is the value count per bit-width block: small enough that
+// one outlier cannot poison a long run, large enough that the per-block
+// width byte is noise.
+const bitpackBlock = 512
+
+// bitpackMaxWidth caps the packed bit width at 56 so the accumulator
+// arithmetic stays inside one 64-bit word (flush keeps ≤7 residual bits,
+// 7+56 < 64). Values needing more than 56 bits gain nothing from packing
+// — the encoder falls back (errShape) and the search drops the candidate.
+const bitpackMaxWidth = 56
+
+// applyBitpack packs w-byte LE unsigned words at the per-block maximum
+// bit width: uvarint count, then per block one width byte and the values
+// LSB-first. Dense small-range columns (zigzagged deltas) pack to a few
+// bits per row.
+func applyBitpack(dst, src []byte, w int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	n := len(src) / w
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for start := 0; start < n; start += bitpackBlock {
+		end := min(start+bitpackBlock, n)
+		width := 0
+		for i := start; i < end; i++ {
+			if b := bits.Len64(readWord(src[i*w:], w)); b > width {
+				width = b
+			}
+		}
+		if width > bitpackMaxWidth {
+			return nil, errShape
+		}
+		dst = append(dst, byte(width))
+		var acc uint64
+		accBits := 0
+		for i := start; i < end; i++ {
+			acc |= readWord(src[i*w:], w) << accBits
+			accBits += width
+			for accBits >= 8 {
+				dst = append(dst, byte(acc))
+				acc >>= 8
+				accBits -= 8
+			}
+		}
+		if accBits > 0 {
+			dst = append(dst, byte(acc))
+		}
+	}
+	return dst, nil
+}
+
+func invertBitpack(dst, src []byte, w int) ([]byte, error) {
+	n64, k := binary.Uvarint(src)
+	if k <= 0 || n64 > maxStreamLen/uint64(w) {
+		return nil, corruptf("bitpack%d count", w)
+	}
+	pos := k
+	n := int(n64)
+	for start := 0; start < n; start += bitpackBlock {
+		end := min(start+bitpackBlock, n)
+		if pos >= len(src) {
+			return nil, corruptf("bitpack%d truncated block header", w)
+		}
+		width := int(src[pos])
+		pos++
+		if width > bitpackMaxWidth || width > 8*w {
+			return nil, corruptf("bitpack%d width %d", w, width)
+		}
+		need := (width*(end-start) + 7) / 8
+		if pos+need > len(src) {
+			return nil, corruptf("bitpack%d truncated block", w)
+		}
+		var acc uint64
+		accBits := 0
+		bp := pos
+		for i := start; i < end; i++ {
+			for accBits < width {
+				acc |= uint64(src[bp]) << accBits
+				bp++
+				accBits += 8
+			}
+			v := acc & (uint64(1)<<width - 1)
+			acc >>= width
+			accBits -= width
+			if w < 8 && v > wordMask(w) {
+				return nil, corruptf("bitpack%d value overflow", w)
+			}
+			dst = putWord(dst, v, w)
+		}
+		pos += need
+	}
+	if pos != len(src) {
+		return nil, corruptf("bitpack%d trailing bytes", w)
+	}
+	return dst, nil
+}
+
+// applyTranspose regroups records of `stride` bytes into byte planes:
+// plane p holds byte p of every record. Fixed-width numeric arrays land
+// their high (near-constant) bytes in contiguous runs.
+func applyTranspose(dst, src []byte, stride int) ([]byte, error) {
+	if len(src)%stride != 0 {
+		return nil, errShape
+	}
+	n := len(src) / stride
+	base := len(dst)
+	dst = append(dst, make([]byte, len(src))...)
+	for p := 0; p < stride; p++ {
+		row := dst[base+p*n:]
+		for i := 0; i < n; i++ {
+			row[i] = src[i*stride+p]
+		}
+	}
+	return dst, nil
+}
+
+func invertTranspose(dst, src []byte, stride int) ([]byte, error) {
+	if len(src)%stride != 0 {
+		return nil, corruptf("transpose%d stream length %d", stride, len(src))
+	}
+	n := len(src) / stride
+	base := len(dst)
+	dst = append(dst, make([]byte, len(src))...)
+	out := dst[base:]
+	for p := 0; p < stride; p++ {
+		row := src[p*n:]
+		for i := 0; i < n; i++ {
+			out[i*stride+p] = row[i]
+		}
+	}
+	return dst, nil
+}
+
+// applySplitAt cuts the payload at the node's byte offset (clamped to the
+// payload length): header/body dispatch for framed records.
+func applySplitAt(src []byte, off int) (a, b []byte) {
+	if off > len(src) {
+		off = len(src)
+	}
+	return src[:off], src[off:]
+}
+
+// applyStructSplit scatters fixed-stride records into per-field streams
+// (AoS → SoA). outs[i] receives field i of every record.
+func applyStructSplit(src []byte, widths []int, outs [][]byte) ([][]byte, error) {
+	stride := 0
+	for _, w := range widths {
+		stride += w
+	}
+	if stride == 0 || len(src)%stride != 0 {
+		return nil, errShape
+	}
+	n := len(src) / stride
+	for f, w := range widths {
+		out := outs[f][:0]
+		off := fieldOffset(widths, f)
+		for i := 0; i < n; i++ {
+			out = append(out, src[i*stride+off:i*stride+off+w]...)
+		}
+		outs[f] = out
+	}
+	return outs, nil
+}
+
+func fieldOffset(widths []int, f int) int {
+	off := 0
+	for i := 0; i < f; i++ {
+		off += widths[i]
+	}
+	return off
+}
+
+// invertStructSplit gathers per-field streams back into records.
+func invertStructSplit(dst []byte, widths []int, fields [][]byte) ([]byte, error) {
+	if len(fields[0])%widths[0] != 0 {
+		return nil, corruptf("struct field 0 length %d", len(fields[0]))
+	}
+	n := len(fields[0]) / widths[0]
+	stride := 0
+	for f, w := range widths {
+		if len(fields[f]) != n*w {
+			return nil, corruptf("struct field %d length %d, want %d", f, len(fields[f]), n*w)
+		}
+		stride += w
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, n*stride)...)
+	out := dst[base:]
+	for f, w := range widths {
+		off := fieldOffset(widths, f)
+		src := fields[f]
+		for i := 0; i < n; i++ {
+			copy(out[i*stride+off:], src[i*w:i*w+w])
+		}
+	}
+	return dst, nil
+}
+
+// applyDecimal rewrites w-byte floats as w-byte LE two's-complement
+// integers n = round(v * 10^scale) — the ALP-style decimal transform.
+// Measurement columns quantized to fixed decimal places (prices,
+// percentages, sensor readings) become small integers the delta/zigzag/
+// varint chain collapses. The encoder verifies a bit-exact roundtrip for
+// every element and signals errShape on the first value that is not
+// exactly a scaled decimal (NaN, infinity, overflow, or extra digits).
+func applyDecimal(dst, src []byte, w, scale int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	p := math.Pow10(scale)
+	limit := math.Ldexp(1, 8*w-1)
+	for i := 0; i < len(src); i += w {
+		u := readWord(src[i:], w)
+		var v float64
+		if w == 4 {
+			v = float64(math.Float32frombits(uint32(u)))
+		} else {
+			v = math.Float64frombits(u)
+		}
+		scaled := v * p
+		if math.IsNaN(scaled) || scaled >= limit || scaled < -limit {
+			return nil, errShape
+		}
+		n := int64(math.Round(scaled))
+		if decimalBits(n, p, w) != u {
+			return nil, errShape
+		}
+		dst = putWord(dst, uint64(n)&wordMask(w), w)
+	}
+	return dst, nil
+}
+
+// decimalBits maps a scaled integer back to the float's bit pattern.
+// Division by an exact power of ten is correctly rounded IEEE, so the
+// mapping is deterministic across platforms.
+func decimalBits(n int64, p float64, w int) uint64 {
+	q := float64(n) / p
+	if w == 4 {
+		return uint64(math.Float32bits(float32(q)))
+	}
+	return math.Float64bits(q)
+}
+
+// invertDecimal is total: every integer maps to some float, so hostile
+// streams cannot make it fail beyond a length check.
+func invertDecimal(dst, src []byte, w, scale int) ([]byte, error) {
+	if len(src)%w != 0 {
+		return nil, corruptf("decimal%d stream length %d", w, len(src))
+	}
+	p := math.Pow10(scale)
+	for i := 0; i < len(src); i += w {
+		n := signExtend(readWord(src[i:], w), w)
+		dst = putWord(dst, decimalBits(n, p, w), w)
+	}
+	return dst, nil
+}
+
+// Float plane geometry: per element, the sign bit joins a bitmap, the
+// exponent its own fixed-width stream, and the mantissa a third. Each
+// plane has radically different statistics — signs and exponents are
+// near-constant for real measurement columns, mantissa bytes carry the
+// entropy — so coding them separately is the classic float win.
+func floatPlaneDims(w int) (expBytes, mantBytes, expShift int, mantMask uint64) {
+	if w == 4 {
+		return 1, 3, 23, 1<<23 - 1
+	}
+	return 2, 7, 52, 1<<52 - 1
+}
+
+// applyFloatPlane splits w-byte floats into sign/exponent/mantissa
+// streams. Element count is implicit: decode recovers it from the
+// exponent stream length.
+func applyFloatPlane(src []byte, w int, outs [][]byte) ([][]byte, error) {
+	if len(src)%w != 0 {
+		return nil, errShape
+	}
+	n := len(src) / w
+	expB, _, mantShiftedBits, mantMask := floatPlaneDims(w)
+	signs, exps, mants := outs[0][:0], outs[1][:0], outs[2][:0]
+	var sb byte
+	for i := 0; i < n; i++ {
+		u := readWord(src[i*w:], w)
+		if w == 4 {
+			u = uint64(uint32(u))
+		}
+		sign := u >> (uint(8*w) - 1)
+		exp := (u >> mantShiftedBits) & (wordMask(w) >> (mantShiftedBits + 1))
+		mant := u & mantMask
+		sb |= byte(sign) << (i % 8)
+		if i%8 == 7 {
+			signs = append(signs, sb)
+			sb = 0
+		}
+		exps = putWord(exps, exp, expB)
+		if w == 4 {
+			mants = append(mants, byte(mant), byte(mant>>8), byte(mant>>16))
+		} else {
+			mants = append(mants, byte(mant), byte(mant>>8), byte(mant>>16), byte(mant>>24),
+				byte(mant>>32), byte(mant>>40), byte(mant>>48))
+		}
+	}
+	if n%8 != 0 {
+		signs = append(signs, sb)
+	}
+	outs[0], outs[1], outs[2] = signs, exps, mants
+	return outs, nil
+}
+
+func invertFloatPlane(dst []byte, w int, planes [][]byte) ([]byte, error) {
+	expB, mantB, mantShiftedBits, _ := floatPlaneDims(w)
+	signs, exps, mants := planes[0], planes[1], planes[2]
+	if len(exps)%expB != 0 {
+		return nil, corruptf("floatplane%d exponent stream length %d", w, len(exps))
+	}
+	n := len(exps) / expB
+	if len(signs) != (n+7)/8 {
+		return nil, corruptf("floatplane%d sign stream length %d for %d elements", w, len(signs), n)
+	}
+	if len(mants) != n*mantB {
+		return nil, corruptf("floatplane%d mantissa stream length %d for %d elements", w, len(mants), n)
+	}
+	expMask := wordMask(w) >> (mantShiftedBits + 1)
+	for i := 0; i < n; i++ {
+		exp := readWord(exps[i*expB:], expB)
+		if exp > expMask {
+			return nil, corruptf("floatplane%d exponent overflow", w)
+		}
+		var mant uint64
+		mb := mants[i*mantB:]
+		if w == 4 {
+			mant = uint64(mb[0]) | uint64(mb[1])<<8 | uint64(mb[2])<<16
+			if mant > 1<<23-1 {
+				return nil, corruptf("floatplane4 mantissa overflow")
+			}
+		} else {
+			mant = uint64(mb[0]) | uint64(mb[1])<<8 | uint64(mb[2])<<16 | uint64(mb[3])<<24 |
+				uint64(mb[4])<<32 | uint64(mb[5])<<40 | uint64(mb[6])<<48
+			if mant > 1<<52-1 {
+				return nil, corruptf("floatplane8 mantissa overflow")
+			}
+		}
+		sign := uint64(signs[i/8]>>(i%8)) & 1
+		u := sign<<(uint(8*w)-1) | exp<<mantShiftedBits | mant
+		dst = putWord(dst, u, w)
+	}
+	return dst, nil
+}

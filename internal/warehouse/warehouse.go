@@ -22,12 +22,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
 	"time"
 
 	"github.com/datacomp/datacomp/internal/codec"
 	"github.com/datacomp/datacomp/internal/container"
 	"github.com/datacomp/datacomp/internal/corpus"
+	"github.com/datacomp/datacomp/internal/graph"
 	"github.com/datacomp/datacomp/internal/orc"
 	"github.com/datacomp/datacomp/internal/telemetry"
 )
@@ -192,49 +194,169 @@ func generateBatch(seed int64, rows int) []orc.Column {
 // errStripe reports a malformed stripe directory.
 var errStripe = errors.New("warehouse: corrupt stripe directory")
 
+// ErrColumnEncoding reports a stripe directory naming a column kind or
+// encoding this reader does not implement. Typed graph stripes must fail
+// loudly on readers that predate their encoding, never silently skip the
+// column.
+var ErrColumnEncoding = errors.New("warehouse: unsupported column encoding")
+
+// Stripe directory layout version and per-column encoding tags. The
+// directory block is:
+//
+//	version(1) | uvarint ncols, then per column:
+//	uvarint nameLen | name | kind(1) | enc(1) | uvarint chunks
+const (
+	dirVersion byte = 2
+
+	encORC      byte = 0 // ORC stripe encoding (any kind)
+	encTypedRaw byte = 1 // fixed-width little-endian words (Int64, Float64)
+)
+
+// typedHint maps a column kind to the graph-engine hint its raw
+// serialization should be compressed under, or HintNone when the kind has
+// no typed-raw form.
+func typedHint(k orc.Kind) graph.Hint {
+	switch k {
+	case orc.Int64:
+		return graph.HintInt64
+	case orc.Float64:
+		return graph.HintFloat64
+	}
+	return graph.HintNone
+}
+
+// hinter unwraps eng (through checksum or other wrappers) down to a
+// graph-hinted engine, or nil when the stack has none.
+func hinter(eng codec.Engine) graph.Hinter {
+	for e := eng; e != nil; {
+		if h, ok := e.(graph.Hinter); ok {
+			return h
+		}
+		u, ok := e.(interface{ Unwrap() codec.Engine })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	return nil
+}
+
+// appendTypedRaw serializes an Int64/Float64 column as fixed-width
+// little-endian words — the shape the graph engine's typed transform
+// chains (delta/zigzag/varint, decimal rescale) operate on.
+func appendTypedRaw(dst []byte, c orc.Column) []byte {
+	switch c.Kind {
+	case orc.Int64:
+		for _, v := range c.Ints {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case orc.Float64:
+		for _, v := range c.Floats {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// decodeTypedRaw reconstructs a typed-raw column from its serialized words.
+func decodeTypedRaw(name string, kind orc.Kind, data []byte) (orc.Column, error) {
+	if len(data)%8 != 0 {
+		return orc.Column{}, fmt.Errorf("%w: column %q: ragged typed payload", errStripe, name)
+	}
+	col := orc.Column{Name: name, Kind: kind}
+	n := len(data) / 8
+	switch kind {
+	case orc.Int64:
+		col.Ints = make([]int64, n)
+		for i := range col.Ints {
+			col.Ints[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	case orc.Float64:
+		col.Floats = make([]float64, n)
+		for i := range col.Floats {
+			col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	default:
+		return orc.Column{}, fmt.Errorf("%w: column %q: kind %d has no typed-raw form", ErrColumnEncoding, name, kind)
+	}
+	return col, nil
+}
+
 // columnChunks is the ≤ orc.MaxCompressionBlock split count for one
 // column's encoding.
 func columnChunks(n int) int {
 	return (n + orc.MaxCompressionBlock - 1) / orc.MaxCompressionBlock
 }
 
-// writeStripe ORC-encodes each column separately and writes the stripe as
-// one seekable container: block 0 is the directory (column names and chunk
-// counts), then each column's encoding in ≤ orc.MaxCompressionBlock chunks.
-// Column-granular blocks are what let readStripeColumns prune.
+// writeStripe encodes each column separately and writes the stripe as one
+// seekable container: block 0 is the directory (column names, kinds,
+// encodings and chunk counts), then each column's encoding in
+// ≤ orc.MaxCompressionBlock chunks. Column-granular blocks are what let
+// readStripeColumns prune. When the engine exposes a graph hint (typed
+// transform-graph compression), Int64/Float64 columns are serialized as
+// raw little-endian words and each column's chunks are compressed under
+// its kind's hint; other kinds, and every column under a plain engine,
+// keep the ORC encoding.
 func writeStripe(cols []orc.Column, eng codec.Engine, cap *stageCapture, st *Stats) ([]byte, error) {
 	tm()
+	h := hinter(eng)
 	encoded := make([][]byte, len(cols))
+	encs := make([]byte, len(cols))
 	var raw int64
 	t0 := time.Now()
 	for i := range cols {
-		enc, err := orc.EncodeStripe(cols[i : i+1])
-		if err != nil {
-			return nil, err
+		if h != nil && typedHint(cols[i].Kind) != graph.HintNone {
+			encoded[i] = appendTypedRaw(nil, cols[i])
+			encs[i] = encTypedRaw
+		} else {
+			enc, err := orc.EncodeStripe(cols[i : i+1])
+			if err != nil {
+				return nil, err
+			}
+			encoded[i] = enc
+			encs[i] = encORC
 		}
-		encoded[i] = enc
-		raw += int64(len(enc))
+		raw += int64(len(encoded[i]))
 	}
 	st.EncodeTime += time.Since(t0)
 
-	dir := binary.AppendUvarint(nil, uint64(len(cols)))
+	dir := append([]byte(nil), dirVersion)
+	dir = binary.AppendUvarint(dir, uint64(len(cols)))
 	for i, c := range cols {
 		dir = binary.AppendUvarint(dir, uint64(len(c.Name)))
 		dir = append(dir, c.Name...)
+		dir = append(dir, byte(c.Kind), encs[i])
 		dir = binary.AppendUvarint(dir, uint64(columnChunks(len(encoded[i]))))
 	}
 	raw += int64(len(dir))
 
+	containerCodec := "zstd"
+	if h != nil {
+		containerCodec = "graph"
+	}
 	var out bytes.Buffer
 	t1 := time.Now()
-	bw, err := container.NewBuilder(&out, "zstd", eng, orc.MaxCompressionBlock)
+	bw, err := container.NewBuilder(&out, containerCodec, eng, orc.MaxCompressionBlock)
 	if err != nil {
 		return nil, err
+	}
+	if h != nil {
+		h.SetHint(graph.HintNone) // directory block is untyped
 	}
 	if err := bw.AppendBlock(dir); err != nil {
 		return nil, err
 	}
-	for _, enc := range encoded {
+	for i, enc := range encoded {
+		if h != nil {
+			hint := graph.HintNone
+			if encs[i] == encTypedRaw {
+				hint = typedHint(cols[i].Kind)
+			}
+			// Chunk boundaries are multiples of the 8-byte word width
+			// (orc.MaxCompressionBlock is 8-aligned), so every chunk of a
+			// typed column keeps the hinted shape.
+			h.SetHint(hint)
+		}
 		for off := 0; off < len(enc); off += orc.MaxCompressionBlock {
 			end := off + orc.MaxCompressionBlock
 			if end > len(enc) {
@@ -244,6 +366,9 @@ func writeStripe(cols []orc.Column, eng codec.Engine, cap *stageCapture, st *Sta
 				return nil, err
 			}
 		}
+	}
+	if h != nil {
+		h.SetHint(graph.HintNone)
 	}
 	if err := bw.Close(); err != nil {
 		return nil, err
@@ -283,21 +408,29 @@ func readStripeColumns(framed []byte, eng codec.Engine, st *Stats, want map[stri
 	}
 	st.DecompressTime += time.Since(t0)
 
-	ncols, k := binary.Uvarint(dir)
+	if len(dir) < 1 || dir[0] != dirVersion {
+		return nil, errStripe
+	}
+	ncols, k := binary.Uvarint(dir[1:])
 	if k <= 0 || ncols > uint64(len(dir)) {
 		return nil, errStripe
 	}
-	pos := k
+	pos := 1 + k
 	var cols []orc.Column
 	next := 1 // first column chunk follows the directory block
 	for ci := uint64(0); ci < ncols; ci++ {
 		nameLen, k := binary.Uvarint(dir[pos:])
-		if k <= 0 || pos+k+int(nameLen) > len(dir) {
+		if k <= 0 || pos+k+int(nameLen)+2 > len(dir) {
 			return nil, errStripe
 		}
 		pos += k
 		name := string(dir[pos : pos+int(nameLen)])
 		pos += int(nameLen)
+		kind, colEnc := orc.Kind(dir[pos]), dir[pos+1]
+		pos += 2
+		if kind > orc.Bool || colEnc > encTypedRaw {
+			return nil, fmt.Errorf("%w: column %q: kind %d encoding %d", ErrColumnEncoding, name, kind, colEnc)
+		}
 		chunks, k := binary.Uvarint(dir[pos:])
 		if k <= 0 || next+int(chunks) > ra.NumBlocks()+1 {
 			return nil, errStripe
@@ -319,6 +452,15 @@ func readStripeColumns(framed []byte, eng codec.Engine, st *Stats, want map[stri
 		tmDecompNS.Add(dt.Nanoseconds())
 		next += int(chunks)
 		t2 := time.Now()
+		if colEnc == encTypedRaw {
+			col, err := decodeTypedRaw(name, kind, enc)
+			st.EncodeTime += time.Since(t2)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, col)
+			continue
+		}
 		decoded, err := orc.DecodeStripe(enc)
 		st.EncodeTime += time.Since(t2)
 		if err != nil {
@@ -362,6 +504,27 @@ func IngestEngine(seed int64, stripes, rowsPerStripe int, eng codec.Engine) (*Da
 	}
 	staged, _ := eng.(codec.StagedEngine)
 	return ingest(seed, stripes, rowsPerStripe, eng, staged, eng)
+}
+
+// GraphSearchLevel is the graph-engine search effort IngestGraph writes
+// with: trial search over the typed candidate beam, matching DW1's
+// ratio-over-speed posture without paying full-payload trials.
+const GraphSearchLevel = 5
+
+// IngestGraph runs DW1 through the typed transform-graph engine:
+// Int64/Float64 columns are stored as raw little-endian words and
+// compressed through a per-column transform graph (delta/zigzag/varint
+// for timestamps and IDs, decimal rescale for quantized metrics), while
+// String/Bool columns keep their ORC encoding under the same engine's
+// generic path. Frames are self-describing, and the returned Dataset
+// records the engine, so downstream stages (SparkWorker, Shuffle, MLJob)
+// read the stripes back unchanged.
+func IngestGraph(seed int64, stripes, rowsPerStripe int) (*Dataset, Stats, error) {
+	eng, err := codec.NewEngine("graph", codec.WithLevel(GraphSearchLevel))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ingest(seed, stripes, rowsPerStripe, eng, nil, eng)
 }
 
 // ingest is the shared DW1 body; keep is recorded on the Dataset so readers
